@@ -1,0 +1,142 @@
+//! FED-FP: the resource-oblivious federated scheduling bound of Li et al.
+//! (ECRTS 2014) — the paper's hypothetical upper baseline (Sec. VII-B).
+//!
+//! Shared resources are simply ignored: each heavy task on `m_i` dedicated
+//! processors under any work-conserving scheduler meets
+//! `r_i ≤ L*_i + (C_i − L*_i)/m_i` (Graham's bound). Since this analysis
+//! charges no blocking at all, it accepts a superset of the task sets any
+//! real locking protocol accepts — the curves it produces upper-bound every
+//! other method, as in Fig. 2.
+
+use dpcp_core::analysis::{DelayBreakdown, SchedulabilityReport, TaskBound};
+use dpcp_core::SchedAnalyzer;
+use dpcp_model::{Partition, TaskSet, Time};
+
+/// The FED-FP analyzer (implements [`SchedAnalyzer`]).
+///
+/// # Examples
+///
+/// ```
+/// use dpcp_baselines::FedFp;
+/// use dpcp_core::partition::{algorithm1, ResourceHeuristic};
+/// use dpcp_core::SchedAnalyzer;
+/// use dpcp_model::{fig1, Platform};
+///
+/// let tasks = fig1::task_set()?;
+/// let platform = Platform::new(4)?;
+/// let outcome = algorithm1(
+///     &tasks,
+///     &platform,
+///     ResourceHeuristic::WorstFitDecreasing,
+///     &FedFp::new(),
+/// );
+/// assert!(outcome.is_schedulable());
+/// # Ok::<(), dpcp_model::ModelError>(())
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FedFp;
+
+impl FedFp {
+    /// Creates the analyzer.
+    pub fn new() -> Self {
+        FedFp
+    }
+
+    /// The Graham-style federated bound `L* + ⌈(C − L*)/m_i⌉` for one task.
+    pub fn task_bound(wcet: Time, longest_path: Time, m_i: u64) -> Time {
+        let off_path = wcet.saturating_sub(longest_path);
+        longest_path.saturating_add(off_path.div_ceil(m_i.max(1)))
+    }
+}
+
+impl SchedAnalyzer for FedFp {
+    fn name(&self) -> &str {
+        "FED-FP"
+    }
+
+    fn needs_resource_homes(&self) -> bool {
+        false
+    }
+
+    fn analyze(&self, tasks: &TaskSet, partition: &Partition) -> SchedulabilityReport {
+        let mut bounds = Vec::with_capacity(tasks.len());
+        let mut all_ok = true;
+        for t in tasks.iter() {
+            let m_i = partition.cluster_size(t.id()) as u64;
+            let wcrt = Self::task_bound(t.wcet(), t.longest_path_len(), m_i);
+            let ok = wcrt <= t.deadline();
+            all_ok &= ok;
+            bounds.push(TaskBound {
+                task: t.id(),
+                wcrt: Some(wcrt),
+                schedulable: ok,
+                breakdown: Some(DelayBreakdown {
+                    path_len: t.longest_path_len(),
+                    intra_task_interference: t.wcet().saturating_sub(t.longest_path_len()),
+                    ..DelayBreakdown::default()
+                }),
+                signatures_evaluated: 1,
+                truncated: false,
+            });
+        }
+        SchedulabilityReport {
+            task_bounds: bounds,
+            schedulable: all_ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcp_model::fig1;
+
+    #[test]
+    fn bound_formula() {
+        // C = 19, L* = 10, m = 2 → 10 + ⌈9/2⌉ = 15.
+        assert_eq!(
+            FedFp::task_bound(fig1::unit() * 19, fig1::unit() * 10, 2),
+            Time::from_us(14_500).max(fig1::unit() * 14 + Time::from_us(500))
+        );
+        // Integer check: 9 units / 2 = 4.5 → 4500µs with 1ms units.
+        assert_eq!(
+            FedFp::task_bound(fig1::unit() * 19, fig1::unit() * 10, 2).as_us(),
+            14_500
+        );
+        // m = 1 degenerates to C.
+        assert_eq!(
+            FedFp::task_bound(fig1::unit() * 19, fig1::unit() * 10, 1),
+            fig1::unit() * 19
+        );
+    }
+
+    #[test]
+    fn fig1_schedulable_and_blocking_free() {
+        let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
+        let fed = FedFp::new();
+        let report = fed.analyze(&tasks, &partition);
+        assert!(report.schedulable);
+        for tb in &report.task_bounds {
+            let b = tb.breakdown.unwrap();
+            assert_eq!(b.inter_task_blocking, Time::ZERO);
+            assert_eq!(b.agent_interference, Time::ZERO);
+        }
+        assert_eq!(fed.name(), "FED-FP");
+        assert!(!fed.needs_resource_homes());
+    }
+
+    #[test]
+    fn fed_fp_dominates_dpcp_bounds() {
+        // Resource-oblivious bounds can only be smaller or equal.
+        let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
+        let fed = FedFp::new().analyze(&tasks, &partition);
+        let dpcp = dpcp_core::analysis::analyze(
+            &tasks,
+            &partition,
+            &dpcp_core::AnalysisConfig::ep(),
+        );
+        for (f, d) in fed.task_bounds.iter().zip(&dpcp.task_bounds) {
+            assert!(f.wcrt.unwrap() <= d.wcrt.unwrap());
+        }
+    }
+}

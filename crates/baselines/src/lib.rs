@@ -1,0 +1,43 @@
+//! Baseline locking-protocol analyses for the DPCP-p evaluation
+//! (Sec. VII-B): SPIN-SON, LPP and the resource-oblivious FED-FP bound.
+//!
+//! All three implement [`dpcp_core::SchedAnalyzer`], so they plug into the
+//! same Algorithm 1 partitioning loop as DPCP-p itself — mirroring the
+//! paper's setup where every protocol runs under federated scheduling.
+//!
+//! # Examples
+//!
+//! Compare all analyzers on the paper's Fig. 1 system:
+//!
+//! ```
+//! use dpcp_baselines::{FedFp, Lpp, SpinSon};
+//! use dpcp_core::partition::{algorithm1, DpcpAnalyzer, ResourceHeuristic};
+//! use dpcp_core::{AnalysisConfig, SchedAnalyzer};
+//! use dpcp_model::{fig1, Platform};
+//!
+//! let tasks = fig1::task_set()?;
+//! let platform = Platform::new(4)?;
+//! let h = ResourceHeuristic::WorstFitDecreasing;
+//! let dpcp = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
+//! for analyzer in [
+//!     &dpcp as &dyn SchedAnalyzer,
+//!     &SpinSon::new(),
+//!     &Lpp::new(),
+//!     &FedFp::new(),
+//! ] {
+//!     assert!(algorithm1(&tasks, &platform, h, analyzer).is_schedulable());
+//! }
+//! # Ok::<(), dpcp_model::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod common;
+pub mod fed;
+pub mod lpp;
+pub mod spin;
+
+pub use fed::FedFp;
+pub use lpp::{Lpp, LppConfig};
+pub use spin::{SpinConfig, SpinSon};

@@ -1,0 +1,110 @@
+//! Analysis and partitioning throughput, one group per reproduced
+//! table/figure workload:
+//!
+//! - `fig2_point` — the full five-method evaluation of one Fig. 2 sample
+//!   (the unit of work behind every point of every panel),
+//! - `tables_scenario_cell` — the EP/EN pair on a Table 2/3 grid cell,
+//! - `components` — the individual analysis stages (path enumeration,
+//!   context construction, per-variant WCRT, Algorithm 2 placement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpcp_baselines::{FedFp, Lpp, SpinSon};
+use dpcp_bench::panel_task_set;
+use dpcp_core::analysis::{analyze, SignatureCache};
+use dpcp_core::partition::{algorithm1, assign_resources, DpcpAnalyzer, ResourceHeuristic};
+use dpcp_core::{AnalysisConfig, SchedAnalyzer};
+use dpcp_gen::scenario::Fig2Panel;
+use dpcp_model::{initial_processors, Platform};
+use std::hint::black_box;
+
+fn bench_fig2_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_point");
+    group.sample_size(10);
+    for (panel, m) in [(Fig2Panel::A, 16usize), (Fig2Panel::B, 32)] {
+        let utilization = 0.5 * m as f64;
+        let tasks = panel_task_set(panel, utilization, 99);
+        let platform = Platform::new(m).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("all_methods", format!("{panel}")),
+            &tasks,
+            |b, tasks| {
+                b.iter(|| {
+                    let wfd = ResourceHeuristic::WorstFitDecreasing;
+                    let ep = DpcpAnalyzer::new(tasks, AnalysisConfig::ep());
+                    let en = DpcpAnalyzer::new(tasks, AnalysisConfig::en());
+                    let analyzers: [&dyn SchedAnalyzer; 5] =
+                        [&ep, &en, &SpinSon::new(), &Lpp::new(), &FedFp::new()];
+                    let mut accepted = 0u32;
+                    for a in analyzers {
+                        accepted +=
+                            u32::from(algorithm1(tasks, &platform, wfd, a).is_schedulable());
+                    }
+                    black_box(accepted)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tables_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_scenario_cell");
+    group.sample_size(10);
+    let tasks = panel_task_set(Fig2Panel::A, 8.0, 7);
+    let platform = Platform::new(16).unwrap();
+    group.bench_function("ep_vs_en", |b| {
+        b.iter(|| {
+            let wfd = ResourceHeuristic::WorstFitDecreasing;
+            let ep = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
+            let en = DpcpAnalyzer::new(&tasks, AnalysisConfig::en());
+            let a = algorithm1(&tasks, &platform, wfd, &ep).is_schedulable();
+            let b2 = algorithm1(&tasks, &platform, wfd, &en).is_schedulable();
+            black_box((a, b2))
+        })
+    });
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    let tasks = panel_task_set(Fig2Panel::A, 8.0, 13);
+    let platform = Platform::new(16).unwrap();
+    let sizes: Vec<usize> = tasks.iter().map(initial_processors).collect();
+    let layout =
+        dpcp_core::partition::layout_clusters(&sizes, 16).expect("fits");
+    let homes =
+        assign_resources(&tasks, &layout, ResourceHeuristic::WorstFitDecreasing).expect("fits");
+    let partition =
+        dpcp_model::Partition::new(&tasks, &platform, layout.clone(), homes).expect("valid");
+
+    group.bench_function("path_enumeration", |b| {
+        b.iter(|| black_box(SignatureCache::new(&tasks, &AnalysisConfig::ep())))
+    });
+    group.bench_function("wcrt_ep", |b| {
+        b.iter(|| black_box(analyze(&tasks, &partition, &AnalysisConfig::ep())))
+    });
+    group.bench_function("wcrt_en", |b| {
+        b.iter(|| black_box(analyze(&tasks, &partition, &AnalysisConfig::en())))
+    });
+    group.bench_function("wfd_placement", |b| {
+        b.iter(|| {
+            black_box(assign_resources(
+                &tasks,
+                &layout,
+                ResourceHeuristic::WorstFitDecreasing,
+            ))
+        })
+    });
+    group.bench_function("spin_analysis", |b| {
+        let spin = SpinSon::new();
+        b.iter(|| black_box(spin.analyze(&tasks, &partition)))
+    });
+    group.bench_function("lpp_analysis", |b| {
+        let lpp = Lpp::new();
+        b.iter(|| black_box(lpp.analyze(&tasks, &partition)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_point, bench_tables_cell, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Workload-synthesis throughput: RandFixedSum, DAG generation, and the
+//! full Sec. VII-A task-set pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpcp_gen::scenario::{Fig2Panel, Scenario};
+use dpcp_gen::{erdos_renyi_dag, rand_fixed_sum};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fixed_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rand_fixed_sum");
+    for n in [4usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                black_box(rand_fixed_sum(n, 1.6 * n as f64, 1.0, 3.0, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erdos_renyi_dag");
+    for n in [10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(erdos_renyi_dag(n, 0.1, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_task_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_set_pipeline");
+    group.sample_size(20);
+    let scenario = Scenario::fig2(Fig2Panel::A);
+    group.bench_function("fig2a_u8", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(scenario.sample_task_set(8.0, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed_sum, bench_dag, bench_task_set);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Shared fixtures for the Criterion benchmarks of the DPCP-p workspace.
+//!
+//! The benchmark targets live in `benches/`:
+//!
+//! - `analysis` — WCRT analysis and partitioning throughput per
+//!   table/figure workload (Fig. 2 panel sizes),
+//! - `simulator` — discrete-event engine throughput,
+//! - `generation` — workload synthesis throughput.
+
+#![warn(missing_docs)]
+
+use dpcp_gen::scenario::{Fig2Panel, Scenario};
+use dpcp_model::TaskSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generates a deterministic task set for a Fig. 2 panel at the given
+/// total utilization.
+///
+/// # Panics
+///
+/// Panics when generation fails for every retry seed (does not happen for
+/// the benchmark parameters).
+pub fn panel_task_set(panel: Fig2Panel, utilization: f64, seed: u64) -> TaskSet {
+    let scenario = Scenario::fig2(panel);
+    for retry in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(retry * 7919));
+        if let Ok(ts) = scenario.sample_task_set(utilization, &mut rng) {
+            return ts;
+        }
+    }
+    panic!("generation failed for panel {panel} at U={utilization}");
+}

@@ -1,0 +1,262 @@
+//! Per-request bounds: `β_{i,q}`, `γ_{i,q}(L)` and the request response
+//! time `W_{i,q}` of Lemma 2 (Eqs. 2–3).
+
+use dpcp_model::{ResourceId, TaskId, Time};
+
+use super::context::AnalysisContext;
+
+/// Runs a monotone fixed-point iteration `x_{n+1} = f(x_n)` from `start`.
+///
+/// Returns the least fixed point reached, or `None` when the iterate
+/// exceeds `horizon` (divergence: no solution below the deadline) or when
+/// `max_iters` is exhausted (treated as divergence — sound, since the
+/// caller then declares the task unschedulable).
+///
+/// # Panics
+///
+/// Debug builds assert that `f` is inflationary (`f(x) ≥ x` along the
+/// iteration), which every response-time recurrence in this crate is.
+pub fn fixed_point(
+    start: Time,
+    horizon: Time,
+    max_iters: usize,
+    mut f: impl FnMut(Time) -> Time,
+) -> Option<Time> {
+    let mut x = start;
+    if x > horizon {
+        return None;
+    }
+    for _ in 0..max_iters {
+        let next = f(x);
+        if next == x {
+            return Some(x);
+        }
+        debug_assert!(next > x, "response-time recurrence must be inflationary");
+        if next > horizon {
+            return None;
+        }
+        x = next;
+    }
+    None
+}
+
+/// `β_{i,q}` — the longest critical section of a *lower*-priority task on
+/// any global resource co-located with `ℓ_q` whose ceiling is at least
+/// `π^H + π_i` (the single lower-priority blocking permitted by Lemma 1).
+pub fn beta(ctx: &AnalysisContext<'_>, i: TaskId, q: ResourceId) -> Time {
+    let pi_i = ctx.task(i).priority();
+    let mut worst = Time::ZERO;
+    for &u in ctx.co_located(q) {
+        // Ceiling test: Π_u ≥ π^H + π_i ⇔ max user base priority ≥ π_i.
+        match ctx.ceiling_base(u) {
+            Some(c) if c >= pi_i => {}
+            _ => continue,
+        }
+        for &j in ctx.tasks.users_of(u) {
+            if ctx.task(j).priority() < pi_i {
+                if let Some(len) = ctx.task(j).cs_length(u) {
+                    worst = worst.max(len);
+                }
+            }
+        }
+    }
+    worst
+}
+
+/// `γ_{i,q}(L)` (Eq. 2) — the cumulative length of higher-priority requests
+/// to global resources co-located with `ℓ_q` within a window of length `L`:
+/// `Σ_{π_h > π_i} η_h(L) · Σ_{u ∈ Φ^℘(ℓ_q)} N_{h,u} · L_{h,u}`.
+pub fn gamma(ctx: &AnalysisContext<'_>, i: TaskId, q: ResourceId, window: Time) -> Time {
+    let Some(home) = ctx.partition.home_of(q) else {
+        return Time::ZERO;
+    };
+    let pi_i = ctx.task(i).priority();
+    let mut total = Time::ZERO;
+    for h in ctx.tasks.iter() {
+        if h.id() == i || h.priority() <= pi_i {
+            continue;
+        }
+        let demand = ctx.cs_demand_on(h.id(), home);
+        if !demand.is_zero() {
+            total = total.saturating_add(demand.saturating_mul(ctx.eta(h.id(), window)));
+        }
+    }
+    total
+}
+
+/// The response-time bound `W_{i,q}` of one request from the analysed path
+/// to global resource `ℓ_q` (Lemma 2):
+///
+/// `W = L_{i,q} + Σ_{u ∈ Φ^℘(ℓ_q)} (N_{i,u} − N^λ_{i,u}) · L_{i,u}
+///      + β_{i,q} + γ_{i,q}(W)`.
+///
+/// `path_requests(u)` supplies `N^λ_{i,u}`; the EN variant passes the
+/// term-wise worst case instead of a concrete path's counts. Returns
+/// `None` when the recurrence has no solution below `horizon`.
+pub fn request_response_bound(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    q: ResourceId,
+    path_requests: &dyn Fn(ResourceId) -> u32,
+    horizon: Time,
+    max_iters: usize,
+) -> Option<Time> {
+    let task = ctx.task(i);
+    let own = task.cs_length(q).unwrap_or(Time::ZERO);
+    // Intra-task requests from vertices not on the path, to any co-located
+    // global resource.
+    let mut intra = Time::ZERO;
+    for &u in ctx.co_located(q) {
+        let n = task.total_requests(u);
+        if n == 0 {
+            continue;
+        }
+        let off_path = n.saturating_sub(path_requests(u));
+        if off_path > 0 {
+            let len = task.cs_length(u).unwrap_or(Time::ZERO);
+            intra = intra.saturating_add(len.saturating_mul(u64::from(off_path)));
+        }
+    }
+    let base = own
+        .saturating_add(intra)
+        .saturating_add(beta(ctx, i, q));
+    fixed_point(base, horizon, max_iters, |w| {
+        base.saturating_add(gamma(ctx, i, q, w))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcp_model::fig1;
+
+    fn fig1_ctx() -> (
+        dpcp_model::Platform,
+        dpcp_model::Partition,
+        dpcp_model::TaskSet,
+    ) {
+        let (p, part, ts) = fig1::platform_and_partition().unwrap();
+        (p, part, ts)
+    }
+
+    #[test]
+    fn fixed_point_converges() {
+        // x = 10 + (x / 20) * 5 on integers: converges quickly.
+        let r = fixed_point(Time::from_ns(10), Time::from_ns(1000), 64, |x| {
+            Time::from_ns(10 + (x.as_ns() / 20) * 5)
+        });
+        assert_eq!(r, Some(Time::from_ns(10)));
+    }
+
+    #[test]
+    fn fixed_point_detects_divergence() {
+        let r = fixed_point(Time::from_ns(1), Time::from_ns(100), 64, |x| {
+            x + Time::from_ns(10)
+        });
+        assert_eq!(r, None);
+        // Start already beyond the horizon.
+        let r = fixed_point(Time::from_ns(200), Time::from_ns(100), 64, |x| x);
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn fixed_point_exhausts_iterations() {
+        let r = fixed_point(Time::ZERO, Time::MAX, 3, |x| x + Time::from_ns(1));
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn beta_sees_only_lower_priority_users() {
+        let (_, part, ts) = fig1_ctx();
+        let ctx = AnalysisContext::new(&ts, &part);
+        // Priorities are unique; call the higher-priority task H, lower L.
+        let (hi, lo) = if ts.task(TaskId::new(0)).priority() > ts.task(TaskId::new(1)).priority()
+        {
+            (TaskId::new(0), TaskId::new(1))
+        } else {
+            (TaskId::new(1), TaskId::new(0))
+        };
+        // For the high-priority task, the lower one can block once: β = 3u.
+        assert_eq!(beta(&ctx, hi, fig1::GLOBAL_RESOURCE), fig1::unit() * 3);
+        // For the low-priority task there is no lower-priority user: β = 0.
+        assert_eq!(beta(&ctx, lo, fig1::GLOBAL_RESOURCE), Time::ZERO);
+    }
+
+    #[test]
+    fn gamma_counts_higher_priority_demand() {
+        let (_, part, ts) = fig1_ctx();
+        let ctx = AnalysisContext::new(&ts, &part);
+        let (hi, lo) = if ts.task(TaskId::new(0)).priority() > ts.task(TaskId::new(1)).priority()
+        {
+            (TaskId::new(0), TaskId::new(1))
+        } else {
+            (TaskId::new(1), TaskId::new(0))
+        };
+        // Highest-priority task sees no higher-priority interference.
+        assert_eq!(
+            gamma(&ctx, hi, fig1::GLOBAL_RESOURCE, fig1::unit() * 20),
+            Time::ZERO
+        );
+        // Lower-priority task sees η_hi(L) · 3u. With L = 10u, R_hi = D = 30u,
+        // T = 30u: η = ⌈40/30⌉ = 2 → 6u.
+        assert_eq!(
+            gamma(&ctx, lo, fig1::GLOBAL_RESOURCE, fig1::unit() * 10),
+            fig1::unit() * 6
+        );
+    }
+
+    #[test]
+    fn gamma_of_homeless_resource_is_zero() {
+        let (_, part, ts) = fig1_ctx();
+        let ctx = AnalysisContext::new(&ts, &part);
+        assert_eq!(
+            gamma(&ctx, TaskId::new(0), fig1::LOCAL_RESOURCE, fig1::unit() * 50),
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    fn request_bound_for_fig1_low_priority_task() {
+        let (_, part, ts) = fig1_ctx();
+        let ctx = AnalysisContext::new(&ts, &part);
+        let lo = if ts.task(TaskId::new(0)).priority() > ts.task(TaskId::new(1)).priority() {
+            TaskId::new(1)
+        } else {
+            TaskId::new(0)
+        };
+        // Path containing the single request: no intra off-path requests to
+        // co-located globals, no lower-priority blocker, only η_hi jobs of
+        // the other task: W = 3 + η(W)·3. Start 3 → 3+2·3=9 → η(9)=⌈39/30⌉=2
+        // → 9. Fixed point: 9u.
+        let w = request_response_bound(
+            &ctx,
+            lo,
+            fig1::GLOBAL_RESOURCE,
+            &|q| if q == fig1::GLOBAL_RESOURCE { 1 } else { 0 },
+            ts.task(lo).deadline(),
+            64,
+        );
+        assert_eq!(w, Some(fig1::unit() * 9));
+    }
+
+    #[test]
+    fn request_bound_for_high_priority_task_is_cs_plus_beta() {
+        let (_, part, ts) = fig1_ctx();
+        let ctx = AnalysisContext::new(&ts, &part);
+        let hi = if ts.task(TaskId::new(0)).priority() > ts.task(TaskId::new(1)).priority() {
+            TaskId::new(0)
+        } else {
+            TaskId::new(1)
+        };
+        // W = own CS (3) + β (3) = 6, no higher-priority interference.
+        let w = request_response_bound(
+            &ctx,
+            hi,
+            fig1::GLOBAL_RESOURCE,
+            &|q| if q == fig1::GLOBAL_RESOURCE { 1 } else { 0 },
+            ts.task(hi).deadline(),
+            64,
+        );
+        assert_eq!(w, Some(fig1::unit() * 6));
+    }
+}

@@ -1,0 +1,340 @@
+//! The per-path response-time bound of Theorem 1 and the task-level WCRT
+//! `R_i = max_λ r_i(λ)` (Eq. 1), in both analysis variants:
+//!
+//! - **EP** (enumerate paths): evaluates Theorem 1 on every distinct path
+//!   signature of the task (Sec. VI's more precise analysis, the paper's
+//!   `DPCP-p-EP`);
+//! - **EN** (enumerate request counts): evaluates a single virtual path of
+//!   length `L*_i` whose per-term request counts take their worst value in
+//!   `[0, N_{i,q}]` (the paper's `DPCP-p-EN`; see DESIGN.md note 4 for the
+//!   term-wise maximisation argument).
+
+use dpcp_model::{PathSignature, ResourceId, TaskId, Time};
+
+use super::blocking::{
+    inter_task_blocking, intra_task_blocking, intra_task_blocking_en, EpsilonTable,
+};
+use super::context::AnalysisContext;
+use super::interference::{
+    agent_interference_others, agent_interference_own, agent_interference_own_en,
+    intra_task_interference, intra_task_interference_en,
+};
+use super::request::{beta, fixed_point, gamma, request_response_bound};
+use super::{AnalysisConfig, DelayBreakdown};
+
+/// The outcome of one per-path (or per-virtual-path) Theorem 1 evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathBound {
+    /// The converged response-time bound `r_i(λ)`.
+    pub wcrt: Time,
+    /// The delay decomposition at the fixed point.
+    pub breakdown: DelayBreakdown,
+}
+
+/// Evaluates Theorem 1 for one concrete path signature:
+/// `r = L(λ) + B_i(r) + b_i + ⌈(I^intra_i + I^A_i(r)) / m_i⌉`.
+///
+/// Returns `None` when any request bound `W_{i,q}` or the response-time
+/// recurrence has no solution below the task's deadline.
+pub fn wcrt_for_signature(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    sig: &PathSignature,
+    cfg: &AnalysisConfig,
+) -> Option<PathBound> {
+    let task = ctx.task(i);
+    let horizon = task.deadline();
+    let m_i = ctx.cluster_size(i);
+
+    // Per-request blocking bounds β + γ(W) for every global resource the
+    // path requests (Lemma 2 feeding Eq. 4).
+    let path_counts = |q: ResourceId| sig.request_count(q);
+    let mut per_request: Vec<(ResourceId, Time)> = Vec::new();
+    for &(q, n) in sig.requests() {
+        if n == 0 || !ctx.tasks.is_global(q) {
+            continue;
+        }
+        let w = request_response_bound(
+            ctx,
+            i,
+            q,
+            &path_counts,
+            horizon,
+            cfg.max_fixpoint_iterations,
+        )?;
+        let blocking = beta(ctx, i, q).saturating_add(gamma(ctx, i, q, w));
+        per_request.push((q, blocking));
+    }
+    let eps = EpsilonTable::new(ctx, sig.requests().iter().copied(), |q| {
+        per_request
+            .iter()
+            .find(|&&(u, _)| u == q)
+            .map(|&(_, b)| b)
+            .unwrap_or(Time::ZERO)
+    });
+
+    let b_i = intra_task_blocking(ctx, i, sig);
+    let intra_i = intra_task_interference(ctx, i, sig);
+    let agent_own = agent_interference_own(ctx, i, sig);
+    let len = sig.len();
+
+    let r = fixed_point(len, horizon, cfg.max_fixpoint_iterations, |r| {
+        let b_inter = inter_task_blocking(ctx, i, &eps, r);
+        let agents = agent_own.saturating_add(agent_interference_others(ctx, i, r));
+        len.saturating_add(b_inter)
+            .saturating_add(b_i)
+            .saturating_add(intra_i.saturating_add(agents).div_ceil(m_i))
+    })?;
+
+    let b_inter = inter_task_blocking(ctx, i, &eps, r);
+    let agents = agent_own.saturating_add(agent_interference_others(ctx, i, r));
+    Some(PathBound {
+        wcrt: r,
+        breakdown: DelayBreakdown {
+            path_len: len,
+            inter_task_blocking: b_inter,
+            intra_task_blocking: b_i,
+            intra_task_interference: intra_i,
+            agent_interference: agents,
+        },
+    })
+}
+
+/// Evaluates the EN variant's single virtual path: length `L*_i`, every
+/// request-count-dependent term at its maximum over `N^λ_{i,q} ∈
+/// [0, N_{i,q}]`.
+pub fn wcrt_en(ctx: &AnalysisContext<'_>, i: TaskId, cfg: &AnalysisConfig) -> Option<PathBound> {
+    let task = ctx.task(i);
+    let horizon = task.deadline();
+    let m_i = ctx.cluster_size(i);
+    let len = task.longest_path_len();
+
+    // W^EN_{i,q}: intra term maximised at N^λ_q = 1 for ℓ_q itself (a path
+    // must request ℓ_q for W_{i,q} to matter) and N^λ_u = 0 for the rest.
+    let mut per_request: Vec<(ResourceId, u32, Time)> = Vec::new();
+    for q in task.resources() {
+        if !ctx.tasks.is_global(q) {
+            continue;
+        }
+        let n = task.total_requests(q);
+        if n == 0 {
+            continue;
+        }
+        let counts = move |u: ResourceId| u32::from(u == q);
+        let w = request_response_bound(ctx, i, q, &counts, horizon, cfg.max_fixpoint_iterations)?;
+        let blocking = beta(ctx, i, q).saturating_add(gamma(ctx, i, q, w));
+        per_request.push((q, n, blocking));
+    }
+    // ε maximised at N^λ_q = N_{i,q}.
+    let eps = EpsilonTable::new(
+        ctx,
+        per_request.iter().map(|&(q, n, _)| (q, n)),
+        |q| {
+            per_request
+                .iter()
+                .find(|&&(u, _, _)| u == q)
+                .map(|&(_, _, b)| b)
+                .unwrap_or(Time::ZERO)
+        },
+    );
+
+    let b_i = intra_task_blocking_en(ctx, i);
+    let intra_i = intra_task_interference_en(ctx, i);
+    let agent_own = agent_interference_own_en(ctx, i);
+
+    let r = fixed_point(len, horizon, cfg.max_fixpoint_iterations, |r| {
+        let b_inter = inter_task_blocking(ctx, i, &eps, r);
+        let agents = agent_own.saturating_add(agent_interference_others(ctx, i, r));
+        len.saturating_add(b_inter)
+            .saturating_add(b_i)
+            .saturating_add(intra_i.saturating_add(agents).div_ceil(m_i))
+    })?;
+
+    let b_inter = inter_task_blocking(ctx, i, &eps, r);
+    let agents = agent_own.saturating_add(agent_interference_others(ctx, i, r));
+    Some(PathBound {
+        wcrt: r,
+        breakdown: DelayBreakdown {
+            path_len: len,
+            inter_task_blocking: b_inter,
+            intra_task_blocking: b_i,
+            intra_task_interference: intra_i,
+            agent_interference: agents,
+        },
+    })
+}
+
+/// The task-level bound `R_i = max_λ r_i(λ)` over a set of enumerated
+/// signatures, falling back to the (dominating) EN bound when the
+/// enumeration was truncated.
+///
+/// Returns `None` when any contributing bound diverges beyond `D_i`.
+pub fn wcrt_over_signatures(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    sigs: &dpcp_model::PathSignatures,
+    cfg: &AnalysisConfig,
+) -> Option<PathBound> {
+    let mut best: Option<PathBound> = None;
+    for sig in &sigs.signatures {
+        let bound = wcrt_for_signature(ctx, i, sig, cfg)?;
+        if best.as_ref().is_none_or(|b| bound.wcrt > b.wcrt) {
+            best = Some(bound);
+        }
+    }
+    if sigs.truncated {
+        let en = wcrt_en(ctx, i, cfg)?;
+        if best.as_ref().is_none_or(|b| en.wcrt > b.wcrt) {
+            best = Some(en);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalysisVariant;
+    use dpcp_model::{enumerate_signatures, fig1, TaskId};
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    fn fig1_setup() -> (dpcp_model::Partition, dpcp_model::TaskSet) {
+        let (_, part, ts) = fig1::platform_and_partition().unwrap();
+        (part, ts)
+    }
+
+    #[test]
+    fn fig1_longest_path_bound_is_reasonable() {
+        let (part, ts) = fig1_setup();
+        let ctx = AnalysisContext::new(&ts, &part);
+        let i = TaskId::new(0);
+        let ti = ts.task(i);
+        let sig = dpcp_model::PathSignature::from_path(ti, ti.longest_path());
+        let bound = wcrt_for_signature(&ctx, i, &sig, &cfg()).unwrap();
+        // The path itself takes 10u; everything on top is bounded delay.
+        assert!(bound.wcrt >= fig1::unit() * 10);
+        assert!(bound.wcrt <= ti.deadline());
+        assert_eq!(bound.breakdown.path_len, fig1::unit() * 10);
+        // This path requests nothing ⇒ no inter-task blocking.
+        assert_eq!(bound.breakdown.inter_task_blocking, Time::ZERO);
+    }
+
+    #[test]
+    fn fig1_global_path_sees_inter_task_blocking() {
+        let (part, ts) = fig1_setup();
+        let ctx = AnalysisContext::new(&ts, &part);
+        let i = TaskId::new(0);
+        let ti = ts.task(i);
+        let v = dpcp_model::VertexId::new;
+        let sig = dpcp_model::PathSignature::from_path(ti, &[v(0), v(1), v(5), v(7)]);
+        let bound = wcrt_for_signature(&ctx, i, &sig, &cfg()).unwrap();
+        assert!(bound.breakdown.inter_task_blocking > Time::ZERO);
+        assert!(bound.wcrt <= ti.deadline());
+    }
+
+    #[test]
+    fn en_dominates_ep_on_fig1() {
+        let (part, ts) = fig1_setup();
+        let ctx = AnalysisContext::new(&ts, &part);
+        for idx in 0..2 {
+            let i = TaskId::new(idx);
+            let sigs = enumerate_signatures(ts.task(i), 64);
+            assert!(!sigs.truncated);
+            let ep = wcrt_over_signatures(&ctx, i, &sigs, &cfg()).unwrap();
+            let en = wcrt_en(&ctx, i, &cfg()).unwrap();
+            assert!(
+                en.wcrt >= ep.wcrt,
+                "EN ({}) must dominate EP ({}) for task {idx}",
+                en.wcrt,
+                ep.wcrt
+            );
+        }
+    }
+
+    #[test]
+    fn en_dominates_every_single_signature() {
+        let (part, ts) = fig1_setup();
+        let ctx = AnalysisContext::new(&ts, &part);
+        let i = TaskId::new(1);
+        let en = wcrt_en(&ctx, i, &cfg()).unwrap();
+        for sig in enumerate_signatures(ts.task(i), 64).signatures {
+            let ep = wcrt_for_signature(&ctx, i, &sig, &cfg()).unwrap();
+            assert!(en.wcrt >= ep.wcrt);
+        }
+    }
+
+    #[test]
+    fn isolated_task_bound_is_graham_like() {
+        // A single task with no resources: r = L* + ⌈(C − L*)/m⌉ because
+        // I^intra = C' − C'(λ*) and nothing else contributes.
+        use dpcp_model::{Dag, DagTask, Platform, Partition, TaskSet, VertexSpec};
+        let dag = Dag::new(3, [(0, 1)]).unwrap(); // v2 parallel to chain
+        let t = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .dag(dag)
+            .vertex(VertexSpec::new(Time::from_ms(2)))
+            .vertex(VertexSpec::new(Time::from_ms(3)))
+            .vertex(VertexSpec::new(Time::from_ms(4)))
+            .build()
+            .unwrap();
+        let ts = TaskSet::new(vec![t], 0).unwrap();
+        let platform = Platform::new(2).unwrap();
+        let part = Partition::new(
+            &ts,
+            &platform,
+            vec![vec![dpcp_model::ProcessorId::new(0), dpcp_model::ProcessorId::new(1)]],
+            Default::default(),
+        )
+        .unwrap();
+        let ctx = AnalysisContext::new(&ts, &part);
+        let sigs = enumerate_signatures(ts.task(TaskId::new(0)), 16);
+        let bound = wcrt_over_signatures(&ctx, TaskId::new(0), &sigs, &cfg()).unwrap();
+        // Path (v0,v1): 5 + ⌈4/2⌉ = 7ms; path (v2): 4 + ⌈5/2⌉ = 6.5ms.
+        // The maximum over paths binds: 7ms.
+        assert_eq!(bound.wcrt, Time::from_ms(7));
+        let variant_check = AnalysisVariant::EnumeratePaths;
+        assert_eq!(variant_check, AnalysisVariant::EnumeratePaths);
+    }
+
+    #[test]
+    fn diverging_task_returns_none() {
+        // One processor per task and an absurdly heavy load: the recurrence
+        // must blow past the deadline.
+        use dpcp_model::{DagTask, Platform, Partition, RequestSpec, TaskSet, VertexSpec};
+        let mk = |id: usize| {
+            DagTask::builder(TaskId::new(id), Time::from_ms(1))
+                .vertex(VertexSpec::with_requests(
+                    Time::from_us(900),
+                    [RequestSpec::new(ResourceId::new(0), 20)],
+                ))
+                .critical_section(ResourceId::new(0), Time::from_us(40))
+                .build()
+                .unwrap()
+        };
+        let ts = TaskSet::new(vec![mk(0), mk(1)], 1).unwrap();
+        let platform = Platform::new(2).unwrap();
+        let part = Partition::new(
+            &ts,
+            &platform,
+            vec![
+                vec![dpcp_model::ProcessorId::new(0)],
+                vec![dpcp_model::ProcessorId::new(1)],
+            ],
+            [(ResourceId::new(0), dpcp_model::ProcessorId::new(0))]
+                .into_iter()
+                .collect(),
+        )
+        .unwrap();
+        let ctx = AnalysisContext::new(&ts, &part);
+        let i = TaskId::new(1); // lower priority by tie-break
+        let lower = if ts.task(TaskId::new(0)).priority() < ts.task(i).priority() {
+            TaskId::new(0)
+        } else {
+            i
+        };
+        let sigs = enumerate_signatures(ts.task(lower), 16);
+        assert!(wcrt_over_signatures(&ctx, lower, &sigs, &cfg()).is_none());
+    }
+}

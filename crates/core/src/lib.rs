@@ -1,0 +1,52 @@
+//! DPCP-p: the distributed priority ceiling protocol for parallel
+//! real-time tasks — protocol rules, schedulability analysis and
+//! partitioning heuristics.
+//!
+//! This crate is the paper's primary contribution
+//! (*DPCP-p: A Distributed Locking Protocol for Parallel Real-Time Tasks*,
+//! Yang et al., DAC 2020), organised as:
+//!
+//! - [`protocol`] — priority ceilings, processor ceilings and the locking
+//!   rules of Sec. III, shared by the simulator and the threaded runtime;
+//! - [`analysis`] — the worst-case response-time analysis of Sec. IV
+//!   (Lemmas 2–6, Theorem 1), in both the path-enumerating (`DPCP-p-EP`)
+//!   and request-count-enumerating (`DPCP-p-EN`) variants;
+//! - [`partition`] — the task/resource partitioning of Sec. V
+//!   (Algorithms 1 and 2) plus ablation heuristics.
+//!
+//! # Examples
+//!
+//! End-to-end schedulability test of the paper's Fig. 1 system:
+//!
+//! ```
+//! use dpcp_core::analysis::AnalysisConfig;
+//! use dpcp_core::partition::{partition_and_analyze, ResourceHeuristic};
+//! use dpcp_model::{fig1, Platform};
+//!
+//! let tasks = fig1::task_set()?;
+//! let platform = Platform::new(4)?;
+//! let outcome = partition_and_analyze(
+//!     &tasks,
+//!     &platform,
+//!     ResourceHeuristic::WorstFitDecreasing,
+//!     AnalysisConfig::ep(),
+//! );
+//! assert!(outcome.is_schedulable());
+//! # Ok::<(), dpcp_model::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod partition;
+pub mod protocol;
+
+pub use analysis::{
+    analyze, AnalysisConfig, AnalysisVariant, DelayBreakdown, SchedulabilityReport, TaskBound,
+};
+pub use partition::{
+    algorithm1, partition_and_analyze, PartitionOutcome, ResourceHeuristic, SchedAnalyzer,
+    UnschedulableReason,
+};
+pub use protocol::{CeilingTable, LockDecision, ProcessorCeiling};

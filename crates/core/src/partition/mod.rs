@@ -1,0 +1,389 @@
+//! Task and resource partitioning (Sec. V, Algorithm 1).
+//!
+//! [`algorithm1`] reproduces the paper's iterative loop: every task starts
+//! with `m_i = ⌈(C_i − L*_i)/(D_i − L*_i)⌉` dedicated processors; global
+//! resources are placed by Worst-Fit Decreasing ([`wfd`], Algorithm 2);
+//! tasks are analysed in decreasing priority order; the first failing task
+//! receives one more processor (if any remains unassigned), the resource
+//! assignment is rolled back, and the round restarts.
+//!
+//! The loop is generic over a [`SchedAnalyzer`], so the same partitioning
+//! policy drives DPCP-p and every baseline protocol — exactly the setup of
+//! the paper's evaluation, where all protocols run under federated
+//! scheduling with the same initial assignment.
+
+use dpcp_model::{initial_processors, Partition, Platform, TaskId, TaskSet};
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{
+    analyze_with_cache, AnalysisConfig, SchedulabilityReport, SignatureCache,
+};
+
+pub mod mixed;
+pub mod wfd;
+
+pub use mixed::{algorithm1_mixed, analyze_mixed};
+pub use wfd::{assign_resources, assign_resources_to_bins, layout_clusters, CapacityBin, ResourceHeuristic};
+
+/// A schedulability analysis pluggable into [`algorithm1`].
+pub trait SchedAnalyzer {
+    /// Short name for reports (e.g. `"DPCP-p-EP"`, `"SPIN-SON"`).
+    fn name(&self) -> &str;
+
+    /// Whether the protocol executes global requests on designated
+    /// processors (DPCP-p) and therefore needs Algorithm 2's resource
+    /// placement. Local-execution protocols (spin locks, local semaphores)
+    /// return `false`.
+    fn needs_resource_homes(&self) -> bool {
+        true
+    }
+
+    /// Analyses every task and reports per-task schedulability.
+    fn analyze(&self, tasks: &TaskSet, partition: &Partition) -> SchedulabilityReport;
+}
+
+/// The DPCP-p analysis as a [`SchedAnalyzer`] (owns the per-task-set path
+/// signature cache so partitioning rounds never re-enumerate paths).
+#[derive(Debug)]
+pub struct DpcpAnalyzer {
+    cfg: AnalysisConfig,
+    cache: SignatureCache,
+    name: String,
+}
+
+impl DpcpAnalyzer {
+    /// Builds the analyzer for one task set. Path signatures are only
+    /// enumerated for the EP variant — EN never reads them.
+    pub fn new(tasks: &TaskSet, cfg: AnalysisConfig) -> Self {
+        let cache = match cfg.variant {
+            crate::analysis::AnalysisVariant::EnumeratePaths => {
+                SignatureCache::new(tasks, &cfg)
+            }
+            crate::analysis::AnalysisVariant::EnumerateRequestCounts => {
+                SignatureCache::empty(tasks.len())
+            }
+        };
+        let name = cfg.variant.to_string();
+        DpcpAnalyzer { cfg, cache, name }
+    }
+
+    /// The analysis configuration in use.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
+    }
+}
+
+impl SchedAnalyzer for DpcpAnalyzer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn analyze(&self, tasks: &TaskSet, partition: &Partition) -> SchedulabilityReport {
+        analyze_with_cache(tasks, partition, &self.cfg, &self.cache)
+    }
+}
+
+/// Why [`algorithm1`] declared a task set unschedulable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnschedulableReason {
+    /// The initial federated assignment needs more processors than exist
+    /// (Algorithm 1 line 5).
+    InsufficientProcessors {
+        /// `Σ_i m_i` demanded by the initial assignment.
+        demanded: usize,
+        /// The platform size `m`.
+        available: usize,
+    },
+    /// Algorithm 2 could not fit the global resources into any cluster
+    /// (Algorithm 1 line 8).
+    ResourceAllocationInfeasible,
+    /// A task failed its response-time test with no processor left to add
+    /// (Algorithm 1 line 16).
+    TaskUnschedulable {
+        /// The failing task.
+        task: TaskId,
+    },
+}
+
+impl core::fmt::Display for UnschedulableReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UnschedulableReason::InsufficientProcessors { demanded, available } => write!(
+                f,
+                "initial federated assignment needs {demanded} processors, platform has {available}"
+            ),
+            UnschedulableReason::ResourceAllocationInfeasible => {
+                f.write_str("global resources do not fit into any cluster")
+            }
+            UnschedulableReason::TaskUnschedulable { task } => {
+                write!(f, "{task} misses its deadline with all processors assigned")
+            }
+        }
+    }
+}
+
+/// The result of [`algorithm1`].
+#[derive(Debug, Clone)]
+pub enum PartitionOutcome {
+    /// A feasible placement was found and every task passed analysis.
+    Schedulable {
+        /// The accepted placement.
+        partition: Partition,
+        /// Per-task bounds under that placement.
+        report: SchedulabilityReport,
+        /// Number of partition-analyse rounds performed.
+        rounds: usize,
+    },
+    /// No feasible placement exists under this heuristic and analysis.
+    Unschedulable {
+        /// Why the loop gave up.
+        reason: UnschedulableReason,
+        /// Number of partition-analyse rounds performed.
+        rounds: usize,
+    },
+}
+
+impl PartitionOutcome {
+    /// `true` for the schedulable outcome.
+    pub fn is_schedulable(&self) -> bool {
+        matches!(self, PartitionOutcome::Schedulable { .. })
+    }
+
+    /// The accepted partition, if schedulable.
+    pub fn partition(&self) -> Option<&Partition> {
+        match self {
+            PartitionOutcome::Schedulable { partition, .. } => Some(partition),
+            PartitionOutcome::Unschedulable { .. } => None,
+        }
+    }
+
+    /// The final analysis report, if schedulable.
+    pub fn report(&self) -> Option<&SchedulabilityReport> {
+        match self {
+            PartitionOutcome::Schedulable { report, .. } => Some(report),
+            PartitionOutcome::Unschedulable { .. } => None,
+        }
+    }
+}
+
+/// Algorithm 1: iterative task-and-resource partitioning with per-task
+/// processor top-up and resource-assignment rollback.
+///
+/// # Panics
+///
+/// Panics if a heavy task has `L*_i ≥ D_i` (no processor count can make it
+/// schedulable; the paper's generator enforces `L*_i < D_i/2`).
+pub fn algorithm1(
+    tasks: &TaskSet,
+    platform: &Platform,
+    heuristic: ResourceHeuristic,
+    analyzer: &dyn SchedAnalyzer,
+) -> PartitionOutcome {
+    let m = platform.processor_count();
+    let mut sizes: Vec<usize> = tasks.iter().map(initial_processors).collect();
+    let demanded: usize = sizes.iter().sum();
+    if demanded > m {
+        return PartitionOutcome::Unschedulable {
+            reason: UnschedulableReason::InsufficientProcessors {
+                demanded,
+                available: m,
+            },
+            rounds: 0,
+        };
+    }
+
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let layout = layout_clusters(&sizes, m)
+            .expect("sizes are kept within the platform by the loop");
+
+        let partition = if analyzer.needs_resource_homes() {
+            match assign_resources(tasks, &layout, heuristic) {
+                Some(homes) => Partition::new(tasks, platform, layout, homes)
+                    .expect("layout and homes are valid by construction"),
+                None => {
+                    return PartitionOutcome::Unschedulable {
+                        reason: UnschedulableReason::ResourceAllocationInfeasible,
+                        rounds,
+                    }
+                }
+            }
+        } else {
+            Partition::local_execution(tasks, platform, layout)
+                .expect("layout is valid by construction")
+        };
+
+        let report = analyzer.analyze(tasks, &partition);
+        let failing = tasks
+            .by_decreasing_priority()
+            .into_iter()
+            .find(|&i| !report.bound(i).schedulable);
+        match failing {
+            None => {
+                return PartitionOutcome::Schedulable {
+                    partition,
+                    report,
+                    rounds,
+                }
+            }
+            Some(task) => {
+                let assigned: usize = sizes.iter().sum();
+                if assigned < m {
+                    // Top up the failing task; the resource assignment is
+                    // implicitly rolled back by recomputing it next round.
+                    sizes[task.index()] += 1;
+                } else {
+                    return PartitionOutcome::Unschedulable {
+                        reason: UnschedulableReason::TaskUnschedulable { task },
+                        rounds,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: run Algorithm 1 with the DPCP-p analysis.
+pub fn partition_and_analyze(
+    tasks: &TaskSet,
+    platform: &Platform,
+    heuristic: ResourceHeuristic,
+    cfg: AnalysisConfig,
+) -> PartitionOutcome {
+    let analyzer = DpcpAnalyzer::new(tasks, cfg);
+    algorithm1(tasks, platform, heuristic, &analyzer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcp_model::{fig1, DagTask, RequestSpec, ResourceId, Time, VertexSpec};
+
+    #[test]
+    fn fig1_partitions_and_schedules() {
+        let tasks = fig1::task_set().unwrap();
+        let platform = Platform::new(4).unwrap();
+        let outcome = partition_and_analyze(
+            &tasks,
+            &platform,
+            ResourceHeuristic::WorstFitDecreasing,
+            AnalysisConfig::ep(),
+        );
+        assert!(outcome.is_schedulable());
+        let partition = outcome.partition().unwrap();
+        // ℓ1 must have a home; ℓ2 is local.
+        assert!(partition.home_of(fig1::GLOBAL_RESOURCE).is_some());
+        assert!(partition.home_of(fig1::LOCAL_RESOURCE).is_none());
+        assert!(outcome.report().unwrap().schedulable);
+    }
+
+    #[test]
+    fn insufficient_processors_detected_before_any_round() {
+        // Two heavy tasks: C = 16ms, L* = 8ms, D = 10ms ⇒ m_i = ⌈8/2⌉ = 4
+        // each, so the initial assignment demands 8 processors on a 2-core
+        // platform.
+        let mk = |id: usize| {
+            let dag = dpcp_model::Dag::new(2, []).unwrap();
+            DagTask::builder(TaskId::new(id), Time::from_ms(10))
+                .dag(dag)
+                .vertex(VertexSpec::new(Time::from_ms(8)))
+                .vertex(VertexSpec::new(Time::from_ms(8)))
+                .build()
+                .unwrap()
+        };
+        let tasks = TaskSet::new(vec![mk(0), mk(1)], 0).unwrap();
+        let platform = Platform::new(2).unwrap();
+        let outcome = partition_and_analyze(
+            &tasks,
+            &platform,
+            ResourceHeuristic::WorstFitDecreasing,
+            AnalysisConfig::ep(),
+        );
+        match outcome {
+            PartitionOutcome::Unschedulable { reason, rounds } => {
+                assert_eq!(rounds, 0);
+                assert!(matches!(
+                    reason,
+                    UnschedulableReason::InsufficientProcessors { demanded: 8, available: 2 }
+                ));
+            }
+            PartitionOutcome::Schedulable { .. } => panic!("must be unschedulable"),
+        }
+    }
+
+    #[test]
+    fn top_up_rounds_help_tight_tasks() {
+        // τ0: three parallel 4ms vertices (C = 12, L* = 4, D = T = 10ms),
+        // one light request to ℓ0. Initial m_0 = ⌈8/6⌉ = 2.
+        // τ1: a single 5ms vertex that is ten 0.5ms critical sections on ℓ0.
+        // WFD homes ℓ0 on τ0's (slackest) cluster, so τ0 eats 10ms of agent
+        // interference per window: with m_0 = 2 or 3 it misses its deadline,
+        // with m_0 = 4 it fits. The 5-processor platform leaves exactly the
+        // two spare processors Algorithm 1 needs to discover that.
+        let rid = ResourceId::new(0);
+        let dag3 = dpcp_model::Dag::new(3, []).unwrap();
+        let t0 = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .dag(dag3)
+            .vertex(VertexSpec::with_requests(
+                Time::from_ms(4),
+                [RequestSpec::new(rid, 1)],
+            ))
+            .vertex(VertexSpec::new(Time::from_ms(4)))
+            .vertex(VertexSpec::new(Time::from_ms(4)))
+            .critical_section(rid, Time::from_us(100))
+            .build()
+            .unwrap();
+        let t1 = DagTask::builder(TaskId::new(1), Time::from_ms(10))
+            .vertex(VertexSpec::with_requests(
+                Time::from_ms(5),
+                [RequestSpec::new(rid, 10)],
+            ))
+            .critical_section(rid, Time::from_us(500))
+            .build()
+            .unwrap();
+        let tasks = TaskSet::new(vec![t0, t1], 1).unwrap();
+        let platform = Platform::new(5).unwrap();
+        let outcome = partition_and_analyze(
+            &tasks,
+            &platform,
+            ResourceHeuristic::WorstFitDecreasing,
+            AnalysisConfig::ep(),
+        );
+        match outcome {
+            PartitionOutcome::Schedulable { partition, rounds, .. } => {
+                assert!(rounds >= 2, "expected at least one top-up, got {rounds}");
+                assert!(partition.cluster_size(TaskId::new(0)) >= 3);
+            }
+            PartitionOutcome::Unschedulable { reason, .. } => {
+                panic!("expected schedulable after top-ups, got: {reason}")
+            }
+        }
+    }
+
+    #[test]
+    fn analyzer_names() {
+        let tasks = fig1::task_set().unwrap();
+        let ep = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
+        assert_eq!(ep.name(), "DPCP-p-EP");
+        assert!(ep.needs_resource_homes());
+        let en = DpcpAnalyzer::new(&tasks, AnalysisConfig::en());
+        assert_eq!(en.name(), "DPCP-p-EN");
+    }
+
+    #[test]
+    fn reason_display() {
+        let r = UnschedulableReason::InsufficientProcessors {
+            demanded: 9,
+            available: 8,
+        };
+        assert!(r.to_string().contains("9 processors"));
+        assert!(UnschedulableReason::ResourceAllocationInfeasible
+            .to_string()
+            .contains("do not fit"));
+        let r = UnschedulableReason::TaskUnschedulable { task: TaskId::new(3) };
+        assert!(r.to_string().contains("tau3"));
+    }
+
+    use dpcp_model::TaskSet;
+}

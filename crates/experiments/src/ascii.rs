@@ -1,0 +1,116 @@
+//! Minimal ASCII rendering of acceptance-ratio curves, so the harness
+//! binaries produce a readable facsimile of Fig. 2 directly in the
+//! terminal (CSV output carries the precise numbers).
+
+use crate::harness::{AcceptanceCurve, Method};
+
+/// Renders a curve as a fixed-size ASCII chart: x = normalized
+/// utilization, y = acceptance ratio, one letter per method
+/// (`E`/`N`/`S`/`L`/`F`); later methods overwrite earlier ones on
+/// collisions.
+pub fn render_curve(curve: &AcceptanceCurve, height: usize) -> String {
+    let height = height.max(4);
+    let width = curve.points.len().max(2);
+    let mut grid = vec![vec![' '; width]; height + 1];
+
+    // Plot in reverse presentation order so DPCP-p-EP wins collisions.
+    for &m in Method::ALL.iter().rev() {
+        for (x, p) in curve.points.iter().enumerate() {
+            let ratio = p.ratio(m).clamp(0.0, 1.0);
+            let y = ((1.0 - ratio) * height as f64).round() as usize;
+            grid[y.min(height)][x] = m.tag();
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", curve.scenario));
+    for (y, row) in grid.iter().enumerate() {
+        let label = if y == 0 {
+            "1.0 |"
+        } else if y == height {
+            "0.0 |"
+        } else if y == height / 2 {
+            "0.5 |"
+        } else {
+            "    |"
+        };
+        out.push_str(label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("    +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let first = curve.points.first().map(|p| p.normalized).unwrap_or(0.0);
+    let last = curve.points.last().map(|p| p.normalized).unwrap_or(1.0);
+    out.push_str(&format!(
+        "     U/m: {first:.2} .. {last:.2}   legend: {}\n",
+        Method::ALL
+            .iter()
+            .map(|m| format!("{}={}", m.tag(), m.name()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
+    out
+}
+
+/// Renders the acceptance table (one row per point) for precise reading.
+pub fn render_table(curve: &AcceptanceCurve) -> String {
+    let mut out = format!("{:>6} {:>6}", "U", "U/m");
+    for m in Method::ALL {
+        out.push_str(&format!("{:>11}", m.name()));
+    }
+    out.push('\n');
+    for p in &curve.points {
+        out.push_str(&format!("{:>6.2} {:>6.3}", p.utilization, p.normalized));
+        for m in Method::ALL {
+            out.push_str(&format!("{:>11.3}", p.ratio(m)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::PointResult;
+    use dpcp_gen::scenario::{Fig2Panel, Scenario};
+
+    fn sample_curve() -> AcceptanceCurve {
+        AcceptanceCurve {
+            scenario: Scenario::fig2(Fig2Panel::A),
+            points: (0..10)
+                .map(|i| PointResult {
+                    utilization: 1.0 + i as f64,
+                    normalized: (1.0 + i as f64) / 16.0,
+                    samples: 10,
+                    generation_failures: 0,
+                    accepted: [10 - i, 9_usize.saturating_sub(i), 8_usize.saturating_sub(i), 7_usize.saturating_sub(i), 10 - i],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn chart_contains_axes_and_legend() {
+        let s = render_curve(&sample_curve(), 10);
+        assert!(s.contains("1.0 |"));
+        assert!(s.contains("0.0 |"));
+        assert!(s.contains("E=DPCP-p-EP"));
+        assert!(s.contains("F=FED-FP"));
+    }
+
+    #[test]
+    fn table_lists_every_point() {
+        let t = render_table(&sample_curve());
+        assert_eq!(t.lines().count(), 11); // header + 10 points
+        assert!(t.contains("DPCP-p-EN"));
+    }
+
+    #[test]
+    fn chart_height_is_clamped() {
+        let s = render_curve(&sample_curve(), 0);
+        assert!(s.lines().count() >= 5);
+    }
+}

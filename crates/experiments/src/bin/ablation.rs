@@ -1,0 +1,189 @@
+//! Ablation study (not in the paper): how much do the design choices of
+//! Sec. V contribute?
+//!
+//! 1. **Resource-placement heuristic** — Algorithm 2's Worst-Fit
+//!    Decreasing vs First-Fit and Best-Fit Decreasing.
+//! 2. **Path-signature cap** — how the DPCP-p-EP bound degrades toward
+//!    DPCP-p-EN as the enumeration budget shrinks.
+//!
+//! ```text
+//! cargo run -p dpcp-experiments --release --bin ablation -- \
+//!     [--samples N] [--seed S] [--out DIR]
+//! ```
+
+use std::path::PathBuf;
+
+use dpcp_core::partition::{algorithm1, DpcpAnalyzer, ResourceHeuristic};
+use dpcp_core::AnalysisConfig;
+use dpcp_experiments::EvalConfig;
+use dpcp_gen::scenario::{Fig2Panel, Scenario};
+use dpcp_model::Platform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args {
+    samples: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        samples: 20,
+        seed: 2020,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--samples" => {
+                args.samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples needs a positive integer");
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().expect("--out needs a directory"));
+            }
+            other => panic!("unknown flag '{other}' (try --samples/--seed/--out)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("cannot create output directory");
+    let cfg = EvalConfig {
+        samples_per_point: args.samples,
+        seed: args.seed,
+        ..EvalConfig::default()
+    };
+    let scenario = Scenario::fig2(Fig2Panel::B); // heavy contention stresses placement
+    let platform = Platform::new(scenario.m).expect("m ≥ 2");
+    let points = scenario.utilization_points();
+    let heuristics = [
+        ResourceHeuristic::WorstFitDecreasing,
+        ResourceHeuristic::FirstFitDecreasing,
+        ResourceHeuristic::BestFitDecreasing,
+    ];
+    let caps = [1usize, 16, 128, 1024];
+
+    println!(
+        "Ablation on {scenario} — {} samples/point, seed {}",
+        cfg.samples_per_point, cfg.seed
+    );
+
+    // Accumulators: accepted[heuristic] and accepted_cap[cap].
+    let mut by_heuristic = [0usize; 3];
+    let mut by_cap = vec![0usize; caps.len()];
+    let mut en_accepted = 0usize;
+    let mut valid = 0usize;
+
+    let mut csv = String::from(
+        "utilization,normalized,samples,WFD,FFD,BFD,cap1,cap16,cap128,cap1024,EN\n",
+    );
+    for (pi, &u) in points.iter().enumerate() {
+        let mut point_h = [0usize; 3];
+        let mut point_c = vec![0usize; caps.len()];
+        let mut point_en = 0usize;
+        let mut point_valid = 0usize;
+        for sample in 0..cfg.samples_per_point {
+            let seed = cfg
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((pi as u64) << 24)
+                .wrapping_add(sample as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let Ok(tasks) = scenario.sample_task_set(u, &mut rng) else {
+                continue;
+            };
+            point_valid += 1;
+            for (hi, &h) in heuristics.iter().enumerate() {
+                let analyzer = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
+                if algorithm1(&tasks, &platform, h, &analyzer).is_schedulable() {
+                    point_h[hi] += 1;
+                }
+            }
+            for (ci, &cap) in caps.iter().enumerate() {
+                let mut ep = AnalysisConfig::ep();
+                ep.path_signature_cap = cap;
+                let analyzer = DpcpAnalyzer::new(&tasks, ep);
+                if algorithm1(
+                    &tasks,
+                    &platform,
+                    ResourceHeuristic::WorstFitDecreasing,
+                    &analyzer,
+                )
+                .is_schedulable()
+                {
+                    point_c[ci] += 1;
+                }
+            }
+            let analyzer = DpcpAnalyzer::new(&tasks, AnalysisConfig::en());
+            if algorithm1(
+                &tasks,
+                &platform,
+                ResourceHeuristic::WorstFitDecreasing,
+                &analyzer,
+            )
+            .is_schedulable()
+            {
+                point_en += 1;
+            }
+        }
+        let r = |c: usize| {
+            if point_valid == 0 {
+                0.0
+            } else {
+                c as f64 / point_valid as f64
+            }
+        };
+        csv.push_str(&format!(
+            "{u:.3},{:.3},{point_valid},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            u / scenario.m as f64,
+            r(point_h[0]),
+            r(point_h[1]),
+            r(point_h[2]),
+            r(point_c[0]),
+            r(point_c[1]),
+            r(point_c[2]),
+            r(point_c[3]),
+            r(point_en),
+        ));
+        for (a, b) in by_heuristic.iter_mut().zip(point_h) {
+            *a += b;
+        }
+        for (a, b) in by_cap.iter_mut().zip(point_c) {
+            *a += b;
+        }
+        en_accepted += point_en;
+        valid += point_valid;
+        println!(
+            "  U = {u:6.2}  ({}/{} points done)",
+            pi + 1,
+            points.len()
+        );
+    }
+
+    println!("\nTotal accepted over {valid} task sets:");
+    println!("  resource heuristics (with EP analysis):");
+    for (h, c) in heuristics.iter().zip(by_heuristic) {
+        println!("    {h}: {c}");
+    }
+    println!("  EP path-signature caps (with WFD placement):");
+    for (cap, c) in caps.iter().zip(&by_cap) {
+        println!("    cap {cap:>5}: {c}");
+    }
+    println!("    EN      : {en_accepted}");
+
+    let path = args.out.join("ablation.csv");
+    std::fs::write(&path, csv).expect("cannot write ablation CSV");
+    println!("wrote {}", path.display());
+}

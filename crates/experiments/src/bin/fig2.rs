@@ -1,0 +1,102 @@
+//! Regenerates Fig. 2 of the paper: acceptance ratio vs normalized
+//! utilization for the four panels (a)–(d).
+//!
+//! ```text
+//! cargo run -p dpcp-experiments --release --bin fig2 -- \
+//!     [--samples N] [--seed S] [--panels abcd] [--out DIR]
+//! ```
+//!
+//! Writes `fig2_<panel>.csv` per panel into the output directory (default
+//! `results/`) and prints an ASCII rendition plus the per-point table.
+
+use std::path::PathBuf;
+
+use dpcp_experiments::ascii::{render_curve, render_table};
+use dpcp_experiments::{evaluate_curve, EvalConfig};
+use dpcp_gen::scenario::{Fig2Panel, Scenario};
+
+struct Args {
+    samples: usize,
+    seed: u64,
+    panels: Vec<Fig2Panel>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        samples: 50,
+        seed: 2020,
+        panels: Fig2Panel::all().to_vec(),
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--samples" => {
+                args.samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples needs a positive integer");
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--panels" => {
+                let spec = it.next().expect("--panels needs letters from {a,b,c,d}");
+                args.panels = spec
+                    .chars()
+                    .map(|c| match c {
+                        'a' => Fig2Panel::A,
+                        'b' => Fig2Panel::B,
+                        'c' => Fig2Panel::C,
+                        'd' => Fig2Panel::D,
+                        other => panic!("unknown panel '{other}'"),
+                    })
+                    .collect();
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().expect("--out needs a directory"));
+            }
+            other => panic!("unknown flag '{other}' (try --samples/--seed/--panels/--out)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("cannot create output directory");
+    let cfg = EvalConfig {
+        samples_per_point: args.samples,
+        seed: args.seed,
+        ..EvalConfig::default()
+    };
+    println!(
+        "Fig. 2 reproduction — {} samples/point, seed {}, {} threads",
+        cfg.samples_per_point, cfg.seed, cfg.threads
+    );
+    for panel in &args.panels {
+        let scenario = Scenario::fig2(*panel);
+        let started = std::time::Instant::now();
+        let curve = evaluate_curve(&scenario, &cfg);
+        let elapsed = started.elapsed();
+        println!("\n=== {panel} ===  ({elapsed:.1?})");
+        println!("{}", render_curve(&curve, 16));
+        println!("{}", render_table(&curve));
+        let path = args.out.join(format!("fig2_{panel_tag}.csv", panel_tag = tag(*panel)));
+        std::fs::write(&path, curve.to_csv()).expect("cannot write CSV");
+        println!("wrote {}", path.display());
+    }
+}
+
+fn tag(panel: Fig2Panel) -> char {
+    match panel {
+        Fig2Panel::A => 'a',
+        Fig2Panel::B => 'b',
+        Fig2Panel::C => 'c',
+        Fig2Panel::D => 'd',
+    }
+}

@@ -1,0 +1,124 @@
+//! Regenerates Tables 2 and 3 of the paper: dominance and outperformance
+//! statistics across the 216-scenario grid.
+//!
+//! ```text
+//! cargo run -p dpcp-experiments --release --bin tables -- \
+//!     [--samples N] [--seed S] [--limit K] [--out DIR]
+//! ```
+//!
+//! `--limit K` evaluates only the first `K` scenarios of the grid (useful
+//! for smoke runs); the full grid takes a while at higher sample counts.
+//! Writes `table2_dominance.txt`, `table3_outperformance.txt` and a
+//! per-scenario CSV into the output directory.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use dpcp_experiments::harness::Method;
+use dpcp_experiments::{dominates, evaluate_curve, outperforms, EvalConfig, PairwiseTable};
+use dpcp_gen::scenario::Scenario;
+
+struct Args {
+    samples: usize,
+    seed: u64,
+    limit: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        samples: 10,
+        seed: 2020,
+        limit: usize::MAX,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--samples" => {
+                args.samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples needs a positive integer");
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--limit" => {
+                args.limit = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--limit needs a positive integer");
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().expect("--out needs a directory"));
+            }
+            other => panic!("unknown flag '{other}' (try --samples/--seed/--limit/--out)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("cannot create output directory");
+    let cfg = EvalConfig {
+        samples_per_point: args.samples,
+        seed: args.seed,
+        ..EvalConfig::default()
+    };
+    let grid: Vec<Scenario> = Scenario::grid_216().into_iter().take(args.limit).collect();
+    println!(
+        "Tables 2/3 reproduction — {} scenarios, {} samples/point, seed {}",
+        grid.len(),
+        cfg.samples_per_point,
+        cfg.seed
+    );
+
+    let mut curves = Vec::with_capacity(grid.len());
+    let mut csv = String::from("scenario,method,total_accepted\n");
+    let started = std::time::Instant::now();
+    for (i, scenario) in grid.iter().enumerate() {
+        let curve = evaluate_curve(scenario, &cfg);
+        for m in Method::ALL {
+            csv.push_str(&format!(
+                "{},{},{}\n",
+                scenario.label(),
+                m.name(),
+                curve.total_accepted(m)
+            ));
+        }
+        curves.push(curve);
+        if (i + 1) % 9 == 0 || i + 1 == grid.len() {
+            let rate = (i + 1) as f64 / started.elapsed().as_secs_f64().max(1e-9);
+            let remaining = (grid.len() - i - 1) as f64 / rate;
+            println!(
+                "  {}/{} scenarios ({:.1}/min, ~{:.0}s left)",
+                i + 1,
+                grid.len(),
+                rate * 60.0,
+                remaining
+            );
+            std::io::stdout().flush().ok();
+        }
+    }
+
+    let dominance = PairwiseTable::build("Dominance", &curves, dominates);
+    let outperformance = PairwiseTable::build("Outperformance", &curves, outperforms);
+    println!("\n{}", dominance.render());
+    println!("{}", outperformance.render());
+
+    std::fs::write(args.out.join("table2_dominance.txt"), dominance.render())
+        .expect("cannot write table 2");
+    std::fs::write(
+        args.out.join("table3_outperformance.txt"),
+        outperformance.render(),
+    )
+    .expect("cannot write table 3");
+    std::fs::write(args.out.join("tables_per_scenario.csv"), csv)
+        .expect("cannot write per-scenario CSV");
+    println!("wrote tables into {}", args.out.display());
+}

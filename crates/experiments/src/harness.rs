@@ -1,0 +1,373 @@
+//! Acceptance-ratio evaluation: generate task sets, run every method's
+//! partition-and-analyse pipeline, count acceptances.
+
+use dpcp_baselines::{FedFp, Lpp, SpinSon};
+use dpcp_core::partition::{algorithm1, DpcpAnalyzer, ResourceHeuristic};
+use dpcp_core::{AnalysisConfig, SchedAnalyzer};
+use dpcp_gen::scenario::Scenario;
+use dpcp_model::{Platform, TaskSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The five compared methods, in the paper's presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// DPCP-p with the path-enumerating analysis.
+    DpcpEp,
+    /// DPCP-p with the request-count-enumerating analysis.
+    DpcpEn,
+    /// FIFO non-preemptive spin locks (local execution).
+    SpinSon,
+    /// Suspension-based FIFO semaphores (local execution).
+    Lpp,
+    /// Resource-oblivious federated bound (hypothetical upper baseline).
+    FedFp,
+}
+
+impl Method {
+    /// All methods in presentation order.
+    pub const ALL: [Method; 5] = [
+        Method::DpcpEp,
+        Method::DpcpEn,
+        Method::SpinSon,
+        Method::Lpp,
+        Method::FedFp,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::DpcpEp => "DPCP-p-EP",
+            Method::DpcpEn => "DPCP-p-EN",
+            Method::SpinSon => "SPIN-SON",
+            Method::Lpp => "LPP",
+            Method::FedFp => "FED-FP",
+        }
+    }
+
+    /// One-letter tag for ASCII plots.
+    pub fn tag(self) -> char {
+        match self {
+            Method::DpcpEp => 'E',
+            Method::DpcpEn => 'N',
+            Method::SpinSon => 'S',
+            Method::Lpp => 'L',
+            Method::FedFp => 'F',
+        }
+    }
+}
+
+impl core::fmt::Display for Method {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Task sets generated per utilization point.
+    pub samples_per_point: usize,
+    /// Base RNG seed; every (point, sample) pair derives its own stream.
+    pub seed: u64,
+    /// Worker threads (defaults to available parallelism).
+    pub threads: usize,
+    /// Retries when the generator rejects a draw before the sample is
+    /// skipped.
+    pub generation_retries: usize,
+    /// Analysis configuration for DPCP-p-EP (path caps etc.).
+    pub ep_config: AnalysisConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            samples_per_point: 50,
+            seed: 2020,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            generation_retries: 8,
+            ep_config: AnalysisConfig::ep(),
+        }
+    }
+}
+
+/// Acceptance counts of one utilization point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointResult {
+    /// Total task-set utilization of this point.
+    pub utilization: f64,
+    /// Normalized utilization (`U / m`).
+    pub normalized: f64,
+    /// Task sets successfully generated (the acceptance denominator).
+    pub samples: usize,
+    /// Samples skipped because generation kept failing.
+    pub generation_failures: usize,
+    /// Accepted counts, indexed like [`Method::ALL`].
+    pub accepted: [usize; 5],
+}
+
+impl PointResult {
+    /// The acceptance ratio of one method at this point.
+    pub fn ratio(&self, method: Method) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let idx = Method::ALL.iter().position(|&m| m == method).expect("known method");
+        self.accepted[idx] as f64 / self.samples as f64
+    }
+}
+
+/// A full acceptance curve for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceptanceCurve {
+    /// The evaluated scenario.
+    pub scenario: Scenario,
+    /// One entry per utilization point, ascending.
+    pub points: Vec<PointResult>,
+}
+
+impl AcceptanceCurve {
+    /// Total accepted task sets of a method across the sweep (the
+    /// outperformance metric of the paper's footnote).
+    pub fn total_accepted(&self, method: Method) -> usize {
+        let idx = Method::ALL.iter().position(|&m| m == method).expect("known method");
+        self.points.iter().map(|p| p.accepted[idx]).sum()
+    }
+
+    /// Writes the curve as CSV (`utilization,normalized,samples,<methods>`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("utilization,normalized,samples");
+        for m in Method::ALL {
+            out.push(',');
+            out.push_str(m.name());
+        }
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:.3},{:.3},{}",
+                p.utilization, p.normalized, p.samples
+            ));
+            for m in Method::ALL {
+                out.push_str(&format!(",{:.4}", p.ratio(m)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs every method on one generated task set.
+fn evaluate_task_set(tasks: &TaskSet, platform: &Platform, ep_cfg: &AnalysisConfig) -> [bool; 5] {
+    let wfd = ResourceHeuristic::WorstFitDecreasing;
+    let ep = DpcpAnalyzer::new(tasks, ep_cfg.clone());
+    let en = DpcpAnalyzer::new(tasks, AnalysisConfig::en());
+    let spin = SpinSon::new();
+    let lpp = Lpp::new();
+    let fed = FedFp::new();
+    let analyzers: [&dyn SchedAnalyzer; 5] = [&ep, &en, &spin, &lpp, &fed];
+    let mut out = [false; 5];
+    for (slot, analyzer) in out.iter_mut().zip(analyzers) {
+        *slot = algorithm1(tasks, platform, wfd, analyzer).is_schedulable();
+    }
+    out
+}
+
+fn sample_seed(base: u64, point: usize, sample: usize, retry: usize) -> u64 {
+    let mut x = base
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((point as u64) << 32)
+        .wrapping_add((sample as u64) << 8)
+        .wrapping_add(retry as u64);
+    // splitmix64 finaliser for well-spread streams.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Evaluates one utilization point of a scenario.
+///
+/// # Panics
+///
+/// Panics if the scenario's processor count is below 2 (cannot build a
+/// platform).
+pub fn evaluate_point(
+    scenario: &Scenario,
+    utilization: f64,
+    point_index: usize,
+    cfg: &EvalConfig,
+) -> PointResult {
+    let platform = Platform::new(scenario.m).expect("scenario platforms have m ≥ 2");
+    let threads = cfg.threads.max(1);
+    let samples = cfg.samples_per_point;
+
+    let counts = std::sync::Mutex::new(([0usize; 5], 0usize, 0usize));
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let counts = &counts;
+            let platform = &platform;
+            scope.spawn(move || {
+                let mut local = ([0usize; 5], 0usize, 0usize);
+                let mut sample = worker;
+                while sample < samples {
+                    let mut generated = None;
+                    for retry in 0..=cfg.generation_retries {
+                        let seed = sample_seed(cfg.seed, point_index, sample, retry);
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        if let Ok(ts) = scenario.sample_task_set(utilization, &mut rng) {
+                            generated = Some(ts);
+                            break;
+                        }
+                    }
+                    match generated {
+                        Some(ts) => {
+                            let accepted = evaluate_task_set(&ts, platform, &cfg.ep_config);
+                            for (c, a) in local.0.iter_mut().zip(accepted) {
+                                *c += usize::from(a);
+                            }
+                            local.1 += 1;
+                        }
+                        None => local.2 += 1,
+                    }
+                    sample += threads;
+                }
+                let mut global = counts.lock().expect("no poisoning");
+                for (g, l) in global.0.iter_mut().zip(local.0) {
+                    *g += l;
+                }
+                global.1 += local.1;
+                global.2 += local.2;
+            });
+        }
+    });
+    let (accepted, valid, failures) = counts.into_inner().expect("no poisoning");
+    PointResult {
+        utilization,
+        normalized: utilization / scenario.m as f64,
+        samples: valid,
+        generation_failures: failures,
+        accepted,
+    }
+}
+
+/// Evaluates the full utilization sweep of a scenario.
+pub fn evaluate_curve(scenario: &Scenario, cfg: &EvalConfig) -> AcceptanceCurve {
+    let points = scenario
+        .utilization_points()
+        .into_iter()
+        .enumerate()
+        .map(|(i, u)| evaluate_point(scenario, u, i, cfg))
+        .collect();
+    AcceptanceCurve {
+        scenario: scenario.clone(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            m: 8,
+            nr_range: (2, 4),
+            u_avg: 1.5,
+            access_prob: 0.5,
+            max_requests: 25,
+            cs_range_us: (15, 50),
+        }
+    }
+
+    fn tiny_cfg() -> EvalConfig {
+        EvalConfig {
+            samples_per_point: 6,
+            seed: 7,
+            threads: 2,
+            ..EvalConfig::default()
+        }
+    }
+
+    #[test]
+    fn low_utilization_points_accept_everything() {
+        let s = tiny_scenario();
+        let p = evaluate_point(&s, 2.0, 0, &tiny_cfg());
+        assert_eq!(p.samples, 6);
+        for m in Method::ALL {
+            assert!(
+                p.ratio(m) > 0.9,
+                "{m} rejected easy task sets: {}",
+                p.ratio(m)
+            );
+        }
+    }
+
+    #[test]
+    fn overloaded_points_reject_everything() {
+        let s = tiny_scenario();
+        // Total utilization equal to m cannot leave room for blocking.
+        let p = evaluate_point(&s, 8.0, 19, &tiny_cfg());
+        for m in Method::ALL {
+            assert!(
+                p.ratio(m) < 0.5,
+                "{m} accepted overloaded sets: {}",
+                p.ratio(m)
+            );
+        }
+    }
+
+    #[test]
+    fn fed_fp_upper_bounds_every_method_pointwise() {
+        let s = tiny_scenario();
+        for (i, u) in [3.0, 5.0].into_iter().enumerate() {
+            let p = evaluate_point(&s, u, i, &tiny_cfg());
+            for m in Method::ALL {
+                assert!(p.ratio(Method::FedFp) >= p.ratio(m), "{m} beat FED-FP");
+            }
+            // EP dominates EN by construction.
+            assert!(p.ratio(Method::DpcpEp) >= p.ratio(Method::DpcpEn));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let s = tiny_scenario();
+        let mut cfg = tiny_cfg();
+        let a = evaluate_point(&s, 4.0, 2, &cfg);
+        cfg.threads = 1;
+        let b = evaluate_point(&s, 4.0, 2, &cfg);
+        assert_eq!(a, b, "thread count must not change results");
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let s = tiny_scenario();
+        let curve = AcceptanceCurve {
+            scenario: s,
+            points: vec![PointResult {
+                utilization: 2.0,
+                normalized: 0.25,
+                samples: 4,
+                generation_failures: 0,
+                accepted: [4, 3, 2, 1, 4],
+            }],
+        };
+        let csv = curve.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "utilization,normalized,samples,DPCP-p-EP,DPCP-p-EN,SPIN-SON,LPP,FED-FP"
+        );
+        assert!(lines.next().unwrap().starts_with("2.000,0.250,4,1.0000,0.7500"));
+        assert_eq!(curve.total_accepted(Method::DpcpEp), 4);
+    }
+
+    #[test]
+    fn method_tags_are_distinct() {
+        let tags: std::collections::HashSet<char> =
+            Method::ALL.iter().map(|m| m.tag()).collect();
+        assert_eq!(tags.len(), 5);
+    }
+}

@@ -1,0 +1,26 @@
+//! Reproduction harness for the paper's evaluation (Sec. VII).
+//!
+//! The library half of this crate evaluates acceptance ratios of the five
+//! compared methods over generated task sets; the binaries (`fig2`,
+//! `tables`, `ablation`) drive it to regenerate the paper's figures and
+//! tables:
+//!
+//! - `cargo run -p dpcp-experiments --release --bin fig2` — the four
+//!   acceptance-ratio panels of Fig. 2 (CSV + ASCII plots),
+//! - `cargo run -p dpcp-experiments --release --bin tables` — the
+//!   dominance and outperformance statistics of Tables 2 and 3 over the
+//!   216-scenario grid,
+//! - `cargo run -p dpcp-experiments --release --bin ablation` — resource
+//!   partitioning heuristics and path-cap sensitivity (not in the paper).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ascii;
+pub mod harness;
+pub mod stats;
+
+pub use harness::{
+    evaluate_curve, evaluate_point, AcceptanceCurve, EvalConfig, Method, PointResult,
+};
+pub use stats::{dominates, outperforms, PairwiseTable};

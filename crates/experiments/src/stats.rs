@@ -1,0 +1,164 @@
+//! Dominance and outperformance statistics (the paper's Tables 2 and 3).
+//!
+//! The paper's footnote defines, per experimental scenario:
+//!
+//! - **outperform**: method A scheduled more task sets than B in total;
+//! - **dominate**: A's acceptance ratio is higher than B's at some tested
+//!   point and never lower at any point.
+
+use crate::harness::{AcceptanceCurve, Method};
+use serde::{Deserialize, Serialize};
+
+/// Does `a` dominate `b` on this curve?
+pub fn dominates(curve: &AcceptanceCurve, a: Method, b: Method) -> bool {
+    let mut strictly_better_somewhere = false;
+    for p in &curve.points {
+        let (ra, rb) = (p.ratio(a), p.ratio(b));
+        if ra < rb - 1e-12 {
+            return false;
+        }
+        if ra > rb + 1e-12 {
+            strictly_better_somewhere = true;
+        }
+    }
+    strictly_better_somewhere
+}
+
+/// Does `a` outperform `b` on this curve (more accepted task sets in
+/// total)?
+pub fn outperforms(curve: &AcceptanceCurve, a: Method, b: Method) -> bool {
+    curve.total_accepted(a) > curve.total_accepted(b)
+}
+
+/// A pairwise count matrix over a batch of scenarios (one of the paper's
+/// Tables 2/3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairwiseTable {
+    /// Descriptive title ("Dominance" / "Outperformance").
+    pub title: String,
+    /// Number of scenarios aggregated.
+    pub scenarios: usize,
+    /// `counts[a][b]` = scenarios where `Method::ALL[a]` beats
+    /// `Method::ALL[b]` under the table's relation.
+    pub counts: [[usize; 5]; 5],
+}
+
+impl PairwiseTable {
+    /// Builds a table by applying `relation` to every curve and method
+    /// pair.
+    pub fn build(
+        title: impl Into<String>,
+        curves: &[AcceptanceCurve],
+        relation: impl Fn(&AcceptanceCurve, Method, Method) -> bool,
+    ) -> Self {
+        let mut counts = [[0usize; 5]; 5];
+        for curve in curves {
+            for (i, &a) in Method::ALL.iter().enumerate() {
+                for (j, &b) in Method::ALL.iter().enumerate() {
+                    if i != j && relation(curve, a, b) {
+                        counts[i][j] += 1;
+                    }
+                }
+            }
+        }
+        PairwiseTable {
+            title: title.into(),
+            scenarios: curves.len(),
+            counts,
+        }
+    }
+
+    /// Renders the table in the paper's layout (`count(percent)`).
+    pub fn render(&self) -> String {
+        let mut out = format!("Statistic for {} ({} scenarios)\n", self.title, self.scenarios);
+        out.push_str(&format!("{:>12}", ""));
+        for m in Method::ALL {
+            out.push_str(&format!("{:>16}", m.name()));
+        }
+        out.push('\n');
+        for (i, a) in Method::ALL.iter().enumerate() {
+            out.push_str(&format!("{:>12}", a.name()));
+            for (j, _) in Method::ALL.iter().enumerate() {
+                if i == j {
+                    out.push_str(&format!("{:>16}", "N/A"));
+                } else {
+                    let c = self.counts[i][j];
+                    let pct = if self.scenarios == 0 {
+                        0.0
+                    } else {
+                        100.0 * c as f64 / self.scenarios as f64
+                    };
+                    out.push_str(&format!("{:>16}", format!("{c}({pct:.1}%)")));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The count for an ordered method pair.
+    pub fn count(&self, a: Method, b: Method) -> usize {
+        let i = Method::ALL.iter().position(|&m| m == a).expect("known method");
+        let j = Method::ALL.iter().position(|&m| m == b).expect("known method");
+        self.counts[i][j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::PointResult;
+    use dpcp_gen::scenario::{Fig2Panel, Scenario};
+
+    fn curve(accepted: Vec<[usize; 5]>) -> AcceptanceCurve {
+        AcceptanceCurve {
+            scenario: Scenario::fig2(Fig2Panel::A),
+            points: accepted
+                .into_iter()
+                .enumerate()
+                .map(|(i, a)| PointResult {
+                    utilization: i as f64,
+                    normalized: i as f64 / 16.0,
+                    samples: 10,
+                    generation_failures: 0,
+                    accepted: a,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn dominance_requires_everywhere_geq_and_somewhere_gt() {
+        // EP ≥ EN everywhere and > at point 1.
+        let c = curve(vec![[10, 10, 5, 5, 10], [8, 6, 5, 5, 10]]);
+        assert!(dominates(&c, Method::DpcpEp, Method::DpcpEn));
+        assert!(!dominates(&c, Method::DpcpEn, Method::DpcpEp));
+        // Equal curves dominate nobody.
+        let c = curve(vec![[7, 7, 7, 7, 7]]);
+        assert!(!dominates(&c, Method::DpcpEp, Method::DpcpEn));
+    }
+
+    #[test]
+    fn crossing_curves_do_not_dominate() {
+        let c = curve(vec![[10, 0, 9, 5, 10], [5, 0, 8, 9, 10]]);
+        // SPIN beats LPP at point 0, LPP beats SPIN at point 1.
+        assert!(!dominates(&c, Method::SpinSon, Method::Lpp));
+        assert!(!dominates(&c, Method::Lpp, Method::SpinSon));
+        // But SPIN outperforms (17 > 14).
+        assert!(outperforms(&c, Method::SpinSon, Method::Lpp));
+    }
+
+    #[test]
+    fn table_counts_and_render() {
+        let c1 = curve(vec![[10, 8, 5, 5, 10], [8, 6, 5, 5, 10]]);
+        let c2 = curve(vec![[10, 10, 5, 5, 10]]);
+        let t = PairwiseTable::build("Dominance", &[c1, c2], dominates);
+        assert_eq!(t.scenarios, 2);
+        assert_eq!(t.count(Method::DpcpEp, Method::DpcpEn), 1);
+        assert_eq!(t.count(Method::DpcpEn, Method::DpcpEp), 0);
+        let rendered = t.render();
+        assert!(rendered.contains("DPCP-p-EP"));
+        assert!(rendered.contains("N/A"));
+        assert!(rendered.contains("1(50.0%)"));
+    }
+}

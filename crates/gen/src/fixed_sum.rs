@@ -1,0 +1,292 @@
+//! The RandFixedSum algorithm of Emberson, Stafford and Davis
+//! (WATERS 2010): samples `n` values uniformly at random from the simplex
+//! of vectors in `[a, b]^n` with a prescribed sum.
+//!
+//! This is the generator the paper uses for task utilizations
+//! (Sec. VII-A). Unlike UUniFast-style methods it is exactly uniform over
+//! the constrained simplex and respects per-value bounds, which matters
+//! here because every task must stay inside `(1, 2·U^avg]`.
+//!
+//! The implementation follows Roger Stafford's original `randfixedsum.m`
+//! (the reference cited by Emberson et al.), with per-row normalisation of
+//! the probability table to avoid the `realmax` overflow trick of the
+//! MATLAB original.
+
+use rand::Rng;
+
+/// Errors raised by [`rand_fixed_sum`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FixedSumError {
+    /// `n` must be at least 1.
+    EmptySample,
+    /// The interval `[a, b]` is empty or inverted.
+    EmptyInterval {
+        /// Lower bound.
+        a: f64,
+        /// Upper bound.
+        b: f64,
+    },
+    /// The requested sum is outside `[n·a, n·b]`, so no vector exists.
+    InfeasibleSum {
+        /// The requested sum.
+        sum: f64,
+        /// Feasible minimum `n·a`.
+        min: f64,
+        /// Feasible maximum `n·b`.
+        max: f64,
+    },
+}
+
+impl core::fmt::Display for FixedSumError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FixedSumError::EmptySample => f.write_str("need at least one value"),
+            FixedSumError::EmptyInterval { a, b } => {
+                write!(f, "interval [{a}, {b}] is empty")
+            }
+            FixedSumError::InfeasibleSum { sum, min, max } => {
+                write!(f, "sum {sum} outside the feasible range [{min}, {max}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FixedSumError {}
+
+/// Draws one vector of `n` values in `[a, b]` with total `sum`, uniformly
+/// over the constrained simplex.
+///
+/// # Errors
+///
+/// Returns [`FixedSumError`] when `n == 0`, the interval is empty, or the
+/// sum is infeasible.
+///
+/// # Examples
+///
+/// ```
+/// use dpcp_gen::fixed_sum::rand_fixed_sum;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let xs = rand_fixed_sum(4, 6.0, 1.0, 3.0, &mut rng)?;
+/// assert_eq!(xs.len(), 4);
+/// let total: f64 = xs.iter().sum();
+/// assert!((total - 6.0).abs() < 1e-9);
+/// assert!(xs.iter().all(|&x| (1.0..=3.0).contains(&x)));
+/// # Ok::<(), dpcp_gen::fixed_sum::FixedSumError>(())
+/// ```
+pub fn rand_fixed_sum<R: Rng + ?Sized>(
+    n: usize,
+    sum: f64,
+    a: f64,
+    b: f64,
+    rng: &mut R,
+) -> Result<Vec<f64>, FixedSumError> {
+    if n == 0 {
+        return Err(FixedSumError::EmptySample);
+    }
+    if !(b > a) {
+        return Err(FixedSumError::EmptyInterval { a, b });
+    }
+    let (min, max) = (n as f64 * a, n as f64 * b);
+    if sum < min - 1e-9 || sum > max + 1e-9 {
+        return Err(FixedSumError::InfeasibleSum { sum, min, max });
+    }
+    if n == 1 {
+        return Ok(vec![sum.clamp(a, b)]);
+    }
+
+    // Rescale to the unit problem: n values in [0, 1] summing to s.
+    let s = ((sum - min) / (b - a)).clamp(0.0, n as f64);
+
+    let k = (s.floor() as usize).min(n - 1);
+    let s = s.clamp(k as f64, (k + 1) as f64);
+
+    // s1[i] = s − (k − i), s2[i] = (k + n − i) − s for i = 0..n.
+    let s1: Vec<f64> = (0..n).map(|i| s - (k as f64 - i as f64)).collect();
+    let s2: Vec<f64> = (0..n).map(|i| (k + n - i) as f64 - s).collect();
+
+    // Probability table construction (w is kept row-normalised; the
+    // transition probabilities t are scale-invariant ratios).
+    let tiny = f64::MIN_POSITIVE;
+    let mut w_prev = vec![0.0f64; n + 2];
+    w_prev[1] = 1.0;
+    let mut t = vec![vec![0.0f64; n]; n - 1];
+    for i in 2..=n {
+        let mut w_cur = vec![0.0f64; n + 2];
+        let mut row_max = 0.0f64;
+        for idx in 0..i {
+            // tmp1 = w_{i-1}[idx+1] · s1[idx] / i, tmp2 = w_{i-1}[idx] ·
+            // s2[n-i+idx] / i.
+            let tmp1 = w_prev[idx + 1] * s1[idx] / i as f64;
+            let tmp2 = w_prev[idx] * s2[n - i + idx] / i as f64;
+            let wv = tmp1 + tmp2;
+            w_cur[idx + 1] = wv;
+            row_max = row_max.max(wv);
+            let tmp3 = wv + tiny;
+            t[i - 2][idx] = if s2[n - i + idx] > s1[idx] {
+                tmp2 / tmp3
+            } else {
+                1.0 - tmp1 / tmp3
+            };
+        }
+        if row_max > 0.0 {
+            for v in w_cur.iter_mut() {
+                *v /= row_max;
+            }
+        }
+        w_prev = w_cur;
+    }
+
+    // Sample one vector by walking the table backwards.
+    let mut x = vec![0.0f64; n];
+    let mut s_rem = s;
+    let mut j = k; // 0-based column
+    let mut sm = 0.0f64;
+    let mut pr = 1.0f64;
+    for i in (1..n).rev() {
+        let e = if rng.gen::<f64>() <= t[i - 1][j] { 1.0 } else { 0.0 };
+        let sx = rng.gen::<f64>().powf(1.0 / i as f64);
+        sm += (1.0 - sx) * pr * s_rem / (i + 1) as f64;
+        pr *= sx;
+        x[n - i - 1] = sm + pr * e;
+        s_rem -= e;
+        if e > 0.5 && j > 0 {
+            j -= 1;
+        }
+    }
+    x[n - 1] = sm + pr * s_rem;
+
+    // Random permutation (the construction is order-biased).
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        x.swap(i, j);
+    }
+
+    // Map back to [a, b] and repair the tiny floating-point drift so the
+    // sum is exact enough for downstream feasibility checks.
+    let mut out: Vec<f64> = x.iter().map(|&v| a + v * (b - a)).collect();
+    let drift = sum - out.iter().sum::<f64>();
+    let last = out.len() - 1;
+    out[last] = (out[last] + drift).clamp(a, b);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sum_and_bounds_hold_across_seeds() {
+        for seed in 0..50 {
+            let mut r = rng(seed);
+            let n = 1 + (seed as usize % 12);
+            let a = 1.0;
+            let b = 4.0;
+            let sum = n as f64 * 2.3;
+            let xs = rand_fixed_sum(n, sum, a, b, &mut r).unwrap();
+            assert_eq!(xs.len(), n);
+            assert!((xs.iter().sum::<f64>() - sum).abs() < 1e-6, "seed {seed}");
+            for &x in &xs {
+                assert!((a - 1e-9..=b + 1e-9).contains(&x), "seed {seed}: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_value_is_the_sum() {
+        let xs = rand_fixed_sum(1, 1.7, 1.0, 3.0, &mut rng(0)).unwrap();
+        assert_eq!(xs, vec![1.7]);
+    }
+
+    #[test]
+    fn extreme_sums_pin_to_bounds() {
+        let mut r = rng(3);
+        let xs = rand_fixed_sum(5, 5.0, 1.0, 2.0, &mut r).unwrap();
+        for &x in &xs {
+            assert!((x - 1.0).abs() < 1e-9);
+        }
+        let xs = rand_fixed_sum(5, 10.0, 1.0, 2.0, &mut r).unwrap();
+        for &x in &xs {
+            assert!((x - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut r = rng(0);
+        assert!(matches!(
+            rand_fixed_sum(0, 1.0, 0.0, 1.0, &mut r),
+            Err(FixedSumError::EmptySample)
+        ));
+        assert!(matches!(
+            rand_fixed_sum(3, 1.0, 2.0, 2.0, &mut r),
+            Err(FixedSumError::EmptyInterval { .. })
+        ));
+        assert!(matches!(
+            rand_fixed_sum(3, 100.0, 0.0, 1.0, &mut r),
+            Err(FixedSumError::InfeasibleSum { .. })
+        ));
+        assert!(matches!(
+            rand_fixed_sum(3, -1.0, 0.0, 1.0, &mut r),
+            Err(FixedSumError::InfeasibleSum { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_is_unbiased_per_position() {
+        // Uniformity over the simplex implies every position has the same
+        // marginal mean sum/n.
+        let n = 5;
+        let sum = 8.0;
+        let (a, b) = (1.0, 3.0);
+        let mut means = vec![0.0f64; n];
+        let rounds = 4000;
+        let mut r = rng(42);
+        for _ in 0..rounds {
+            let xs = rand_fixed_sum(n, sum, a, b, &mut r).unwrap();
+            for (m, x) in means.iter_mut().zip(&xs) {
+                *m += x;
+            }
+        }
+        for m in &means {
+            let avg = m / rounds as f64;
+            assert!(
+                (avg - sum / n as f64).abs() < 0.05,
+                "positional mean {avg} deviates from {}",
+                sum / n as f64
+            );
+        }
+    }
+
+    #[test]
+    fn values_spread_over_the_interval() {
+        // With a loose sum constraint the values must not collapse to the
+        // midpoint: check the sample variance is non-trivial.
+        let mut r = rng(9);
+        let mut all = Vec::new();
+        for _ in 0..500 {
+            all.extend(rand_fixed_sum(4, 8.0, 1.0, 3.0, &mut r).unwrap());
+        }
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        let var = all.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / all.len() as f64;
+        assert!(var > 0.05, "variance {var} too small — sampler collapsed");
+        // And both halves of the interval are visited.
+        assert!(all.iter().any(|&x| x < 1.5));
+        assert!(all.iter().any(|&x| x > 2.5));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = rand_fixed_sum(6, 9.0, 1.0, 2.0, &mut rng(1234)).unwrap();
+        let b = rand_fixed_sum(6, 9.0, 1.0, 2.0, &mut rng(1234)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,118 @@
+//! Random DAG generation following Cordeiro et al. (SIMUTools 2010).
+//!
+//! The paper generates task structures with the *ordered* Erdős–Rényi
+//! method (referred to as the "Grégory Erdős-Rényi algorithm" in
+//! Sec. VII-A): vertices are totally ordered and every forward pair
+//! `(v_i, v_j)` with `i < j` receives an edge with probability `p`. The
+//! result is acyclic by construction; vertices without predecessors are
+//! heads, vertices without successors are tails.
+
+use dpcp_model::Dag;
+use rand::Rng;
+
+/// Generates an ordered Erdős–Rényi DAG with `vertices` vertices and edge
+/// probability `edge_prob`.
+///
+/// # Panics
+///
+/// Panics if `vertices == 0` or `edge_prob ∉ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use dpcp_gen::graph_gen::erdos_renyi_dag;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let dag = erdos_renyi_dag(20, 0.1, &mut rng);
+/// assert_eq!(dag.vertex_count(), 20);
+/// assert!(!dag.heads().is_empty());
+/// assert!(!dag.tails().is_empty());
+/// ```
+pub fn erdos_renyi_dag<R: Rng + ?Sized>(vertices: usize, edge_prob: f64, rng: &mut R) -> Dag {
+    assert!(vertices > 0, "a DAG needs at least one vertex");
+    assert!(
+        (0.0..=1.0).contains(&edge_prob),
+        "edge probability must lie in [0, 1]"
+    );
+    let mut edges = Vec::new();
+    for i in 0..vertices {
+        for j in (i + 1)..vertices {
+            if rng.gen::<f64>() < edge_prob {
+                edges.push((i, j));
+            }
+        }
+    }
+    Dag::new(vertices, edges).expect("ordered forward edges are always acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_vertex_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for n in [1usize, 5, 50, 100] {
+            let dag = erdos_renyi_dag(n, 0.1, &mut rng);
+            assert_eq!(dag.vertex_count(), n);
+        }
+    }
+
+    #[test]
+    fn edge_probability_zero_gives_no_edges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dag = erdos_renyi_dag(30, 0.0, &mut rng);
+        assert_eq!(dag.edge_count(), 0);
+        assert_eq!(dag.heads().len(), 30);
+    }
+
+    #[test]
+    fn edge_probability_one_gives_complete_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 12;
+        let dag = erdos_renyi_dag(n, 1.0, &mut rng);
+        assert_eq!(dag.edge_count(), n * (n - 1) / 2);
+        assert_eq!(dag.heads().len(), 1);
+        assert_eq!(dag.tails().len(), 1);
+    }
+
+    #[test]
+    fn edge_density_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 80;
+        let p = 0.1;
+        let trials = 30;
+        let mut total_edges = 0usize;
+        for _ in 0..trials {
+            total_edges += erdos_renyi_dag(n, p, &mut rng).edge_count();
+        }
+        let pairs = (n * (n - 1) / 2) as f64;
+        let observed = total_edges as f64 / (trials as f64 * pairs);
+        assert!(
+            (observed - p).abs() < 0.02,
+            "observed density {observed}, expected ≈ {p}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = erdos_renyi_dag(40, 0.1, &mut StdRng::seed_from_u64(99));
+        let b = erdos_renyi_dag(40, 0.1, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn rejects_empty() {
+        let _ = erdos_renyi_dag(0, 0.1, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        let _ = erdos_renyi_dag(3, 1.5, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic workload generation for the DPCP-p evaluation (Sec. VII-A).
+//!
+//! - [`fixed_sum`] — the RandFixedSum utilization sampler (Emberson et
+//!   al., WATERS 2010),
+//! - [`graph_gen`] — ordered Erdős–Rényi DAGs (Cordeiro et al.,
+//!   SIMUTools 2010),
+//! - [`taskgen`] — the full per-task pipeline with the paper's
+//!   plausibility constraints,
+//! - [`scenario`] — the 216-scenario grid and the Fig. 2 panels.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpcp_gen::scenario::{Fig2Panel, Scenario};
+//! use rand::SeedableRng;
+//!
+//! let scenario = Scenario::fig2(Fig2Panel::A);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let tasks = scenario.sample_task_set(8.0, &mut rng)?;
+//! assert!((tasks.total_utilization() - 8.0).abs() < 0.01);
+//! # Ok::<(), dpcp_gen::taskgen::GenError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fixed_sum;
+pub mod graph_gen;
+pub mod scenario;
+pub mod taskgen;
+
+pub use fixed_sum::rand_fixed_sum;
+pub use graph_gen::erdos_renyi_dag;
+pub use scenario::{Fig2Panel, Scenario};
+pub use taskgen::{generate_task, generate_task_set, GenError, TaskGenParams};

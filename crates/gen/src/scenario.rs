@@ -1,0 +1,259 @@
+//! The experimental scenario grid of Sec. VII.
+//!
+//! A [`Scenario`] is one cell of the paper's 216-point parameter grid:
+//! `m ∈ {8, 16, 32}` × `n_r ∈ {[2,4], [4,8], [8,16]}` ×
+//! `U^avg ∈ {1.5, 2}` × `p_r ∈ {0.5, 0.75, 1}` ×
+//! `N^max ∈ {25, 50}` × `L ∈ {[15,50], [50,100]} µs`.
+//!
+//! For each scenario, total utilizations sweep from 1 to `m` in steps of
+//! `0.05·m` and a batch of task sets is generated per point.
+
+use dpcp_model::{TaskSet, Time};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::taskgen::{generate_task_set, GenError, TaskGenParams};
+
+/// One cell of the experimental grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of processors `m`.
+    pub m: usize,
+    /// Range of the shared-resource count `n_r` (inclusive).
+    pub nr_range: (usize, usize),
+    /// Average task utilization `U^avg`.
+    pub u_avg: f64,
+    /// Per-resource access probability `p_r`.
+    pub access_prob: f64,
+    /// Maximum request count `N^max` (requests drawn from `[1, N^max]`).
+    pub max_requests: u32,
+    /// Critical-section length range in microseconds.
+    pub cs_range_us: (u64, u64),
+}
+
+impl Scenario {
+    /// The full 216-scenario grid, in deterministic order.
+    pub fn grid_216() -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(216);
+        for &m in &[8usize, 16, 32] {
+            for &nr_range in &[(2usize, 4usize), (4, 8), (8, 16)] {
+                for &u_avg in &[1.5f64, 2.0] {
+                    for &access_prob in &[0.5f64, 0.75, 1.0] {
+                        for &max_requests in &[25u32, 50] {
+                            for &cs_range_us in &[(15u64, 50u64), (50, 100)] {
+                                out.push(Scenario {
+                                    m,
+                                    nr_range,
+                                    u_avg,
+                                    access_prob,
+                                    max_requests,
+                                    cs_range_us,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The four configurations of Fig. 2 (`N ∈ [1,50]`,
+    /// `L ∈ [50,100] µs`): panels `a`/`c` use `m = 16`, `n_r ∈ [4,8]`,
+    /// `p_r = 0.5`; panels `b`/`d` use `m = 32`, `n_r ∈ [8,16]`,
+    /// `p_r = 1`; `a`/`b` have `U^avg = 1.5`, `c`/`d` have `U^avg = 2`.
+    pub fn fig2(panel: Fig2Panel) -> Scenario {
+        let (m, nr_range, access_prob) = match panel {
+            Fig2Panel::A | Fig2Panel::C => (16, (4, 8), 0.5),
+            Fig2Panel::B | Fig2Panel::D => (32, (8, 16), 1.0),
+        };
+        let u_avg = match panel {
+            Fig2Panel::A | Fig2Panel::B => 1.5,
+            Fig2Panel::C | Fig2Panel::D => 2.0,
+        };
+        Scenario {
+            m,
+            nr_range,
+            u_avg,
+            access_prob,
+            max_requests: 50,
+            cs_range_us: (50, 100),
+        }
+    }
+
+    /// The total-utilization sweep: 1 to `m` in steps of `0.05·m`
+    /// (Sec. VII-A).
+    pub fn utilization_points(&self) -> Vec<f64> {
+        let step = 0.05 * self.m as f64;
+        let mut points = Vec::new();
+        let mut u = 1.0;
+        while u <= self.m as f64 + 1e-9 {
+            points.push(u);
+            u += step;
+        }
+        points
+    }
+
+    /// The generator parameters this scenario induces.
+    pub fn params(&self) -> TaskGenParams {
+        TaskGenParams {
+            u_avg: self.u_avg,
+            access_prob: self.access_prob,
+            max_requests: self.max_requests,
+            cs_range: (
+                Time::from_us(self.cs_range_us.0),
+                Time::from_us(self.cs_range_us.1),
+            ),
+            ..TaskGenParams::default()
+        }
+    }
+
+    /// Samples one task set at the given total utilization (drawing `n_r`
+    /// uniformly from the scenario's range).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GenError`] from the task generator.
+    pub fn sample_task_set<R: Rng + ?Sized>(
+        &self,
+        total_utilization: f64,
+        rng: &mut R,
+    ) -> Result<TaskSet, GenError> {
+        let nr = rng.gen_range(self.nr_range.0..=self.nr_range.1);
+        generate_task_set(&self.params(), total_utilization, nr, rng)
+    }
+
+    /// A compact, filesystem-safe label (used in CSV output).
+    pub fn label(&self) -> String {
+        format!(
+            "m{}_nr{}-{}_u{}_pr{}_N{}_L{}-{}",
+            self.m,
+            self.nr_range.0,
+            self.nr_range.1,
+            self.u_avg,
+            self.access_prob,
+            self.max_requests,
+            self.cs_range_us.0,
+            self.cs_range_us.1
+        )
+    }
+}
+
+impl core::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "m={}, nr∈[{},{}], U^avg={}, pr={}, N∈[1,{}], L∈[{},{}]µs",
+            self.m,
+            self.nr_range.0,
+            self.nr_range.1,
+            self.u_avg,
+            self.access_prob,
+            self.max_requests,
+            self.cs_range_us.0,
+            self.cs_range_us.1
+        )
+    }
+}
+
+/// The four panels of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fig2Panel {
+    /// `U^avg = 1.5`, light contention (m=16, nr∈\[4,8], pr=0.5).
+    A,
+    /// `U^avg = 1.5`, heavy contention (m=32, nr∈\[8,16], pr=1).
+    B,
+    /// `U^avg = 2`, light contention.
+    C,
+    /// `U^avg = 2`, heavy contention.
+    D,
+}
+
+impl Fig2Panel {
+    /// All four panels in figure order.
+    pub fn all() -> [Fig2Panel; 4] {
+        [Fig2Panel::A, Fig2Panel::B, Fig2Panel::C, Fig2Panel::D]
+    }
+}
+
+impl core::fmt::Display for Fig2Panel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let c = match self {
+            Fig2Panel::A => 'a',
+            Fig2Panel::B => 'b',
+            Fig2Panel::C => 'c',
+            Fig2Panel::D => 'd',
+        };
+        write!(f, "Fig.2({c})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_has_exactly_216_distinct_scenarios() {
+        let grid = Scenario::grid_216();
+        assert_eq!(grid.len(), 216);
+        let labels: std::collections::HashSet<String> =
+            grid.iter().map(Scenario::label).collect();
+        assert_eq!(labels.len(), 216);
+    }
+
+    #[test]
+    fn utilization_sweep_shape() {
+        let s = Scenario::fig2(Fig2Panel::A);
+        let pts = s.utilization_points();
+        assert_eq!(pts.first().copied(), Some(1.0));
+        assert!(*pts.last().unwrap() <= 16.0 + 1e-9);
+        // Step 0.8 from 1.0: 1.0, 1.8, ..., 16.0 → 19 points? 1 + ⌊15/0.8⌋.
+        assert_eq!(pts.len(), 1 + ((16.0 - 1.0) / 0.8) as usize);
+        for w in pts.windows(2) {
+            assert!((w[1] - w[0] - 0.8).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig2_panels_match_caption() {
+        let a = Scenario::fig2(Fig2Panel::A);
+        assert_eq!((a.m, a.nr_range, a.access_prob, a.u_avg), (16, (4, 8), 0.5, 1.5));
+        let b = Scenario::fig2(Fig2Panel::B);
+        assert_eq!((b.m, b.nr_range, b.access_prob, b.u_avg), (32, (8, 16), 1.0, 1.5));
+        let c = Scenario::fig2(Fig2Panel::C);
+        assert_eq!((c.m, c.nr_range, c.access_prob, c.u_avg), (16, (4, 8), 0.5, 2.0));
+        let d = Scenario::fig2(Fig2Panel::D);
+        assert_eq!((d.m, d.nr_range, d.access_prob, d.u_avg), (32, (8, 16), 1.0, 2.0));
+        for p in Fig2Panel::all() {
+            let s = Scenario::fig2(p);
+            assert_eq!(s.max_requests, 50);
+            assert_eq!(s.cs_range_us, (50, 100));
+        }
+    }
+
+    #[test]
+    fn sample_task_set_respects_scenario() {
+        let s = Scenario {
+            m: 8,
+            nr_range: (2, 4),
+            u_avg: 1.5,
+            access_prob: 0.75,
+            max_requests: 25,
+            cs_range_us: (15, 50),
+        };
+        let mut rng = StdRng::seed_from_u64(17);
+        let ts = s.sample_task_set(4.0, &mut rng).unwrap();
+        assert!(ts.resource_count() >= 2 && ts.resource_count() <= 4);
+        assert!((ts.total_utilization() - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn labels_and_display_are_informative() {
+        let s = Scenario::fig2(Fig2Panel::D);
+        assert_eq!(s.label(), "m32_nr8-16_u2_pr1_N50_L50-100");
+        assert!(s.to_string().contains("m=32"));
+        assert_eq!(Fig2Panel::D.to_string(), "Fig.2(d)");
+    }
+}

@@ -1,0 +1,127 @@
+//! Typed identifiers for the entities of the system model.
+//!
+//! Newtype indices keep task, vertex, resource and processor namespaces
+//! statically distinct (a `VertexId` can never be used where a `ProcessorId`
+//! is expected) while staying `Copy` and hashable for use as map keys.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                $name(index)
+            }
+
+            /// Returns the raw index (useful for dense `Vec` storage).
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                $name(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a task `τ_i` within a [`TaskSet`](crate::TaskSet).
+    TaskId,
+    "tau"
+);
+
+define_id!(
+    /// Identifies a vertex `v_{i,x}` within one task's DAG.
+    ///
+    /// Vertex identifiers are task-local: `VertexId::new(0)` of task `τ_1`
+    /// and of task `τ_2` name different vertices.
+    VertexId,
+    "v"
+);
+
+define_id!(
+    /// Identifies a shared resource `ℓ_q`.
+    ResourceId,
+    "l"
+);
+
+define_id!(
+    /// Identifies a physical processor `℘_k`.
+    ProcessorId,
+    "p"
+);
+
+define_id!(
+    /// Identifies a federated cluster (the set of processors dedicated to one
+    /// heavy task).
+    ClusterId,
+    "c"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trip_and_ordering() {
+        let a = TaskId::new(3);
+        assert_eq!(a.index(), 3);
+        assert_eq!(usize::from(a), 3);
+        assert_eq!(TaskId::from(3), a);
+        assert!(TaskId::new(1) < TaskId::new(2));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(TaskId::new(1).to_string(), "tau1");
+        assert_eq!(VertexId::new(4).to_string(), "v4");
+        assert_eq!(ResourceId::new(2).to_string(), "l2");
+        assert_eq!(ProcessorId::new(0).to_string(), "p0");
+        assert_eq!(ClusterId::new(7).to_string(), "c7");
+    }
+
+    #[test]
+    fn ids_are_hashable_map_keys() {
+        let mut set = HashSet::new();
+        set.insert(ResourceId::new(1));
+        set.insert(ResourceId::new(1));
+        set.insert(ResourceId::new(2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(ProcessorId::default(), ProcessorId::new(0));
+    }
+}

@@ -1,0 +1,58 @@
+//! System model for the DPCP-p reproduction: parallel (DAG) real-time
+//! tasks, shared resources, multiprocessor platforms and federated
+//! partitions.
+//!
+//! This crate implements Sec. II ("System Model and Terminologies") of
+//! *DPCP-p: A Distributed Locking Protocol for Parallel Real-Time Tasks*
+//! (Yang et al., DAC 2020):
+//!
+//! - [`Time`] — nanosecond-resolution integer time,
+//! - [`Dag`] — precedence graphs with longest-path and complete-path
+//!   queries,
+//! - [`DagTask`] — sporadic DAG tasks with per-vertex WCETs, request
+//!   counts `N_{i,x,q}` and critical-section lengths `L_{i,q}`,
+//! - [`TaskSet`] — task collections with local/global resource
+//!   classification and Rate-Monotonic priorities,
+//! - [`Platform`] / [`Partition`] — processors, federated clusters and
+//!   global-resource homes,
+//! - [`path`] — path signatures `(L(λ), N^λ)` for the per-path analysis,
+//! - [`fig1`] — the paper's running example as a ready-made fixture.
+//!
+//! # Examples
+//!
+//! Build the paper's Fig. 1 system and inspect it:
+//!
+//! ```
+//! use dpcp_model::fig1;
+//!
+//! let (platform, partition, tasks) = fig1::platform_and_partition()?;
+//! assert_eq!(platform.processor_count(), 4);
+//! assert_eq!(tasks.global_resources().count(), 1);
+//! let ti = &tasks.tasks()[0];
+//! assert_eq!(ti.longest_path_len(), fig1::unit() * 10);
+//! # Ok::<(), dpcp_model::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod fig1;
+pub mod graph;
+pub mod ids;
+pub mod path;
+pub mod platform;
+pub mod priority;
+pub mod task;
+pub mod taskset;
+pub mod time;
+
+pub use error::ModelError;
+pub use graph::Dag;
+pub use ids::{ClusterId, ProcessorId, ResourceId, TaskId, VertexId};
+pub use path::{enumerate_signatures, enumerate_signatures_capped, PathSignature, PathSignatures};
+pub use platform::{Partition, Platform};
+pub use priority::{EffectivePriority, Priority, PriorityAssignment};
+pub use task::{DagTask, DagTaskBuilder, RequestSpec, VertexSpec};
+pub use taskset::{initial_processors, ResourceScope, TaskSet};
+pub use time::{eta_jobs, Time};

@@ -1,0 +1,305 @@
+//! Complete paths `λ_i` and their analysis signatures.
+//!
+//! The per-path WCRT bound of Sec. IV depends on a path only through its
+//! length `L(λ_i)`, its non-critical length, and its per-resource request
+//! counts `N^λ_{i,q}`. [`PathSignature`] captures exactly that triple, so
+//! paths that agree on it are interchangeable for the analysis and can be
+//! deduplicated — which is what makes enumerating the (combinatorially
+//! many) complete paths of dense DAGs tractable.
+
+use core::ops::ControlFlow;
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ResourceId, VertexId};
+use crate::task::DagTask;
+use crate::time::Time;
+
+/// The analysis-relevant abstraction of one complete path.
+///
+/// # Examples
+///
+/// ```
+/// use dpcp_model::fig1;
+/// use dpcp_model::path::PathSignature;
+///
+/// let (ti, _tj) = fig1::tasks()?;
+/// // The longest path of the Fig. 1 task G_i has length 10 (time units).
+/// let sig = PathSignature::from_path(&ti, ti.longest_path());
+/// assert_eq!(sig.len(), fig1::unit() * 10);
+/// # Ok::<(), dpcp_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathSignature {
+    len: Time,
+    noncritical: Time,
+    /// `N^λ_{i,q}` per requested resource; sorted, zero counts omitted.
+    requests: Vec<(ResourceId, u32)>,
+}
+
+impl PathSignature {
+    /// Computes the signature of `path` (a vertex sequence of `task`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex index is out of range for the task.
+    pub fn from_path(task: &DagTask, path: &[VertexId]) -> Self {
+        let mut len = Time::ZERO;
+        let mut noncritical = Time::ZERO;
+        let mut counts: Vec<(ResourceId, u32)> = Vec::new();
+        for &v in path {
+            let spec = task.vertex(v);
+            len = len.saturating_add(spec.wcet());
+            noncritical = noncritical.saturating_add(task.vertex_noncritical_wcet(v));
+            for r in spec.requests() {
+                match counts.binary_search_by_key(&r.resource, |&(q, _)| q) {
+                    Ok(i) => counts[i].1 += r.count,
+                    Err(i) => counts.insert(i, (r.resource, r.count)),
+                }
+            }
+        }
+        PathSignature {
+            len,
+            noncritical,
+            requests: counts,
+        }
+    }
+
+    /// The path length `L(λ)` (sum of vertex WCETs on the path).
+    #[inline]
+    pub fn len(&self) -> Time {
+        self.len
+    }
+
+    /// `true` when the path has zero length (degenerate, only possible with
+    /// zero-WCET vertices).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len.is_zero()
+    }
+
+    /// The non-critical portion of the path length,
+    /// `Σ_{v ∈ λ} C'_{i,x}`.
+    #[inline]
+    pub fn noncritical_len(&self) -> Time {
+        self.noncritical
+    }
+
+    /// The per-resource path request counts `N^λ_{i,q}` (sorted, non-zero).
+    #[inline]
+    pub fn requests(&self) -> &[(ResourceId, u32)] {
+        &self.requests
+    }
+
+    /// The path request count `N^λ_{i,q}` for one resource.
+    pub fn request_count(&self, resource: ResourceId) -> u32 {
+        self.requests
+            .binary_search_by_key(&resource, |&(q, _)| q)
+            .map(|i| self.requests[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if the path requests `resource` at least once.
+    pub fn requests_resource(&self, resource: ResourceId) -> bool {
+        self.request_count(resource) > 0
+    }
+}
+
+/// The outcome of enumerating a task's complete paths with deduplication.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathSignatures {
+    /// Distinct signatures found (at most the requested cap).
+    pub signatures: Vec<PathSignature>,
+    /// `true` when enumeration stopped at the cap; callers must then treat
+    /// the list as incomplete and combine it with a bound that dominates
+    /// every path (e.g. the EN bound).
+    pub truncated: bool,
+    /// The number of the task's distinct vertices lying on at least one
+    /// enumerated path (diagnostic).
+    pub paths_visited: u64,
+}
+
+/// Enumerates the distinct path signatures of `task`, visiting complete
+/// paths depth-first and stopping after `cap` *distinct* signatures have
+/// been collected (a further distinct signature marks the result
+/// truncated).
+///
+/// The longest path's signature is always included, even under truncation,
+/// so downstream analyses never miss the critical path.
+///
+/// # Examples
+///
+/// ```
+/// use dpcp_model::fig1;
+/// use dpcp_model::path::enumerate_signatures;
+///
+/// let (ti, _) = fig1::tasks()?;
+/// let sigs = enumerate_signatures(&ti, 100);
+/// assert!(!sigs.truncated);
+/// // G_i of Fig. 1 has 4 complete paths; two of them (through v3 and v4)
+/// // agree on (length, requests) and collapse into one signature.
+/// assert_eq!(sigs.paths_visited, 4);
+/// assert_eq!(sigs.signatures.len(), 3);
+/// # Ok::<(), dpcp_model::ModelError>(())
+/// ```
+pub fn enumerate_signatures(task: &DagTask, cap: usize) -> PathSignatures {
+    enumerate_signatures_capped(task, cap, u64::MAX)
+}
+
+/// Like [`enumerate_signatures`], additionally stopping after `visit_cap`
+/// complete paths have been walked (dense DAGs can have combinatorially
+/// many paths even when few signatures are distinct; the visit cap bounds
+/// enumeration time itself). Hitting either cap marks the result truncated.
+pub fn enumerate_signatures_capped(
+    task: &DagTask,
+    cap: usize,
+    visit_cap: u64,
+) -> PathSignatures {
+    let cap = cap.max(1);
+    let visit_cap = visit_cap.max(1);
+    let mut seen: HashSet<PathSignature> = HashSet::new();
+    let mut paths_visited = 0u64;
+    let mut truncated = false;
+    task.dag().for_each_path(|path| {
+        paths_visited += 1;
+        let sig = PathSignature::from_path(task, path);
+        if seen.len() >= cap && !seen.contains(&sig) {
+            truncated = true;
+            return ControlFlow::Break(());
+        }
+        seen.insert(sig);
+        if paths_visited >= visit_cap {
+            truncated = true;
+            return ControlFlow::Break(());
+        }
+        ControlFlow::Continue(())
+    });
+
+    let mut signatures: Vec<PathSignature> = seen.into_iter().collect();
+    let longest = PathSignature::from_path(task, task.longest_path());
+    if !signatures.contains(&longest) {
+        signatures.push(longest);
+    }
+    // Deterministic order for reproducible analysis output.
+    signatures.sort_by(|a, b| {
+        b.len
+            .cmp(&a.len)
+            .then_with(|| a.requests.cmp(&b.requests))
+            .then_with(|| a.noncritical.cmp(&b.noncritical))
+    });
+    PathSignatures {
+        signatures,
+        truncated,
+        paths_visited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Dag;
+    use crate::ids::TaskId;
+    use crate::task::{RequestSpec, VertexSpec};
+
+    fn rid(i: usize) -> ResourceId {
+        ResourceId::new(i)
+    }
+
+    /// Diamond where both branches have the same WCET but different
+    /// requests.
+    fn task_with_branches() -> DagTask {
+        let dag = Dag::new(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .dag(dag)
+            .vertex(VertexSpec::new(Time::from_us(100)))
+            .vertex(VertexSpec::with_requests(
+                Time::from_us(200),
+                [RequestSpec::new(rid(0), 2)],
+            ))
+            .vertex(VertexSpec::with_requests(
+                Time::from_us(200),
+                [RequestSpec::new(rid(1), 1)],
+            ))
+            .vertex(VertexSpec::new(Time::from_us(100)))
+            .critical_section(rid(0), Time::from_us(10))
+            .critical_section(rid(1), Time::from_us(30))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn signature_accumulates_along_path() {
+        let t = task_with_branches();
+        let v = VertexId::new;
+        let sig = PathSignature::from_path(&t, &[v(0), v(1), v(3)]);
+        assert_eq!(sig.len(), Time::from_us(400));
+        assert_eq!(sig.request_count(rid(0)), 2);
+        assert_eq!(sig.request_count(rid(1)), 0);
+        assert!(sig.requests_resource(rid(0)));
+        assert!(!sig.requests_resource(rid(1)));
+        // Non-critical = 400µs − 2·10µs.
+        assert_eq!(sig.noncritical_len(), Time::from_us(380));
+    }
+
+    #[test]
+    fn enumeration_finds_all_distinct_signatures() {
+        let t = task_with_branches();
+        let sigs = enumerate_signatures(&t, 64);
+        assert!(!sigs.truncated);
+        assert_eq!(sigs.paths_visited, 2);
+        // Equal lengths but different request vectors ⇒ 2 signatures.
+        assert_eq!(sigs.signatures.len(), 2);
+    }
+
+    #[test]
+    fn identical_branches_dedup_to_one_signature() {
+        let dag = Dag::new(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let t = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .dag(dag)
+            .vertex(VertexSpec::new(Time::from_us(100)))
+            .vertex(VertexSpec::new(Time::from_us(200)))
+            .vertex(VertexSpec::new(Time::from_us(200)))
+            .vertex(VertexSpec::new(Time::from_us(100)))
+            .build()
+            .unwrap();
+        let sigs = enumerate_signatures(&t, 64);
+        assert_eq!(sigs.signatures.len(), 1);
+        assert_eq!(sigs.paths_visited, 2);
+    }
+
+    #[test]
+    fn truncation_keeps_longest_path() {
+        // Wide fan: head → {8 distinct middles} → tail; cap at 2.
+        let edges: Vec<(usize, usize)> = (1..=8).flat_map(|x| [(0, x), (x, 9)]).collect();
+        let dag = Dag::new(10, edges).unwrap();
+        let mut b = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .dag(dag)
+            .vertex(VertexSpec::new(Time::from_us(10)));
+        for i in 1..=8u64 {
+            b = b.vertex(VertexSpec::new(Time::from_us(10 * i)));
+        }
+        let t = b.vertex(VertexSpec::new(Time::from_us(10))).build().unwrap();
+        let sigs = enumerate_signatures(&t, 2);
+        assert!(sigs.truncated);
+        // The longest path (10 + 80 + 10) must survive truncation.
+        let max_len = sigs.signatures.iter().map(PathSignature::len).max().unwrap();
+        assert_eq!(max_len, Time::from_us(100));
+    }
+
+    #[test]
+    fn signatures_sorted_longest_first() {
+        let t = task_with_branches();
+        let sigs = enumerate_signatures(&t, 64).signatures;
+        for w in sigs.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+    }
+
+    #[test]
+    fn cap_zero_is_clamped_to_one() {
+        let t = task_with_branches();
+        let sigs = enumerate_signatures(&t, 0);
+        assert!(!sigs.signatures.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Base priorities and priority ceilings.
+//!
+//! The paper writes `π_i < π_h` for "τ_i has lower base priority than τ_h";
+//! we mirror that: a numerically **greater** [`Priority`] is a **higher**
+//! priority. Priority ceilings (Sec. III-C) live in a band strictly above
+//! every base priority: `Π_q = π^H + max_{τ_j ∈ τ(ℓ_q)} π_j` where `π^H`
+//! exceeds every base priority. [`EffectivePriority`] models both the boosted
+//! agent priorities `π^H + π_i` and ceilings on a single comparable axis.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A task base priority; greater values denote higher priority.
+///
+/// # Examples
+///
+/// ```
+/// use dpcp_model::Priority;
+///
+/// let low = Priority::new(1);
+/// let high = Priority::new(10);
+/// assert!(high > low);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Priority(u32);
+
+impl Priority {
+    /// The lowest expressible priority.
+    pub const MIN: Priority = Priority(0);
+
+    /// Creates a priority from a raw level; greater is higher.
+    #[inline]
+    pub const fn new(level: u32) -> Self {
+        Priority(level)
+    }
+
+    /// Returns the raw level.
+    #[inline]
+    pub const fn level(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for Priority {
+    #[inline]
+    fn from(level: u32) -> Self {
+        Priority(level)
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pi{}", self.0)
+    }
+}
+
+/// A priority in the boosted band `π^H + π`: the effective priority of a
+/// global-resource request, or the priority ceiling of a global resource.
+///
+/// Because every boosted priority exceeds every base priority by
+/// construction, the type only needs to order boosted values among
+/// themselves; comparisons against base priorities are expressed through
+/// [`EffectivePriority::base`].
+///
+/// # Examples
+///
+/// ```
+/// use dpcp_model::{EffectivePriority, Priority};
+///
+/// let ceiling = EffectivePriority::boost(Priority::new(5));
+/// let request = EffectivePriority::boost(Priority::new(7));
+/// // The priority-ceiling grant test of Sec. III-C: `π^H + π_i > Π^℘_k(t)`.
+/// assert!(request > ceiling);
+/// assert_eq!(ceiling.base(), Priority::new(5));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EffectivePriority(u32);
+
+impl EffectivePriority {
+    /// Boosts a base priority into the agent band (`π^H + π`).
+    #[inline]
+    pub const fn boost(base: Priority) -> Self {
+        EffectivePriority(base.0)
+    }
+
+    /// Recovers the base priority that was boosted.
+    #[inline]
+    pub const fn base(self) -> Priority {
+        Priority(self.0)
+    }
+}
+
+impl fmt::Display for EffectivePriority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "piH+{}", self.0)
+    }
+}
+
+/// How base priorities are assigned to tasks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PriorityAssignment {
+    /// Rate Monotonic: shorter period ⇒ higher priority (the paper's choice).
+    #[default]
+    RateMonotonic,
+    /// Deadline Monotonic: shorter relative deadline ⇒ higher priority.
+    DeadlineMonotonic,
+}
+
+impl fmt::Display for PriorityAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PriorityAssignment::RateMonotonic => f.write_str("RM"),
+            PriorityAssignment::DeadlineMonotonic => f.write_str("DM"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greater_means_higher() {
+        assert!(Priority::new(9) > Priority::new(3));
+        assert_eq!(Priority::MIN, Priority::new(0));
+    }
+
+    #[test]
+    fn boost_preserves_order() {
+        let lo = EffectivePriority::boost(Priority::new(1));
+        let hi = EffectivePriority::boost(Priority::new(2));
+        assert!(hi > lo);
+        assert_eq!(hi.base(), Priority::new(2));
+    }
+
+    #[test]
+    fn grant_test_requires_strict_exceedance() {
+        // A request at the ceiling's own level must NOT be granted
+        // (strict `>` in the grant rule keeps Lemma 1 sound).
+        let ceiling = EffectivePriority::boost(Priority::new(4));
+        let request = EffectivePriority::boost(Priority::new(4));
+        assert!(!(request > ceiling));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Priority::new(2).to_string(), "pi2");
+        assert_eq!(
+            EffectivePriority::boost(Priority::new(2)).to_string(),
+            "piH+2"
+        );
+        assert_eq!(PriorityAssignment::RateMonotonic.to_string(), "RM");
+        assert_eq!(PriorityAssignment::DeadlineMonotonic.to_string(), "DM");
+    }
+}

@@ -1,0 +1,607 @@
+//! Parallel (DAG) task specifications.
+//!
+//! A [`DagTask`] bundles the paper's per-task parameters: the sporadic timing
+//! triple `(C_i, D_i, T_i)`, the precedence DAG `G_i`, per-vertex WCETs
+//! `C_{i,x}`, per-vertex maximum request counts `N_{i,x,q}` and per-resource
+//! maximum critical-section lengths `L_{i,q}`. Construction validates the
+//! model assumptions of Sec. II (constrained deadlines, critical sections
+//! contained in vertex WCETs, non-nested requests).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::graph::Dag;
+use crate::ids::{ResourceId, TaskId, VertexId};
+use crate::priority::Priority;
+use crate::time::Time;
+
+/// The maximum number of requests `N_{i,x,q}` a vertex issues to one
+/// resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// The requested resource `ℓ_q`.
+    pub resource: ResourceId,
+    /// The maximum number of requests the vertex issues to it.
+    pub count: u32,
+}
+
+impl RequestSpec {
+    /// Creates a request specification.
+    pub const fn new(resource: ResourceId, count: u32) -> Self {
+        RequestSpec { resource, count }
+    }
+}
+
+/// One vertex `v_{i,x}`: its WCET and the requests it may issue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexSpec {
+    wcet: Time,
+    /// Sorted by resource, at most one entry per resource, zero counts
+    /// removed.
+    requests: Vec<RequestSpec>,
+}
+
+impl VertexSpec {
+    /// Creates a vertex with the given WCET and no requests.
+    pub fn new(wcet: Time) -> Self {
+        VertexSpec {
+            wcet,
+            requests: Vec::new(),
+        }
+    }
+
+    /// Creates a vertex with the given WCET and request list (merged and
+    /// sorted; zero counts dropped).
+    pub fn with_requests(wcet: Time, requests: impl IntoIterator<Item = RequestSpec>) -> Self {
+        let mut merged: BTreeMap<ResourceId, u32> = BTreeMap::new();
+        for r in requests {
+            if r.count > 0 {
+                *merged.entry(r.resource).or_insert(0) += r.count;
+            }
+        }
+        VertexSpec {
+            wcet,
+            requests: merged
+                .into_iter()
+                .map(|(resource, count)| RequestSpec { resource, count })
+                .collect(),
+        }
+    }
+
+    /// The vertex WCET `C_{i,x}` (critical sections included).
+    #[inline]
+    pub fn wcet(&self) -> Time {
+        self.wcet
+    }
+
+    /// The vertex's request specifications, sorted by resource.
+    #[inline]
+    pub fn requests(&self) -> &[RequestSpec] {
+        &self.requests
+    }
+
+    /// The number of requests this vertex issues to `resource`
+    /// (`N_{i,x,q}`).
+    pub fn request_count(&self, resource: ResourceId) -> u32 {
+        self.requests
+            .binary_search_by_key(&resource, |r| r.resource)
+            .map(|i| self.requests[i].count)
+            .unwrap_or(0)
+    }
+}
+
+/// A sporadic parallel real-time task `τ_i`.
+///
+/// # Examples
+///
+/// ```
+/// use dpcp_model::{Dag, DagTask, RequestSpec, ResourceId, TaskId, Time, VertexSpec};
+///
+/// let dag = Dag::new(2, [(0, 1)])?;
+/// let task = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+///     .dag(dag)
+///     .vertex(VertexSpec::new(Time::from_ms(4)))
+///     .vertex(VertexSpec::with_requests(
+///         Time::from_ms(8),
+///         [RequestSpec::new(ResourceId::new(0), 2)],
+///     ))
+///     .critical_section(ResourceId::new(0), Time::from_us(50))
+///     .build()?;
+/// assert_eq!(task.wcet(), Time::from_ms(12));
+/// assert!(task.is_heavy()); // C/D = 1.2 > 1
+/// assert_eq!(task.total_requests(ResourceId::new(0)), 2);
+/// # Ok::<(), dpcp_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagTask {
+    id: TaskId,
+    period: Time,
+    deadline: Time,
+    priority: Priority,
+    dag: Dag,
+    vertices: Vec<VertexSpec>,
+    /// Maximum critical-section length `L_{i,q}` per used resource.
+    cs_lengths: BTreeMap<ResourceId, Time>,
+    // ---- derived, cached at construction ----
+    wcet: Time,
+    longest_path_len: Time,
+    longest_path: Vec<VertexId>,
+    total_requests: BTreeMap<ResourceId, u32>,
+}
+
+impl DagTask {
+    /// Starts building a task with implicit deadline `D_i = T_i`.
+    pub fn builder(id: TaskId, period: Time) -> DagTaskBuilder {
+        DagTaskBuilder {
+            id,
+            period,
+            deadline: period,
+            priority: Priority::MIN,
+            dag: None,
+            vertices: Vec::new(),
+            cs_lengths: BTreeMap::new(),
+        }
+    }
+
+    /// The task identifier.
+    #[inline]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The minimum inter-arrival time `T_i`.
+    #[inline]
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The relative deadline `D_i ≤ T_i`.
+    #[inline]
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// The base priority `π_i` (greater is higher).
+    #[inline]
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Reassigns the base priority (driven by the task set's priority
+    /// assignment policy — see [`TaskSet::with_priorities`](crate::TaskSet::with_priorities)).
+    #[inline]
+    pub fn set_priority(&mut self, priority: Priority) {
+        self.priority = priority;
+    }
+
+    /// The precedence DAG `G_i`.
+    #[inline]
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// The vertex specifications, indexed by [`VertexId`].
+    #[inline]
+    pub fn vertices(&self) -> &[VertexSpec] {
+        &self.vertices
+    }
+
+    /// The specification of one vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn vertex(&self, v: VertexId) -> &VertexSpec {
+        &self.vertices[v.index()]
+    }
+
+    /// The total WCET `C_i = Σ_x C_{i,x}`.
+    #[inline]
+    pub fn wcet(&self) -> Time {
+        self.wcet
+    }
+
+    /// The longest-path length `L*_i`.
+    #[inline]
+    pub fn longest_path_len(&self) -> Time {
+        self.longest_path_len
+    }
+
+    /// One witness longest path.
+    #[inline]
+    pub fn longest_path(&self) -> &[VertexId] {
+        &self.longest_path
+    }
+
+    /// The utilization `U_i = C_i / T_i`.
+    pub fn utilization(&self) -> f64 {
+        self.wcet.as_ns() as f64 / self.period.as_ns() as f64
+    }
+
+    /// The density `C_i / D_i`; a task is *heavy* when this exceeds 1.
+    pub fn density(&self) -> f64 {
+        self.wcet.as_ns() as f64 / self.deadline.as_ns() as f64
+    }
+
+    /// Returns `true` for heavy tasks (`C_i / D_i > 1`), which receive
+    /// dedicated processors under federated scheduling.
+    pub fn is_heavy(&self) -> bool {
+        self.wcet > self.deadline
+    }
+
+    /// The resources this task uses (`Φ_i`), ascending.
+    pub fn resources(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        self.total_requests.keys().copied()
+    }
+
+    /// Returns `true` if the task issues any request to `resource`.
+    pub fn uses_resource(&self, resource: ResourceId) -> bool {
+        self.total_requests.contains_key(&resource)
+    }
+
+    /// The job-level maximum request count `N_{i,q} = Σ_x N_{i,x,q}`.
+    pub fn total_requests(&self, resource: ResourceId) -> u32 {
+        self.total_requests.get(&resource).copied().unwrap_or(0)
+    }
+
+    /// The maximum critical-section length `L_{i,q}`, or `None` if the task
+    /// never uses the resource.
+    pub fn cs_length(&self, resource: ResourceId) -> Option<Time> {
+        self.cs_lengths.get(&resource).copied()
+    }
+
+    /// Total worst-case time the task spends inside critical sections of
+    /// `resource`: `N_{i,q} · L_{i,q}`.
+    pub fn cs_demand(&self, resource: ResourceId) -> Time {
+        match self.cs_lengths.get(&resource) {
+            Some(&len) => len.saturating_mul(u64::from(self.total_requests(resource))),
+            None => Time::ZERO,
+        }
+    }
+
+    /// The non-critical WCET `C'_i = C_i − Σ_q N_{i,q} · L_{i,q}`.
+    pub fn noncritical_wcet(&self) -> Time {
+        let critical: Time = self
+            .total_requests
+            .keys()
+            .map(|&q| self.cs_demand(q))
+            .sum();
+        self.wcet.saturating_sub(critical)
+    }
+
+    /// The non-critical WCET of one vertex:
+    /// `C'_{i,x} = C_{i,x} − Σ_q N_{i,x,q} · L_{i,q}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn vertex_noncritical_wcet(&self, v: VertexId) -> Time {
+        let spec = &self.vertices[v.index()];
+        let critical: Time = spec
+            .requests()
+            .iter()
+            .map(|r| self.cs_lengths[&r.resource].saturating_mul(u64::from(r.count)))
+            .sum();
+        spec.wcet().saturating_sub(critical)
+    }
+
+    /// The per-vertex WCETs as a dense weight vector (for DAG algorithms).
+    pub fn vertex_weights(&self) -> Vec<Time> {
+        self.vertices.iter().map(VertexSpec::wcet).collect()
+    }
+
+    /// The resource utilization contribution
+    /// `N_{i,q} · L_{i,q} / T_i` of this task to resource `q`.
+    pub fn resource_utilization(&self, resource: ResourceId) -> f64 {
+        self.cs_demand(resource).as_ns() as f64 / self.period.as_ns() as f64
+    }
+}
+
+/// Builder for [`DagTask`] (see [`DagTask::builder`]).
+#[derive(Debug, Clone)]
+pub struct DagTaskBuilder {
+    id: TaskId,
+    period: Time,
+    deadline: Time,
+    priority: Priority,
+    dag: Option<Dag>,
+    vertices: Vec<VertexSpec>,
+    cs_lengths: BTreeMap<ResourceId, Time>,
+}
+
+impl DagTaskBuilder {
+    /// Sets the relative deadline (defaults to the period).
+    pub fn deadline(mut self, deadline: Time) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the base priority (defaults to [`Priority::MIN`]; usually
+    /// assigned later via the task set).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the precedence DAG.
+    pub fn dag(mut self, dag: Dag) -> Self {
+        self.dag = Some(dag);
+        self
+    }
+
+    /// Appends the specification of the next vertex (in [`VertexId`] order).
+    pub fn vertex(mut self, spec: VertexSpec) -> Self {
+        self.vertices.push(spec);
+        self
+    }
+
+    /// Appends several vertex specifications at once.
+    pub fn vertex_specs(mut self, specs: impl IntoIterator<Item = VertexSpec>) -> Self {
+        self.vertices.extend(specs);
+        self
+    }
+
+    /// Declares the maximum critical-section length `L_{i,q}` for a
+    /// resource the task uses.
+    pub fn critical_section(mut self, resource: ResourceId, len: Time) -> Self {
+        self.cs_lengths.insert(resource, len);
+        self
+    }
+
+    /// Validates and builds the task.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] when the timing parameters, DAG/vertex
+    /// arity, or critical-section containment constraints are violated
+    /// (see the variants for details). A default single-vertex chain DAG is
+    /// used when [`DagTaskBuilder::dag`] was never called and exactly one
+    /// vertex was supplied.
+    pub fn build(self) -> Result<DagTask, ModelError> {
+        let id = self.id;
+        if self.period.is_zero() {
+            return Err(ModelError::NonPositivePeriod { task: id });
+        }
+        if self.deadline.is_zero() || self.deadline > self.period {
+            return Err(ModelError::InvalidDeadline {
+                task: id,
+                deadline: self.deadline,
+                period: self.period,
+            });
+        }
+        let dag = match self.dag {
+            Some(d) => d,
+            None => Dag::chain(self.vertices.len().max(1))?,
+        };
+        if self.vertices.len() != dag.vertex_count() {
+            return Err(ModelError::VertexSpecCountMismatch {
+                task: id,
+                specs: self.vertices.len(),
+                vertices: dag.vertex_count(),
+            });
+        }
+        for (&q, &len) in &self.cs_lengths {
+            if len.is_zero() {
+                return Err(ModelError::NonPositiveCriticalSection { task: id, resource: q });
+            }
+        }
+        // Critical-section containment: C_{i,x} ≥ Σ_q N_{i,x,q} · L_{i,q}.
+        for (x, spec) in self.vertices.iter().enumerate() {
+            let mut critical = Time::ZERO;
+            for r in spec.requests() {
+                let len = self.cs_lengths.get(&r.resource).copied().ok_or(
+                    ModelError::MissingCriticalSectionLength {
+                        task: id,
+                        vertex: VertexId::new(x),
+                        resource: r.resource,
+                    },
+                )?;
+                critical = critical.saturating_add(len.saturating_mul(u64::from(r.count)));
+            }
+            if spec.wcet() < critical {
+                return Err(ModelError::VertexWcetBelowCriticalSections {
+                    task: id,
+                    vertex: VertexId::new(x),
+                    wcet: spec.wcet(),
+                    critical,
+                });
+            }
+        }
+
+        let wcet: Time = self.vertices.iter().map(VertexSpec::wcet).sum();
+        let weights: Vec<Time> = self.vertices.iter().map(VertexSpec::wcet).collect();
+        let (longest_path_len, longest_path) = dag.longest_path(&weights);
+
+        let mut total_requests: BTreeMap<ResourceId, u32> = BTreeMap::new();
+        for spec in &self.vertices {
+            for r in spec.requests() {
+                *total_requests.entry(r.resource).or_insert(0) += r.count;
+            }
+        }
+        // Drop declared critical sections for resources never requested so
+        // `resources()` reflects actual usage.
+        let cs_lengths: BTreeMap<ResourceId, Time> = self
+            .cs_lengths
+            .into_iter()
+            .filter(|(q, _)| total_requests.contains_key(q))
+            .collect();
+
+        Ok(DagTask {
+            id,
+            period: self.period,
+            deadline: self.deadline,
+            priority: self.priority,
+            dag,
+            vertices: self.vertices,
+            cs_lengths,
+            wcet,
+            longest_path_len,
+            longest_path,
+            total_requests,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: usize) -> ResourceId {
+        ResourceId::new(i)
+    }
+
+    fn simple_task() -> DagTask {
+        // Diamond with one global-ish resource on the off-critical branch.
+        let dag = Dag::new(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        DagTask::builder(TaskId::new(0), Time::from_ms(100))
+            .deadline(Time::from_ms(80))
+            .dag(dag)
+            .vertex(VertexSpec::new(Time::from_ms(10)))
+            .vertex(VertexSpec::with_requests(
+                Time::from_ms(30),
+                [RequestSpec::new(rid(0), 3)],
+            ))
+            .vertex(VertexSpec::new(Time::from_ms(50)))
+            .vertex(VertexSpec::new(Time::from_ms(10)))
+            .critical_section(rid(0), Time::from_us(100))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let t = simple_task();
+        assert_eq!(t.wcet(), Time::from_ms(100));
+        assert_eq!(t.longest_path_len(), Time::from_ms(70)); // 10+50+10
+        assert_eq!(t.total_requests(rid(0)), 3);
+        assert_eq!(t.cs_length(rid(0)), Some(Time::from_us(100)));
+        assert_eq!(t.cs_demand(rid(0)), Time::from_us(300));
+        assert_eq!(
+            t.noncritical_wcet(),
+            Time::from_ms(100) - Time::from_us(300)
+        );
+        assert!((t.utilization() - 1.0).abs() < 1e-12);
+        assert!(t.is_heavy()); // C=100ms > D=80ms
+        assert!(t.uses_resource(rid(0)));
+        assert!(!t.uses_resource(rid(1)));
+        assert_eq!(t.resources().collect::<Vec<_>>(), vec![rid(0)]);
+    }
+
+    #[test]
+    fn vertex_noncritical_wcet_subtracts_requests() {
+        let t = simple_task();
+        assert_eq!(
+            t.vertex_noncritical_wcet(VertexId::new(1)),
+            Time::from_ms(30) - Time::from_us(300)
+        );
+        assert_eq!(
+            t.vertex_noncritical_wcet(VertexId::new(0)),
+            Time::from_ms(10)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_timing() {
+        let e = DagTask::builder(TaskId::new(1), Time::ZERO)
+            .vertex(VertexSpec::new(Time::from_ms(1)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, ModelError::NonPositivePeriod { .. }));
+
+        let e = DagTask::builder(TaskId::new(1), Time::from_ms(10))
+            .deadline(Time::from_ms(20))
+            .vertex(VertexSpec::new(Time::from_ms(1)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, ModelError::InvalidDeadline { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_arity_mismatch() {
+        let dag = Dag::new(2, [(0, 1)]).unwrap();
+        let e = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .dag(dag)
+            .vertex(VertexSpec::new(Time::from_ms(1)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, ModelError::VertexSpecCountMismatch { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_missing_or_zero_cs_length() {
+        let e = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .vertex(VertexSpec::with_requests(
+                Time::from_ms(1),
+                [RequestSpec::new(rid(7), 1)],
+            ))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, ModelError::MissingCriticalSectionLength { .. }));
+
+        let e = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .vertex(VertexSpec::with_requests(
+                Time::from_ms(1),
+                [RequestSpec::new(rid(0), 1)],
+            ))
+            .critical_section(rid(0), Time::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, ModelError::NonPositiveCriticalSection { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_vertex_smaller_than_its_critical_sections() {
+        let e = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .vertex(VertexSpec::with_requests(
+                Time::from_us(50),
+                [RequestSpec::new(rid(0), 2)],
+            ))
+            .critical_section(rid(0), Time::from_us(40))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            ModelError::VertexWcetBelowCriticalSections { .. }
+        ));
+    }
+
+    #[test]
+    fn default_dag_is_single_vertex() {
+        let t = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .vertex(VertexSpec::new(Time::from_ms(2)))
+            .build()
+            .unwrap();
+        assert_eq!(t.dag().vertex_count(), 1);
+        assert_eq!(t.longest_path_len(), Time::from_ms(2));
+        assert!(!t.is_heavy());
+    }
+
+    #[test]
+    fn unused_cs_declarations_are_dropped() {
+        let t = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .vertex(VertexSpec::new(Time::from_ms(2)))
+            .critical_section(rid(3), Time::from_us(10))
+            .build()
+            .unwrap();
+        assert_eq!(t.cs_length(rid(3)), None);
+        assert_eq!(t.resources().count(), 0);
+    }
+
+    #[test]
+    fn with_requests_merges_duplicates_and_drops_zero() {
+        let v = VertexSpec::with_requests(
+            Time::from_ms(1),
+            [
+                RequestSpec::new(rid(1), 2),
+                RequestSpec::new(rid(1), 3),
+                RequestSpec::new(rid(0), 0),
+            ],
+        );
+        assert_eq!(v.requests().len(), 1);
+        assert_eq!(v.request_count(rid(1)), 5);
+        assert_eq!(v.request_count(rid(0)), 0);
+    }
+}

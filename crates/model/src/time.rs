@@ -1,0 +1,399 @@
+//! Integer time values.
+//!
+//! All model quantities (WCETs, periods, deadlines, critical-section lengths,
+//! response-time bounds, simulation clocks) are expressed as [`Time`] — a
+//! nanosecond-resolution unsigned integer. Integer time keeps the fixed-point
+//! response-time iterations of the analysis exact and the discrete-event
+//! simulator deterministic; the paper's parameter ranges (periods of
+//! 10 ms – 1 s, critical sections of 15 µs – 100 µs) fit comfortably in 64
+//! bits.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in time or a duration, in nanoseconds.
+///
+/// `Time` is used for both instants and durations, as is conventional in
+/// response-time-analysis code where every quantity lives on a single
+/// non-negative axis starting at a job's release.
+///
+/// # Examples
+///
+/// ```
+/// use dpcp_model::Time;
+///
+/// let period = Time::from_ms(10);
+/// let cs = Time::from_us(50);
+/// assert!(cs < period);
+/// assert_eq!(period.as_ns(), 10_000_000);
+/// assert_eq!(period + period, Time::from_ms(20));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero time value.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time value; used as an "unbounded" sentinel
+    /// by fixed-point iterations that diverge.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time value from raw nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Creates a time value from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+
+    /// Creates a time value from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * 1_000_000)
+    }
+
+    /// Creates a time value from seconds.
+    #[inline]
+    pub const fn from_s(s: u64) -> Self {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Returns the raw nanosecond count.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in microseconds, rounding down.
+    #[inline]
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the value in milliseconds, rounding down.
+    #[inline]
+    pub const fn as_ms(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the value as seconds in floating point (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns `true` if this is the zero time value.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition; sticks at [`Time::MAX`] instead of overflowing.
+    #[inline]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction; clamps at [`Time::ZERO`].
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub const fn checked_add(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating multiplication by a scalar count (e.g. `η_j(L) · N · L`).
+    #[inline]
+    pub const fn saturating_mul(self, k: u64) -> Time {
+        Time(self.0.saturating_mul(k))
+    }
+
+    /// Division by a scalar, rounding up (used for `workload / m_i` terms,
+    /// where rounding up keeps the bound sound on the integer time line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[inline]
+    pub const fn div_ceil(self, k: u64) -> Time {
+        Time(self.0.div_ceil(k))
+    }
+
+    /// Returns the smaller of two time values.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two time values.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<Time> for u64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Div<Time> for Time {
+    type Output = u64;
+    /// Integer quotient of two time values (e.g. `L / T` job counting).
+    #[inline]
+    fn div(self, rhs: Time) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Time> for Time {
+    type Output = Time;
+    #[inline]
+    fn rem(self, rhs: Time) -> Time {
+        Time(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |acc, t| acc.saturating_add(t))
+    }
+}
+
+impl<'a> Sum<&'a Time> for Time {
+    fn sum<I: Iterator<Item = &'a Time>>(iter: I) -> Time {
+        iter.copied().sum()
+    }
+}
+
+impl From<u64> for Time {
+    /// Interprets the integer as nanoseconds.
+    #[inline]
+    fn from(ns: u64) -> Time {
+        Time(ns)
+    }
+}
+
+impl From<Time> for u64 {
+    #[inline]
+    fn from(t: Time) -> u64 {
+        t.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == u64::MAX {
+            write!(f, "∞")
+        } else if ns >= 1_000_000_000 && ns % 1_000_000 == 0 {
+            write!(f, "{}.{:03}s", ns / 1_000_000_000, (ns / 1_000_000) % 1_000)
+        } else if ns >= 1_000_000 && ns % 1_000 == 0 {
+            write!(f, "{}.{:03}ms", ns / 1_000_000, (ns / 1_000) % 1_000)
+        } else if ns >= 1_000 {
+            write!(f, "{}us", ns / 1_000)
+        } else {
+            write!(f, "{}ns", ns)
+        }
+    }
+}
+
+/// Computes `⌈(l + r) / t⌉` — the maximum number of jobs of a task with
+/// period `t` and response-time bound `r` that can overlap a window of
+/// length `l` (the `η_j(L)` function of Sec. IV-B).
+///
+/// Saturates instead of overflowing for degenerate inputs.
+///
+/// # Panics
+///
+/// Panics if `t` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dpcp_model::{time::eta_jobs, Time};
+///
+/// // Window of one period with response time equal to the period: 2 jobs.
+/// let t = Time::from_ms(10);
+/// assert_eq!(eta_jobs(t, t, t), 2);
+/// // Tiny window still admits one carry-in job.
+/// assert_eq!(eta_jobs(Time::from_ns(1), t, t), 2);
+/// assert_eq!(eta_jobs(Time::ZERO, Time::ZERO, t), 0);
+/// ```
+#[inline]
+pub fn eta_jobs(window: Time, response_bound: Time, period: Time) -> u64 {
+    assert!(!period.is_zero(), "task period must be positive");
+    let num = window.as_ns().saturating_add(response_bound.as_ns());
+    num.div_ceil(period.as_ns())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(Time::from_us(1).as_ns(), 1_000);
+        assert_eq!(Time::from_ms(1).as_ns(), 1_000_000);
+        assert_eq!(Time::from_s(1).as_ns(), 1_000_000_000);
+        assert_eq!(Time::from_ms(10).as_us(), 10_000);
+        assert_eq!(Time::from_s(2).as_ms(), 2_000);
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_integers() {
+        let a = Time::from_us(30);
+        let b = Time::from_us(12);
+        assert_eq!((a + b).as_us(), 42);
+        assert_eq!((a - b).as_us(), 18);
+        assert_eq!((a * 3).as_us(), 90);
+        assert_eq!((a / 2).as_us(), 15);
+        assert_eq!(a / b, 2);
+        assert_eq!((a % b).as_us(), 6);
+    }
+
+    #[test]
+    fn saturating_ops_do_not_wrap() {
+        assert_eq!(Time::MAX.saturating_add(Time::from_ns(1)), Time::MAX);
+        assert_eq!(Time::ZERO.saturating_sub(Time::from_ns(1)), Time::ZERO);
+        assert_eq!(Time::MAX.saturating_mul(2), Time::MAX);
+    }
+
+    #[test]
+    fn checked_ops_report_overflow() {
+        assert_eq!(Time::MAX.checked_add(Time::from_ns(1)), None);
+        assert_eq!(Time::ZERO.checked_sub(Time::from_ns(1)), None);
+        assert_eq!(
+            Time::from_ns(5).checked_sub(Time::from_ns(2)),
+            Some(Time::from_ns(3))
+        );
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        assert_eq!(Time::from_ns(10).div_ceil(4), Time::from_ns(3));
+        assert_eq!(Time::from_ns(8).div_ceil(4), Time::from_ns(2));
+        assert_eq!(Time::ZERO.div_ceil(7), Time::ZERO);
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let v = vec![Time::MAX, Time::from_ns(1)];
+        assert_eq!(v.into_iter().sum::<Time>(), Time::MAX);
+    }
+
+    #[test]
+    fn display_uses_natural_units() {
+        assert_eq!(Time::from_ns(15).to_string(), "15ns");
+        assert_eq!(Time::from_us(50).to_string(), "50us");
+        assert_eq!(Time::from_ms(10).to_string(), "10.000ms");
+        assert_eq!(Time::from_s(1).to_string(), "1.000s");
+        assert_eq!(Time::MAX.to_string(), "∞");
+    }
+
+    #[test]
+    fn eta_counts_overlapping_jobs() {
+        let t = Time::from_ms(100);
+        // Classic ⌈(L + R)/T⌉ examples.
+        assert_eq!(eta_jobs(Time::from_ms(100), Time::from_ms(100), t), 2);
+        assert_eq!(eta_jobs(Time::from_ms(101), Time::from_ms(100), t), 3);
+        assert_eq!(eta_jobs(Time::from_ms(250), Time::from_ms(50), t), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn eta_rejects_zero_period() {
+        let _ = eta_jobs(Time::from_ms(1), Time::ZERO, Time::ZERO);
+    }
+
+    #[test]
+    fn min_max_are_total() {
+        let a = Time::from_ns(3);
+        let b = Time::from_ns(7);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

@@ -1,0 +1,50 @@
+//! A threaded implementation of the DPCP-p synchronization framework:
+//! resource-agent threads execute global critical sections remotely
+//! (RPC-style, priority-ordered), local resources use plain locks, and
+//! DAG jobs run work-conserving on per-job worker pools.
+//!
+//! This crate demonstrates the protocol on real concurrency primitives
+//! (`crossbeam` channels, `parking_lot` locks); the discrete-event
+//! simulator in `dpcp-sim` remains the vehicle for timing-accurate
+//! studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpcp_model::{Priority, ProcessorId, ResourceId};
+//! use dpcp_runtime::{DpcpRuntime, JobSpec};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let rt = DpcpRuntime::builder()
+//!     .global_resource(ResourceId::new(0), ProcessorId::new(0))
+//!     .build();
+//! let shared = Arc::new(AtomicU64::new(0));
+//!
+//! let mut job = JobSpec::new("demo", Priority::new(3), 2);
+//! let s = shared.clone();
+//! let head = job.vertex(move |ctx| {
+//!     let s = s.clone();
+//!     ctx.critical(ResourceId::new(0), move || {
+//!         s.fetch_add(1, Ordering::SeqCst);
+//!     });
+//! });
+//! let s = shared.clone();
+//! let tail = job.vertex(move |_| {
+//!     assert_eq!(s.load(Ordering::SeqCst), 1);
+//! });
+//! job.edge(head, tail)?;
+//! rt.execute_job(job)?;
+//! # Ok::<(), dpcp_model::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agent;
+pub mod job;
+pub mod runtime;
+
+pub use agent::{AgentStats, ResourceAgent};
+pub use job::{JobReport, JobSpec, VertexFn};
+pub use runtime::{DpcpRuntime, RuntimeBuilder, VertexCtx};

