@@ -181,12 +181,24 @@ mod tests {
         // ℓ1: one remote user (τ_j, 1 request, cluster 2 → min(2,1)=1 slot
         // of 3u); own N = 1 so no intra term.
         assert_eq!(
-            per_request_delay(&ts, &part, i, fig1::GLOBAL_RESOURCE, QueueDepth::PerProcessor),
+            per_request_delay(
+                &ts,
+                &part,
+                i,
+                fig1::GLOBAL_RESOURCE,
+                QueueDepth::PerProcessor
+            ),
             fig1::unit() * 3
         );
         // ℓ2 (local, 2 own requests): intra only: min(m−1, 1)·2u = 2u.
         assert_eq!(
-            per_request_delay(&ts, &part, i, fig1::LOCAL_RESOURCE, QueueDepth::PerProcessor),
+            per_request_delay(
+                &ts,
+                &part,
+                i,
+                fig1::LOCAL_RESOURCE,
+                QueueDepth::PerProcessor
+            ),
             fig1::unit() * 2
         );
         // Per-job depth matches here because N ≤ m everywhere.
@@ -238,7 +250,14 @@ mod tests {
             windowed_remote_demand(&ts, &resp, i, fig1::GLOBAL_RESOURCE, fig1::unit() * 10),
             fig1::unit() * 6
         );
-        let b = direct_blocking(&ts, &part, &resp, i, QueueDepth::PerProcessor, fig1::unit() * 10);
+        let b = direct_blocking(
+            &ts,
+            &part,
+            &resp,
+            i,
+            QueueDepth::PerProcessor,
+            fig1::unit() * 10,
+        );
         // ℓ1: min(1·3u, 6u + 0) = 3u; ℓ2: min(2·2u, 0 + 1·2u) = 2u.
         assert_eq!(b, fig1::unit() * 5);
     }

@@ -130,11 +130,8 @@ mod tests {
         // Resource-oblivious bounds can only be smaller or equal.
         let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
         let fed = FedFp::new().analyze(&tasks, &partition);
-        let dpcp = dpcp_core::analysis::analyze(
-            &tasks,
-            &partition,
-            &dpcp_core::AnalysisConfig::ep(),
-        );
+        let dpcp =
+            dpcp_core::analysis::analyze(&tasks, &partition, &dpcp_core::AnalysisConfig::ep());
         for (f, d) in fed.task_bounds.iter().zip(&dpcp.task_bounds) {
             assert!(f.wcrt.unwrap() <= d.wcrt.unwrap());
         }

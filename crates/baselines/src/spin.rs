@@ -21,9 +21,7 @@ use dpcp_core::analysis::{DelayBreakdown, SchedulabilityReport, TaskBound};
 use dpcp_core::SchedAnalyzer;
 use dpcp_model::{Partition, TaskId, TaskSet, Time};
 
-use crate::common::{
-    baseline_wcrt, per_request_delay, QueueDepth, ResponseBounds,
-};
+use crate::common::{baseline_wcrt, per_request_delay, QueueDepth, ResponseBounds};
 
 /// Configuration for the SPIN-SON analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,8 +206,6 @@ mod tests {
         };
         let r_light = SpinSon::new().analyze(&light, &clusters(&light));
         let r_heavy = SpinSon::new().analyze(&heavy, &clusters(&heavy));
-        assert!(
-            r_heavy.task_bounds[0].wcrt.unwrap() > r_light.task_bounds[0].wcrt.unwrap()
-        );
+        assert!(r_heavy.task_bounds[0].wcrt.unwrap() > r_light.task_bounds[0].wcrt.unwrap());
     }
 }

@@ -5,15 +5,21 @@
 //!   (the unit of work behind every point of every panel),
 //! - `tables_scenario_cell` — the EP/EN pair on a Table 2/3 grid cell,
 //! - `components` — the individual analysis stages (path enumeration,
-//!   context construction, per-variant WCRT, Algorithm 2 placement).
+//!   context construction, per-variant WCRT, Algorithm 2 placement),
+//! - `wcrt_signature` — one Theorem 1 evaluation, with and without the
+//!   shared request-bound memo (`EvalScratch`),
+//! - `harness_point` — a full `evaluate_point` fan-out, sequential vs
+//!   the ambient rayon pool.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpcp_baselines::{FedFp, Lpp, SpinSon};
 use dpcp_bench::panel_task_set;
-use dpcp_core::analysis::{analyze, SignatureCache};
+use dpcp_core::analysis::wcrt::{wcrt_for_signature, wcrt_over_signatures_with};
+use dpcp_core::analysis::{analyze, AnalysisContext, EvalScratch, SignatureCache};
 use dpcp_core::partition::{algorithm1, assign_resources, DpcpAnalyzer, ResourceHeuristic};
 use dpcp_core::{AnalysisConfig, SchedAnalyzer};
-use dpcp_gen::scenario::Fig2Panel;
+use dpcp_experiments::{evaluate_point, EvalConfig};
+use dpcp_gen::scenario::{Fig2Panel, Scenario};
 use dpcp_model::{initial_processors, Platform};
 use std::hint::black_box;
 
@@ -70,8 +76,7 @@ fn bench_components(c: &mut Criterion) {
     let tasks = panel_task_set(Fig2Panel::A, 8.0, 13);
     let platform = Platform::new(16).unwrap();
     let sizes: Vec<usize> = tasks.iter().map(initial_processors).collect();
-    let layout =
-        dpcp_core::partition::layout_clusters(&sizes, 16).expect("fits");
+    let layout = dpcp_core::partition::layout_clusters(&sizes, 16).expect("fits");
     let homes =
         assign_resources(&tasks, &layout, ResourceHeuristic::WorstFitDecreasing).expect("fits");
     let partition =
@@ -106,5 +111,75 @@ fn bench_components(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig2_point, bench_tables_cell, bench_components);
+fn bench_wcrt_signature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wcrt_signature");
+    let tasks = panel_task_set(Fig2Panel::A, 8.0, 13);
+    let platform = Platform::new(16).unwrap();
+    let sizes: Vec<usize> = tasks.iter().map(initial_processors).collect();
+    let layout = dpcp_core::partition::layout_clusters(&sizes, 16).expect("fits");
+    let homes =
+        assign_resources(&tasks, &layout, ResourceHeuristic::WorstFitDecreasing).expect("fits");
+    let partition = dpcp_model::Partition::new(&tasks, &platform, layout, homes).expect("valid");
+    let ctx = AnalysisContext::new(&tasks, &partition);
+    let cfg = AnalysisConfig::ep();
+    let cache = SignatureCache::new(&tasks, &cfg);
+
+    // The busiest task: most enumerated signatures.
+    let busiest = tasks
+        .iter()
+        .map(|t| t.id())
+        .max_by_key(|&i| cache.signatures(i).signatures.len())
+        .expect("non-empty task set");
+    let sigs = cache.signatures(busiest);
+    let longest = &sigs.signatures[0];
+
+    group.bench_function("single_uncached", |b| {
+        b.iter(|| black_box(wcrt_for_signature(&ctx, busiest, longest, &cfg)))
+    });
+    group.bench_function(
+        BenchmarkId::new("task_all_signatures_memoized", sigs.signatures.len()),
+        |b| {
+            let mut scratch = EvalScratch::new();
+            b.iter(|| {
+                black_box(wcrt_over_signatures_with(
+                    &ctx,
+                    busiest,
+                    sigs,
+                    &cfg,
+                    &mut scratch,
+                ))
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_harness_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness_point");
+    group.sample_size(10);
+    let scenario = Scenario::fig2(Fig2Panel::A);
+    let mut cfg = EvalConfig {
+        samples_per_point: 16,
+        seed: 2020,
+        ..EvalConfig::default()
+    };
+    group.bench_function("sequential", |b| {
+        cfg.threads = 1;
+        b.iter(|| black_box(evaluate_point(&scenario, 8.0, 0, &cfg)))
+    });
+    group.bench_function("parallel_ambient", |b| {
+        cfg.threads = 0;
+        b.iter(|| black_box(evaluate_point(&scenario, 8.0, 0, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2_point,
+    bench_tables_cell,
+    bench_components,
+    bench_wcrt_signature,
+    bench_harness_point
+);
 criterion_main!(benches);

@@ -13,9 +13,7 @@ fn bench_fixed_sum(c: &mut Criterion) {
     for n in [4usize, 16, 32] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| {
-                black_box(rand_fixed_sum(n, 1.6 * n as f64, 1.0, 3.0, &mut rng).unwrap())
-            })
+            b.iter(|| black_box(rand_fixed_sum(n, 1.6 * n as f64, 1.0, 3.0, &mut rng).unwrap()))
         });
     }
     group.finish();

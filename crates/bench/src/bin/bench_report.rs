@@ -1,0 +1,248 @@
+//! Generates `BENCH_analysis.json`: the perf trajectory of the analysis
+//! hot path and the experiment harness, tracked from PR 1 on.
+//!
+//! ```text
+//! cargo run -p dpcp_bench --release --bin bench_report -- \
+//!     [--samples N] [--repeats R] [--out PATH]
+//! ```
+//!
+//! The report has two halves:
+//!
+//! - `components` — median ns/op of the analysis stages (one Theorem 1
+//!   signature evaluation with and without the request-bound memo, full
+//!   task-set analysis under EP/EN, path enumeration), measured through
+//!   the same machinery as `cargo bench`;
+//! - `harness` — wall-clock of one Fig. 2 utilization point through
+//!   `evaluate_point`, sequential (`threads = 1`) vs the ambient rayon
+//!   pool, including the per-method acceptance ratios of both runs so the
+//!   determinism claim (bit-identical results for any worker count) is
+//!   recorded alongside the speedup.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{black_box, Criterion};
+use dpcp_bench::panel_task_set;
+use dpcp_core::analysis::wcrt::{
+    wcrt_for_signature, wcrt_over_signatures, wcrt_over_signatures_with,
+};
+use dpcp_core::analysis::{analyze, AnalysisContext, EvalScratch, SignatureCache};
+use dpcp_core::partition::{assign_resources, layout_clusters, ResourceHeuristic};
+use dpcp_core::AnalysisConfig;
+use dpcp_experiments::{evaluate_point, EvalConfig, Method, PointResult};
+use dpcp_gen::scenario::{Fig2Panel, Scenario};
+use dpcp_model::{initial_processors, Partition, Platform};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct ComponentBench {
+    name: String,
+    median_ns: f64,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct HarnessComparison {
+    scenario: String,
+    total_utilization: f64,
+    samples_per_point: usize,
+    repeats: usize,
+    threads_sequential: usize,
+    threads_parallel: usize,
+    sequential_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    methods: Vec<String>,
+    acceptance_ratios_sequential: Vec<f64>,
+    acceptance_ratios_parallel: Vec<f64>,
+    ratios_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema_version: u32,
+    host_cores: usize,
+    components: Vec<ComponentBench>,
+    harness: HarnessComparison,
+}
+
+struct Args {
+    samples: usize,
+    repeats: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        samples: 16,
+        repeats: 5,
+        out: PathBuf::from("BENCH_analysis.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--samples" => {
+                args.samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples needs a positive integer");
+            }
+            "--repeats" => {
+                args.repeats = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeats needs a positive integer");
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().expect("--out needs a path"));
+            }
+            other => panic!("unknown flag '{other}' (try --samples/--repeats/--out)"),
+        }
+    }
+    args
+}
+
+fn component_benches() -> Vec<ComponentBench> {
+    let tasks = panel_task_set(Fig2Panel::A, 8.0, 13);
+    let platform = Platform::new(16).expect("16-core platform");
+    let sizes: Vec<usize> = tasks.iter().map(initial_processors).collect();
+    let layout = layout_clusters(&sizes, 16).expect("initial sizes fit");
+    let homes =
+        assign_resources(&tasks, &layout, ResourceHeuristic::WorstFitDecreasing).expect("fits");
+    let partition = Partition::new(&tasks, &platform, layout, homes).expect("valid");
+    let ctx = AnalysisContext::new(&tasks, &partition);
+    let cfg = AnalysisConfig::ep();
+    let cache = SignatureCache::new(&tasks, &cfg);
+    let busiest = tasks
+        .iter()
+        .map(|t| t.id())
+        .max_by_key(|&i| cache.signatures(i).signatures.len())
+        .expect("non-empty task set");
+    let sigs = cache.signatures(busiest);
+    let longest = &sigs.signatures[0];
+
+    let mut criterion = Criterion::default().sample_size(15);
+    criterion.bench_function("wcrt_for_signature/single_uncached", |b| {
+        b.iter(|| black_box(wcrt_for_signature(&ctx, busiest, longest, &cfg)))
+    });
+    criterion.bench_function("wcrt_over_signatures/task_uncached", |b| {
+        b.iter(|| black_box(wcrt_over_signatures(&ctx, busiest, sigs, &cfg)))
+    });
+    criterion.bench_function("wcrt_over_signatures/task_memoized", |b| {
+        let mut scratch = EvalScratch::new();
+        b.iter(|| {
+            black_box(wcrt_over_signatures_with(
+                &ctx,
+                busiest,
+                sigs,
+                &cfg,
+                &mut scratch,
+            ))
+        })
+    });
+    criterion.bench_function("analyze/task_set_ep", |b| {
+        b.iter(|| black_box(analyze(&tasks, &partition, &AnalysisConfig::ep())))
+    });
+    criterion.bench_function("analyze/task_set_en", |b| {
+        b.iter(|| black_box(analyze(&tasks, &partition, &AnalysisConfig::en())))
+    });
+    criterion.bench_function("signature_cache/enumerate", |b| {
+        b.iter(|| black_box(SignatureCache::new(&tasks, &cfg)))
+    });
+
+    criterion
+        .results()
+        .iter()
+        .map(|r| ComponentBench {
+            name: r.id.clone(),
+            median_ns: r.median_ns,
+            iters_per_sample: r.iters_per_sample,
+            samples: r.samples,
+        })
+        .collect()
+}
+
+/// Median wall-clock milliseconds of `repeats` runs of `f` (after one
+/// warmup run), plus the result of the last run for ratio comparison.
+fn median_point_ms(repeats: usize, mut f: impl FnMut() -> PointResult) -> (f64, PointResult) {
+    let warmup = f();
+    let mut times: Vec<f64> = Vec::with_capacity(repeats);
+    let mut last = warmup;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        last = f();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    (times[times.len() / 2], last)
+}
+
+fn harness_comparison(samples: usize, repeats: usize) -> HarnessComparison {
+    let scenario = Scenario::fig2(Fig2Panel::A);
+    let utilization = 8.0; // U/m = 0.5, the contested middle of Fig. 2(a).
+    let mut cfg = EvalConfig {
+        samples_per_point: samples,
+        seed: 2020,
+        ..EvalConfig::default()
+    };
+
+    cfg.threads = 1;
+    let (sequential_ms, seq_point) =
+        median_point_ms(repeats, || evaluate_point(&scenario, utilization, 0, &cfg));
+
+    cfg.threads = 0;
+    let threads_parallel = cfg.effective_threads();
+    let (parallel_ms, par_point) =
+        median_point_ms(repeats, || evaluate_point(&scenario, utilization, 0, &cfg));
+
+    let ratios =
+        |p: &PointResult| -> Vec<f64> { Method::ALL.iter().map(|&m| p.ratio(m)).collect() };
+    HarnessComparison {
+        scenario: "fig2_panel_a".to_string(),
+        total_utilization: utilization,
+        samples_per_point: samples,
+        repeats,
+        threads_sequential: 1,
+        threads_parallel,
+        sequential_ms,
+        parallel_ms,
+        speedup: sequential_ms / parallel_ms.max(f64::MIN_POSITIVE),
+        methods: Method::ALL.iter().map(|m| m.name().to_string()).collect(),
+        acceptance_ratios_sequential: ratios(&seq_point),
+        acceptance_ratios_parallel: ratios(&par_point),
+        ratios_identical: seq_point == par_point,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!("== component benches ==");
+    let components = component_benches();
+    println!("\n== harness point: sequential vs parallel ==");
+    let harness = harness_comparison(args.samples, args.repeats);
+    println!(
+        "sequential: {:.1} ms | parallel ({} threads): {:.1} ms | speedup: {:.2}x | identical: {}",
+        harness.sequential_ms,
+        harness.threads_parallel,
+        harness.parallel_ms,
+        harness.speedup,
+        harness.ratios_identical
+    );
+    assert!(
+        harness.ratios_identical,
+        "parallel run must reproduce the sequential acceptance ratios exactly"
+    );
+
+    let report = Report {
+        schema_version: 1,
+        host_cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        components,
+        harness,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, json + "\n").expect("cannot write report");
+    println!("wrote {}", args.out.display());
+}

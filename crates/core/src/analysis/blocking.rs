@@ -28,7 +28,22 @@ impl EpsilonTable {
         path_requests: impl IntoIterator<Item = (ResourceId, u32)>,
         per_request: impl Fn(ResourceId) -> Time,
     ) -> Self {
-        let mut entries: Vec<(ProcessorId, Time)> = Vec::new();
+        let mut table = EpsilonTable::default();
+        table.rebuild(ctx, path_requests, per_request);
+        table
+    }
+
+    /// Refills the table in place, reusing its allocation (the EP variant
+    /// rebuilds one table per enumerated signature, so the buffer is hoisted
+    /// out of that loop via [`EvalScratch`](super::wcrt::EvalScratch)).
+    pub fn rebuild(
+        &mut self,
+        ctx: &AnalysisContext<'_>,
+        path_requests: impl IntoIterator<Item = (ResourceId, u32)>,
+        per_request: impl Fn(ResourceId) -> Time,
+    ) {
+        let entries = &mut self.entries;
+        entries.clear();
         for (q, n) in path_requests {
             if n == 0 || !ctx.tasks.is_global(q) {
                 continue;
@@ -42,7 +57,6 @@ impl EpsilonTable {
                 None => entries.push((home, add)),
             }
         }
-        EpsilonTable { entries }
     }
 
     /// Iterates over `(℘_k, ε^k)` pairs with non-zero ε.
@@ -83,9 +97,7 @@ pub fn inter_task_blocking(
     eps: &EpsilonTable,
     r: Time,
 ) -> Time {
-    eps.iter()
-        .map(|(k, e)| e.min(zeta(ctx, i, k, r)))
-        .sum()
+    eps.iter().map(|(k, e)| e.min(zeta(ctx, i, k, r))).sum()
 }
 
 /// Intra-task blocking `b_i` for a concrete path signature (Lemma 4):
@@ -94,11 +106,7 @@ pub fn inter_task_blocking(
 ///   (N_{i,q} − N^λ_q) · L_{i,q}`,
 /// - global term (Eq. 7): `Σ_{℘_k} σ_{i,k} · Σ_{q ∈ Φ(℘_k)}
 ///   (N_{i,q} − N^λ_q) · L_{i,q}` with `σ_{i,k} = min(1, Σ_u N^λ_{i,u})`.
-pub fn intra_task_blocking(
-    ctx: &AnalysisContext<'_>,
-    i: TaskId,
-    sig: &PathSignature,
-) -> Time {
+pub fn intra_task_blocking(ctx: &AnalysisContext<'_>, i: TaskId, sig: &PathSignature) -> Time {
     let task = ctx.task(i);
     let mut total = Time::ZERO;
 
@@ -224,11 +232,7 @@ mod tests {
         let (part, ts) = fig1_setup();
         let ctx = AnalysisContext::new(&ts, &part);
         let sig = sig_through_global(&ts);
-        let eps = EpsilonTable::new(
-            &ctx,
-            sig.requests().iter().copied(),
-            |_q| fig1::unit() * 5,
-        );
+        let eps = EpsilonTable::new(&ctx, sig.requests().iter().copied(), |_q| fig1::unit() * 5);
         let entries: Vec<_> = eps.iter().collect();
         assert_eq!(
             entries,
@@ -241,11 +245,7 @@ mod tests {
         let (part, ts) = fig1_setup();
         let ctx = AnalysisContext::new(&ts, &part);
         let sig = sig_through_local(&ts);
-        let eps = EpsilonTable::new(
-            &ctx,
-            sig.requests().iter().copied(),
-            |_q| fig1::unit() * 5,
-        );
+        let eps = EpsilonTable::new(&ctx, sig.requests().iter().copied(), |_q| fig1::unit() * 5);
         assert!(eps.is_empty());
     }
 
@@ -255,21 +255,15 @@ mod tests {
         let ctx = AnalysisContext::new(&ts, &part);
         let sig = sig_through_global(&ts);
         // Force a large ε: min must pick ζ = 6u (at r = 10u).
-        let eps = EpsilonTable::new(
-            &ctx,
-            sig.requests().iter().copied(),
-            |_q| fig1::unit() * 100,
-        );
+        let eps = EpsilonTable::new(&ctx, sig.requests().iter().copied(), |_q| {
+            fig1::unit() * 100
+        });
         assert_eq!(
             inter_task_blocking(&ctx, TaskId::new(0), &eps, fig1::unit() * 10),
             fig1::unit() * 6
         );
         // Small ε wins otherwise.
-        let eps = EpsilonTable::new(
-            &ctx,
-            sig.requests().iter().copied(),
-            |_q| fig1::unit() * 2,
-        );
+        let eps = EpsilonTable::new(&ctx, sig.requests().iter().copied(), |_q| fig1::unit() * 2);
         assert_eq!(
             inter_task_blocking(&ctx, TaskId::new(0), &eps, fig1::unit() * 10),
             fig1::unit() * 2
@@ -298,10 +292,7 @@ mod tests {
         // carries the task's only request to ℓ1 ⇒ off-path = 0 ⇒ b = 0.
         // Local ℓ2 is not on this path ⇒ min(1, 0) kills Eq. (6).
         let sig = sig_through_global(&ts);
-        assert_eq!(
-            intra_task_blocking(&ctx, TaskId::new(0), &sig),
-            Time::ZERO
-        );
+        assert_eq!(intra_task_blocking(&ctx, TaskId::new(0), &sig), Time::ZERO);
     }
 
     #[test]

@@ -57,12 +57,7 @@ impl<'a> AnalysisContext<'a> {
             .iter()
             .map(|t| {
                 (0..m)
-                    .map(|k| {
-                        proc_resources[k]
-                            .iter()
-                            .map(|&q| t.cs_demand(q))
-                            .sum()
-                    })
+                    .map(|k| proc_resources[k].iter().map(|&q| t.cs_demand(q)).sum())
                     .collect()
             })
             .collect();
@@ -169,14 +164,20 @@ mod tests {
         let p1 = ProcessorId::new(1);
         assert_eq!(ctx.resources_on(p1), &[fig1::GLOBAL_RESOURCE]);
         assert_eq!(ctx.resource_processors(), &[p1]);
-        assert_eq!(ctx.co_located(fig1::GLOBAL_RESOURCE), &[fig1::GLOBAL_RESOURCE]);
+        assert_eq!(
+            ctx.co_located(fig1::GLOBAL_RESOURCE),
+            &[fig1::GLOBAL_RESOURCE]
+        );
         // Local resource has no home.
         assert!(ctx.co_located(fig1::LOCAL_RESOURCE).is_empty());
         // Each task spends one 3-unit critical section on ℓ1 → demand on ℘1.
         let u3 = fig1::unit() * 3;
         assert_eq!(ctx.cs_demand_on(TaskId::new(0), p1), u3);
         assert_eq!(ctx.cs_demand_on(TaskId::new(1), p1), u3);
-        assert_eq!(ctx.cs_demand_on(TaskId::new(0), ProcessorId::new(0)), Time::ZERO);
+        assert_eq!(
+            ctx.cs_demand_on(TaskId::new(0), ProcessorId::new(0)),
+            Time::ZERO
+        );
         // ℓ1 lives on τ_j's cluster only.
         assert_eq!(
             ctx.resources_on_cluster(TaskId::new(1)).collect::<Vec<_>>(),

@@ -12,11 +12,7 @@ use super::context::AnalysisContext;
 ///
 /// Off-path non-critical work is `C'_i` minus the path's non-critical
 /// length, which the signature carries.
-pub fn intra_task_interference(
-    ctx: &AnalysisContext<'_>,
-    i: TaskId,
-    sig: &PathSignature,
-) -> Time {
+pub fn intra_task_interference(ctx: &AnalysisContext<'_>, i: TaskId, sig: &PathSignature) -> Time {
     let task = ctx.task(i);
     let off_path_noncrit = task
         .noncritical_wcet()
@@ -53,11 +49,7 @@ pub fn intra_task_interference_en(ctx: &AnalysisContext<'_>, i: TaskId) -> Time 
 /// interference (Eq. 9): `Σ_{q ∈ Φ^G ∩ Φ^℘(τ_i)} (N_{i,q} − N^λ_q) · L_{i,q}`
 /// — agents running on the task's own cluster on behalf of off-path
 /// vertices.
-pub fn agent_interference_own(
-    ctx: &AnalysisContext<'_>,
-    i: TaskId,
-    sig: &PathSignature,
-) -> Time {
+pub fn agent_interference_own(ctx: &AnalysisContext<'_>, i: TaskId, sig: &PathSignature) -> Time {
     let task = ctx.task(i);
     let mut total = Time::ZERO;
     for q in ctx.resources_on_cluster(i) {
@@ -77,9 +69,7 @@ pub fn agent_interference_own(
 /// Term-wise worst case of Eq. (9) for the EN variant (`N^λ_q = 0`).
 pub fn agent_interference_own_en(ctx: &AnalysisContext<'_>, i: TaskId) -> Time {
     let task = ctx.task(i);
-    ctx.resources_on_cluster(i)
-        .map(|q| task.cs_demand(q))
-        .sum()
+    ctx.resources_on_cluster(i).map(|q| task.cs_demand(q)).sum()
 }
 
 /// The window-dependent part of the agent interference (Eq. 8): other
@@ -105,7 +95,7 @@ pub fn agent_interference_others(ctx: &AnalysisContext<'_>, i: TaskId, r: Time) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpcp_model::{fig1, enumerate_signatures, PathSignature, VertexId};
+    use dpcp_model::{enumerate_signatures, fig1, PathSignature, VertexId};
 
     fn fig1_setup() -> (dpcp_model::Partition, dpcp_model::TaskSet) {
         let (_, part, ts) = fig1::platform_and_partition().unwrap();

@@ -38,11 +38,7 @@ use super::{AnalysisConfig, DelayBreakdown};
 /// Panics if the task's cluster is not a single processor — light tasks
 /// are sequential by definition and the mixed partitioner always assigns
 /// them exactly one.
-pub fn wcrt_light(
-    ctx: &AnalysisContext<'_>,
-    i: TaskId,
-    cfg: &AnalysisConfig,
-) -> Option<PathBound> {
+pub fn wcrt_light(ctx: &AnalysisContext<'_>, i: TaskId, cfg: &AnalysisConfig) -> Option<PathBound> {
     let task = ctx.task(i);
     let horizon = task.deadline();
     assert_eq!(
@@ -74,8 +70,7 @@ pub fn wcrt_light(
             )?;
             demand = demand.saturating_add(w.saturating_mul(n));
             let own = task.cs_length(q).unwrap_or(Time::ZERO);
-            blocking =
-                blocking.saturating_add(w.saturating_sub(own).saturating_mul(n));
+            blocking = blocking.saturating_add(w.saturating_sub(own).saturating_mul(n));
         } else {
             // A local resource of a light task has no other users at all:
             // the critical section just executes.
@@ -95,8 +90,7 @@ pub fn wcrt_light(
     let r = fixed_point(demand, horizon, cfg.max_fixpoint_iterations, |r| {
         let mut total = demand;
         for &h in &local_hp {
-            total = total
-                .saturating_add(ctx.task(h).wcet().saturating_mul(ctx.eta(h, r)));
+            total = total.saturating_add(ctx.task(h).wcet().saturating_mul(ctx.eta(h, r)));
         }
         total.saturating_add(agent_interference_others(ctx, i, r))
     })?;
@@ -121,9 +115,7 @@ pub fn wcrt_light(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpcp_model::{
-        DagTask, Partition, Platform, ProcessorId, RequestSpec, TaskSet, VertexSpec,
-    };
+    use dpcp_model::{DagTask, Partition, Platform, ProcessorId, RequestSpec, TaskSet, VertexSpec};
     use std::collections::BTreeMap;
 
     fn rid(i: usize) -> ResourceId {

@@ -11,19 +11,19 @@
 //! [`AnalysisVariant::EnumeratePaths`] (`DPCP-p-EP`) and
 //! [`AnalysisVariant::EnumerateRequestCounts`] (`DPCP-p-EN`).
 
-use dpcp_model::{
-    enumerate_signatures_capped, Partition, PathSignatures, TaskId, TaskSet, Time,
-};
+use dpcp_model::{enumerate_signatures_capped, Partition, PathSignatures, TaskId, TaskSet, Time};
 use serde::{Deserialize, Serialize};
 
 pub mod blocking;
 pub mod context;
-pub mod light;
 pub mod interference;
+pub mod light;
 pub mod request;
 pub mod wcrt;
 
 pub use context::AnalysisContext;
+pub use request::RequestBoundCache;
+pub use wcrt::EvalScratch;
 
 /// Which analysis the paper's evaluation calls `DPCP-p-EP` / `DPCP-p-EN`.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -153,9 +153,7 @@ impl SignatureCache {
     pub fn new(tasks: &TaskSet, cfg: &AnalysisConfig) -> Self {
         let per_task = tasks
             .iter()
-            .map(|t| {
-                enumerate_signatures_capped(t, cfg.path_signature_cap, cfg.path_visit_cap)
-            })
+            .map(|t| enumerate_signatures_capped(t, cfg.path_signature_cap, cfg.path_visit_cap))
             .collect();
         SignatureCache { per_task }
     }
@@ -206,10 +204,11 @@ pub fn analyze_with_cache(
     cache: &SignatureCache,
 ) -> SchedulabilityReport {
     let mut ctx = AnalysisContext::new(tasks, partition);
+    let mut scratch = EvalScratch::new();
     let mut bounds: Vec<Option<TaskBound>> = vec![None; tasks.len()];
     let mut all_ok = true;
     for i in tasks.by_decreasing_priority() {
-        let bound = analyze_task(&ctx, i, cfg, cache);
+        let bound = analyze_task_with(&ctx, i, cfg, cache, &mut scratch);
         if let Some(w) = bound.wcrt {
             ctx.set_response_bound(i, w);
         }
@@ -229,17 +228,33 @@ pub fn analyze_task(
     cfg: &AnalysisConfig,
     cache: &SignatureCache,
 ) -> TaskBound {
+    analyze_task_with(ctx, i, cfg, cache, &mut EvalScratch::new())
+}
+
+/// [`analyze_task`] with shared evaluation state (request-bound memo +
+/// scratch buffers); the memo is reset per task, the buffers live for the
+/// whole analysis run.
+pub fn analyze_task_with(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    cfg: &AnalysisConfig,
+    cache: &SignatureCache,
+    scratch: &mut EvalScratch,
+) -> TaskBound {
     let deadline = ctx.task(i).deadline();
     let (result, evaluated, truncated) = match cfg.variant {
         AnalysisVariant::EnumeratePaths => {
             let sigs = cache.signatures(i);
             (
-                wcrt::wcrt_over_signatures(ctx, i, sigs, cfg),
+                wcrt::wcrt_over_signatures_with(ctx, i, sigs, cfg, scratch),
                 sigs.signatures.len(),
                 sigs.truncated,
             )
         }
-        AnalysisVariant::EnumerateRequestCounts => (wcrt::wcrt_en(ctx, i, cfg), 1, false),
+        AnalysisVariant::EnumerateRequestCounts => {
+            scratch.reset_for_task();
+            (wcrt::wcrt_en_with(ctx, i, cfg, scratch), 1, false)
+        }
     };
     match result {
         Some(b) => TaskBound {
@@ -322,6 +337,30 @@ mod tests {
             AnalysisVariant::EnumerateRequestCounts.to_string(),
             "DPCP-p-EN"
         );
+    }
+
+    #[test]
+    fn shared_scratch_matches_throwaway_state() {
+        // The memoized pipeline (one EvalScratch across all tasks, reset
+        // between them) must be observationally identical to fresh state
+        // per task — same bounds, same breakdowns, same schedulability.
+        let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
+        for cfg in [AnalysisConfig::ep(), AnalysisConfig::en()] {
+            let cache = SignatureCache::new(&tasks, &cfg);
+            let shared = analyze_with_cache(&tasks, &partition, &cfg, &cache);
+            let mut ctx = AnalysisContext::new(&tasks, &partition);
+            let mut bounds = Vec::new();
+            for i in tasks.by_decreasing_priority() {
+                let b = analyze_task(&ctx, i, &cfg, &cache);
+                if let Some(w) = b.wcrt {
+                    ctx.set_response_bound(i, w);
+                }
+                bounds.push((i, b));
+            }
+            for (i, fresh) in bounds {
+                assert_eq!(shared.bound(i), &fresh, "variant {:?}", cfg.variant);
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Per-request bounds: `β_{i,q}`, `γ_{i,q}(L)` and the request response
-//! time `W_{i,q}` of Lemma 2 (Eqs. 2–3).
+//! time `W_{i,q}` of Lemma 2 (Eqs. 2–3), plus the per-task
+//! [`RequestBoundCache`] that memoizes `β + γ(W)` across the EP path
+//! enumeration.
+
+use std::collections::HashMap;
 
 use dpcp_model::{ResourceId, TaskId, Time};
 
@@ -117,12 +121,99 @@ pub fn request_response_bound(
             intra = intra.saturating_add(len.saturating_mul(u64::from(off_path)));
         }
     }
-    let base = own
-        .saturating_add(intra)
-        .saturating_add(beta(ctx, i, q));
+    let base = own.saturating_add(intra).saturating_add(beta(ctx, i, q));
     fixed_point(base, horizon, max_iters, |w| {
         base.saturating_add(gamma(ctx, i, q, w))
     })
+}
+
+/// The per-request blocking bound `β_{i,q} + γ_{i,q}(W_{i,q})` that Eq. 4
+/// charges for every path request to `ℓ_q`, or `None` when `W_{i,q}` has
+/// no fixed point below the deadline.
+pub fn request_blocking_bound(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    q: ResourceId,
+    path_requests: &dyn Fn(ResourceId) -> u32,
+    horizon: Time,
+    max_iters: usize,
+) -> Option<Time> {
+    let w = request_response_bound(ctx, i, q, path_requests, horizon, max_iters)?;
+    Some(beta(ctx, i, q).saturating_add(gamma(ctx, i, q, w)))
+}
+
+/// Memo table for [`request_blocking_bound`] over one task's path
+/// enumeration.
+///
+/// `W_{i,q}` depends on the analysed path only through the *off-path*
+/// request counts `N_{i,u} − N^λ_{i,u}` of the resources co-located with
+/// `ℓ_q` (Lemma 2's intra-task term), so signatures agreeing on that
+/// profile share one fixed-point computation. The cache key is exactly
+/// `(ℓ_q, off-path profile)` — lookups are bit-identical to the direct
+/// computation, they just skip re-running the `γ` fixed point for every
+/// one of the (often thousands of) enumerated signatures.
+///
+/// The table is valid for one `(context, task)` pair: the response-time
+/// bounds `R_j` inside `η_j` evolve between tasks, so callers must
+/// [`reset`](RequestBoundCache::reset) it (or build a fresh one) before
+/// analysing the next task. Misses that diverge are cached as `None` so
+/// repeated divergent profiles short-circuit too.
+#[derive(Debug, Default)]
+pub struct RequestBoundCache {
+    /// Per-resource memo keyed by the off-path request profile.
+    entries: HashMap<ResourceId, HashMap<Vec<u32>, Option<Time>>>,
+    /// Scratch for key construction; cloned into the map only on miss.
+    key_scratch: Vec<u32>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RequestBoundCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the memo (keeps allocations) for reuse on the next task.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// `(hits, misses)` counters since the last reset (diagnostic).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The memoized `β_{i,q} + γ_{i,q}(W_{i,q})`; computes and stores the
+    /// bound on first sight of this `(ℓ_q, off-path profile)` pair.
+    pub fn blocking_bound(
+        &mut self,
+        ctx: &AnalysisContext<'_>,
+        i: TaskId,
+        q: ResourceId,
+        path_requests: &dyn Fn(ResourceId) -> u32,
+        horizon: Time,
+        max_iters: usize,
+    ) -> Option<Time> {
+        let task = ctx.task(i);
+        self.key_scratch.clear();
+        self.key_scratch.extend(
+            ctx.co_located(q)
+                .iter()
+                .map(|&u| task.total_requests(u).saturating_sub(path_requests(u))),
+        );
+        let inner = self.entries.entry(q).or_default();
+        if let Some(&cached) = inner.get(self.key_scratch.as_slice()) {
+            self.hits += 1;
+            return cached;
+        }
+        let bound = request_blocking_bound(ctx, i, q, path_requests, horizon, max_iters);
+        inner.insert(self.key_scratch.clone(), bound);
+        self.misses += 1;
+        bound
+    }
 }
 
 #[cfg(test)]
@@ -170,8 +261,7 @@ mod tests {
         let (_, part, ts) = fig1_ctx();
         let ctx = AnalysisContext::new(&ts, &part);
         // Priorities are unique; call the higher-priority task H, lower L.
-        let (hi, lo) = if ts.task(TaskId::new(0)).priority() > ts.task(TaskId::new(1)).priority()
-        {
+        let (hi, lo) = if ts.task(TaskId::new(0)).priority() > ts.task(TaskId::new(1)).priority() {
             (TaskId::new(0), TaskId::new(1))
         } else {
             (TaskId::new(1), TaskId::new(0))
@@ -186,8 +276,7 @@ mod tests {
     fn gamma_counts_higher_priority_demand() {
         let (_, part, ts) = fig1_ctx();
         let ctx = AnalysisContext::new(&ts, &part);
-        let (hi, lo) = if ts.task(TaskId::new(0)).priority() > ts.task(TaskId::new(1)).priority()
-        {
+        let (hi, lo) = if ts.task(TaskId::new(0)).priority() > ts.task(TaskId::new(1)).priority() {
             (TaskId::new(0), TaskId::new(1))
         } else {
             (TaskId::new(1), TaskId::new(0))
@@ -210,7 +299,12 @@ mod tests {
         let (_, part, ts) = fig1_ctx();
         let ctx = AnalysisContext::new(&ts, &part);
         assert_eq!(
-            gamma(&ctx, TaskId::new(0), fig1::LOCAL_RESOURCE, fig1::unit() * 50),
+            gamma(
+                &ctx,
+                TaskId::new(0),
+                fig1::LOCAL_RESOURCE,
+                fig1::unit() * 50
+            ),
             Time::ZERO
         );
     }
@@ -237,6 +331,135 @@ mod tests {
             64,
         );
         assert_eq!(w, Some(fig1::unit() * 9));
+    }
+
+    /// Builds the two-task system of `wcrt::tests::diverging_task_returns_none`:
+    /// an absurdly heavy shared load whose request recurrence diverges.
+    fn diverging_system() -> (dpcp_model::Partition, dpcp_model::TaskSet) {
+        use dpcp_model::{DagTask, Partition, Platform, RequestSpec, VertexSpec};
+        let mk = |id: usize| {
+            DagTask::builder(TaskId::new(id), Time::from_ms(1))
+                .vertex(VertexSpec::with_requests(
+                    Time::from_us(900),
+                    [RequestSpec::new(ResourceId::new(0), 20)],
+                ))
+                .critical_section(ResourceId::new(0), Time::from_us(40))
+                .build()
+                .unwrap()
+        };
+        let ts = dpcp_model::TaskSet::new(vec![mk(0), mk(1)], 1).unwrap();
+        let platform = Platform::new(2).unwrap();
+        let part = Partition::new(
+            &ts,
+            &platform,
+            vec![
+                vec![dpcp_model::ProcessorId::new(0)],
+                vec![dpcp_model::ProcessorId::new(1)],
+            ],
+            [(ResourceId::new(0), dpcp_model::ProcessorId::new(0))]
+                .into_iter()
+                .collect(),
+        )
+        .unwrap();
+        (part, ts)
+    }
+
+    #[test]
+    fn cached_bounds_equal_uncached_computation() {
+        // Fig. 1 shares ℓ1 globally between both tasks: exercise every
+        // (task, on-path count) combination against the direct computation.
+        let (_, part, ts) = fig1_ctx();
+        let ctx = AnalysisContext::new(&ts, &part);
+        let mut cache = RequestBoundCache::new();
+        for idx in 0..2 {
+            let i = TaskId::new(idx);
+            cache.reset();
+            let horizon = ts.task(i).deadline();
+            for on_path in 0u32..=1 {
+                let counts = |q: ResourceId| {
+                    if q == fig1::GLOBAL_RESOURCE {
+                        on_path
+                    } else {
+                        0
+                    }
+                };
+                let direct =
+                    request_blocking_bound(&ctx, i, fig1::GLOBAL_RESOURCE, &counts, horizon, 64);
+                // First query misses, second hits; both must equal the
+                // direct computation.
+                for _ in 0..2 {
+                    let cached =
+                        cache.blocking_bound(&ctx, i, fig1::GLOBAL_RESOURCE, &counts, horizon, 64);
+                    assert_eq!(cached, direct, "task {idx}, on-path {on_path}");
+                }
+            }
+            let (hits, misses) = cache.stats();
+            assert_eq!((hits, misses), (2, 2), "task {idx}");
+        }
+    }
+
+    #[test]
+    fn cache_handles_divergent_none_case() {
+        // No fixed point below the deadline: the cache must return `None`,
+        // remember it, and serve the repeat from the memo.
+        let (part, ts) = diverging_system();
+        let ctx = AnalysisContext::new(&ts, &part);
+        let lo = if ts.task(TaskId::new(0)).priority() < ts.task(TaskId::new(1)).priority() {
+            TaskId::new(0)
+        } else {
+            TaskId::new(1)
+        };
+        let horizon = ts.task(lo).deadline();
+        let counts = |q: ResourceId| u32::from(q == ResourceId::new(0));
+        let direct = request_blocking_bound(&ctx, lo, ResourceId::new(0), &counts, horizon, 64);
+        assert_eq!(direct, None, "the heavy system must diverge");
+        let mut cache = RequestBoundCache::new();
+        assert_eq!(
+            cache.blocking_bound(&ctx, lo, ResourceId::new(0), &counts, horizon, 64),
+            None
+        );
+        assert_eq!(
+            cache.blocking_bound(&ctx, lo, ResourceId::new(0), &counts, horizon, 64),
+            None
+        );
+        assert_eq!(cache.stats(), (1, 1), "divergence must be memoized too");
+    }
+
+    #[test]
+    fn cache_distinguishes_off_path_profiles() {
+        // Different on-path counts of a co-located resource change W; the
+        // cache must key on the off-path profile, not on ℓ_q alone.
+        let (_, part, ts) = fig1_ctx();
+        let ctx = AnalysisContext::new(&ts, &part);
+        let lo = if ts.task(TaskId::new(0)).priority() > ts.task(TaskId::new(1)).priority() {
+            TaskId::new(1)
+        } else {
+            TaskId::new(0)
+        };
+        let horizon = ts.task(lo).deadline();
+        let mut cache = RequestBoundCache::new();
+        let on_path = |q: ResourceId| u32::from(q == fig1::GLOBAL_RESOURCE);
+        let off_path = |_: ResourceId| 0;
+        let with_request =
+            cache.blocking_bound(&ctx, lo, fig1::GLOBAL_RESOURCE, &on_path, horizon, 64);
+        let without_request =
+            cache.blocking_bound(&ctx, lo, fig1::GLOBAL_RESOURCE, &off_path, horizon, 64);
+        // Off-path request adds intra-task delay to W, so the profiles
+        // must be distinct cache entries (two misses, no false sharing) …
+        assert_eq!(cache.stats(), (0, 2));
+        // … and the underlying request bounds differ (9u vs 12u on Fig. 1
+        // even though β + γ(W) happens to coincide inside one η window).
+        let w_on = request_response_bound(&ctx, lo, fig1::GLOBAL_RESOURCE, &on_path, horizon, 64);
+        let w_off = request_response_bound(&ctx, lo, fig1::GLOBAL_RESOURCE, &off_path, horizon, 64);
+        assert_ne!(w_on, w_off);
+        assert_eq!(
+            with_request,
+            request_blocking_bound(&ctx, lo, fig1::GLOBAL_RESOURCE, &on_path, horizon, 64)
+        );
+        assert_eq!(
+            without_request,
+            request_blocking_bound(&ctx, lo, fig1::GLOBAL_RESOURCE, &off_path, horizon, 64)
+        );
     }
 
     #[test]

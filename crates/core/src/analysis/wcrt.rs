@@ -19,7 +19,7 @@ use super::interference::{
     agent_interference_others, agent_interference_own, agent_interference_own_en,
     intra_task_interference, intra_task_interference_en,
 };
-use super::request::{beta, fixed_point, gamma, request_response_bound};
+use super::request::{fixed_point, RequestBoundCache};
 use super::{AnalysisConfig, DelayBreakdown};
 
 /// The outcome of one per-path (or per-virtual-path) Theorem 1 evaluation.
@@ -31,30 +31,77 @@ pub struct PathBound {
     pub breakdown: DelayBreakdown,
 }
 
+/// Reusable per-task evaluation state for the EP path enumeration: the
+/// request-bound memo table plus the scratch buffers that used to be
+/// allocated once per signature.
+///
+/// One instance serves a whole `analyze_with_cache` run; the memo part is
+/// reset between tasks (the `η_j` inputs change), while the buffers keep
+/// their allocations for the entire task set.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Memoized `β + γ(W)` per (resource, off-path profile).
+    pub cache: RequestBoundCache,
+    /// `(ℓ_q, β + γ(W))` pairs of the signature under evaluation.
+    per_request: Vec<(ResourceId, Time)>,
+    /// The ε accumulator of Eq. 4, rebuilt in place per signature.
+    eps: EpsilonTable,
+}
+
+impl EvalScratch {
+    /// Fresh scratch state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the per-task memo (buffer allocations survive).
+    pub fn reset_for_task(&mut self) {
+        self.cache.reset();
+    }
+}
+
 /// Evaluates Theorem 1 for one concrete path signature:
 /// `r = L(λ) + B_i(r) + b_i + ⌈(I^intra_i + I^A_i(r)) / m_i⌉`.
 ///
 /// Returns `None` when any request bound `W_{i,q}` or the response-time
 /// recurrence has no solution below the task's deadline.
+///
+/// Convenience wrapper over [`wcrt_for_signature_with`] with throwaway
+/// scratch state; enumeration loops should hold an [`EvalScratch`] and
+/// call the `_with` variant so the `W_{i,q}` fixed points are shared
+/// across signatures.
 pub fn wcrt_for_signature(
     ctx: &AnalysisContext<'_>,
     i: TaskId,
     sig: &PathSignature,
     cfg: &AnalysisConfig,
 ) -> Option<PathBound> {
+    wcrt_for_signature_with(ctx, i, sig, cfg, &mut EvalScratch::new())
+}
+
+/// [`wcrt_for_signature`] with shared per-task evaluation state: request
+/// bounds are memoized in `scratch.cache` and the per-signature buffers
+/// are reused instead of reallocated.
+pub fn wcrt_for_signature_with(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    sig: &PathSignature,
+    cfg: &AnalysisConfig,
+    scratch: &mut EvalScratch,
+) -> Option<PathBound> {
     let task = ctx.task(i);
     let horizon = task.deadline();
     let m_i = ctx.cluster_size(i);
 
     // Per-request blocking bounds β + γ(W) for every global resource the
-    // path requests (Lemma 2 feeding Eq. 4).
+    // path requests (Lemma 2 feeding Eq. 4), memoized across signatures.
     let path_counts = |q: ResourceId| sig.request_count(q);
-    let mut per_request: Vec<(ResourceId, Time)> = Vec::new();
+    scratch.per_request.clear();
     for &(q, n) in sig.requests() {
         if n == 0 || !ctx.tasks.is_global(q) {
             continue;
         }
-        let w = request_response_bound(
+        let blocking = scratch.cache.blocking_bound(
             ctx,
             i,
             q,
@@ -62,16 +109,19 @@ pub fn wcrt_for_signature(
             horizon,
             cfg.max_fixpoint_iterations,
         )?;
-        let blocking = beta(ctx, i, q).saturating_add(gamma(ctx, i, q, w));
-        per_request.push((q, blocking));
+        scratch.per_request.push((q, blocking));
     }
-    let eps = EpsilonTable::new(ctx, sig.requests().iter().copied(), |q| {
-        per_request
-            .iter()
-            .find(|&&(u, _)| u == q)
-            .map(|&(_, b)| b)
-            .unwrap_or(Time::ZERO)
-    });
+    let per_request = &scratch.per_request;
+    scratch
+        .eps
+        .rebuild(ctx, sig.requests().iter().copied(), |q| {
+            per_request
+                .iter()
+                .find(|&&(u, _)| u == q)
+                .map(|&(_, b)| b)
+                .unwrap_or(Time::ZERO)
+        });
+    let eps = &scratch.eps;
 
     let b_i = intra_task_blocking(ctx, i, sig);
     let intra_i = intra_task_interference(ctx, i, sig);
@@ -79,14 +129,14 @@ pub fn wcrt_for_signature(
     let len = sig.len();
 
     let r = fixed_point(len, horizon, cfg.max_fixpoint_iterations, |r| {
-        let b_inter = inter_task_blocking(ctx, i, &eps, r);
+        let b_inter = inter_task_blocking(ctx, i, eps, r);
         let agents = agent_own.saturating_add(agent_interference_others(ctx, i, r));
         len.saturating_add(b_inter)
             .saturating_add(b_i)
             .saturating_add(intra_i.saturating_add(agents).div_ceil(m_i))
     })?;
 
-    let b_inter = inter_task_blocking(ctx, i, &eps, r);
+    let b_inter = inter_task_blocking(ctx, i, eps, r);
     let agents = agent_own.saturating_add(agent_interference_others(ctx, i, r));
     Some(PathBound {
         wcrt: r,
@@ -104,6 +154,18 @@ pub fn wcrt_for_signature(
 /// request-count-dependent term at its maximum over `N^λ_{i,q} ∈
 /// [0, N_{i,q}]`.
 pub fn wcrt_en(ctx: &AnalysisContext<'_>, i: TaskId, cfg: &AnalysisConfig) -> Option<PathBound> {
+    wcrt_en_with(ctx, i, cfg, &mut EvalScratch::new())
+}
+
+/// [`wcrt_en`] with shared per-task evaluation state (the truncation
+/// fallback of the EP enumeration reuses the enumeration's memo table —
+/// the EN request profile is just one more cache key).
+pub fn wcrt_en_with(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    cfg: &AnalysisConfig,
+    scratch: &mut EvalScratch,
+) -> Option<PathBound> {
     let task = ctx.task(i);
     let horizon = task.deadline();
     let m_i = ctx.cluster_size(i);
@@ -121,36 +183,41 @@ pub fn wcrt_en(ctx: &AnalysisContext<'_>, i: TaskId, cfg: &AnalysisConfig) -> Op
             continue;
         }
         let counts = move |u: ResourceId| u32::from(u == q);
-        let w = request_response_bound(ctx, i, q, &counts, horizon, cfg.max_fixpoint_iterations)?;
-        let blocking = beta(ctx, i, q).saturating_add(gamma(ctx, i, q, w));
+        let blocking = scratch.cache.blocking_bound(
+            ctx,
+            i,
+            q,
+            &counts,
+            horizon,
+            cfg.max_fixpoint_iterations,
+        )?;
         per_request.push((q, n, blocking));
     }
     // ε maximised at N^λ_q = N_{i,q}.
-    let eps = EpsilonTable::new(
-        ctx,
-        per_request.iter().map(|&(q, n, _)| (q, n)),
-        |q| {
+    scratch
+        .eps
+        .rebuild(ctx, per_request.iter().map(|&(q, n, _)| (q, n)), |q| {
             per_request
                 .iter()
                 .find(|&&(u, _, _)| u == q)
                 .map(|&(_, _, b)| b)
                 .unwrap_or(Time::ZERO)
-        },
-    );
+        });
+    let eps = &scratch.eps;
 
     let b_i = intra_task_blocking_en(ctx, i);
     let intra_i = intra_task_interference_en(ctx, i);
     let agent_own = agent_interference_own_en(ctx, i);
 
     let r = fixed_point(len, horizon, cfg.max_fixpoint_iterations, |r| {
-        let b_inter = inter_task_blocking(ctx, i, &eps, r);
+        let b_inter = inter_task_blocking(ctx, i, eps, r);
         let agents = agent_own.saturating_add(agent_interference_others(ctx, i, r));
         len.saturating_add(b_inter)
             .saturating_add(b_i)
             .saturating_add(intra_i.saturating_add(agents).div_ceil(m_i))
     })?;
 
-    let b_inter = inter_task_blocking(ctx, i, &eps, r);
+    let b_inter = inter_task_blocking(ctx, i, eps, r);
     let agents = agent_own.saturating_add(agent_interference_others(ctx, i, r));
     Some(PathBound {
         wcrt: r,
@@ -169,21 +236,43 @@ pub fn wcrt_en(ctx: &AnalysisContext<'_>, i: TaskId, cfg: &AnalysisConfig) -> Op
 /// enumeration was truncated.
 ///
 /// Returns `None` when any contributing bound diverges beyond `D_i`.
+///
+/// Convenience wrapper over [`wcrt_over_signatures_with`] with throwaway
+/// scratch state.
 pub fn wcrt_over_signatures(
     ctx: &AnalysisContext<'_>,
     i: TaskId,
     sigs: &dpcp_model::PathSignatures,
     cfg: &AnalysisConfig,
 ) -> Option<PathBound> {
+    wcrt_over_signatures_with(ctx, i, sigs, cfg, &mut EvalScratch::new())
+}
+
+/// [`wcrt_over_signatures`] with shared evaluation state.
+///
+/// Resets the memo for this task and reuses the memoized `W_{i,q}` fixed
+/// points across every signature — including the EN fallback under
+/// truncation. The signature list must be duplicate-free so no Theorem 1
+/// evaluation is spent twice on the same signature;
+/// [`enumerate_signatures_capped`](dpcp_model::enumerate_signatures_capped)
+/// guarantees that by construction.
+pub fn wcrt_over_signatures_with(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    sigs: &dpcp_model::PathSignatures,
+    cfg: &AnalysisConfig,
+    scratch: &mut EvalScratch,
+) -> Option<PathBound> {
+    scratch.reset_for_task();
     let mut best: Option<PathBound> = None;
     for sig in &sigs.signatures {
-        let bound = wcrt_for_signature(ctx, i, sig, cfg)?;
+        let bound = wcrt_for_signature_with(ctx, i, sig, cfg, scratch)?;
         if best.as_ref().is_none_or(|b| bound.wcrt > b.wcrt) {
             best = Some(bound);
         }
     }
     if sigs.truncated {
-        let en = wcrt_en(ctx, i, cfg)?;
+        let en = wcrt_en_with(ctx, i, cfg, scratch)?;
         if best.as_ref().is_none_or(|b| en.wcrt > b.wcrt) {
             best = Some(en);
         }
@@ -270,7 +359,7 @@ mod tests {
     fn isolated_task_bound_is_graham_like() {
         // A single task with no resources: r = L* + ⌈(C − L*)/m⌉ because
         // I^intra = C' − C'(λ*) and nothing else contributes.
-        use dpcp_model::{Dag, DagTask, Platform, Partition, TaskSet, VertexSpec};
+        use dpcp_model::{Dag, DagTask, Partition, Platform, TaskSet, VertexSpec};
         let dag = Dag::new(3, [(0, 1)]).unwrap(); // v2 parallel to chain
         let t = DagTask::builder(TaskId::new(0), Time::from_ms(10))
             .dag(dag)
@@ -284,7 +373,10 @@ mod tests {
         let part = Partition::new(
             &ts,
             &platform,
-            vec![vec![dpcp_model::ProcessorId::new(0), dpcp_model::ProcessorId::new(1)]],
+            vec![vec![
+                dpcp_model::ProcessorId::new(0),
+                dpcp_model::ProcessorId::new(1),
+            ]],
             Default::default(),
         )
         .unwrap();
@@ -302,7 +394,7 @@ mod tests {
     fn diverging_task_returns_none() {
         // One processor per task and an absurdly heavy load: the recurrence
         // must blow past the deadline.
-        use dpcp_model::{DagTask, Platform, Partition, RequestSpec, TaskSet, VertexSpec};
+        use dpcp_model::{DagTask, Partition, Platform, RequestSpec, TaskSet, VertexSpec};
         let mk = |id: usize| {
             DagTask::builder(TaskId::new(id), Time::from_ms(1))
                 .vertex(VertexSpec::with_requests(

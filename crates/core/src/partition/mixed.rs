@@ -13,9 +13,7 @@
 //! more processor; a failing light task grows the shared pool by one
 //! processor (both roll back the resource assignment).
 
-use dpcp_model::{
-    initial_processors, Partition, Platform, ProcessorId, TaskId, TaskSet, Time,
-};
+use dpcp_model::{initial_processors, Partition, Platform, ProcessorId, TaskId, TaskSet, Time};
 
 use crate::analysis::context::AnalysisContext;
 use crate::analysis::light::wcrt_light;
@@ -156,7 +154,13 @@ pub fn algorithm1_mixed(
 
     let mut heavy_size: Vec<usize> = tasks
         .iter()
-        .map(|t| if t.is_heavy() { initial_processors(t) } else { 0 })
+        .map(|t| {
+            if t.is_heavy() {
+                initial_processors(t)
+            } else {
+                0
+            }
+        })
         .collect();
     let light_util: f64 = lights.iter().map(|&t| tasks.task(t).utilization()).sum();
     let mut light_pool: usize = if lights.is_empty() {
@@ -330,7 +334,10 @@ mod tests {
             ResourceHeuristic::WorstFitDecreasing,
             AnalysisConfig::ep(),
         );
-        let PartitionOutcome::Schedulable { partition, report, .. } = outcome else {
+        let PartitionOutcome::Schedulable {
+            partition, report, ..
+        } = outcome
+        else {
             panic!("mixed set must be schedulable on 6 processors");
         };
         // Heavy task keeps an exclusive multi-processor cluster.

@@ -15,15 +15,15 @@
 use dpcp_model::{initial_processors, Partition, Platform, TaskId, TaskSet};
 use serde::{Deserialize, Serialize};
 
-use crate::analysis::{
-    analyze_with_cache, AnalysisConfig, SchedulabilityReport, SignatureCache,
-};
+use crate::analysis::{analyze_with_cache, AnalysisConfig, SchedulabilityReport, SignatureCache};
 
 pub mod mixed;
 pub mod wfd;
 
 pub use mixed::{algorithm1_mixed, analyze_mixed};
-pub use wfd::{assign_resources, assign_resources_to_bins, layout_clusters, CapacityBin, ResourceHeuristic};
+pub use wfd::{
+    assign_resources, assign_resources_to_bins, layout_clusters, CapacityBin, ResourceHeuristic,
+};
 
 /// A schedulability analysis pluggable into [`algorithm1`].
 pub trait SchedAnalyzer {
@@ -56,9 +56,7 @@ impl DpcpAnalyzer {
     /// enumerated for the EP variant — EN never reads them.
     pub fn new(tasks: &TaskSet, cfg: AnalysisConfig) -> Self {
         let cache = match cfg.variant {
-            crate::analysis::AnalysisVariant::EnumeratePaths => {
-                SignatureCache::new(tasks, &cfg)
-            }
+            crate::analysis::AnalysisVariant::EnumeratePaths => SignatureCache::new(tasks, &cfg),
             crate::analysis::AnalysisVariant::EnumerateRequestCounts => {
                 SignatureCache::empty(tasks.len())
             }
@@ -108,7 +106,10 @@ pub enum UnschedulableReason {
 impl core::fmt::Display for UnschedulableReason {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            UnschedulableReason::InsufficientProcessors { demanded, available } => write!(
+            UnschedulableReason::InsufficientProcessors {
+                demanded,
+                available,
+            } => write!(
                 f,
                 "initial federated assignment needs {demanded} processors, platform has {available}"
             ),
@@ -195,8 +196,8 @@ pub fn algorithm1(
     let mut rounds = 0usize;
     loop {
         rounds += 1;
-        let layout = layout_clusters(&sizes, m)
-            .expect("sizes are kept within the platform by the loop");
+        let layout =
+            layout_clusters(&sizes, m).expect("sizes are kept within the platform by the loop");
 
         let partition = if analyzer.needs_resource_homes() {
             match assign_resources(tasks, &layout, heuristic) {
@@ -305,7 +306,10 @@ mod tests {
                 assert_eq!(rounds, 0);
                 assert!(matches!(
                     reason,
-                    UnschedulableReason::InsufficientProcessors { demanded: 8, available: 2 }
+                    UnschedulableReason::InsufficientProcessors {
+                        demanded: 8,
+                        available: 2
+                    }
                 ));
             }
             PartitionOutcome::Schedulable { .. } => panic!("must be unschedulable"),
@@ -351,7 +355,9 @@ mod tests {
             AnalysisConfig::ep(),
         );
         match outcome {
-            PartitionOutcome::Schedulable { partition, rounds, .. } => {
+            PartitionOutcome::Schedulable {
+                partition, rounds, ..
+            } => {
                 assert!(rounds >= 2, "expected at least one top-up, got {rounds}");
                 assert!(partition.cluster_size(TaskId::new(0)) >= 3);
             }
@@ -381,7 +387,9 @@ mod tests {
         assert!(UnschedulableReason::ResourceAllocationInfeasible
             .to_string()
             .contains("do not fit"));
-        let r = UnschedulableReason::TaskUnschedulable { task: TaskId::new(3) };
+        let r = UnschedulableReason::TaskUnschedulable {
+            task: TaskId::new(3),
+        };
         assert!(r.to_string().contains("tau3"));
     }
 

@@ -137,15 +137,15 @@ pub fn assign_resources_to_bins(
                 fits(x).then_some(x)
             }
             ResourceHeuristic::FirstFitDecreasing => (0..bins.len()).find(|&x| fits(x)),
-            ResourceHeuristic::BestFitDecreasing => (0..bins.len())
-                .filter(|&x| fits(x))
-                .min_by(|&a, &b| {
+            ResourceHeuristic::BestFitDecreasing => {
+                (0..bins.len()).filter(|&x| fits(x)).min_by(|&a, &b| {
                     let sa = capacity[a] - util[a];
                     let sb = capacity[b] - util[b];
                     sa.partial_cmp(&sb)
                         .unwrap_or(core::cmp::Ordering::Equal)
                         .then(a.cmp(&b))
-                }),
+                })
+            }
         }?;
 
         // Within the bin: processor with minimum resource utilization
@@ -196,9 +196,8 @@ pub fn total_slack(
     homes: &BTreeMap<ResourceId, ProcessorId>,
 ) -> f64 {
     let mut util: Vec<f64> = tasks.iter().map(|t| t.utilization()).collect();
-    let owner_of = |p: ProcessorId| -> Option<usize> {
-        clusters.iter().position(|c| c.contains(&p))
-    };
+    let owner_of =
+        |p: ProcessorId| -> Option<usize> { clusters.iter().position(|c| c.contains(&p)) };
     for (&q, &p) in homes {
         if let Some(x) = owner_of(p) {
             util[x] += tasks.resource_utilization(q);
@@ -250,7 +249,10 @@ mod tests {
         assert_eq!(layout[0], vec![ProcessorId::new(0), ProcessorId::new(1)]);
         assert_eq!(layout[1], vec![ProcessorId::new(2)]);
         assert!(layout_clusters(&[3, 2], 4).is_none());
-        assert_eq!(layout_owner(&layout, ProcessorId::new(2)), Some(TaskId::new(1)));
+        assert_eq!(
+            layout_owner(&layout, ProcessorId::new(2)),
+            Some(TaskId::new(1))
+        );
         assert_eq!(layout_owner(&layout, ProcessorId::new(3)), None);
     }
 
@@ -259,8 +261,7 @@ mod tests {
         let ts = tasks_two_globals([100, 10]);
         // τ0: U = 0.4, τ1: U = 0.2. Clusters of 1 each: slack 0.6 vs 0.8.
         let layout = layout_clusters(&[1, 1], 2).unwrap();
-        let homes =
-            assign_resources(&ts, &layout, ResourceHeuristic::WorstFitDecreasing).unwrap();
+        let homes = assign_resources(&ts, &layout, ResourceHeuristic::WorstFitDecreasing).unwrap();
         // ℓ0 (heavier) goes to τ1's cluster (more slack) = ℘1.
         assert_eq!(homes[&rid(0)], ProcessorId::new(1));
         // After that τ1's slack shrinks barely (u ≈ 2e-5); still slackest.
@@ -273,8 +274,7 @@ mod tests {
         // One cluster with 2 processors for τ0, one processor for τ1, but
         // make τ0's cluster the slackest.
         let layout = layout_clusters(&[2, 1], 3).unwrap();
-        let homes =
-            assign_resources(&ts, &layout, ResourceHeuristic::WorstFitDecreasing).unwrap();
+        let homes = assign_resources(&ts, &layout, ResourceHeuristic::WorstFitDecreasing).unwrap();
         // Both resources land in τ0's cluster; the second must take the
         // other processor (min proc-utilization rule).
         let p0 = homes[&rid(0)];
@@ -312,12 +312,10 @@ mod tests {
     fn ffd_and_bfd_differ_from_wfd() {
         let ts = tasks_two_globals([100, 10]);
         let layout = layout_clusters(&[1, 1], 2).unwrap();
-        let ffd =
-            assign_resources(&ts, &layout, ResourceHeuristic::FirstFitDecreasing).unwrap();
+        let ffd = assign_resources(&ts, &layout, ResourceHeuristic::FirstFitDecreasing).unwrap();
         // FFD puts ℓ0 on the first cluster that fits = τ0's ℘0.
         assert_eq!(ffd[&rid(0)], ProcessorId::new(0));
-        let bfd =
-            assign_resources(&ts, &layout, ResourceHeuristic::BestFitDecreasing).unwrap();
+        let bfd = assign_resources(&ts, &layout, ResourceHeuristic::BestFitDecreasing).unwrap();
         // BFD picks the tightest fit = τ0's cluster (slack 0.6 < 0.8).
         assert_eq!(bfd[&rid(0)], ProcessorId::new(0));
     }
@@ -335,8 +333,7 @@ mod tests {
             .unwrap();
         let ts = TaskSet::new(vec![t], 1).unwrap();
         let layout = layout_clusters(&[1], 2).unwrap();
-        let homes =
-            assign_resources(&ts, &layout, ResourceHeuristic::WorstFitDecreasing).unwrap();
+        let homes = assign_resources(&ts, &layout, ResourceHeuristic::WorstFitDecreasing).unwrap();
         assert!(homes.is_empty());
     }
 
@@ -344,8 +341,7 @@ mod tests {
     fn slack_accounting() {
         let ts = tasks_two_globals([100, 10]);
         let layout = layout_clusters(&[1, 1], 2).unwrap();
-        let homes =
-            assign_resources(&ts, &layout, ResourceHeuristic::WorstFitDecreasing).unwrap();
+        let homes = assign_resources(&ts, &layout, ResourceHeuristic::WorstFitDecreasing).unwrap();
         let slack = total_slack(&ts, &layout, &homes);
         let expected = 2.0
             - ts.total_utilization()

@@ -86,7 +86,13 @@ mod tests {
                     normalized: (1.0 + i as f64) / 16.0,
                     samples: 10,
                     generation_failures: 0,
-                    accepted: [10 - i, 9_usize.saturating_sub(i), 8_usize.saturating_sub(i), 7_usize.saturating_sub(i), 10 - i],
+                    accepted: [
+                        10 - i,
+                        9_usize.saturating_sub(i),
+                        8_usize.saturating_sub(i),
+                        7_usize.saturating_sub(i),
+                        10 - i,
+                    ],
                 })
                 .collect(),
         }

@@ -7,7 +7,7 @@
 //!    DPCP-p-EN as the enumeration budget shrinks.
 //!
 //! ```text
-//! cargo run -p dpcp-experiments --release --bin ablation -- \
+//! cargo run -p dpcp_experiments --release --bin ablation -- \
 //!     [--samples N] [--seed S] [--out DIR]
 //! ```
 
@@ -86,9 +86,8 @@ fn main() {
     let mut en_accepted = 0usize;
     let mut valid = 0usize;
 
-    let mut csv = String::from(
-        "utilization,normalized,samples,WFD,FFD,BFD,cap1,cap16,cap128,cap1024,EN\n",
-    );
+    let mut csv =
+        String::from("utilization,normalized,samples,WFD,FFD,BFD,cap1,cap16,cap128,cap1024,EN\n");
     for (pi, &u) in points.iter().enumerate() {
         let mut point_h = [0usize; 3];
         let mut point_c = vec![0usize; caps.len()];
@@ -165,11 +164,7 @@ fn main() {
         }
         en_accepted += point_en;
         valid += point_valid;
-        println!(
-            "  U = {u:6.2}  ({}/{} points done)",
-            pi + 1,
-            points.len()
-        );
+        println!("  U = {u:6.2}  ({}/{} points done)", pi + 1, points.len());
     }
 
     println!("\nTotal accepted over {valid} task sets:");

@@ -2,7 +2,7 @@
 //! utilization for the four panels (a)–(d).
 //!
 //! ```text
-//! cargo run -p dpcp-experiments --release --bin fig2 -- \
+//! cargo run -p dpcp_experiments --release --bin fig2 -- \
 //!     [--samples N] [--seed S] [--panels abcd] [--out DIR]
 //! ```
 //!
@@ -76,7 +76,9 @@ fn main() {
     };
     println!(
         "Fig. 2 reproduction — {} samples/point, seed {}, {} threads",
-        cfg.samples_per_point, cfg.seed, cfg.threads
+        cfg.samples_per_point,
+        cfg.seed,
+        cfg.effective_threads()
     );
     for panel in &args.panels {
         let scenario = Scenario::fig2(*panel);
@@ -86,7 +88,9 @@ fn main() {
         println!("\n=== {panel} ===  ({elapsed:.1?})");
         println!("{}", render_curve(&curve, 16));
         println!("{}", render_table(&curve));
-        let path = args.out.join(format!("fig2_{panel_tag}.csv", panel_tag = tag(*panel)));
+        let path = args
+            .out
+            .join(format!("fig2_{panel_tag}.csv", panel_tag = tag(*panel)));
         std::fs::write(&path, curve.to_csv()).expect("cannot write CSV");
         println!("wrote {}", path.display());
     }

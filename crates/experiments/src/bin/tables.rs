@@ -2,7 +2,7 @@
 //! statistics across the 216-scenario grid.
 //!
 //! ```text
-//! cargo run -p dpcp-experiments --release --bin tables -- \
+//! cargo run -p dpcp_experiments --release --bin tables -- \
 //!     [--samples N] [--seed S] [--limit K] [--out DIR]
 //! ```
 //!

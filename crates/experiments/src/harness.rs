@@ -1,5 +1,12 @@
 //! Acceptance-ratio evaluation: generate task sets, run every method's
 //! partition-and-analyse pipeline, count acceptances.
+//!
+//! The per-point evaluation fans the independent `(task set, methods)`
+//! units out over a rayon pool and aggregates acceptance counts with an
+//! associative reduce — no shared mutable state. Every sample derives its
+//! own `StdRng` from the `(seed, point, sample, retry)` tuple, so the
+//! result is bit-identical for any worker count (see
+//! `deterministic_across_thread_counts`).
 
 use dpcp_baselines::{FedFp, Lpp, SpinSon};
 use dpcp_core::partition::{algorithm1, DpcpAnalyzer, ResourceHeuristic};
@@ -8,6 +15,7 @@ use dpcp_gen::scenario::Scenario;
 use dpcp_model::{Platform, TaskSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The five compared methods, in the paper's presentation order.
@@ -71,7 +79,8 @@ pub struct EvalConfig {
     pub samples_per_point: usize,
     /// Base RNG seed; every (point, sample) pair derives its own stream.
     pub seed: u64,
-    /// Worker threads (defaults to available parallelism).
+    /// Rayon worker threads; `0` (the default) defers to the ambient pool
+    /// (the `RAYON_NUM_THREADS` environment variable, else all cores).
     pub threads: usize,
     /// Retries when the generator rejects a draw before the sample is
     /// skipped.
@@ -85,11 +94,21 @@ impl Default for EvalConfig {
         EvalConfig {
             samples_per_point: 50,
             seed: 2020,
-            threads: std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
+            threads: 0,
             generation_retries: 8,
             ep_config: AnalysisConfig::ep(),
+        }
+    }
+}
+
+impl EvalConfig {
+    /// The worker count evaluation will actually use (resolves `0` to the
+    /// ambient rayon default).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.threads
         }
     }
 }
@@ -115,7 +134,10 @@ impl PointResult {
         if self.samples == 0 {
             return 0.0;
         }
-        let idx = Method::ALL.iter().position(|&m| m == method).expect("known method");
+        let idx = Method::ALL
+            .iter()
+            .position(|&m| m == method)
+            .expect("known method");
         self.accepted[idx] as f64 / self.samples as f64
     }
 }
@@ -133,7 +155,10 @@ impl AcceptanceCurve {
     /// Total accepted task sets of a method across the sweep (the
     /// outperformance metric of the paper's footnote).
     pub fn total_accepted(&self, method: Method) -> usize {
-        let idx = Method::ALL.iter().position(|&m| m == method).expect("known method");
+        let idx = Method::ALL
+            .iter()
+            .position(|&m| m == method)
+            .expect("known method");
         self.points.iter().map(|p| p.accepted[idx]).sum()
     }
 
@@ -187,7 +212,69 @@ fn sample_seed(base: u64, point: usize, sample: usize, retry: usize) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Evaluates one utilization point of a scenario.
+/// The associatively merged outcome of a batch of samples; the identity
+/// element of the parallel reduce is `PointAccum::default()`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct PointAccum {
+    accepted: [usize; 5],
+    samples: usize,
+    generation_failures: usize,
+}
+
+impl PointAccum {
+    fn merge(a: PointAccum, b: PointAccum) -> PointAccum {
+        let mut accepted = a.accepted;
+        for (acc, extra) in accepted.iter_mut().zip(b.accepted) {
+            *acc += extra;
+        }
+        PointAccum {
+            accepted,
+            samples: a.samples + b.samples,
+            generation_failures: a.generation_failures + b.generation_failures,
+        }
+    }
+}
+
+/// Generates and evaluates one sample; the whole unit depends only on the
+/// deterministic `(seed, point, sample, retry)` stream, never on which
+/// worker runs it.
+fn evaluate_sample(
+    scenario: &Scenario,
+    platform: &Platform,
+    utilization: f64,
+    point_index: usize,
+    sample: usize,
+    cfg: &EvalConfig,
+) -> PointAccum {
+    let mut generated = None;
+    for retry in 0..=cfg.generation_retries {
+        let seed = sample_seed(cfg.seed, point_index, sample, retry);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(ts) = scenario.sample_task_set(utilization, &mut rng) {
+            generated = Some(ts);
+            break;
+        }
+    }
+    match generated {
+        Some(ts) => {
+            let accepted = evaluate_task_set(&ts, platform, &cfg.ep_config);
+            PointAccum {
+                accepted: accepted.map(usize::from),
+                samples: 1,
+                generation_failures: 0,
+            }
+        }
+        None => PointAccum {
+            accepted: [0; 5],
+            samples: 0,
+            generation_failures: 1,
+        },
+    }
+}
+
+/// Evaluates one utilization point of a scenario: the samples fan out
+/// over the rayon pool selected by `cfg.threads` and fold back through an
+/// associative [`PointAccum`] reduce.
 ///
 /// # Panics
 ///
@@ -200,59 +287,29 @@ pub fn evaluate_point(
     cfg: &EvalConfig,
 ) -> PointResult {
     let platform = Platform::new(scenario.m).expect("scenario platforms have m ≥ 2");
-    let threads = cfg.threads.max(1);
-    let samples = cfg.samples_per_point;
-
-    let counts = std::sync::Mutex::new(([0usize; 5], 0usize, 0usize));
-    std::thread::scope(|scope| {
-        for worker in 0..threads {
-            let counts = &counts;
-            let platform = &platform;
-            scope.spawn(move || {
-                let mut local = ([0usize; 5], 0usize, 0usize);
-                let mut sample = worker;
-                while sample < samples {
-                    let mut generated = None;
-                    for retry in 0..=cfg.generation_retries {
-                        let seed = sample_seed(cfg.seed, point_index, sample, retry);
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        if let Ok(ts) = scenario.sample_task_set(utilization, &mut rng) {
-                            generated = Some(ts);
-                            break;
-                        }
-                    }
-                    match generated {
-                        Some(ts) => {
-                            let accepted = evaluate_task_set(&ts, platform, &cfg.ep_config);
-                            for (c, a) in local.0.iter_mut().zip(accepted) {
-                                *c += usize::from(a);
-                            }
-                            local.1 += 1;
-                        }
-                        None => local.2 += 1,
-                    }
-                    sample += threads;
-                }
-                let mut global = counts.lock().expect("no poisoning");
-                for (g, l) in global.0.iter_mut().zip(local.0) {
-                    *g += l;
-                }
-                global.1 += local.1;
-                global.2 += local.2;
-            });
-        }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cfg.threads)
+        .build()
+        .expect("rayon pool construction cannot fail");
+    let acc = pool.install(|| {
+        (0..cfg.samples_per_point)
+            .into_par_iter()
+            .map(|sample| {
+                evaluate_sample(scenario, &platform, utilization, point_index, sample, cfg)
+            })
+            .reduce(PointAccum::default, PointAccum::merge)
     });
-    let (accepted, valid, failures) = counts.into_inner().expect("no poisoning");
     PointResult {
         utilization,
         normalized: utilization / scenario.m as f64,
-        samples: valid,
-        generation_failures: failures,
-        accepted,
+        samples: acc.samples,
+        generation_failures: acc.generation_failures,
+        accepted: acc.accepted,
     }
 }
 
-/// Evaluates the full utilization sweep of a scenario.
+/// Evaluates the full utilization sweep of a scenario (each point fans
+/// its samples out in parallel; points stay ordered).
 pub fn evaluate_curve(scenario: &Scenario, cfg: &EvalConfig) -> AcceptanceCurve {
     let points = scenario
         .utilization_points()
@@ -333,12 +390,42 @@ mod tests {
 
     #[test]
     fn deterministic_across_thread_counts() {
+        // Regression guard for the rayon fan-out: the same EvalConfig
+        // point evaluated with 1 worker and with N workers must produce
+        // identical per-method acceptance ratios (bit-identical counts,
+        // not just statistically similar ones).
         let s = tiny_scenario();
         let mut cfg = tiny_cfg();
-        let a = evaluate_point(&s, 4.0, 2, &cfg);
         cfg.threads = 1;
-        let b = evaluate_point(&s, 4.0, 2, &cfg);
-        assert_eq!(a, b, "thread count must not change results");
+        let sequential = evaluate_point(&s, 4.0, 2, &cfg);
+        for threads in [2, 4, 8] {
+            cfg.threads = threads;
+            let parallel = evaluate_point(&s, 4.0, 2, &cfg);
+            assert_eq!(
+                sequential, parallel,
+                "{threads} workers changed the point result"
+            );
+            for m in Method::ALL {
+                assert_eq!(
+                    sequential.ratio(m),
+                    parallel.ratio(m),
+                    "{m} ratio drifted at {threads} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ambient_pool_matches_explicit_single_thread() {
+        // threads = 0 defers to the ambient rayon pool; whatever its
+        // width, the acceptance counts must match the 1-thread run.
+        let s = tiny_scenario();
+        let mut cfg = tiny_cfg();
+        cfg.threads = 0;
+        let ambient = evaluate_point(&s, 3.0, 1, &cfg);
+        cfg.threads = 1;
+        let sequential = evaluate_point(&s, 3.0, 1, &cfg);
+        assert_eq!(ambient, sequential);
     }
 
     #[test]
@@ -360,14 +447,16 @@ mod tests {
             lines.next().unwrap(),
             "utilization,normalized,samples,DPCP-p-EP,DPCP-p-EN,SPIN-SON,LPP,FED-FP"
         );
-        assert!(lines.next().unwrap().starts_with("2.000,0.250,4,1.0000,0.7500"));
+        assert!(lines
+            .next()
+            .unwrap()
+            .starts_with("2.000,0.250,4,1.0000,0.7500"));
         assert_eq!(curve.total_accepted(Method::DpcpEp), 4);
     }
 
     #[test]
     fn method_tags_are_distinct() {
-        let tags: std::collections::HashSet<char> =
-            Method::ALL.iter().map(|m| m.tag()).collect();
+        let tags: std::collections::HashSet<char> = Method::ALL.iter().map(|m| m.tag()).collect();
         assert_eq!(tags.len(), 5);
     }
 }

@@ -5,12 +5,12 @@
 //! `tables`, `ablation`) drive it to regenerate the paper's figures and
 //! tables:
 //!
-//! - `cargo run -p dpcp-experiments --release --bin fig2` — the four
+//! - `cargo run -p dpcp_experiments --release --bin fig2` — the four
 //!   acceptance-ratio panels of Fig. 2 (CSV + ASCII plots),
-//! - `cargo run -p dpcp-experiments --release --bin tables` — the
+//! - `cargo run -p dpcp_experiments --release --bin tables` — the
 //!   dominance and outperformance statistics of Tables 2 and 3 over the
 //!   216-scenario grid,
-//! - `cargo run -p dpcp-experiments --release --bin ablation` — resource
+//! - `cargo run -p dpcp_experiments --release --bin ablation` — resource
 //!   partitioning heuristics and path-cap sensitivity (not in the paper).
 
 #![warn(missing_docs)]

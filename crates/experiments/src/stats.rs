@@ -70,7 +70,10 @@ impl PairwiseTable {
 
     /// Renders the table in the paper's layout (`count(percent)`).
     pub fn render(&self) -> String {
-        let mut out = format!("Statistic for {} ({} scenarios)\n", self.title, self.scenarios);
+        let mut out = format!(
+            "Statistic for {} ({} scenarios)\n",
+            self.title, self.scenarios
+        );
         out.push_str(&format!("{:>12}", ""));
         for m in Method::ALL {
             out.push_str(&format!("{:>16}", m.name()));
@@ -98,8 +101,14 @@ impl PairwiseTable {
 
     /// The count for an ordered method pair.
     pub fn count(&self, a: Method, b: Method) -> usize {
-        let i = Method::ALL.iter().position(|&m| m == a).expect("known method");
-        let j = Method::ALL.iter().position(|&m| m == b).expect("known method");
+        let i = Method::ALL
+            .iter()
+            .position(|&m| m == a)
+            .expect("known method");
+        let j = Method::ALL
+            .iter()
+            .position(|&m| m == b)
+            .expect("known method");
         self.counts[i][j]
     }
 }

@@ -86,7 +86,8 @@ pub fn rand_fixed_sum<R: Rng + ?Sized>(
     if n == 0 {
         return Err(FixedSumError::EmptySample);
     }
-    if !(b > a) {
+    // `partial_cmp` keeps the NaN-rejecting behaviour of `!(b > a)`.
+    if b.partial_cmp(&a) != Some(core::cmp::Ordering::Greater) {
         return Err(FixedSumError::EmptyInterval { a, b });
     }
     let (min, max) = (n as f64 * a, n as f64 * b);
@@ -146,7 +147,11 @@ pub fn rand_fixed_sum<R: Rng + ?Sized>(
     let mut sm = 0.0f64;
     let mut pr = 1.0f64;
     for i in (1..n).rev() {
-        let e = if rng.gen::<f64>() <= t[i - 1][j] { 1.0 } else { 0.0 };
+        let e = if rng.gen::<f64>() <= t[i - 1][j] {
+            1.0
+        } else {
+            0.0
+        };
         let sx = rng.gen::<f64>().powf(1.0 / i as f64);
         sm += (1.0 - sx) * pr * s_rem / (i + 1) as f64;
         pr *= sx;

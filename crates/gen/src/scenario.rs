@@ -198,8 +198,7 @@ mod tests {
     fn grid_has_exactly_216_distinct_scenarios() {
         let grid = Scenario::grid_216();
         assert_eq!(grid.len(), 216);
-        let labels: std::collections::HashSet<String> =
-            grid.iter().map(Scenario::label).collect();
+        let labels: std::collections::HashSet<String> = grid.iter().map(Scenario::label).collect();
         assert_eq!(labels.len(), 216);
     }
 
@@ -219,13 +218,25 @@ mod tests {
     #[test]
     fn fig2_panels_match_caption() {
         let a = Scenario::fig2(Fig2Panel::A);
-        assert_eq!((a.m, a.nr_range, a.access_prob, a.u_avg), (16, (4, 8), 0.5, 1.5));
+        assert_eq!(
+            (a.m, a.nr_range, a.access_prob, a.u_avg),
+            (16, (4, 8), 0.5, 1.5)
+        );
         let b = Scenario::fig2(Fig2Panel::B);
-        assert_eq!((b.m, b.nr_range, b.access_prob, b.u_avg), (32, (8, 16), 1.0, 1.5));
+        assert_eq!(
+            (b.m, b.nr_range, b.access_prob, b.u_avg),
+            (32, (8, 16), 1.0, 1.5)
+        );
         let c = Scenario::fig2(Fig2Panel::C);
-        assert_eq!((c.m, c.nr_range, c.access_prob, c.u_avg), (16, (4, 8), 0.5, 2.0));
+        assert_eq!(
+            (c.m, c.nr_range, c.access_prob, c.u_avg),
+            (16, (4, 8), 0.5, 2.0)
+        );
         let d = Scenario::fig2(Fig2Panel::D);
-        assert_eq!((d.m, d.nr_range, d.access_prob, d.u_avg), (32, (8, 16), 1.0, 2.0));
+        assert_eq!(
+            (d.m, d.nr_range, d.access_prob, d.u_avg),
+            (32, (8, 16), 1.0, 2.0)
+        );
         for p in Fig2Panel::all() {
             let s = Scenario::fig2(p);
             assert_eq!(s.max_requests, 50);

@@ -19,8 +19,7 @@
 //!    structure makes that impossible).
 
 use dpcp_model::{
-    Dag, DagTask, ModelError, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexId,
-    VertexSpec,
+    Dag, DagTask, ModelError, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexId, VertexSpec,
 };
 use rand::Rng;
 
@@ -171,16 +170,14 @@ fn sample_resource_usage<R: Rng + ?Sized>(
     for q in 0..resource_count {
         if rng.gen::<f64>() < params.access_prob {
             let n = rng.gen_range(1..=params.max_requests.max(1));
-            let len = Time::from_ns(
-                rng.gen_range(params.cs_range.0.as_ns()..=params.cs_range.1.as_ns()),
-            );
+            let len =
+                Time::from_ns(rng.gen_range(params.cs_range.0.as_ns()..=params.cs_range.1.as_ns()));
             usage.push((ResourceId::new(q), n, len));
         }
     }
     // Plausibility: total critical-section demand must leave room for
     // structure. Clamp request counts (largest first) until it fits.
-    let budget =
-        Time::from_ns((wcet.as_ns() as f64 * params.cs_budget_fraction) as u64);
+    let budget = Time::from_ns((wcet.as_ns() as f64 * params.cs_budget_fraction) as u64);
     let demand = |u: &ResourceUsage| -> Time {
         u.iter()
             .map(|&(_, n, l)| l.saturating_mul(u64::from(n)))
@@ -243,10 +240,7 @@ fn random_composition<R: Rng + ?Sized>(total: u64, n: usize, rng: &mut R) -> Vec
     for s in shares.iter_mut() {
         *s /= sum;
     }
-    let mut parts: Vec<u64> = shares
-        .iter()
-        .map(|&s| (s * total as f64) as u64)
-        .collect();
+    let mut parts: Vec<u64> = shares.iter().map(|&s| (s * total as f64) as u64).collect();
     let assigned: u64 = parts.iter().sum();
     // Hand the rounding remainder to the largest part.
     let rem = total - assigned.min(total);
@@ -259,12 +253,7 @@ fn random_composition<R: Rng + ?Sized>(total: u64, n: usize, rng: &mut R) -> Vec
 /// Moves weight off the critical path until `L* < limit`, preserving both
 /// the total and each vertex's critical-section floor. Returns `false`
 /// when the structure cannot satisfy the limit.
-fn flatten_longest_path(
-    dag: &Dag,
-    weights: &mut [Time],
-    floors: &[Time],
-    limit: Time,
-) -> bool {
+fn flatten_longest_path(dag: &Dag, weights: &mut [Time], floors: &[Time], limit: Time) -> bool {
     const MAX_ITERS: usize = 4_000;
     for _ in 0..MAX_ITERS {
         let (lstar, path) = dag.longest_path(weights);
@@ -273,9 +262,10 @@ fn flatten_longest_path(
         }
         let excess = lstar - limit + Time::from_ns(1);
         // Heaviest reducible vertex on the critical path.
-        let Some(&victim) = path.iter().max_by_key(|&&v| {
-            weights[v.index()].saturating_sub(floors[v.index()])
-        }) else {
+        let Some(&victim) = path
+            .iter()
+            .max_by_key(|&&v| weights[v.index()].saturating_sub(floors[v.index()]))
+        else {
             return false;
         };
         let reducible = weights[victim.index()].saturating_sub(floors[victim.index()]);
@@ -480,9 +470,7 @@ mod tests {
                 let cs: Time = spec
                     .requests()
                     .iter()
-                    .map(|req| {
-                        t.cs_length(req.resource).unwrap() * u64::from(req.count)
-                    })
+                    .map(|req| t.cs_length(req.resource).unwrap() * u64::from(req.count))
                     .sum();
                 assert!(spec.wcet() >= cs);
             }

@@ -227,7 +227,10 @@ impl fmt::Display for ModelError {
                 "partition supplies {clusters} clusters for {tasks} tasks"
             ),
             ModelError::UnassignedGlobalResource { resource } => {
-                write!(f, "global resource {resource} is not assigned to a processor")
+                write!(
+                    f,
+                    "global resource {resource} is not assigned to a processor"
+                )
             }
         }
     }
@@ -259,11 +262,16 @@ mod tests {
         // downstream error reports useless.
         let samples: Vec<ModelError> = vec![
             ModelError::EmptyDag,
-            ModelError::VertexOutOfRange { vertex: 9, count: 3 },
+            ModelError::VertexOutOfRange {
+                vertex: 9,
+                count: 3,
+            },
             ModelError::SelfLoop { vertex: 0 },
             ModelError::DuplicateEdge { from: 0, to: 1 },
             ModelError::CyclicGraph,
-            ModelError::NonPositivePeriod { task: TaskId::new(0) },
+            ModelError::NonPositivePeriod {
+                task: TaskId::new(0),
+            },
             ModelError::InvalidDeadline {
                 task: TaskId::new(0),
                 deadline: Time::ZERO,
@@ -306,8 +314,13 @@ mod tests {
             ModelError::OverlappingClusters {
                 processor: ProcessorId::new(1),
             },
-            ModelError::EmptyCluster { task: TaskId::new(2) },
-            ModelError::PartitionTaskMismatch { clusters: 1, tasks: 2 },
+            ModelError::EmptyCluster {
+                task: TaskId::new(2),
+            },
+            ModelError::PartitionTaskMismatch {
+                clusters: 1,
+                tasks: 2,
+            },
             ModelError::UnassignedGlobalResource {
                 resource: ResourceId::new(0),
             },

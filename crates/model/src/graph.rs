@@ -85,8 +85,8 @@ impl Dag {
             list.sort_unstable();
         }
 
-        let topo = topological_order(vertex_count, &succs, &preds)
-            .ok_or(ModelError::CyclicGraph)?;
+        let topo =
+            topological_order(vertex_count, &succs, &preds).ok_or(ModelError::CyclicGraph)?;
 
         let heads = (0..vertex_count)
             .filter(|&x| preds[x].is_empty())

@@ -151,11 +151,7 @@ pub fn enumerate_signatures(task: &DagTask, cap: usize) -> PathSignatures {
 /// complete paths have been walked (dense DAGs can have combinatorially
 /// many paths even when few signatures are distinct; the visit cap bounds
 /// enumeration time itself). Hitting either cap marks the result truncated.
-pub fn enumerate_signatures_capped(
-    task: &DagTask,
-    cap: usize,
-    visit_cap: u64,
-) -> PathSignatures {
+pub fn enumerate_signatures_capped(task: &DagTask, cap: usize, visit_cap: u64) -> PathSignatures {
     let cap = cap.max(1);
     let visit_cap = visit_cap.max(1);
     let mut seen: HashSet<PathSignature> = HashSet::new();
@@ -279,11 +275,19 @@ mod tests {
         for i in 1..=8u64 {
             b = b.vertex(VertexSpec::new(Time::from_us(10 * i)));
         }
-        let t = b.vertex(VertexSpec::new(Time::from_us(10))).build().unwrap();
+        let t = b
+            .vertex(VertexSpec::new(Time::from_us(10)))
+            .build()
+            .unwrap();
         let sigs = enumerate_signatures(&t, 2);
         assert!(sigs.truncated);
         // The longest path (10 + 80 + 10) must survive truncation.
-        let max_len = sigs.signatures.iter().map(PathSignature::len).max().unwrap();
+        let max_len = sigs
+            .signatures
+            .iter()
+            .map(PathSignature::len)
+            .max()
+            .unwrap();
         assert_eq!(max_len, Time::from_us(100));
     }
 

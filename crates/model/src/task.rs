@@ -264,11 +264,7 @@ impl DagTask {
 
     /// The non-critical WCET `C'_i = C_i − Σ_q N_{i,q} · L_{i,q}`.
     pub fn noncritical_wcet(&self) -> Time {
-        let critical: Time = self
-            .total_requests
-            .keys()
-            .map(|&q| self.cs_demand(q))
-            .sum();
+        let critical: Time = self.total_requests.keys().map(|&q| self.cs_demand(q)).sum();
         self.wcet.saturating_sub(critical)
     }
 
@@ -385,7 +381,10 @@ impl DagTaskBuilder {
         }
         for (&q, &len) in &self.cs_lengths {
             if len.is_zero() {
-                return Err(ModelError::NonPositiveCriticalSection { task: id, resource: q });
+                return Err(ModelError::NonPositiveCriticalSection {
+                    task: id,
+                    resource: q,
+                });
             }
         }
         // Critical-section containment: C_{i,x} ≥ Σ_q N_{i,x,q} · L_{i,q}.

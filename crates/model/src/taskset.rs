@@ -225,7 +225,7 @@ impl TaskSet {
     /// `Σ_i ⌈(C_i − L*_i) / (D_i − L*_i)⌉` over heavy tasks, counting light
     /// tasks as 1 (used by feasibility pre-checks).
     pub fn min_processor_demand(&self) -> usize {
-        self.tasks.iter().map(|t| initial_processors(t)).sum()
+        self.tasks.iter().map(initial_processors).sum()
     }
 }
 
@@ -263,7 +263,9 @@ pub fn initial_processors(task: &DagTask) -> usize {
         })
         .as_ns();
     assert!(den > 0, "heavy task with L* = D cannot be scheduled");
-    usize::try_from(num.div_ceil(den)).unwrap_or(usize::MAX).max(1)
+    usize::try_from(num.div_ceil(den))
+        .unwrap_or(usize::MAX)
+        .max(1)
 }
 
 fn assign_priorities(tasks: &mut [DagTask], assignment: PriorityAssignment) {
@@ -299,17 +301,12 @@ mod tests {
         ResourceId::new(i)
     }
 
-    fn task_using(
-        id: usize,
-        period_ms: u64,
-        resource: Option<(usize, u32)>,
-    ) -> DagTask {
+    fn task_using(id: usize, period_ms: u64, resource: Option<(usize, u32)>) -> DagTask {
         let mut b = DagTask::builder(TaskId::new(id), Time::from_ms(period_ms));
         let v = match resource {
-            Some((q, n)) => VertexSpec::with_requests(
-                Time::from_ms(2),
-                [RequestSpec::new(rid(q), n)],
-            ),
+            Some((q, n)) => {
+                VertexSpec::with_requests(Time::from_ms(2), [RequestSpec::new(rid(q), n)])
+            }
             None => VertexSpec::new(Time::from_ms(2)),
         };
         b = b.vertex(v);
@@ -336,8 +333,7 @@ mod tests {
         let ts = three_task_set();
         let p = |i: usize| ts.task(TaskId::new(i)).priority();
         assert!(p(1) > p(2) && p(2) > p(0)); // periods 10 < 20 < 30
-        let mut levels: Vec<u32> =
-            ts.iter().map(|t| t.priority().level()).collect();
+        let mut levels: Vec<u32> = ts.iter().map(|t| t.priority().level()).collect();
         levels.sort_unstable();
         levels.dedup();
         assert_eq!(levels.len(), 3);
@@ -352,12 +348,8 @@ mod tests {
             .vertex(VertexSpec::new(Time::from_ms(2)))
             .build()
             .unwrap();
-        let ts = TaskSet::with_priorities(
-            vec![t0, t1],
-            0,
-            PriorityAssignment::DeadlineMonotonic,
-        )
-        .unwrap();
+        let ts = TaskSet::with_priorities(vec![t0, t1], 0, PriorityAssignment::DeadlineMonotonic)
+            .unwrap();
         assert!(ts.task(TaskId::new(0)).priority() > ts.task(TaskId::new(1)).priority());
     }
 

@@ -269,9 +269,9 @@ impl fmt::Display for Time {
         let ns = self.0;
         if ns == u64::MAX {
             write!(f, "∞")
-        } else if ns >= 1_000_000_000 && ns % 1_000_000 == 0 {
+        } else if ns >= 1_000_000_000 && ns.is_multiple_of(1_000_000) {
             write!(f, "{}.{:03}s", ns / 1_000_000_000, (ns / 1_000_000) % 1_000)
-        } else if ns >= 1_000_000 && ns % 1_000 == 0 {
+        } else if ns >= 1_000_000 && ns.is_multiple_of(1_000) {
             write!(f, "{}.{:03}ms", ns / 1_000_000, (ns / 1_000) % 1_000)
         } else if ns >= 1_000 {
             write!(f, "{}us", ns / 1_000)

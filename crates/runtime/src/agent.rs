@@ -126,8 +126,12 @@ impl ResourceAgent {
                         s.peak_queue = s.peak_queue.max(queue.len());
                     }
                     if let Some(next) = queue.pop() {
-                        (next.op)();
+                        // Count before running: callers waiting inside the
+                        // op (execute/execute_with signal completion from
+                        // within it) must observe the updated counter as
+                        // soon as they wake.
                         thread_stats.lock().executed += 1;
+                        (next.op)();
                     }
                 }
             })
@@ -197,8 +201,7 @@ impl ResourceAgent {
         resource: ResourceId,
         op: impl FnOnce() -> R + Send + 'static,
     ) -> R {
-        let slot: Arc<(Mutex<Option<R>>, Condvar)> =
-            Arc::new((Mutex::new(None), Condvar::new()));
+        let slot: Arc<(Mutex<Option<R>>, Condvar)> = Arc::new((Mutex::new(None), Condvar::new()));
         let signal = slot.clone();
         self.submit(priority, resource, move || {
             let value = op();
@@ -302,10 +305,9 @@ mod tests {
         let agent = ResourceAgent::spawn(ProcessorId::new(2));
         let counter = Arc::new(AtomicU64::new(41));
         let c = counter.clone();
-        let out =
-            agent.execute_with(Priority::new(1), ResourceId::new(0), move || {
-                c.fetch_add(1, AOrd::SeqCst) + 1
-            });
+        let out = agent.execute_with(Priority::new(1), ResourceId::new(0), move || {
+            c.fetch_add(1, AOrd::SeqCst) + 1
+        });
         assert_eq!(out, 42);
     }
 

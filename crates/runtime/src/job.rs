@@ -105,8 +105,16 @@ impl JobSpec {
         self.workers
     }
 
-    pub(crate) fn into_parts(self) -> (String, Priority, usize, Vec<VertexFn>, Vec<(usize, usize)>) {
-        (self.name, self.priority, self.workers, self.bodies, self.edges)
+    pub(crate) fn into_parts(
+        self,
+    ) -> (String, Priority, usize, Vec<VertexFn>, Vec<(usize, usize)>) {
+        (
+            self.name,
+            self.priority,
+            self.workers,
+            self.bodies,
+            self.edges,
+        )
     }
 }
 

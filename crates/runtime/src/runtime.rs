@@ -45,8 +45,12 @@ impl RuntimeBuilder {
     /// Declares a local resource (accessed through an ordinary lock by
     /// the owning task's vertices).
     pub fn local_resource(mut self, resource: ResourceId) -> Self {
-        self.bindings
-            .insert(resource, Binding::Local { lock: Mutex::new(()) });
+        self.bindings.insert(
+            resource,
+            Binding::Local {
+                lock: Mutex::new(()),
+            },
+        );
         self
     }
 

@@ -294,9 +294,7 @@ impl<'a> Engine<'a> {
             ReleaseModel::Periodic => task.period(),
             ReleaseModel::Sporadic { jitter } => {
                 let extra = self.rng.gen_range(0.0..=jitter.max(0.0));
-                Time::from_ns(
-                    (task.period().as_ns() as f64 * (1.0 + extra)).round() as u64,
-                )
+                Time::from_ns((task.period().as_ns() as f64 * (1.0 + extra)).round() as u64)
             }
         };
         let next = self.now + gap;
@@ -333,13 +331,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Rules 1 and 2.
-    fn issue_local_request(
-        &mut self,
-        job: JobIdx,
-        vertex: usize,
-        resource: ResourceId,
-        len: Time,
-    ) {
+    fn issue_local_request(&mut self, job: JobIdx, vertex: usize, resource: ResourceId, len: Time) {
         let task_id = self.jobs[job].task;
         let state = &mut self.resources[resource.index()];
         if state.holder.is_none() {
@@ -398,9 +390,7 @@ impl<'a> Engine<'a> {
         self.requests.push(request);
 
         let free = self.resources[resource.index()].holder.is_none();
-        let admitted = self.proc_rt[home]
-            .ceiling
-            .admits(effective_priority(prio));
+        let admitted = self.proc_rt[home].ceiling.admits(effective_priority(prio));
         if free && admitted {
             self.grant(req_idx);
         } else {
@@ -411,9 +401,7 @@ impl<'a> Engine<'a> {
 
     /// Does `Π_q ≥ π^H + prio` hold for resource `q`?
     fn ceiling_at_least(&self, q: ResourceId, prio: Priority) -> bool {
-        self.ceilings
-            .ceiling(q)
-            .is_some_and(|c| c.base() >= prio)
+        self.ceilings.ceiling(q).is_some_and(|c| c.base() >= prio)
     }
 
     /// Grants the lock to a request (it joins `RQ^G_k`).
@@ -448,10 +436,11 @@ impl<'a> Engine<'a> {
             let waiting: Vec<ReqIdx> = self.proc_rt[home].sqg.clone();
             for w in waiting {
                 let w_prio = self.requests[w].prio;
-                if prio < w_prio && self.ceiling_at_least(resource, w_prio) {
-                    if !self.requests[w].lp_blockers.contains(&req_idx) {
-                        self.requests[w].lp_blockers.push(req_idx);
-                    }
+                if prio < w_prio
+                    && self.ceiling_at_least(resource, w_prio)
+                    && !self.requests[w].lp_blockers.contains(&req_idx)
+                {
+                    self.requests[w].lp_blockers.push(req_idx);
                 }
             }
         }
@@ -661,13 +650,15 @@ impl<'a> Engine<'a> {
             self.jobs[job].vertices[vertex].holds_local = None;
             if let Some((j2, v2)) = state.local_waiters.pop_front() {
                 // Rule 2 for the waiter: lock and join RQ^L.
-                state.holder = Some(RunItem::Vertex { job: j2, vertex: v2 });
-                let len = match self.jobs[j2].vertices[v2].segments
-                    [self.jobs[j2].vertices[v2].seg_idx]
-                {
-                    Segment::Request { len, .. } => len,
-                    Segment::Work(_) => unreachable!("waiter must sit at a request segment"),
-                };
+                state.holder = Some(RunItem::Vertex {
+                    job: j2,
+                    vertex: v2,
+                });
+                let len =
+                    match self.jobs[j2].vertices[v2].segments[self.jobs[j2].vertices[v2].seg_idx] {
+                        Segment::Request { len, .. } => len,
+                        Segment::Work(_) => unreachable!("waiter must sit at a request segment"),
+                    };
                 let vs2 = &mut self.jobs[j2].vertices[v2];
                 vs2.holds_local = Some(resource);
                 vs2.seg_remaining = len;
@@ -847,7 +838,7 @@ mod tests {
             ..SimConfig::default()
         };
         let result = simulate(&tasks, &partition, &cfg);
-        let has = |f: &dyn Fn(&TraceEvent) -> bool| result.trace.iter().any(|e| f(e));
+        let has = |f: &dyn Fn(&TraceEvent) -> bool| result.trace.iter().any(f);
         assert!(has(&|e| matches!(e, TraceEvent::Release { .. })));
         assert!(has(&|e| matches!(e, TraceEvent::VertexRun { .. })));
         assert!(has(&|e| matches!(e, TraceEvent::AgentRun { .. })));

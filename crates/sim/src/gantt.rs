@@ -72,9 +72,7 @@ pub fn render_gantt(
             let col = (at / bucket) as usize;
             if col < columns {
                 // Prefer showing activity over idleness inside one bucket.
-                if !(cell == Cell::Idle
-                    && matches!(grid[p][col], Some(c) if c != Cell::Idle))
-                {
+                if !(cell == Cell::Idle && matches!(grid[p][col], Some(c) if c != Cell::Idle)) {
                     grid[p][col] = Some(cell);
                 }
             }
@@ -82,9 +80,9 @@ pub fn render_gantt(
         // Extend each state forward until the next recorded start (coarse:
         // bucket granularity; the trace carries exact times).
         let mut last = Cell::Idle;
-        for col in 0..columns {
-            match grid[p][col] {
-                None => grid[p][col] = Some(last),
+        for slot in grid[p].iter_mut().take(columns) {
+            match *slot {
+                None => *slot = Some(last),
                 Some(c) => last = c,
             }
         }
@@ -128,8 +126,7 @@ mod tests {
             ..SimConfig::default()
         };
         let result = simulate(&tasks, &partition, &cfg);
-        let chart =
-            render_gantt(&result.trace, &partition, fig1::unit() * 30, 60).expect("traced");
+        let chart = render_gantt(&result.trace, &partition, fig1::unit() * 30, 60).expect("traced");
         // One row per processor plus header and legend.
         assert_eq!(chart.lines().count(), 4 + 2);
         // The agent on ℘1 must be visible.

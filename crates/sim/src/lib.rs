@@ -34,9 +34,7 @@ pub mod engine;
 pub mod gantt;
 pub mod workload;
 
-pub use config::{
-    BlockingStats, ReleaseModel, SimConfig, SimResult, TaskStats, TraceEvent,
-};
+pub use config::{BlockingStats, ReleaseModel, SimConfig, SimResult, TaskStats, TraceEvent};
 pub use engine::simulate;
 pub use gantt::render_gantt;
 pub use workload::Segment;

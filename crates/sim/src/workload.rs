@@ -64,7 +64,13 @@ pub fn materialize_vertex<R: Rng + ?Sized>(
     // chunks (uniform spacings).
     let chunks = requests.len() + 1;
     let mut cuts: Vec<u64> = (0..chunks - 1)
-        .map(|_| if noncrit == 0 { 0 } else { rng.gen_range(0..=noncrit) })
+        .map(|_| {
+            if noncrit == 0 {
+                0
+            } else {
+                rng.gen_range(0..=noncrit)
+            }
+        })
         .collect();
     cuts.sort_unstable();
     cuts.insert(0, 0);

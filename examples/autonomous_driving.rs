@@ -20,8 +20,7 @@ use dpcp_p::baselines::{FedFp, Lpp, SpinSon};
 use dpcp_p::core::partition::{algorithm1, DpcpAnalyzer, PartitionOutcome, ResourceHeuristic};
 use dpcp_p::core::{AnalysisConfig, SchedAnalyzer};
 use dpcp_p::model::{
-    Dag, DagTask, ModelError, Platform, RequestSpec, ResourceId, TaskId, TaskSet, Time,
-    VertexSpec,
+    Dag, DagTask, ModelError, Platform, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexSpec,
 };
 use dpcp_p::sim::{simulate, SimConfig};
 
@@ -65,12 +64,13 @@ fn planning() -> Result<DagTask, ModelError> {
     edges.push((9, 10));
     let dag = Dag::new(11, edges)?;
     let ms = Time::from_ms;
-    let mut b = DagTask::builder(TaskId::new(1), ms(100))
-        .dag(dag)
-        .vertex(VertexSpec::with_requests(
-            ms(4),
-            [RequestSpec::new(OBJECT_MAP, 2)],
-        )); // context snapshot
+    let mut b =
+        DagTask::builder(TaskId::new(1), ms(100))
+            .dag(dag)
+            .vertex(VertexSpec::with_requests(
+                ms(4),
+                [RequestSpec::new(OBJECT_MAP, 2)],
+            )); // context snapshot
     for _ in 0..8 {
         b = b.vertex(VertexSpec::with_requests(
             ms(22),
@@ -143,7 +143,9 @@ fn main() -> Result<(), ModelError> {
     for analyzer in analyzers {
         let outcome = algorithm1(&tasks, &platform, wfd, analyzer);
         match &outcome {
-            PartitionOutcome::Schedulable { report, partition, .. } => {
+            PartitionOutcome::Schedulable {
+                report, partition, ..
+            } => {
                 let worst = report
                     .task_bounds
                     .iter()
@@ -199,14 +201,12 @@ fn main() -> Result<(), ModelError> {
         println!(
             "  global requests {} | mean grant wait {} | Lemma 1 violations {}",
             result.blocking.global_requests,
-            if result.blocking.global_requests > 0 {
-                Time::from_ns(
-                    result.blocking.total_grant_wait.as_ns()
-                        / result.blocking.global_requests,
-                )
-            } else {
-                Time::ZERO
-            },
+            result
+                .blocking
+                .total_grant_wait
+                .as_ns()
+                .checked_div(result.blocking.global_requests)
+                .map_or(Time::ZERO, Time::from_ns),
             result.lemma1_violations,
         );
         assert_eq!(result.lemma1_violations, 0);

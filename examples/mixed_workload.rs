@@ -12,8 +12,7 @@
 use dpcp_p::core::partition::{algorithm1_mixed, PartitionOutcome, ResourceHeuristic};
 use dpcp_p::core::AnalysisConfig;
 use dpcp_p::model::{
-    Dag, DagTask, ModelError, Platform, RequestSpec, ResourceId, TaskId, TaskSet, Time,
-    VertexSpec,
+    Dag, DagTask, ModelError, Platform, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexSpec,
 };
 
 const SHARED_CACHE: ResourceId = ResourceId::new(0);
@@ -31,11 +30,17 @@ fn main() -> Result<(), ModelError> {
     let heavy = DagTask::builder(TaskId::new(0), ms(50))
         .dag(Dag::new(7, edges)?)
         .vertex(VertexSpec::new(ms(4)))
-        .vertex(VertexSpec::with_requests(ms(22), [RequestSpec::new(SHARED_CACHE, 4)]))
+        .vertex(VertexSpec::with_requests(
+            ms(22),
+            [RequestSpec::new(SHARED_CACHE, 4)],
+        ))
         .vertex(VertexSpec::new(ms(22)))
         .vertex(VertexSpec::new(ms(22)))
         .vertex(VertexSpec::new(ms(22)))
-        .vertex(VertexSpec::with_requests(ms(22), [RequestSpec::new(TELEMETRY, 2)]))
+        .vertex(VertexSpec::with_requests(
+            ms(22),
+            [RequestSpec::new(TELEMETRY, 2)],
+        ))
         .vertex(VertexSpec::new(ms(6)))
         .critical_section(SHARED_CACHE, Time::from_us(80))
         .critical_section(TELEMETRY, Time::from_us(50))
@@ -72,7 +77,11 @@ fn main() -> Result<(), ModelError> {
             "  {}: U = {:.2}, {} ({} vertices)",
             t.id(),
             t.utilization(),
-            if t.is_heavy() { "HEAVY — exclusive cluster" } else { "light — shareable" },
+            if t.is_heavy() {
+                "HEAVY — exclusive cluster"
+            } else {
+                "light — shareable"
+            },
             t.dag().vertex_count(),
         );
     }
@@ -98,7 +107,11 @@ fn main() -> Result<(), ModelError> {
                     "  {} on {:?}{}",
                     t.id(),
                     procs,
-                    if shared { "  (shared with other light tasks)" } else { "" }
+                    if shared {
+                        "  (shared with other light tasks)"
+                    } else {
+                        ""
+                    }
                 );
             }
             for (q, p) in partition.resource_homes() {

@@ -50,10 +50,8 @@ fn main() {
         ] {
             match assign_resources(&tasks, &layout, h) {
                 Some(homes) => {
-                    let placed: Vec<String> = homes
-                        .iter()
-                        .map(|(q, p)| format!("{q}→{p}"))
-                        .collect();
+                    let placed: Vec<String> =
+                        homes.iter().map(|(q, p)| format!("{q}→{p}")).collect();
                     println!("  {h}: {}", placed.join(", "));
                 }
                 None => println!("  {h}: infeasible"),

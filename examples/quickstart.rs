@@ -54,11 +54,7 @@ fn main() -> Result<(), ModelError> {
     };
     println!("  schedulable after {rounds} round(s)");
     for t in tasks.iter() {
-        println!(
-            "  {} runs on {:?}",
-            t.id(),
-            partition.cluster(t.id())
-        );
+        println!("  {} runs on {:?}", t.id(), partition.cluster(t.id()));
     }
     for (q, p) in partition.resource_homes() {
         println!("  global {q} is homed on {p} (its agent executes there)");

@@ -47,7 +47,10 @@ fn accepted_systems_hold_up_in_simulation() {
             continue;
         };
         let outcome = partition_and_analyze(&tasks, &platform, WFD, AnalysisConfig::ep());
-        let PartitionOutcome::Schedulable { partition, report, .. } = outcome else {
+        let PartitionOutcome::Schedulable {
+            partition, report, ..
+        } = outcome
+        else {
             continue;
         };
         let result = simulate(
@@ -74,7 +77,10 @@ fn accepted_systems_hold_up_in_simulation() {
         }
         validated += 1;
     }
-    assert!(validated >= 5, "only {validated} schedulable draws; test too weak");
+    assert!(
+        validated >= 5,
+        "only {validated} schedulable draws; test too weak"
+    );
 }
 
 #[test]
@@ -88,12 +94,15 @@ fn ep_bound_never_exceeds_en_bound_on_same_partition() {
         // Fix the partition with EN (coarser), then compare both analyses
         // on that same placement.
         let en_outcome = partition_and_analyze(&tasks, &platform, WFD, AnalysisConfig::en());
-        let PartitionOutcome::Schedulable { partition, report: en_report, .. } = en_outcome
+        let PartitionOutcome::Schedulable {
+            partition,
+            report: en_report,
+            ..
+        } = en_outcome
         else {
             continue;
         };
-        let ep_report =
-            dpcp_p::core::analysis::analyze(&tasks, &partition, &AnalysisConfig::ep());
+        let ep_report = dpcp_p::core::analysis::analyze(&tasks, &partition, &AnalysisConfig::ep());
         for (ep, en) in ep_report.task_bounds.iter().zip(&en_report.task_bounds) {
             let (Some(ep_w), Some(en_w)) = (ep.wcrt, en.wcrt) else {
                 panic!("seed {seed}: converged EN must imply converged EP");
@@ -132,7 +141,10 @@ fn acceptance_ordering_fed_ep_en() {
             assert!(fed_ok, "seed {seed}: EP accepted but FED-FP rejected");
         }
     }
-    assert!(seen_en >= 3, "EN accepted too few sets ({seen_en}) for coverage");
+    assert!(
+        seen_en >= 3,
+        "EN accepted too few sets ({seen_en}) for coverage"
+    );
 }
 
 #[test]
@@ -182,7 +194,10 @@ fn sporadic_releases_also_respect_bounds() {
             continue;
         };
         let outcome = partition_and_analyze(&tasks, &platform, WFD, AnalysisConfig::ep());
-        let PartitionOutcome::Schedulable { partition, report, .. } = outcome else {
+        let PartitionOutcome::Schedulable {
+            partition, report, ..
+        } = outcome
+        else {
             continue;
         };
         let result = simulate(

@@ -1,9 +1,9 @@
 //! Integration tests for the mixed heavy/light extension (Sec. VI).
 
+use dpcp_p::core::analysis::{AnalysisConfig, SignatureCache};
 use dpcp_p::core::partition::{
     algorithm1_mixed, analyze_mixed, PartitionOutcome, ResourceHeuristic,
 };
-use dpcp_p::core::analysis::{AnalysisConfig, SignatureCache};
 use dpcp_p::model::{
     Dag, DagTask, Platform, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexSpec,
 };
@@ -50,9 +50,7 @@ fn random_mixed_set(seed: u64, n_light: usize) -> TaskSet {
     let mut tasks = vec![heavy];
     for i in 0..n_light {
         let period = Time::from_ms(rng.gen_range(15..60));
-        let wcet = Time::from_ns(
-            (period.as_ns() as f64 * rng.gen_range(0.1..0.45)) as u64,
-        );
+        let wcet = Time::from_ns((period.as_ns() as f64 * rng.gen_range(0.1..0.45)) as u64);
         tasks.push(
             DagTask::builder(TaskId::new(1 + i), period)
                 .vertex(VertexSpec::with_requests(
@@ -88,14 +86,20 @@ fn heavy_clusters_stay_exclusive_lights_may_share() {
     for seed in 0..20u64 {
         let tasks = random_mixed_set(seed, 4);
         let outcome = algorithm1_mixed(&tasks, &platform, WFD, AnalysisConfig::ep());
-        let PartitionOutcome::Schedulable { partition, report, .. } = outcome else {
+        let PartitionOutcome::Schedulable {
+            partition, report, ..
+        } = outcome
+        else {
             continue;
         };
         accepted += 1;
         assert!(report.schedulable);
         // The heavy task's processors are never shared.
         for &p in partition.cluster(TaskId::new(0)) {
-            assert!(!partition.is_shared(p), "seed {seed}: heavy processor shared");
+            assert!(
+                !partition.is_shared(p),
+                "seed {seed}: heavy processor shared"
+            );
         }
         // Light tasks sit on exactly one processor each.
         for t in tasks.iter().skip(1) {
@@ -106,7 +110,10 @@ fn heavy_clusters_stay_exclusive_lights_may_share() {
             assert!(tb.wcrt.expect("bound exists") <= tasks.task(tb.task).deadline());
         }
     }
-    assert!(accepted >= 8, "only {accepted} mixed sets accepted — coverage too thin");
+    assert!(
+        accepted >= 8,
+        "only {accepted} mixed sets accepted — coverage too thin"
+    );
 }
 
 #[test]
@@ -133,12 +140,18 @@ fn analyze_mixed_matches_partition_outcome_report() {
     let tasks = random_mixed_set(3, 3);
     let cfg = AnalysisConfig::ep();
     let outcome = algorithm1_mixed(&tasks, &platform, WFD, cfg.clone());
-    let PartitionOutcome::Schedulable { partition, report, .. } = outcome else {
+    let PartitionOutcome::Schedulable {
+        partition, report, ..
+    } = outcome
+    else {
         panic!("seed 3 must be schedulable on 8 processors");
     };
     let cache = SignatureCache::new(&tasks, &cfg);
     let again = analyze_mixed(&tasks, &partition, &cfg, &cache);
-    assert_eq!(report, again, "re-analysis of the accepted partition must agree");
+    assert_eq!(
+        report, again,
+        "re-analysis of the accepted partition must agree"
+    );
 }
 
 #[test]

@@ -34,7 +34,10 @@ fn fig1_resource_scopes_match() {
 fn lemma1_holds_at_runtime() {
     let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
     for seed in 0..15u64 {
-        for release in [ReleaseModel::Periodic, ReleaseModel::Sporadic { jitter: 0.4 }] {
+        for release in [
+            ReleaseModel::Periodic,
+            ReleaseModel::Sporadic { jitter: 0.4 },
+        ] {
             let result = simulate(
                 &tasks,
                 &partition,
@@ -96,7 +99,10 @@ fn lemma1_holds_on_generated_contention() {
             break;
         }
     }
-    assert!(simulated >= 3, "not enough schedulable contended systems simulated");
+    assert!(
+        simulated >= 3,
+        "not enough schedulable contended systems simulated"
+    );
 }
 
 /// Sec. VII / Table 2 first row: DPCP-p-EP never loses to DPCP-p-EN.

@@ -1,5 +1,10 @@
-//! Property-based tests (proptest) on the core data structures and the
+//! Randomized property tests on the core data structures and the
 //! analysis/simulation invariants.
+//!
+//! Each property is exercised over a deterministic sweep of seeds (the
+//! offline container has no proptest, so the former proptest strategies
+//! are driven by an explicit `StdRng` stream; failures print the seed so
+//! a case can be replayed by hand).
 
 use dpcp_p::core::partition::{partition_and_analyze, PartitionOutcome, ResourceHeuristic};
 use dpcp_p::core::protocol::{effective_priority, ProcessorCeiling};
@@ -10,53 +15,55 @@ use dpcp_p::model::{
     enumerate_signatures, Dag, PathSignature, Platform, Priority, TaskId, TaskSet, Time,
 };
 use dpcp_p::sim::{simulate, SimConfig};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random DAG as (vertex count, edge seed, density).
-fn dag_strategy() -> impl Strategy<Value = Dag> {
-    (2usize..24, any::<u64>(), 0.0f64..0.5).prop_map(|(n, seed, p)| {
-        erdos_renyi_dag(n, p, &mut StdRng::seed_from_u64(seed))
-    })
+/// A random DAG like the former proptest strategy: 2–23 vertices, edge
+/// density up to 0.5.
+fn random_dag(rng: &mut StdRng) -> Dag {
+    let n = rng.gen_range(2usize..24);
+    let p = rng.gen_range(0.0f64..0.5);
+    let seed: u64 = rng.gen();
+    erdos_renyi_dag(n, p, &mut StdRng::seed_from_u64(seed))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn topological_order_is_consistent(dag in dag_strategy()) {
+#[test]
+fn topological_order_is_consistent() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let dag = random_dag(&mut rng);
         let topo = dag.topological_order();
-        prop_assert_eq!(topo.len(), dag.vertex_count());
+        assert_eq!(topo.len(), dag.vertex_count(), "case {case}");
         let pos = |v: dpcp_p::model::VertexId| {
-            topo.iter().position(|&x| x == v).expect("all vertices present")
+            topo.iter()
+                .position(|&x| x == v)
+                .expect("all vertices present")
         };
         for v in dag.vertices() {
             for &s in dag.successors(v) {
-                prop_assert!(pos(v) < pos(s));
+                assert!(pos(v) < pos(s), "case {case}: edge against topo order");
             }
         }
     }
+}
 
-    #[test]
-    fn longest_path_dominates_every_enumerated_path(
-        dag in dag_strategy(),
-        weight_seed in any::<u64>(),
-    ) {
-        use rand::Rng;
-        let mut rng = StdRng::seed_from_u64(weight_seed);
+#[test]
+fn longest_path_dominates_every_enumerated_path() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let dag = random_dag(&mut rng);
         let weights: Vec<Time> = (0..dag.vertex_count())
             .map(|_| Time::from_ns(rng.gen_range(0..1000)))
             .collect();
         let (lstar, witness) = dag.longest_path(&weights);
-        prop_assert!(dag.is_complete_path(&witness));
+        assert!(dag.is_complete_path(&witness), "case {case}");
         let witness_len: Time = witness.iter().map(|v| weights[v.index()]).sum();
-        prop_assert_eq!(witness_len, lstar);
+        assert_eq!(witness_len, lstar, "case {case}");
         // Bounded enumeration (dense random DAGs stay tiny here).
         let mut checked = 0usize;
         dag.for_each_path(|path| {
             let len: Time = path.iter().map(|v| weights[v.index()]).sum();
-            assert!(len <= lstar, "path longer than L*");
+            assert!(len <= lstar, "case {case}: path longer than L*");
             checked += 1;
             if checked > 5000 {
                 core::ops::ControlFlow::Break(())
@@ -64,53 +71,65 @@ proptest! {
                 core::ops::ControlFlow::<()>::Continue(())
             }
         });
-        prop_assert!(checked > 0);
+        assert!(checked > 0, "case {case}");
     }
+}
 
-    #[test]
-    fn path_count_matches_enumeration_on_small_dags(
-        n in 2usize..10,
-        seed in any::<u64>(),
-        p in 0.0f64..0.6,
-    ) {
+#[test]
+fn path_count_matches_enumeration_on_small_dags() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let n = rng.gen_range(2usize..10);
+        let p = rng.gen_range(0.0f64..0.6);
+        let seed: u64 = rng.gen();
         let dag = erdos_renyi_dag(n, p, &mut StdRng::seed_from_u64(seed));
         let counted = dag.path_count();
         let enumerated = dag.all_paths().len() as f64;
-        prop_assert_eq!(counted, enumerated);
+        assert_eq!(counted, enumerated, "case {case}");
     }
+}
 
-    #[test]
-    fn rand_fixed_sum_invariants(
-        n in 1usize..16,
-        frac in 0.0f64..=1.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn rand_fixed_sum_invariants() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(3000 + case);
+        let n = rng.gen_range(1usize..16);
+        let frac = rng.gen_range(0.0f64..=1.0);
         let (a, b) = (1.0, 4.0);
         let sum = n as f64 * (a + frac * (b - a));
-        let xs = rand_fixed_sum(n, sum, a, b, &mut StdRng::seed_from_u64(seed))
-            .expect("feasible by construction");
-        prop_assert_eq!(xs.len(), n);
+        let xs = rand_fixed_sum(n, sum, a, b, &mut rng).expect("feasible by construction");
+        assert_eq!(xs.len(), n, "case {case}");
         let total: f64 = xs.iter().sum();
-        prop_assert!((total - sum).abs() < 1e-6);
+        assert!(
+            (total - sum).abs() < 1e-6,
+            "case {case}: sum off by {}",
+            total - sum
+        );
         for &x in &xs {
-            prop_assert!(x >= a - 1e-9 && x <= b + 1e-9);
+            assert!(
+                x >= a - 1e-9 && x <= b + 1e-9,
+                "case {case}: {x} out of [{a}, {b}]"
+            );
         }
     }
+}
 
-    #[test]
-    fn generated_tasks_respect_paper_constraints(
-        seed in any::<u64>(),
-        u in 1.05f64..3.0,
-    ) {
+#[test]
+fn generated_tasks_respect_paper_constraints() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(4000 + case);
+        let u = rng.gen_range(1.05f64..3.0);
         let params = TaskGenParams {
             vertex_range: (10, 40),
             ..TaskGenParams::default()
         };
-        let mut rng = StdRng::seed_from_u64(seed);
         let t = generate_task(&params, TaskId::new(0), u, 4, &mut rng)
             .expect("generation succeeds for moderate utilizations");
         // L* < D/2 (Sec. VII-A plausibility).
-        prop_assert!(t.longest_path_len().as_ns() < t.deadline().as_ns() / 2 + 1);
+        assert!(
+            t.longest_path_len().as_ns() < t.deadline().as_ns() / 2 + 1,
+            "case {case}"
+        );
         // C_{i,x} ≥ Σ_q N_{i,x,q} · L_{i,q} per vertex.
         for v in t.dag().vertices() {
             let spec = t.vertex(v);
@@ -119,45 +138,55 @@ proptest! {
                 .iter()
                 .map(|r| t.cs_length(r.resource).expect("declared") * u64::from(r.count))
                 .sum();
-            prop_assert!(spec.wcet() >= cs);
+            assert!(spec.wcet() >= cs, "case {case}");
         }
         // Utilization within rounding of the target.
-        prop_assert!((t.utilization() - u).abs() / u < 0.02);
+        assert!((t.utilization() - u).abs() / u < 0.02, "case {case}");
     }
+}
 
-    #[test]
-    fn path_signatures_are_conservative_abstractions(
-        seed in any::<u64>(),
-        u in 1.05f64..2.5,
-    ) {
+#[test]
+fn path_signatures_are_conservative_abstractions() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(5000 + case);
+        let u = rng.gen_range(1.05f64..2.5);
         let params = TaskGenParams {
             vertex_range: (10, 24),
             ..TaskGenParams::default()
         };
-        let mut rng = StdRng::seed_from_u64(seed);
-        let t = generate_task(&params, TaskId::new(0), u, 3, &mut rng)
-            .expect("generation succeeds");
+        let t =
+            generate_task(&params, TaskId::new(0), u, 3, &mut rng).expect("generation succeeds");
         let sigs = enumerate_signatures(&t, 512);
         // The longest-path signature must be present and maximal in length.
-        let max_len = sigs.signatures.iter().map(PathSignature::len).max().unwrap();
-        prop_assert_eq!(max_len, t.longest_path_len());
+        let max_len = sigs
+            .signatures
+            .iter()
+            .map(PathSignature::len)
+            .max()
+            .unwrap();
+        assert_eq!(max_len, t.longest_path_len(), "case {case}");
         // Every signature's request counts are bounded by the task totals.
         for sig in &sigs.signatures {
             for &(q, n) in sig.requests() {
-                prop_assert!(n <= t.total_requests(q));
+                assert!(n <= t.total_requests(q), "case {case}");
             }
-            prop_assert!(sig.len() <= t.longest_path_len());
-            prop_assert!(sig.noncritical_len() <= sig.len());
+            assert!(sig.len() <= t.longest_path_len(), "case {case}");
+            assert!(sig.noncritical_len() <= sig.len(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn processor_ceiling_is_a_max_multiset(ops in proptest::collection::vec(0u32..8, 1..40)) {
-        // Interleave locks/unlocks randomly; current() must equal the max
-        // of the locked multiset at every step.
+#[test]
+fn processor_ceiling_is_a_max_multiset() {
+    // Interleave locks/unlocks randomly; current() must equal the max
+    // of the locked multiset at every step.
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(6000 + case);
+        let op_count = rng.gen_range(1usize..40);
         let mut pc = ProcessorCeiling::new();
         let mut locked: Vec<u32> = Vec::new();
-        for op in ops {
+        for _ in 0..op_count {
+            let op = rng.gen_range(0u32..8);
             if locked.len() > 4 || (!locked.is_empty() && op % 2 == 0) {
                 let idx = (op as usize) % locked.len();
                 let c = locked.swap_remove(idx);
@@ -170,17 +199,18 @@ proptest! {
                 .iter()
                 .max()
                 .map(|&c| effective_priority(Priority::new(c)));
-            prop_assert_eq!(pc.current(), expected);
+            assert_eq!(pc.current(), expected, "case {case}");
         }
     }
 }
 
-proptest! {
-    // Simulation properties are costlier; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn simulator_respects_bounds_on_random_systems(seed in 0u64..10_000) {
+#[test]
+fn simulator_respects_bounds_on_random_systems() {
+    // Simulation properties are costlier; fewer cases. Seeds that fail
+    // generation or schedulability are skipped, so a coverage floor below
+    // guards against the test passing vacuously.
+    let mut validated = 0usize;
+    for seed in 0u64..12 {
         let scenario = dpcp_p::gen::scenario::Scenario {
             m: 8,
             nr_range: (2, 3),
@@ -191,7 +221,7 @@ proptest! {
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let Ok(tasks) = scenario.sample_task_set(3.0, &mut rng) else {
-            return Ok(());
+            continue;
         };
         let platform = Platform::new(8).expect("valid platform");
         let outcome = partition_and_analyze(
@@ -200,8 +230,11 @@ proptest! {
             ResourceHeuristic::WorstFitDecreasing,
             AnalysisConfig::ep(),
         );
-        let PartitionOutcome::Schedulable { partition, report, .. } = outcome else {
-            return Ok(());
+        let PartitionOutcome::Schedulable {
+            partition, report, ..
+        } = outcome
+        else {
+            continue;
         };
         let result = simulate(
             &tasks,
@@ -212,13 +245,22 @@ proptest! {
                 ..SimConfig::default()
             },
         );
-        prop_assert_eq!(result.lemma1_violations, 0);
-        prop_assert_eq!(result.work_conservation_violations, 0);
-        prop_assert_eq!(result.deadline_misses(), 0);
+        assert_eq!(result.lemma1_violations, 0, "seed {seed}");
+        assert_eq!(result.work_conservation_violations, 0, "seed {seed}");
+        assert_eq!(result.deadline_misses(), 0, "seed {seed}");
         for (tb, st) in report.task_bounds.iter().zip(&result.per_task) {
-            prop_assert!(st.max_response <= tb.wcrt.expect("bound exists"));
+            assert!(
+                st.max_response <= tb.wcrt.expect("bound exists"),
+                "seed {seed}: observed response beats the proven bound"
+            );
         }
+        validated += 1;
     }
+    assert!(
+        validated >= 4,
+        "only {validated}/12 seeds produced a schedulable system — the \
+         property was barely exercised"
+    );
 }
 
 #[test]

@@ -1,0 +1,433 @@
+//! Offline subset of `rayon`.
+//!
+//! The container has no crates.io access, so the workspace vendors the
+//! slice of the rayon API its pipelines use: `into_par_iter()` /
+//! `par_iter()` with `map`, `reduce`, `for_each`, `sum` and
+//! `collect::<Vec<_>>()`, plus [`ThreadPoolBuilder`] with
+//! [`ThreadPool::install`] for explicit thread counts.
+//!
+//! Execution model: every adaptor chain bottoms out in an indexed source
+//! of known length; terminal operations split the index space into one
+//! contiguous chunk per worker and run the chunks on `std::thread::scope`
+//! threads. That preserves rayon's key contract for this workspace —
+//! `reduce` combines per-chunk folds with an associative operator, so
+//! results are independent of the worker count — without a work-stealing
+//! runtime. The worker count is, in order: the innermost
+//! [`ThreadPool::install`] scope, else `RAYON_NUM_THREADS`, else
+//! `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    //! The traits a `use rayon::prelude::*` is expected to bring in.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads terminal operations will use on this
+/// thread.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (never produced by this
+/// implementation; kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl core::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an explicit-width [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this implementation.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical pool: parallel operations run under [`ThreadPool::install`]
+/// use its worker count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count as the ambient default.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        // Restore through a drop guard so a panicking `f` cannot leak this
+        // pool's width into later parallel work on the thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|c| c.replace(self.num_threads)));
+        f()
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+/// Runs `produce(i)` for every `i < n` on `threads` workers, returning the
+/// per-chunk outputs folded by `fold`/`finish` in index order.
+fn run_chunks<T: Send>(n: usize, produce: &(impl Fn(usize, &mut Vec<T>) + Sync)) -> Vec<Vec<T>> {
+    let threads = current_num_threads().clamp(1, n.max(1));
+    let chunk = n.div_ceil(threads);
+    if threads <= 1 || n <= 1 {
+        let mut out = Vec::new();
+        for i in 0..n {
+            produce(i, &mut out);
+        }
+        return vec![out];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                    for i in lo..hi {
+                        produce(i, &mut out);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+/// An indexed parallel iterator (every source in this subset has a known
+/// length and random access).
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of elements.
+    fn par_len(&self) -> usize;
+
+    /// Produces the element at `index`.
+    fn par_get(&self, index: usize) -> Self::Item;
+
+    /// Maps every element through `f`.
+    fn map<T: Send, F: Fn(Self::Item) -> T + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Reduces with an associative operator; `identity` seeds every chunk.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let chunks = run_chunks(self.par_len(), &|i, out: &mut Vec<Self::Item>| {
+            let item = self.par_get(i);
+            match out.pop() {
+                Some(acc) => out.push(op(acc, item)),
+                None => out.push(item),
+            }
+        });
+        chunks.into_iter().flatten().fold(identity(), &op)
+    }
+
+    /// Runs `f` on every element.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        run_chunks(self.par_len(), &|i, _out: &mut Vec<()>| f(self.par_get(i)));
+    }
+
+    /// Sums the elements.
+    fn sum<S>(self) -> S
+    where
+        S: Send + core::iter::Sum<Self::Item> + core::iter::Sum<S>,
+    {
+        let chunks = run_chunks(self.par_len(), &|i, out: &mut Vec<Self::Item>| {
+            out.push(self.par_get(i))
+        });
+        chunks
+            .into_iter()
+            .map(|chunk| chunk.into_iter().sum::<S>())
+            .sum()
+    }
+
+    /// Collects into `C` (use `collect::<Vec<_>>()`), preserving order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        let chunks = run_chunks(self.par_len(), &|i, out: &mut Vec<Self::Item>| {
+            out.push(self.par_get(i))
+        });
+        let mut all = Vec::with_capacity(self.par_len());
+        for chunk in chunks {
+            all.extend(chunk);
+        }
+        C::from(all)
+    }
+}
+
+/// A mapped parallel iterator.
+#[derive(Debug)]
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, T, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    T: Send,
+    F: Fn(B::Item) -> T + Sync,
+{
+    type Item = T;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, index: usize) -> T {
+        (self.f)(self.base.par_get(index))
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on references to collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: Send + 'a;
+
+    /// Iterates by reference.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: ?Sized + 'a> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoParallelIterator,
+{
+    type Iter = <&'a T as IntoParallelIterator>::Iter;
+    type Item = <&'a T as IntoParallelIterator>::Item;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// A parallel range iterator.
+#[derive(Debug)]
+pub struct RangeParIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Iter = RangeParIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeParIter { start: self.start, len }
+            }
+        }
+
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+
+            fn par_len(&self) -> usize {
+                self.len
+            }
+
+            fn par_get(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+    )*};
+}
+
+impl_range_par!(usize, u64, u32, i64, i32);
+
+/// A parallel slice iterator.
+#[derive(Debug)]
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn par_get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T>
+where
+    T: Clone,
+{
+    type Iter = VecParIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// A parallel owning vector iterator (elements are cloned out; the
+/// workspace only moves cheap values through it).
+#[derive(Debug)]
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync + Clone> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn par_get(&self, index: usize) -> T {
+        self.items[index].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let par: u64 = (0u64..1000)
+            .into_par_iter()
+            .map(|x| x * x)
+            .reduce(|| 0, |a, b| a + b);
+        let seq: u64 = (0u64..1000).map(|x| x * x).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn reduce_is_thread_count_independent() {
+        let run = |threads| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    (0usize..101)
+                        .into_par_iter()
+                        .map(|x| x as u64)
+                        .reduce(|| 0, |a, b| a + b)
+                })
+        };
+        assert_eq!(run(1), run(7));
+        assert_eq!(run(1), 5050);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0usize..50).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slices_iterate_by_ref() {
+        let data: Vec<u32> = (0..100).collect();
+        let total: u32 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+}

@@ -1,0 +1,438 @@
+//! Offline subset of `serde`.
+//!
+//! The container has no crates.io access, so the workspace vendors a
+//! value-tree serialization model under the familiar `serde` names:
+//! [`Serialize`] turns a value into a [`Value`] tree, [`Deserialize`]
+//! rebuilds it, and `serde_json` renders/parses the tree as JSON text.
+//! `#[derive(Serialize, Deserialize)]` works as usual (provided by the
+//! vendored `serde_derive`); the `#[serde(transparent)]` helper attribute
+//! is accepted, and newtype structs serialize transparently by default,
+//! matching real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A serialized value tree (the subset of JSON's data model we need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer (only produced for negative values).
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+const NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup on objects; `Null` for misses and non-objects.
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// Element lookup on arrays; `Null` for misses and non-arrays.
+    pub fn element(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialization from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not match `Self`'s shape.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitives ----
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::U64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::I64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::U64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::I64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::U64(x) => Ok(*x as f64),
+            Value::I64(x) => Ok(*x as f64),
+            _ => Err(Error::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// ---- composites ----
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(value)?;
+        <[T; N]>::try_from(items).map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                Ok(($($name::deserialize(value.element($idx))?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Maps serialize as arrays of `[key, value]` pairs: this workspace keys
+/// maps by typed ids, which JSON objects (string keys only) cannot carry
+/// losslessly.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| {
+                    Ok((
+                        K::deserialize(pair.element(0))?,
+                        V::deserialize(pair.element(1))?,
+                    ))
+                })
+                .collect(),
+            _ => Err(Error::custom("expected array of pairs")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| {
+                    Ok((
+                        K::deserialize(pair.element(0))?,
+                        V::deserialize(pair.element(1))?,
+                    ))
+                })
+                .collect(),
+            _ => Err(Error::custom("expected array of pairs")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u32> = Some(3);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&some.serialize()), Ok(Some(3)));
+        assert_eq!(Option::<u32>::deserialize(&none.serialize()), Ok(None));
+    }
+
+    #[test]
+    fn nested_collections_roundtrip() {
+        let m: BTreeMap<u32, Vec<(u64, u64)>> =
+            [(1, vec![(2, 3)]), (4, vec![])].into_iter().collect();
+        let v = m.serialize();
+        assert_eq!(BTreeMap::deserialize(&v), Ok(m));
+        let arr = [[1usize, 2], [3, 4]];
+        assert_eq!(<[[usize; 2]; 2]>::deserialize(&arr.serialize()), Ok(arr));
+    }
+
+    #[test]
+    fn field_lookup_defaults_to_null() {
+        let v = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(v.field("a"), &Value::U64(1));
+        assert_eq!(v.field("b"), &Value::Null);
+        assert_eq!(v.element(0), &Value::Null);
+    }
+}
