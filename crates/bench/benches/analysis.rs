@@ -14,7 +14,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpcp_baselines::{FedFp, Lpp, SpinSon};
 use dpcp_bench::panel_task_set;
-use dpcp_core::analysis::wcrt::{wcrt_for_signature, wcrt_over_signatures_with};
+use dpcp_core::analysis::wcrt::{
+    wcrt_for_signature, wcrt_for_signature_direct, wcrt_for_signature_with,
+    wcrt_over_signatures_direct, wcrt_over_signatures_with,
+};
 use dpcp_core::analysis::{analyze, AnalysisContext, EvalScratch, SignatureCache};
 use dpcp_core::partition::{algorithm1, assign_resources, DpcpAnalyzer, ResourceHeuristic};
 use dpcp_core::{AnalysisConfig, SchedAnalyzer};
@@ -150,6 +153,41 @@ fn bench_wcrt_signature(c: &mut Criterion) {
                 ))
             })
         },
+    );
+    group.finish();
+
+    // The incremental fixed-point engine vs the per-iterate scan
+    // reference. Alternating two signatures keeps the warm-start memo from
+    // short-circuiting the tabled side into a pure memo-hit measurement.
+    let mut group = c.benchmark_group("fixed_point");
+    let second = sigs.signatures.get(1).unwrap_or(longest);
+    group.bench_function("signature_direct_scan", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let sig = if flip { longest } else { second };
+            black_box(wcrt_for_signature_direct(&ctx, busiest, sig, &cfg))
+        })
+    });
+    group.bench_function("signature_prefix_tables", |b| {
+        let mut scratch = EvalScratch::new();
+        scratch.reset_for_task();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let sig = if flip { longest } else { second };
+            black_box(wcrt_for_signature_with(
+                &ctx,
+                busiest,
+                sig,
+                &cfg,
+                &mut scratch,
+            ))
+        })
+    });
+    group.bench_function(
+        BenchmarkId::new("task_direct_scan", sigs.signatures.len()),
+        |b| b.iter(|| black_box(wcrt_over_signatures_direct(&ctx, busiest, sigs, &cfg))),
     );
     group.finish();
 }

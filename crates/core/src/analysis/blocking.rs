@@ -48,7 +48,7 @@ impl EpsilonTable {
             if n == 0 || !ctx.tasks.is_global(q) {
                 continue;
             }
-            let Some(home) = ctx.partition.home_of(q) else {
+            let Some(home) = ctx.home_of(q) else {
                 continue;
             };
             let add = per_request(q).saturating_mul(u64::from(n));
@@ -100,6 +100,21 @@ pub fn inter_task_blocking(
     eps.iter().map(|(k, e)| e.min(zeta(ctx, i, k, r))).sum()
 }
 
+/// [`inter_task_blocking`] with `ζ^k` read from the per-task demand tables
+/// instead of rescanning the task set — bit-identical, since the tables
+/// memoize [`zeta`] at every η breakpoint.
+pub fn inter_task_blocking_tabled(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    eps: &EpsilonTable,
+    tables: &super::demand::DemandTables,
+    r: Time,
+) -> Time {
+    eps.iter()
+        .map(|(k, e)| e.min(tables.zeta_at(ctx, i, k, r)))
+        .sum()
+}
+
 /// Intra-task blocking `b_i` for a concrete path signature (Lemma 4):
 ///
 /// - local term (Eq. 6): `Σ_{q ∈ Φ^L ∩ Φ(τ_i)} min(1, N^λ_q) ·
@@ -143,6 +158,43 @@ pub fn intra_task_blocking(ctx: &AnalysisContext<'_>, i: TaskId, sig: &PathSigna
             let off_path = n - sig.request_count(q).min(n);
             if off_path > 0 {
                 let len = task.cs_length(q).unwrap_or(Time::ZERO);
+                total = total.saturating_add(len.saturating_mul(u64::from(off_path)));
+            }
+        }
+    }
+    total
+}
+
+/// [`intra_task_blocking`] over the pre-gathered per-task lists of the
+/// demand tables — the same Lemma 4 sums without the per-signature
+/// `BTreeMap` lookups.
+pub fn intra_task_blocking_sig_tabled(
+    tables: &super::demand::DemandTables,
+    sig: &PathSignature,
+) -> Time {
+    let mut total = Time::ZERO;
+
+    // Eq. (6): local resources the path itself uses.
+    for &(q, n, len) in tables.local_resources() {
+        let n_path = sig.request_count(q);
+        if n_path == 0 {
+            continue;
+        }
+        let off_path = n - n_path;
+        if off_path > 0 {
+            total = total.saturating_add(len.saturating_mul(u64::from(off_path)));
+        }
+    }
+
+    // Eq. (7): processors hosting a global resource the path requests.
+    for list in tables.eq7_lists() {
+        let sigma = list.iter().any(|&(u, _, _)| sig.request_count(u) > 0);
+        if !sigma {
+            continue;
+        }
+        for &(q, n, len) in list {
+            let off_path = n - sig.request_count(q).min(n);
+            if off_path > 0 {
                 total = total.saturating_add(len.saturating_mul(u64::from(off_path)));
             }
         }

@@ -33,6 +33,9 @@ pub struct AnalysisContext<'a> {
     /// Ceiling of each resource as a base priority
     /// (`Π_q − π^H = max_{τ_j ∈ τ(ℓ_q)} π_j`); `None` for unused resources.
     ceiling_base: Vec<Option<Priority>>,
+    /// Dense mirror of the partition's resource-home map (the `BTreeMap`
+    /// lookup is too slow for the per-signature hot path).
+    home: Vec<Option<ProcessorId>>,
     /// `cs_demand_on[j][k] = Σ_{q ∈ Φ(℘_k)} N_{j,q} · L_{j,q}` — task `j`'s
     /// total global critical-section demand on processor `k`.
     cs_demand_on: Vec<Vec<Time>>,
@@ -52,7 +55,14 @@ impl<'a> AnalysisContext<'a> {
             .filter(|&k| !proc_resources[k].is_empty())
             .map(ProcessorId::new)
             .collect();
-        let ceiling_base = tasks.resources().map(|q| tasks.ceiling(q)).collect();
+        let ceiling_base: Vec<Option<Priority>> =
+            tasks.resources().map(|q| tasks.ceiling(q)).collect();
+        let mut home: Vec<Option<ProcessorId>> = vec![None; ceiling_base.len()];
+        for (q, p) in partition.resource_homes() {
+            if q.index() < home.len() {
+                home[q.index()] = Some(p);
+            }
+        }
         let cs_demand_on = tasks
             .iter()
             .map(|t| {
@@ -69,8 +79,16 @@ impl<'a> AnalysisContext<'a> {
             proc_resources,
             resource_processors,
             ceiling_base,
+            home,
             cs_demand_on,
         }
+    }
+
+    /// The home processor of `ℓ_q` — a dense-array mirror of
+    /// [`Partition::home_of`], for the analysis hot paths.
+    #[inline]
+    pub fn home_of(&self, q: ResourceId) -> Option<ProcessorId> {
+        self.home.get(q.index()).copied().flatten()
     }
 
     /// The task being described by `id`.
@@ -95,7 +113,7 @@ impl<'a> AnalysisContext<'a> {
     /// Global resources co-located with `ℓ_q` (`Φ^℘(ℓ_q)`, including `ℓ_q`
     /// itself), or an empty slice when `ℓ_q` has no home.
     pub fn co_located(&self, q: ResourceId) -> &[ResourceId] {
-        match self.partition.home_of(q) {
+        match self.home_of(q) {
             Some(p) => self.resources_on(p),
             None => &[],
         }
@@ -112,6 +130,18 @@ impl<'a> AnalysisContext<'a> {
     #[inline]
     pub fn cs_demand_on(&self, j: TaskId, k: ProcessorId) -> Time {
         self.cs_demand_on[j.index()][k.index()]
+    }
+
+    /// `Σ_{k ∈ ℘(τ_i)} Σ_{q ∈ Φ(℘_k)} N_{j,q} · L_{j,q}` — task `j`'s total
+    /// global critical-section demand across `τ_i`'s whole cluster (the
+    /// per-job agent workload `τ_j` places on `τ_i`'s processors, Eq. 8).
+    #[inline]
+    pub fn cluster_cs_demand(&self, j: TaskId, i: TaskId) -> Time {
+        let mut demand = Time::ZERO;
+        for &k in self.partition.cluster(i) {
+            demand = demand.saturating_add(self.cs_demand_on(j, k));
+        }
+        demand
     }
 
     /// The current response-time bound `R_j` used inside `η_j`.

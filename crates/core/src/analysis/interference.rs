@@ -1,9 +1,17 @@
 //! Interference bounds: intra-task interference `I^intra_i` (Lemma 5) and
 //! agent interference `I^A_i` (Lemma 6, Eqs. 8–9).
+//!
+//! Each window-dependent bound exists in two forms: the direct scan over
+//! the task set (the reference implementation the equations map onto) and
+//! a `*_tabled` variant that reads the per-task [`DemandTables`] instead.
+//! The tabled
+//! variants return bit-identical values — the tables memoize the scans at
+//! every η breakpoint — and are what the hot-path solver uses.
 
 use dpcp_model::{PathSignature, TaskId, Time};
 
 use super::context::AnalysisContext;
+use super::demand::DemandTables;
 
 /// Intra-task interference `I^intra_i` (Lemma 5): the non-critical WCET of
 /// vertices off the path plus their local-resource critical sections:
@@ -25,6 +33,23 @@ pub fn intra_task_interference(ctx: &AnalysisContext<'_>, i: TaskId, sig: &PathS
         let off_path = task.total_requests(q) - sig.request_count(q).min(task.total_requests(q));
         if off_path > 0 {
             let len = task.cs_length(q).unwrap_or(Time::ZERO);
+            local_cs = local_cs.saturating_add(len.saturating_mul(u64::from(off_path)));
+        }
+    }
+    off_path_noncrit.saturating_add(local_cs)
+}
+
+/// [`intra_task_interference`] over the pre-gathered per-task lists of the
+/// demand tables — the same Lemma 5 sum without the per-signature
+/// `BTreeMap` lookups (including the `C'_i` recomputation).
+pub fn intra_task_interference_tabled(tables: &DemandTables, sig: &PathSignature) -> Time {
+    let off_path_noncrit = tables
+        .noncritical_wcet()
+        .saturating_sub(sig.noncritical_len());
+    let mut local_cs = Time::ZERO;
+    for &(q, n, len) in tables.local_resources() {
+        let off_path = n - sig.request_count(q).min(n);
+        if off_path > 0 {
             local_cs = local_cs.saturating_add(len.saturating_mul(u64::from(off_path)));
         }
     }
@@ -66,6 +91,20 @@ pub fn agent_interference_own(ctx: &AnalysisContext<'_>, i: TaskId, sig: &PathSi
     total
 }
 
+/// [`agent_interference_own`] over the pre-gathered cluster-resource list
+/// of the demand tables — the same Eq. 9 sum without re-walking the
+/// cluster's processors for every signature.
+pub fn agent_interference_own_tabled(tables: &DemandTables, sig: &PathSignature) -> Time {
+    let mut total = Time::ZERO;
+    for &(q, n, len) in tables.own_cluster() {
+        let off_path = n - sig.request_count(q).min(n);
+        if off_path > 0 {
+            total = total.saturating_add(len.saturating_mul(u64::from(off_path)));
+        }
+    }
+    total
+}
+
 /// Term-wise worst case of Eq. (9) for the EN variant (`N^λ_q = 0`).
 pub fn agent_interference_own_en(ctx: &AnalysisContext<'_>, i: TaskId) -> Time {
     let task = ctx.task(i);
@@ -75,16 +114,16 @@ pub fn agent_interference_own_en(ctx: &AnalysisContext<'_>, i: TaskId) -> Time {
 /// The window-dependent part of the agent interference (Eq. 8): other
 /// tasks' agent workload on `τ_i`'s cluster within a window of length `r`:
 /// `Σ_{q ∈ Φ^G ∩ Φ^℘(τ_i)} Σ_{τ_j ≠ τ_i} η_j(r) · N_{j,q} · L_{j,q}`.
+///
+/// This is the direct scan; the solver reads the same value from the
+/// per-task demand table via [`DemandTables::agent_at`].
 pub fn agent_interference_others(ctx: &AnalysisContext<'_>, i: TaskId, r: Time) -> Time {
     let mut total = Time::ZERO;
     for j in ctx.tasks.iter() {
         if j.id() == i {
             continue;
         }
-        let mut demand = Time::ZERO;
-        for &k in ctx.partition.cluster(i) {
-            demand = demand.saturating_add(ctx.cs_demand_on(j.id(), k));
-        }
+        let demand = ctx.cluster_cs_demand(j.id(), i);
         if !demand.is_zero() {
             total = total.saturating_add(demand.saturating_mul(ctx.eta(j.id(), r)));
         }

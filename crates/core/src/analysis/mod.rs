@@ -16,12 +16,14 @@ use serde::{Deserialize, Serialize};
 
 pub mod blocking;
 pub mod context;
+pub mod demand;
 pub mod interference;
 pub mod light;
 pub mod request;
 pub mod wcrt;
 
 pub use context::AnalysisContext;
+pub use demand::{DemandStepTable, DemandTables};
 pub use request::RequestBoundCache;
 pub use wcrt::EvalScratch;
 
@@ -203,12 +205,25 @@ pub fn analyze_with_cache(
     cfg: &AnalysisConfig,
     cache: &SignatureCache,
 ) -> SchedulabilityReport {
+    analyze_with_cache_scratch(tasks, partition, cfg, cache, &mut EvalScratch::new())
+}
+
+/// [`analyze_with_cache`] with caller-provided evaluation scratch, so the
+/// memo/table/buffer allocations survive across partitioning rounds and
+/// across methods sharing one scratch (every per-task entry point resets
+/// the task-scoped state itself, so reuse across contexts is safe).
+pub fn analyze_with_cache_scratch(
+    tasks: &TaskSet,
+    partition: &Partition,
+    cfg: &AnalysisConfig,
+    cache: &SignatureCache,
+    scratch: &mut EvalScratch,
+) -> SchedulabilityReport {
     let mut ctx = AnalysisContext::new(tasks, partition);
-    let mut scratch = EvalScratch::new();
     let mut bounds: Vec<Option<TaskBound>> = vec![None; tasks.len()];
     let mut all_ok = true;
     for i in tasks.by_decreasing_priority() {
-        let bound = analyze_task_with(&ctx, i, cfg, cache, &mut scratch);
+        let bound = analyze_task_with(&ctx, i, cfg, cache, scratch);
         if let Some(w) = bound.wcrt {
             ctx.set_response_bound(i, w);
         }

@@ -4,10 +4,54 @@
 //! enumeration.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use dpcp_model::{ResourceId, TaskId, Time};
 
 use super::context::AnalysisContext;
+
+/// A small multiply-rotate hasher (the FxHash construction) for the
+/// request-bound memo: its keys are short `Vec<u32>` request profiles, for
+/// which the default SipHash costs more than the memoized computation it
+/// guards.
+#[derive(Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(26) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("exact chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in rest.iter().enumerate() {
+                word |= u64::from(b) << (8 * i);
+            }
+            self.add(word);
+        }
+    }
+}
+
+type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// Runs a monotone fixed-point iteration `x_{n+1} = f(x_n)` from `start`.
 ///
@@ -71,9 +115,20 @@ pub fn beta(ctx: &AnalysisContext<'_>, i: TaskId, q: ResourceId) -> Time {
 /// to global resources co-located with `ℓ_q` within a window of length `L`:
 /// `Σ_{π_h > π_i} η_h(L) · Σ_{u ∈ Φ^℘(ℓ_q)} N_{h,u} · L_{h,u}`.
 pub fn gamma(ctx: &AnalysisContext<'_>, i: TaskId, q: ResourceId, window: Time) -> Time {
-    let Some(home) = ctx.partition.home_of(q) else {
+    let Some(home) = ctx.home_of(q) else {
         return Time::ZERO;
     };
+    gamma_on(ctx, i, home, window)
+}
+
+/// The per-processor form of [`gamma`]: `ℓ_q` enters Eq. 2 only through its
+/// home processor, so the demand tables key this sum by processor.
+pub fn gamma_on(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    home: dpcp_model::ProcessorId,
+    window: Time,
+) -> Time {
     let pi_i = ctx.task(i).priority();
     let mut total = Time::ZERO;
     for h in ctx.tasks.iter() {
@@ -105,6 +160,20 @@ pub fn request_response_bound(
     horizon: Time,
     max_iters: usize,
 ) -> Option<Time> {
+    let base = request_bound_base(ctx, i, q, path_requests);
+    fixed_point(base, horizon, max_iters, |w| {
+        base.saturating_add(gamma(ctx, i, q, w))
+    })
+}
+
+/// The window-independent part of Lemma 2's recurrence:
+/// `L_{i,q} + Σ_{u ∈ Φ^℘(ℓ_q)} (N_{i,u} − N^λ_{i,u}) · L_{i,u} + β_{i,q}`.
+fn request_bound_base(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    q: ResourceId,
+    path_requests: &dyn Fn(ResourceId) -> u32,
+) -> Time {
     let task = ctx.task(i);
     let own = task.cs_length(q).unwrap_or(Time::ZERO);
     // Intra-task requests from vertices not on the path, to any co-located
@@ -121,10 +190,7 @@ pub fn request_response_bound(
             intra = intra.saturating_add(len.saturating_mul(u64::from(off_path)));
         }
     }
-    let base = own.saturating_add(intra).saturating_add(beta(ctx, i, q));
-    fixed_point(base, horizon, max_iters, |w| {
-        base.saturating_add(gamma(ctx, i, q, w))
-    })
+    own.saturating_add(intra).saturating_add(beta(ctx, i, q))
 }
 
 /// The per-request blocking bound `β_{i,q} + γ_{i,q}(W_{i,q})` that Eq. 4
@@ -142,16 +208,43 @@ pub fn request_blocking_bound(
     Some(beta(ctx, i, q).saturating_add(gamma(ctx, i, q, w)))
 }
 
+/// [`request_blocking_bound`] with `γ` read from the per-task demand tables
+/// (bit-identical: the tables memoize [`gamma_on`] at every η breakpoint,
+/// and the `W_{i,q}` recurrence walks the exact same iterate orbit with the
+/// same iteration budget).
+pub fn request_blocking_bound_tabled(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    q: ResourceId,
+    path_requests: &dyn Fn(ResourceId) -> u32,
+    horizon: Time,
+    max_iters: usize,
+    tables: &super::demand::DemandTables,
+) -> Option<Time> {
+    let home = ctx.home_of(q);
+    let gamma_at = |w: Time| match home {
+        Some(k) => tables.gamma_at(ctx, i, k, w),
+        None => Time::ZERO,
+    };
+    let base = request_bound_base(ctx, i, q, path_requests);
+    let w = fixed_point(base, horizon, max_iters, |w| {
+        base.saturating_add(gamma_at(w))
+    })?;
+    Some(beta(ctx, i, q).saturating_add(gamma_at(w)))
+}
+
 /// Memo table for [`request_blocking_bound`] over one task's path
 /// enumeration.
 ///
-/// `W_{i,q}` depends on the analysed path only through the *off-path*
-/// request counts `N_{i,u} − N^λ_{i,u}` of the resources co-located with
-/// `ℓ_q` (Lemma 2's intra-task term), so signatures agreeing on that
-/// profile share one fixed-point computation. The cache key is exactly
-/// `(ℓ_q, off-path profile)` — lookups are bit-identical to the direct
-/// computation, they just skip re-running the `γ` fixed point for every
-/// one of the (often thousands of) enumerated signatures.
+/// `W_{i,q}` depends on the analysed path only through the request counts
+/// `N^λ_{i,u}` of the resources co-located with `ℓ_q` (Lemma 2's
+/// intra-task term subtracts them from the fixed totals `N_{i,u}`), so
+/// signatures agreeing on that profile share one fixed-point computation.
+/// The cache key is exactly `(ℓ_q, on-path profile)` — equivalent to
+/// keying by the off-path profile, since the totals are constant per task,
+/// but buildable from the signature alone. Lookups are bit-identical to
+/// the direct computation, they just skip re-running the `γ` fixed point
+/// for every one of the (often thousands of) enumerated signatures.
 ///
 /// The table is valid for one `(context, task)` pair: the response-time
 /// bounds `R_j` inside `η_j` evolve between tasks, so callers must
@@ -160,8 +253,8 @@ pub fn request_blocking_bound(
 /// repeated divergent profiles short-circuit too.
 #[derive(Debug, Default)]
 pub struct RequestBoundCache {
-    /// Per-resource memo keyed by the off-path request profile.
-    entries: HashMap<ResourceId, HashMap<Vec<u32>, Option<Time>>>,
+    /// Memo per resource index, keyed by the on-path request profile.
+    entries: Vec<FxHashMap<Vec<u32>, Option<Time>>>,
     /// Scratch for key construction; cloned into the map only on miss.
     key_scratch: Vec<u32>,
     hits: u64,
@@ -176,7 +269,9 @@ impl RequestBoundCache {
 
     /// Clears the memo (keeps allocations) for reuse on the next task.
     pub fn reset(&mut self) {
-        self.entries.clear();
+        for m in &mut self.entries {
+            m.clear();
+        }
         self.hits = 0;
         self.misses = 0;
     }
@@ -197,19 +292,55 @@ impl RequestBoundCache {
         horizon: Time,
         max_iters: usize,
     ) -> Option<Time> {
-        let task = ctx.task(i);
+        self.blocking_bound_with(ctx, i, q, path_requests, horizon, max_iters, None)
+    }
+
+    /// [`blocking_bound`](Self::blocking_bound) with misses computed
+    /// through the per-task demand tables when available (hits are served
+    /// from the memo either way, so mixing the two entry points is safe —
+    /// the stored values are bit-identical).
+    #[allow(clippy::too_many_arguments)]
+    pub fn blocking_bound_tabled(
+        &mut self,
+        ctx: &AnalysisContext<'_>,
+        i: TaskId,
+        q: ResourceId,
+        path_requests: &dyn Fn(ResourceId) -> u32,
+        horizon: Time,
+        max_iters: usize,
+        tables: &super::demand::DemandTables,
+    ) -> Option<Time> {
+        self.blocking_bound_with(ctx, i, q, path_requests, horizon, max_iters, Some(tables))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn blocking_bound_with(
+        &mut self,
+        ctx: &AnalysisContext<'_>,
+        i: TaskId,
+        q: ResourceId,
+        path_requests: &dyn Fn(ResourceId) -> u32,
+        horizon: Time,
+        max_iters: usize,
+        tables: Option<&super::demand::DemandTables>,
+    ) -> Option<Time> {
         self.key_scratch.clear();
-        self.key_scratch.extend(
-            ctx.co_located(q)
-                .iter()
-                .map(|&u| task.total_requests(u).saturating_sub(path_requests(u))),
-        );
-        let inner = self.entries.entry(q).or_default();
+        self.key_scratch
+            .extend(ctx.co_located(q).iter().map(|&u| path_requests(u)));
+        if self.entries.len() <= q.index() {
+            self.entries.resize_with(q.index() + 1, FxHashMap::default);
+        }
+        let inner = &mut self.entries[q.index()];
         if let Some(&cached) = inner.get(self.key_scratch.as_slice()) {
             self.hits += 1;
             return cached;
         }
-        let bound = request_blocking_bound(ctx, i, q, path_requests, horizon, max_iters);
+        let bound = match tables {
+            Some(t) => {
+                request_blocking_bound_tabled(ctx, i, q, path_requests, horizon, max_iters, t)
+            }
+            None => request_blocking_bound(ctx, i, q, path_requests, horizon, max_iters),
+        };
         inner.insert(self.key_scratch.clone(), bound);
         self.misses += 1;
         bound

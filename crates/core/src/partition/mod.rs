@@ -15,7 +15,10 @@
 use dpcp_model::{initial_processors, Partition, Platform, TaskId, TaskSet};
 use serde::{Deserialize, Serialize};
 
-use crate::analysis::{analyze_with_cache, AnalysisConfig, SchedulabilityReport, SignatureCache};
+use crate::analysis::{
+    analyze_with_cache, analyze_with_cache_scratch, AnalysisConfig, EvalScratch,
+    SchedulabilityReport, SignatureCache,
+};
 
 pub mod mixed;
 pub mod wfd;
@@ -40,6 +43,22 @@ pub trait SchedAnalyzer {
 
     /// Analyses every task and reports per-task schedulability.
     fn analyze(&self, tasks: &TaskSet, partition: &Partition) -> SchedulabilityReport;
+
+    /// [`analyze`](Self::analyze) with caller-provided evaluation scratch.
+    ///
+    /// Analyses that maintain per-task evaluation state ([`EvalScratch`]:
+    /// request-bound memo, demand prefix tables, warm-start hints) reuse
+    /// the caller's allocation across partitioning rounds and across
+    /// methods; protocols without such state ignore the scratch.
+    fn analyze_with_scratch(
+        &self,
+        tasks: &TaskSet,
+        partition: &Partition,
+        scratch: &mut EvalScratch,
+    ) -> SchedulabilityReport {
+        let _ = scratch;
+        self.analyze(tasks, partition)
+    }
 }
 
 /// The DPCP-p analysis as a [`SchedAnalyzer`] (owns the per-task-set path
@@ -78,6 +97,15 @@ impl SchedAnalyzer for DpcpAnalyzer {
 
     fn analyze(&self, tasks: &TaskSet, partition: &Partition) -> SchedulabilityReport {
         analyze_with_cache(tasks, partition, &self.cfg, &self.cache)
+    }
+
+    fn analyze_with_scratch(
+        &self,
+        tasks: &TaskSet,
+        partition: &Partition,
+        scratch: &mut EvalScratch,
+    ) -> SchedulabilityReport {
+        analyze_with_cache_scratch(tasks, partition, &self.cfg, &self.cache, scratch)
     }
 }
 
@@ -180,6 +208,26 @@ pub fn algorithm1(
     heuristic: ResourceHeuristic,
     analyzer: &dyn SchedAnalyzer,
 ) -> PartitionOutcome {
+    algorithm1_scratch(
+        tasks,
+        platform,
+        heuristic,
+        analyzer,
+        &mut EvalScratch::new(),
+    )
+}
+
+/// [`algorithm1`] with caller-provided evaluation scratch: the analysis
+/// memo tables and buffers are reused across every partition-analyse round
+/// (and, when the caller shares one scratch, across methods — see the
+/// experiment harness).
+pub fn algorithm1_scratch(
+    tasks: &TaskSet,
+    platform: &Platform,
+    heuristic: ResourceHeuristic,
+    analyzer: &dyn SchedAnalyzer,
+    scratch: &mut EvalScratch,
+) -> PartitionOutcome {
     let m = platform.processor_count();
     let mut sizes: Vec<usize> = tasks.iter().map(initial_processors).collect();
     let demanded: usize = sizes.iter().sum();
@@ -215,7 +263,7 @@ pub fn algorithm1(
                 .expect("layout is valid by construction")
         };
 
-        let report = analyzer.analyze(tasks, &partition);
+        let report = analyzer.analyze_with_scratch(tasks, &partition, scratch);
         let failing = tasks
             .by_decreasing_priority()
             .into_iter()

@@ -9,7 +9,8 @@
 //! `deterministic_across_thread_counts`).
 
 use dpcp_baselines::{FedFp, Lpp, SpinSon};
-use dpcp_core::partition::{algorithm1, DpcpAnalyzer, ResourceHeuristic};
+use dpcp_core::analysis::EvalScratch;
+use dpcp_core::partition::{algorithm1_scratch, DpcpAnalyzer, ResourceHeuristic};
 use dpcp_core::{AnalysisConfig, SchedAnalyzer};
 use dpcp_gen::scenario::Scenario;
 use dpcp_model::{Platform, TaskSet};
@@ -185,7 +186,17 @@ impl AcceptanceCurve {
 }
 
 /// Runs every method on one generated task set.
-fn evaluate_task_set(tasks: &TaskSet, platform: &Platform, ep_cfg: &AnalysisConfig) -> [bool; 5] {
+///
+/// One [`EvalScratch`] serves all five methods (and every partitioning
+/// round inside each): the DPCP-p analyses reset the task-scoped state per
+/// task but keep the memo/table/buffer allocations warm, and the baseline
+/// protocols simply ignore it.
+fn evaluate_task_set(
+    tasks: &TaskSet,
+    platform: &Platform,
+    ep_cfg: &AnalysisConfig,
+    scratch: &mut EvalScratch,
+) -> [bool; 5] {
     let wfd = ResourceHeuristic::WorstFitDecreasing;
     let ep = DpcpAnalyzer::new(tasks, ep_cfg.clone());
     let en = DpcpAnalyzer::new(tasks, AnalysisConfig::en());
@@ -195,7 +206,7 @@ fn evaluate_task_set(tasks: &TaskSet, platform: &Platform, ep_cfg: &AnalysisConf
     let analyzers: [&dyn SchedAnalyzer; 5] = [&ep, &en, &spin, &lpp, &fed];
     let mut out = [false; 5];
     for (slot, analyzer) in out.iter_mut().zip(analyzers) {
-        *slot = algorithm1(tasks, platform, wfd, analyzer).is_schedulable();
+        *slot = algorithm1_scratch(tasks, platform, wfd, analyzer, scratch).is_schedulable();
     }
     out
 }
@@ -257,7 +268,8 @@ fn evaluate_sample(
     }
     match generated {
         Some(ts) => {
-            let accepted = evaluate_task_set(&ts, platform, &cfg.ep_config);
+            let mut scratch = EvalScratch::new();
+            let accepted = evaluate_task_set(&ts, platform, &cfg.ep_config, &mut scratch);
             PointAccum {
                 accepted: accepted.map(usize::from),
                 samples: 1,
@@ -274,7 +286,7 @@ fn evaluate_sample(
 
 /// Evaluates one utilization point of a scenario: the samples fan out
 /// over the rayon pool selected by `cfg.threads` and fold back through an
-/// associative [`PointAccum`] reduce.
+/// associative `PointAccum` reduce.
 ///
 /// # Panics
 ///
