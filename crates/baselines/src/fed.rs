@@ -82,6 +82,7 @@ impl SchedAnalyzer for FedFp {
         SchedulabilityReport {
             task_bounds: bounds,
             schedulable: all_ok,
+            truncated: false,
         }
     }
 }

@@ -120,6 +120,7 @@ impl SchedAnalyzer for Lpp {
         SchedulabilityReport {
             task_bounds: bounds.into_iter().map(Option::unwrap).collect(),
             schedulable: all_ok,
+            truncated: false,
         }
     }
 }

@@ -135,6 +135,7 @@ impl SchedAnalyzer for SpinSon {
         SchedulabilityReport {
             task_bounds: bounds.into_iter().map(Option::unwrap).collect(),
             schedulable: all_ok,
+            truncated: false,
         }
     }
 }

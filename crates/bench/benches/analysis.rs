@@ -23,7 +23,9 @@ use dpcp_core::partition::{algorithm1, assign_resources, DpcpAnalyzer, ResourceH
 use dpcp_core::{AnalysisConfig, SchedAnalyzer};
 use dpcp_experiments::{evaluate_point, EvalConfig};
 use dpcp_gen::scenario::{Fig2Panel, Scenario};
-use dpcp_model::{initial_processors, Platform};
+use dpcp_model::{
+    enumerate_signatures_capped, enumerate_signatures_dp_capped, initial_processors, Platform,
+};
 use std::hint::black_box;
 
 fn bench_fig2_point(c: &mut Criterion) {
@@ -87,6 +89,44 @@ fn bench_components(c: &mut Criterion) {
 
     group.bench_function("path_enumeration", |b| {
         b.iter(|| black_box(SignatureCache::new(&tasks, &AnalysisConfig::ep())))
+    });
+    // The DFS-vs-DP enumerator pair (plus the opt-in dominance-pruned DP),
+    // per task set under the default caps.
+    let cfg = AnalysisConfig::ep();
+    group.bench_function("enumerate_dfs", |b| {
+        b.iter(|| {
+            for t in tasks.iter() {
+                black_box(enumerate_signatures_capped(
+                    t,
+                    cfg.path_signature_cap,
+                    cfg.path_visit_cap,
+                ));
+            }
+        })
+    });
+    group.bench_function("enumerate_dp", |b| {
+        b.iter(|| {
+            for t in tasks.iter() {
+                black_box(enumerate_signatures_dp_capped(
+                    t,
+                    cfg.path_signature_cap,
+                    cfg.path_visit_cap,
+                    false,
+                ));
+            }
+        })
+    });
+    group.bench_function("enumerate_dp_pruned", |b| {
+        b.iter(|| {
+            for t in tasks.iter() {
+                black_box(enumerate_signatures_dp_capped(
+                    t,
+                    cfg.path_signature_cap,
+                    cfg.path_visit_cap,
+                    true,
+                ));
+            }
+        })
     });
     group.bench_function("wcrt_ep", |b| {
         b.iter(|| black_box(analyze(&tasks, &partition, &AnalysisConfig::ep())))

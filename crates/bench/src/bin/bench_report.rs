@@ -13,7 +13,9 @@
 //!   signature evaluation with and without the request-bound memo, the
 //!   `fixed_point/*` pair contrasting the per-iterate scan with the
 //!   prefix-table solver, full task-set analysis under EP/EN, path
-//!   enumeration), measured through the same machinery as `cargo bench`;
+//!   enumeration — the cache plus the `enumerate/*` triple contrasting the
+//!   DFS reference, the signature-domain DP and the dominance-pruned DP),
+//!   measured through the same machinery as `cargo bench`;
 //! - `harness` — wall-clock of one Fig. 2 utilization point through
 //!   `evaluate_point`, sequential (`threads = 1`) vs the ambient rayon
 //!   pool, including the per-method acceptance ratios of both runs so the
@@ -40,7 +42,10 @@ use dpcp_core::partition::{assign_resources, layout_clusters, ResourceHeuristic}
 use dpcp_core::AnalysisConfig;
 use dpcp_experiments::{evaluate_point, EvalConfig, Method, PointResult};
 use dpcp_gen::scenario::{Fig2Panel, Scenario};
-use dpcp_model::{initial_processors, Partition, Platform};
+use dpcp_model::{
+    enumerate_signatures_capped, enumerate_signatures_dp_capped, initial_processors, Partition,
+    Platform,
+};
 use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -220,6 +225,45 @@ fn component_benches(sample_size: usize) -> Vec<ComponentBench> {
     });
     criterion.bench_function("signature_cache/enumerate", |b| {
         b.iter(|| black_box(SignatureCache::new(&tasks, &cfg)))
+    });
+    // The enumerator pair behind the cache: the depth-first reference vs
+    // the signature-domain DP (same caps, same sorted output), plus the
+    // opt-in dominance-pruned DP — the ablation-validated fast mode that
+    // also avoids truncation on the dense bench tasks.
+    criterion.bench_function("enumerate/dfs", |b| {
+        b.iter(|| {
+            for t in tasks.iter() {
+                black_box(enumerate_signatures_capped(
+                    t,
+                    cfg.path_signature_cap,
+                    cfg.path_visit_cap,
+                ));
+            }
+        })
+    });
+    criterion.bench_function("enumerate/dp", |b| {
+        b.iter(|| {
+            for t in tasks.iter() {
+                black_box(enumerate_signatures_dp_capped(
+                    t,
+                    cfg.path_signature_cap,
+                    cfg.path_visit_cap,
+                    false,
+                ));
+            }
+        })
+    });
+    criterion.bench_function("enumerate/dp_pruned", |b| {
+        b.iter(|| {
+            for t in tasks.iter() {
+                black_box(enumerate_signatures_dp_capped(
+                    t,
+                    cfg.path_signature_cap,
+                    cfg.path_visit_cap,
+                    true,
+                ));
+            }
+        })
     });
 
     criterion

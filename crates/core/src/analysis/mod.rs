@@ -11,7 +11,10 @@
 //! [`AnalysisVariant::EnumeratePaths`] (`DPCP-p-EP`) and
 //! [`AnalysisVariant::EnumerateRequestCounts`] (`DPCP-p-EN`).
 
-use dpcp_model::{enumerate_signatures_capped, Partition, PathSignatures, TaskId, TaskSet, Time};
+use dpcp_model::{
+    enumerate_signatures_capped, enumerate_signatures_dp_capped, Partition, PathSignatures, TaskId,
+    TaskSet, Time,
+};
 use serde::{Deserialize, Serialize};
 
 pub mod blocking;
@@ -61,6 +64,14 @@ pub struct AnalysisConfig {
     /// Iteration budget for every fixed-point recurrence; exhaustion is
     /// treated as divergence (sound).
     pub max_fixpoint_iterations: usize,
+    /// Drop dominated path signatures during enumeration (see
+    /// [`prune_dominated_signatures`](dpcp_model::prune_dominated_signatures)
+    /// and the monotonicity note in `dpcp_model::path`): signatures that
+    /// cannot be the binding EP path are removed before Theorem 1 ever
+    /// evaluates them. Off by default — the unpruned set is the
+    /// reference the equivalence tests compare against.
+    #[serde(default)]
+    pub prune_dominated: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -70,6 +81,7 @@ impl Default for AnalysisConfig {
             path_signature_cap: 1024,
             path_visit_cap: 50_000,
             max_fixpoint_iterations: 512,
+            prune_dominated: false,
         }
     }
 }
@@ -130,6 +142,12 @@ pub struct SchedulabilityReport {
     pub task_bounds: Vec<TaskBound>,
     /// `true` when every task is schedulable.
     pub schedulable: bool,
+    /// `true` when any task's path enumeration hit a cap
+    /// ([`TaskBound::truncated`]): those bounds mix in the EN fallback and
+    /// are coarser than a complete enumeration would give. Still sound —
+    /// surfaced so callers can tell a complete analysis from a capped one.
+    #[serde(default)]
+    pub truncated: bool,
 }
 
 impl SchedulabilityReport {
@@ -151,8 +169,29 @@ pub struct SignatureCache {
 }
 
 impl SignatureCache {
-    /// Enumerates signatures for every task under the config's caps.
+    /// Enumerates signatures for every task under the config's caps, via
+    /// the signature-domain dynamic program (dedup at every merge point;
+    /// dominance pruning when `cfg.prune_dominated` is set).
     pub fn new(tasks: &TaskSet, cfg: &AnalysisConfig) -> Self {
+        let per_task = tasks
+            .iter()
+            .map(|t| {
+                enumerate_signatures_dp_capped(
+                    t,
+                    cfg.path_signature_cap,
+                    cfg.path_visit_cap,
+                    cfg.prune_dominated,
+                )
+            })
+            .collect();
+        SignatureCache { per_task }
+    }
+
+    /// [`new`](Self::new) through the depth-first reference enumerator
+    /// (never prunes). Kept for the DFS-vs-DP equivalence tests and the
+    /// enumeration benches; analysis results are bit-identical whenever
+    /// neither enumerator truncates.
+    pub fn new_dfs(tasks: &TaskSet, cfg: &AnalysisConfig) -> Self {
         let per_task = tasks
             .iter()
             .map(|t| enumerate_signatures_capped(t, cfg.path_signature_cap, cfg.path_visit_cap))
@@ -222,17 +261,20 @@ pub fn analyze_with_cache_scratch(
     let mut ctx = AnalysisContext::new(tasks, partition);
     let mut bounds: Vec<Option<TaskBound>> = vec![None; tasks.len()];
     let mut all_ok = true;
+    let mut any_truncated = false;
     for i in tasks.by_decreasing_priority() {
         let bound = analyze_task_with(&ctx, i, cfg, cache, scratch);
         if let Some(w) = bound.wcrt {
             ctx.set_response_bound(i, w);
         }
         all_ok &= bound.schedulable;
+        any_truncated |= bound.truncated;
         bounds[i.index()] = Some(bound);
     }
     SchedulabilityReport {
         task_bounds: bounds.into_iter().map(Option::unwrap).collect(),
         schedulable: all_ok,
+        truncated: any_truncated,
     }
 }
 

@@ -208,11 +208,13 @@ pub fn request_blocking_bound(
     Some(beta(ctx, i, q).saturating_add(gamma(ctx, i, q, w)))
 }
 
-/// [`request_blocking_bound`] with `γ` read from the per-task demand tables
+/// [`request_response_bound`] with `γ` read from the per-task demand tables
 /// (bit-identical: the tables memoize [`gamma_on`] at every η breakpoint,
 /// and the `W_{i,q}` recurrence walks the exact same iterate orbit with the
-/// same iteration budget).
-pub fn request_blocking_bound_tabled(
+/// same iteration budget). Used by the EP enumeration through
+/// [`request_blocking_bound_tabled`] and directly by the tabled light-task
+/// analysis, which needs `W_{i,q}` itself.
+pub fn request_response_bound_tabled(
     ctx: &AnalysisContext<'_>,
     i: TaskId,
     q: ResourceId,
@@ -227,10 +229,28 @@ pub fn request_blocking_bound_tabled(
         None => Time::ZERO,
     };
     let base = request_bound_base(ctx, i, q, path_requests);
-    let w = fixed_point(base, horizon, max_iters, |w| {
+    fixed_point(base, horizon, max_iters, |w| {
         base.saturating_add(gamma_at(w))
-    })?;
-    Some(beta(ctx, i, q).saturating_add(gamma_at(w)))
+    })
+}
+
+/// [`request_blocking_bound`] with `γ` read from the per-task demand tables
+/// (see [`request_response_bound_tabled`]).
+pub fn request_blocking_bound_tabled(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    q: ResourceId,
+    path_requests: &dyn Fn(ResourceId) -> u32,
+    horizon: Time,
+    max_iters: usize,
+    tables: &super::demand::DemandTables,
+) -> Option<Time> {
+    let w = request_response_bound_tabled(ctx, i, q, path_requests, horizon, max_iters, tables)?;
+    let gamma_w = match ctx.home_of(q) {
+        Some(k) => tables.gamma_at(ctx, i, k, w),
+        None => Time::ZERO,
+    };
+    Some(beta(ctx, i, q).saturating_add(gamma_w))
 }
 
 /// Memo table for [`request_blocking_bound`] over one task's path

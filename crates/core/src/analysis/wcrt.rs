@@ -73,8 +73,9 @@ pub struct EvalScratch {
     per_request: Vec<(ResourceId, Time)>,
     /// The ε accumulator of Eq. 4, rebuilt in place per signature.
     eps: EpsilonTable,
-    /// Per-processor demand prefix tables keyed by η, built once per task.
-    tables: DemandTables,
+    /// Per-processor demand prefix tables keyed by η, built once per task
+    /// (shared with the light-task analysis, hence crate-visible).
+    pub(crate) tables: DemandTables,
     /// The previous signature's recurrence and converged `r` — the
     /// warm-start memo.
     warm: WarmStart,
@@ -648,9 +649,15 @@ pub fn wcrt_over_signatures(
 /// differ in few terms and converge to nearby fixed points), which is what
 /// makes the warm start land often. The signature list must be
 /// duplicate-free so no Theorem 1 evaluation is spent twice on the same
-/// signature;
-/// [`enumerate_signatures_capped`](dpcp_model::enumerate_signatures_capped)
-/// guarantees that by construction.
+/// signature; both enumerators
+/// ([`enumerate_signatures_capped`](dpcp_model::enumerate_signatures_capped)
+/// and the DP
+/// [`enumerate_signatures_dp_capped`](dpcp_model::enumerate_signatures_dp_capped))
+/// guarantee that by construction. Under dominance pruning the list is a
+/// subset that provably still contains the binding signature, and the
+/// shared sort order places every dominator before the signatures it
+/// dominates, so the `>` tie-break below reports the identical binding
+/// [`PathBound`] with pruning on or off.
 pub fn wcrt_over_signatures_with(
     ctx: &AnalysisContext<'_>,
     i: TaskId,

@@ -16,9 +16,9 @@
 use dpcp_model::{initial_processors, Partition, Platform, ProcessorId, TaskId, TaskSet, Time};
 
 use crate::analysis::context::AnalysisContext;
-use crate::analysis::light::wcrt_light;
+use crate::analysis::light::wcrt_light_with;
 use crate::analysis::{
-    AnalysisConfig, AnalysisVariant, SchedulabilityReport, SignatureCache, TaskBound,
+    AnalysisConfig, AnalysisVariant, EvalScratch, SchedulabilityReport, SignatureCache, TaskBound,
 };
 use crate::partition::wfd::{assign_resources_to_bins, CapacityBin};
 use crate::partition::{PartitionOutcome, ResourceHeuristic, UnschedulableReason};
@@ -70,15 +70,33 @@ fn pack_lights(
 /// Analyses a mixed partition: Theorem 1 for heavy tasks, the sequential
 /// light-task bound for light ones, response bounds threaded in
 /// decreasing priority order.
+///
+/// Convenience wrapper over [`analyze_mixed_scratch`] with throwaway
+/// evaluation state; the top-up loop holds one scratch across rounds.
 pub fn analyze_mixed(
     tasks: &TaskSet,
     partition: &Partition,
     cfg: &AnalysisConfig,
     cache: &SignatureCache,
 ) -> SchedulabilityReport {
+    analyze_mixed_scratch(tasks, partition, cfg, cache, &mut EvalScratch::new())
+}
+
+/// [`analyze_mixed`] with caller-provided evaluation scratch: heavy tasks
+/// run the table-driven Theorem 1 enumeration, light tasks the tabled
+/// sequential bound ([`wcrt_light_with`]) — every per-task entry point
+/// resets the task-scoped state itself, so one scratch serves all rounds.
+pub fn analyze_mixed_scratch(
+    tasks: &TaskSet,
+    partition: &Partition,
+    cfg: &AnalysisConfig,
+    cache: &SignatureCache,
+    scratch: &mut EvalScratch,
+) -> SchedulabilityReport {
     let mut ctx = AnalysisContext::new(tasks, partition);
     let mut bounds: Vec<Option<TaskBound>> = vec![None; tasks.len()];
     let mut all_ok = true;
+    let mut any_truncated = false;
     for i in tasks.by_decreasing_priority() {
         let deadline = ctx.task(i).deadline();
         let (result, evaluated, truncated) = if ctx.task(i).is_heavy() {
@@ -86,17 +104,24 @@ pub fn analyze_mixed(
                 AnalysisVariant::EnumeratePaths => {
                     let sigs = cache.signatures(i);
                     (
-                        crate::analysis::wcrt::wcrt_over_signatures(&ctx, i, sigs, cfg),
+                        crate::analysis::wcrt::wcrt_over_signatures_with(
+                            &ctx, i, sigs, cfg, scratch,
+                        ),
                         sigs.signatures.len(),
                         sigs.truncated,
                     )
                 }
                 AnalysisVariant::EnumerateRequestCounts => {
-                    (crate::analysis::wcrt::wcrt_en(&ctx, i, cfg), 1, false)
+                    scratch.reset_for_task();
+                    (
+                        crate::analysis::wcrt::wcrt_en_with(&ctx, i, cfg, scratch),
+                        1,
+                        false,
+                    )
                 }
             }
         } else {
-            (wcrt_light(&ctx, i, cfg), 1, false)
+            (wcrt_light_with(&ctx, i, cfg, scratch), 1, false)
         };
         let bound = match result {
             Some(b) => {
@@ -120,11 +145,13 @@ pub fn analyze_mixed(
             },
         };
         all_ok &= bound.schedulable;
+        any_truncated |= bound.truncated;
         bounds[i.index()] = Some(bound);
     }
     SchedulabilityReport {
         task_bounds: bounds.into_iter().map(Option::unwrap).collect(),
         schedulable: all_ok,
+        truncated: any_truncated,
     }
 }
 
@@ -170,6 +197,7 @@ pub fn algorithm1_mixed(
     };
 
     let cache = SignatureCache::new(tasks, &cfg);
+    let mut scratch = EvalScratch::new();
     let mut rounds = 0usize;
     loop {
         rounds += 1;
@@ -247,7 +275,7 @@ pub fn algorithm1_mixed(
         let partition = Partition::mixed(tasks, platform, clusters, homes)
             .expect("layout and homes are valid by construction");
 
-        let report = analyze_mixed(tasks, &partition, &cfg, &cache);
+        let report = analyze_mixed_scratch(tasks, &partition, &cfg, &cache, &mut scratch);
         let failing = tasks
             .by_decreasing_priority()
             .into_iter()
@@ -376,6 +404,33 @@ mod tests {
             PartitionOutcome::Unschedulable { reason, .. } => {
                 let _ = reason.to_string();
             }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_state_across_partitions() {
+        // One scratch carried across two different mixed partitions (and
+        // therefore across context changes) must reproduce the throwaway
+        // -scratch reports bit-identically — heavy and light tasks alike.
+        use dpcp_model::{Platform, ProcessorId};
+        use std::collections::BTreeMap;
+        let tasks = mixed_set();
+        let platform = Platform::new(3).unwrap();
+        let pid = ProcessorId::new;
+        let cfg = AnalysisConfig::ep();
+        let cache = SignatureCache::new(&tasks, &cfg);
+        let mut shared = crate::analysis::EvalScratch::new();
+        for home in [pid(0), pid(2)] {
+            let partition = Partition::mixed(
+                &tasks,
+                &platform,
+                vec![vec![pid(0), pid(1)], vec![pid(2)], vec![pid(2)]],
+                BTreeMap::from([(rid(0), home)]),
+            )
+            .unwrap();
+            let reused = analyze_mixed_scratch(&tasks, &partition, &cfg, &cache, &mut shared);
+            let fresh = analyze_mixed(&tasks, &partition, &cfg, &cache);
+            assert_eq!(reused, fresh, "home {home}");
         }
     }
 

@@ -23,7 +23,7 @@ use crate::analysis::{
 pub mod mixed;
 pub mod wfd;
 
-pub use mixed::{algorithm1_mixed, analyze_mixed};
+pub use mixed::{algorithm1_mixed, analyze_mixed, analyze_mixed_scratch};
 pub use wfd::{
     assign_resources, assign_resources_to_bins, layout_clusters, CapacityBin, ResourceHeuristic,
 };

@@ -3,8 +3,14 @@
 //!
 //! ```text
 //! cargo run -p dpcp_experiments --release --bin fig2 -- \
-//!     [--samples N] [--seed S] [--panels abcd] [--out DIR]
+//!     [--samples N] [--seed S] [--panels abcd] [--out DIR] \
+//!     [--prune-dominated]
 //! ```
+//!
+//! `--prune-dominated` turns on the EP analysis's dominance pruning
+//! (enumeration drops path signatures that provably cannot bind) — an
+//! ablation knob; acceptance ratios are unchanged whenever enumeration
+//! completes, see `tests/signature_dp.rs`.
 //!
 //! Writes `fig2_<panel>.csv` per panel into the output directory (default
 //! `results/`) and prints an ASCII rendition plus the per-point table.
@@ -20,6 +26,7 @@ struct Args {
     seed: u64,
     panels: Vec<Fig2Panel>,
     out: PathBuf,
+    prune_dominated: bool,
 }
 
 fn parse_args() -> Args {
@@ -28,6 +35,7 @@ fn parse_args() -> Args {
         seed: 2020,
         panels: Fig2Panel::all().to_vec(),
         out: PathBuf::from("results"),
+        prune_dominated: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,7 +68,13 @@ fn parse_args() -> Args {
             "--out" => {
                 args.out = PathBuf::from(it.next().expect("--out needs a directory"));
             }
-            other => panic!("unknown flag '{other}' (try --samples/--seed/--panels/--out)"),
+            "--prune-dominated" => {
+                args.prune_dominated = true;
+            }
+            other => panic!(
+                "unknown flag '{other}' \
+                 (try --samples/--seed/--panels/--out/--prune-dominated)"
+            ),
         }
     }
     args
@@ -69,16 +83,22 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("cannot create output directory");
-    let cfg = EvalConfig {
+    let mut cfg = EvalConfig {
         samples_per_point: args.samples,
         seed: args.seed,
         ..EvalConfig::default()
     };
+    cfg.ep_config.prune_dominated = args.prune_dominated;
     println!(
-        "Fig. 2 reproduction — {} samples/point, seed {}, {} threads",
+        "Fig. 2 reproduction — {} samples/point, seed {}, {} threads{}",
         cfg.samples_per_point,
         cfg.seed,
-        cfg.effective_threads()
+        cfg.effective_threads(),
+        if args.prune_dominated {
+            ", dominance pruning on"
+        } else {
+            ""
+        }
     );
     for panel in &args.panels {
         let scenario = Scenario::fig2(*panel);

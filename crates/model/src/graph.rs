@@ -164,6 +164,20 @@ impl Dag {
         &self.heads
     }
 
+    /// Returns `true` when `v` has no predecessors (every complete path
+    /// through `v` starts at `v`).
+    #[inline]
+    pub fn is_head(&self, v: VertexId) -> bool {
+        self.preds[v.index()].is_empty()
+    }
+
+    /// Returns `true` when `v` has no successors (every complete path
+    /// through `v` ends at `v`).
+    #[inline]
+    pub fn is_tail(&self, v: VertexId) -> bool {
+        self.succs[v.index()].is_empty()
+    }
+
     /// The tail vertices (no successors), sorted.
     #[inline]
     pub fn tails(&self) -> &[VertexId] {
@@ -419,6 +433,10 @@ mod tests {
         let dag = diamond();
         assert_eq!(dag.out_degree(VertexId::new(0)), 2);
         assert_eq!(dag.in_degree(VertexId::new(3)), 2);
+        assert!(dag.is_head(VertexId::new(0)));
+        assert!(!dag.is_head(VertexId::new(1)));
+        assert!(dag.is_tail(VertexId::new(3)));
+        assert!(!dag.is_tail(VertexId::new(2)));
         assert!(dag.has_edge(VertexId::new(0), VertexId::new(1)));
         assert!(!dag.has_edge(VertexId::new(1), VertexId::new(2)));
     }

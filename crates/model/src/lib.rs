@@ -50,7 +50,10 @@ pub mod time;
 pub use error::ModelError;
 pub use graph::Dag;
 pub use ids::{ClusterId, ProcessorId, ResourceId, TaskId, VertexId};
-pub use path::{enumerate_signatures, enumerate_signatures_capped, PathSignature, PathSignatures};
+pub use path::{
+    enumerate_signatures, enumerate_signatures_capped, enumerate_signatures_dp,
+    enumerate_signatures_dp_capped, prune_dominated_signatures, PathSignature, PathSignatures,
+};
 pub use platform::{Partition, Platform};
 pub use priority::{EffectivePriority, Priority, PriorityAssignment};
 pub use task::{DagTask, DagTaskBuilder, RequestSpec, VertexSpec};
