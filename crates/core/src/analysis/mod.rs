@@ -68,8 +68,12 @@ pub struct AnalysisConfig {
     /// [`prune_dominated_signatures`](dpcp_model::prune_dominated_signatures)
     /// and the monotonicity note in `dpcp_model::path`): signatures that
     /// cannot be the binding EP path are removed before Theorem 1 ever
-    /// evaluates them. Off by default — the unpruned set is the
-    /// reference the equivalence tests compare against.
+    /// evaluates them. On by default — the binding `PathBound` is proven
+    /// (and asserted, `tests/signature_dp.rs`) unchanged, enumeration is
+    /// ~5× faster, and at the default caps pruning can only *improve*
+    /// precision (complete enumeration where the unpruned set would
+    /// truncate to the EN fallback). Set to `false` for the unpruned
+    /// reference set the equivalence tests compare against.
     #[serde(default)]
     pub prune_dominated: bool,
 }
@@ -81,7 +85,7 @@ impl Default for AnalysisConfig {
             path_signature_cap: 1024,
             path_visit_cap: 50_000,
             max_fixpoint_iterations: 512,
-            prune_dominated: false,
+            prune_dominated: true,
         }
     }
 }
@@ -288,6 +292,30 @@ pub fn analyze_task(
     analyze_task_with(ctx, i, cfg, cache, &mut EvalScratch::new())
 }
 
+/// The EP arm shared by [`analyze_task_with`] and the mixed analysis:
+/// the task bound over the cached signatures plus the `(evaluated,
+/// truncated)` accounting. Truncated tasks skip the per-signature sweep
+/// and report the dominating EN fallback directly — one evaluation.
+pub(crate) fn evaluate_ep_arm(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    cfg: &AnalysisConfig,
+    cache: &SignatureCache,
+    scratch: &mut EvalScratch,
+) -> (Option<wcrt::PathBound>, usize, bool) {
+    let sigs = cache.signatures(i);
+    let evaluated = if sigs.truncated {
+        1
+    } else {
+        sigs.signatures.len()
+    };
+    (
+        wcrt::wcrt_over_signatures_with(ctx, i, sigs, cfg, scratch),
+        evaluated,
+        sigs.truncated,
+    )
+}
+
 /// [`analyze_task`] with shared evaluation state (request-bound memo +
 /// scratch buffers); the memo is reset per task, the buffers live for the
 /// whole analysis run.
@@ -300,14 +328,7 @@ pub fn analyze_task_with(
 ) -> TaskBound {
     let deadline = ctx.task(i).deadline();
     let (result, evaluated, truncated) = match cfg.variant {
-        AnalysisVariant::EnumeratePaths => {
-            let sigs = cache.signatures(i);
-            (
-                wcrt::wcrt_over_signatures_with(ctx, i, sigs, cfg, scratch),
-                sigs.signatures.len(),
-                sigs.truncated,
-            )
-        }
+        AnalysisVariant::EnumeratePaths => evaluate_ep_arm(ctx, i, cfg, cache, scratch),
         AnalysisVariant::EnumerateRequestCounts => {
             scratch.reset_for_task();
             (wcrt::wcrt_en_with(ctx, i, cfg, scratch), 1, false)
@@ -423,7 +444,12 @@ mod tests {
     #[test]
     fn signature_cache_is_partition_independent() {
         let tasks = fig1::task_set().unwrap();
-        let cfg = AnalysisConfig::ep();
+        // Unpruned: the distinct-signature counts below are the complete
+        // enumeration's (the default config prunes dominated signatures).
+        let cfg = AnalysisConfig {
+            prune_dominated: false,
+            ..AnalysisConfig::ep()
+        };
         let cache = SignatureCache::new(&tasks, &cfg);
         assert_eq!(cache.signatures(TaskId::new(0)).signatures.len(), 3);
         // τ_j: paths through v4 and v5 share a signature → 3 distinct.

@@ -599,9 +599,33 @@ pub fn wcrt_en_direct(
 }
 
 /// Reference implementation of [`wcrt_over_signatures`] built on the
-/// per-iterate scans; the max/fallback structure matches the incremental
-/// enumeration exactly.
+/// per-iterate scans; the skip/max structure matches the incremental
+/// enumeration exactly (truncated tasks report the EN bound directly).
 pub fn wcrt_over_signatures_direct(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    sigs: &dpcp_model::PathSignatures,
+    cfg: &AnalysisConfig,
+) -> Option<PathBound> {
+    if sigs.truncated {
+        wcrt_en_direct(ctx, i, cfg)
+    } else {
+        // Without truncation the sweep has no EN mix-in: one shared loop.
+        wcrt_over_signatures_sweep_direct(ctx, i, sigs, cfg)
+    }
+}
+
+/// The pre-skip *sweeping* reference for truncated tasks: every capped
+/// signature is evaluated and the (dominating) EN fallback is mixed in,
+/// exactly as the enumeration behaved before the truncated-task skip.
+/// Kept so the equivalence tests can assert that skipping the sweep
+/// changes neither the reported WCRT nor the schedulability verdict —
+/// the EN bound term-wise dominates every per-signature bound (see
+/// `en_dominates_every_single_signature`), so it binds the max whenever
+/// it converges, and a signature that diverges past `D_i` forces the EN
+/// recurrence (whose iterates dominate the signature's pointwise) past
+/// `D_i` too.
+pub fn wcrt_over_signatures_sweep_direct(
     ctx: &AnalysisContext<'_>,
     i: TaskId,
     sigs: &dpcp_model::PathSignatures,
@@ -624,8 +648,11 @@ pub fn wcrt_over_signatures_direct(
 }
 
 /// The task-level bound `R_i = max_λ r_i(λ)` over a set of enumerated
-/// signatures, falling back to the (dominating) EN bound when the
-/// enumeration was truncated.
+/// signatures. When the enumeration was truncated the (dominating) EN
+/// bound is reported directly — it provably binds the max, so the capped
+/// signature subset is never swept (see
+/// [`wcrt_over_signatures_sweep_direct`] for the retained sweeping
+/// reference).
 ///
 /// Returns `None` when any contributing bound diverges beyond `D_i`.
 ///
@@ -666,6 +693,16 @@ pub fn wcrt_over_signatures_with(
     scratch: &mut EvalScratch,
 ) -> Option<PathBound> {
     scratch.reset_for_task();
+    if sigs.truncated {
+        // Truncated enumeration: the EN fallback term-wise dominates
+        // every per-signature bound, so it decides the max regardless of
+        // which capped subset survived — report it directly instead of
+        // sweeping signatures whose bounds cannot bind (the reported
+        // `TaskBound` carries the `truncated` tag). Verdict equality with
+        // the sweeping path is asserted against
+        // [`wcrt_over_signatures_sweep_direct`] by the equivalence tests.
+        return wcrt_en_with(ctx, i, cfg, scratch);
+    }
     // Solve-only sweep: only the binding path's breakdown is reported, so
     // the enumeration tracks `(r, index)` and materializes one breakdown
     // at the end (re-evaluating the winner is one more memoized solve).
@@ -676,7 +713,7 @@ pub fn wcrt_over_signatures_with(
             best = Some((r, idx));
         }
     }
-    let mut best = match best {
+    match best {
         Some((_, idx)) => Some(wcrt_for_signature_with(
             ctx,
             i,
@@ -685,14 +722,7 @@ pub fn wcrt_over_signatures_with(
             scratch,
         )?),
         None => None,
-    };
-    if sigs.truncated {
-        let en = wcrt_en_with(ctx, i, cfg, scratch)?;
-        if best.as_ref().is_none_or(|b| en.wcrt > b.wcrt) {
-            best = Some(en);
-        }
     }
-    best
 }
 
 #[cfg(test)]

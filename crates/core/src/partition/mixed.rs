@@ -102,14 +102,7 @@ pub fn analyze_mixed_scratch(
         let (result, evaluated, truncated) = if ctx.task(i).is_heavy() {
             match cfg.variant {
                 AnalysisVariant::EnumeratePaths => {
-                    let sigs = cache.signatures(i);
-                    (
-                        crate::analysis::wcrt::wcrt_over_signatures_with(
-                            &ctx, i, sigs, cfg, scratch,
-                        ),
-                        sigs.signatures.len(),
-                        sigs.truncated,
-                    )
+                    crate::analysis::evaluate_ep_arm(&ctx, i, cfg, cache, scratch)
                 }
                 AnalysisVariant::EnumerateRequestCounts => {
                     scratch.reset_for_task();

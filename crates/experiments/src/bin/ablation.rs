@@ -8,23 +8,28 @@
 //!
 //! ```text
 //! cargo run -p dpcp_experiments --release --bin ablation -- \
-//!     [--samples N] [--seed S] [--out DIR]
+//!     [--samples N] [--seed S] [--out DIR] [--assert-golden DIR]
 //! ```
+//!
+//! A thin wrapper over the campaign engine: the bundled `ablation`
+//! manifest declares eight single-method ablation cells (three placement
+//! heuristics × EP, four signature caps × EP, and EN) over the heavy
+//! -contention Fig. 2(b) scenario. All cells share one generation
+//! stream (the harness's `(seed, point, sample, retry)` discipline), so
+//! every ablation is evaluated on the *same* task sets — a paired
+//! comparison, exactly like the pre-campaign binary's shared-RNG loop.
 
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-use dpcp_core::partition::{algorithm1, DpcpAnalyzer, ResourceHeuristic};
-use dpcp_core::AnalysisConfig;
-use dpcp_experiments::EvalConfig;
-use dpcp_gen::scenario::{Fig2Panel, Scenario};
-use dpcp_model::Platform;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dpcp_experiments::campaign::{ablation_matrix_csv, assert_golden, run_cells};
+use dpcp_experiments::manifest::ablation_manifest;
 
 struct Args {
     samples: usize,
     seed: u64,
     out: PathBuf,
+    assert_golden: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +37,7 @@ fn parse_args() -> Args {
         samples: 20,
         seed: 2020,
         out: PathBuf::from("results"),
+        assert_golden: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,134 +57,53 @@ fn parse_args() -> Args {
             "--out" => {
                 args.out = PathBuf::from(it.next().expect("--out needs a directory"));
             }
-            other => panic!("unknown flag '{other}' (try --samples/--seed/--out)"),
+            "--assert-golden" => {
+                args.assert_golden = Some(PathBuf::from(
+                    it.next().expect("--assert-golden needs a directory"),
+                ));
+            }
+            other => {
+                panic!("unknown flag '{other}' (try --samples/--seed/--out/--assert-golden)")
+            }
         }
     }
     args
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("cannot create output directory");
-    let cfg = EvalConfig {
-        samples_per_point: args.samples,
-        seed: args.seed,
-        ..EvalConfig::default()
-    };
-    let scenario = Scenario::fig2(Fig2Panel::B); // heavy contention stresses placement
-    let platform = Platform::new(scenario.m).expect("m ≥ 2");
-    let points = scenario.utilization_points();
-    let heuristics = [
-        ResourceHeuristic::WorstFitDecreasing,
-        ResourceHeuristic::FirstFitDecreasing,
-        ResourceHeuristic::BestFitDecreasing,
-    ];
-    let caps = [1usize, 16, 128, 1024];
-
+    let manifest = ablation_manifest(args.samples, args.seed);
+    let cells = manifest.cells(false);
+    let scenario = &cells[0].scenario;
     println!(
-        "Ablation on {scenario} — {} samples/point, seed {}",
-        cfg.samples_per_point, cfg.seed
+        "Ablation on {scenario} — {} samples/point, seed {}, {} cells",
+        args.samples,
+        args.seed,
+        cells.len()
     );
 
-    // Accumulators: accepted[heuristic] and accepted_cap[cap].
-    let mut by_heuristic = [0usize; 3];
-    let mut by_cap = vec![0usize; caps.len()];
-    let mut en_accepted = 0usize;
-    let mut valid = 0usize;
+    let started = std::time::Instant::now();
+    let results = run_cells(&cells);
+    println!("evaluated in {:.1?}", started.elapsed());
 
-    let mut csv =
-        String::from("utilization,normalized,samples,WFD,FFD,BFD,cap1,cap16,cap128,cap1024,EN\n");
-    for (pi, &u) in points.iter().enumerate() {
-        let mut point_h = [0usize; 3];
-        let mut point_c = vec![0usize; caps.len()];
-        let mut point_en = 0usize;
-        let mut point_valid = 0usize;
-        for sample in 0..cfg.samples_per_point {
-            let seed = cfg
-                .seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add((pi as u64) << 24)
-                .wrapping_add(sample as u64);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let Ok(tasks) = scenario.sample_task_set(u, &mut rng) else {
-                continue;
-            };
-            point_valid += 1;
-            for (hi, &h) in heuristics.iter().enumerate() {
-                let analyzer = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
-                if algorithm1(&tasks, &platform, h, &analyzer).is_schedulable() {
-                    point_h[hi] += 1;
-                }
-            }
-            for (ci, &cap) in caps.iter().enumerate() {
-                let mut ep = AnalysisConfig::ep();
-                ep.path_signature_cap = cap;
-                let analyzer = DpcpAnalyzer::new(&tasks, ep);
-                if algorithm1(
-                    &tasks,
-                    &platform,
-                    ResourceHeuristic::WorstFitDecreasing,
-                    &analyzer,
-                )
-                .is_schedulable()
-                {
-                    point_c[ci] += 1;
-                }
-            }
-            let analyzer = DpcpAnalyzer::new(&tasks, AnalysisConfig::en());
-            if algorithm1(
-                &tasks,
-                &platform,
-                ResourceHeuristic::WorstFitDecreasing,
-                &analyzer,
-            )
-            .is_schedulable()
-            {
-                point_en += 1;
-            }
-        }
-        let r = |c: usize| {
-            if point_valid == 0 {
-                0.0
-            } else {
-                c as f64 / point_valid as f64
-            }
-        };
-        csv.push_str(&format!(
-            "{u:.3},{:.3},{point_valid},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
-            u / scenario.m as f64,
-            r(point_h[0]),
-            r(point_h[1]),
-            r(point_h[2]),
-            r(point_c[0]),
-            r(point_c[1]),
-            r(point_c[2]),
-            r(point_c[3]),
-            r(point_en),
-        ));
-        for (a, b) in by_heuristic.iter_mut().zip(point_h) {
-            *a += b;
-        }
-        for (a, b) in by_cap.iter_mut().zip(point_c) {
-            *a += b;
-        }
-        en_accepted += point_en;
-        valid += point_valid;
-        println!("  U = {u:6.2}  ({}/{} points done)", pi + 1, points.len());
-    }
-
+    let valid: usize = results[0].points.iter().map(|p| p.samples).sum();
     println!("\nTotal accepted over {valid} task sets:");
-    println!("  resource heuristics (with EP analysis):");
-    for (h, c) in heuristics.iter().zip(by_heuristic) {
-        println!("    {h}: {c}");
+    for cell in &results {
+        let method = cell.methods[0];
+        let total = cell.curve().total_accepted(method);
+        println!("  {:>8} ({}): {total}", cell.ablation, method.name());
     }
-    println!("  EP path-signature caps (with WFD placement):");
-    for (cap, c) in caps.iter().zip(&by_cap) {
-        println!("    cap {cap:>5}: {c}");
-    }
-    println!("    EN      : {en_accepted}");
 
+    let csv = ablation_matrix_csv(&results).expect("bundled manifest shapes a valid matrix");
     let path = args.out.join("ablation.csv");
-    std::fs::write(&path, csv).expect("cannot write ablation CSV");
+    std::fs::write(&path, &csv).expect("cannot write ablation CSV");
     println!("wrote {}", path.display());
+
+    if let Some(golden_dir) = &args.assert_golden {
+        if !assert_golden(golden_dir, "ablation.csv", &csv) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

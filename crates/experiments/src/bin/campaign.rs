@@ -1,0 +1,197 @@
+//! The unified campaign CLI: manifest-driven, sharded, resumable sweeps.
+//!
+//! ```text
+//! campaign run   --manifest PATH [--out DIR] [--shard i/n] [--quick]
+//! campaign merge --manifest PATH [--out DIR] [--quick] [--final DIR]
+//! campaign plan  --manifest PATH [--quick]
+//! ```
+//!
+//! `run` evaluates (or resumes) one shard of the manifest's cell grid,
+//! appending JSONL checkpoints to `DIR`; rerunning after a crash skips
+//! completed cells. `merge` folds every shard checkpoint in `DIR` into
+//! the final CSVs (written to `--final`, default `DIR/merged`) and fails
+//! if the grid is incomplete. `plan` prints the expanded grid without
+//! evaluating anything.
+//!
+//! The default `--out` is `results/campaign/<manifest name>`. `--quick`
+//! applies the manifest's quick overrides (CI smoke scale); run and
+//! merge must agree on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dpcp_experiments::campaign::{
+    merge_dir, run_shard, write_merged_outputs, CampaignError, ShardSpec,
+};
+use dpcp_experiments::manifest::{CampaignManifest, CellSpec};
+
+struct Args {
+    command: Command,
+    manifest: PathBuf,
+    out: Option<PathBuf>,
+    final_dir: Option<PathBuf>,
+    shard: ShardSpec,
+    quick: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Command {
+    Run,
+    Merge,
+    Plan,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign <run|merge|plan> --manifest PATH \
+         [--out DIR] [--shard i/n] [--quick] [--final DIR]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    let command = match it.next().as_deref() {
+        Some("run") => Command::Run,
+        Some("merge") => Command::Merge,
+        Some("plan") => Command::Plan,
+        _ => usage(),
+    };
+    let mut manifest = None;
+    let mut out = None;
+    let mut final_dir = None;
+    let mut shard = ShardSpec::single();
+    let mut quick = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--manifest" => manifest = it.next().map(PathBuf::from),
+            "--out" => out = it.next().map(PathBuf::from),
+            "--final" => final_dir = it.next().map(PathBuf::from),
+            "--shard" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                shard = match ShardSpec::parse(&spec) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--quick" => quick = true,
+            _ => usage(),
+        }
+    }
+    let Some(manifest) = manifest else { usage() };
+    Args {
+        command,
+        manifest,
+        out,
+        final_dir,
+        shard,
+        quick,
+    }
+}
+
+fn load_manifest(path: &PathBuf) -> Result<CampaignManifest, CampaignError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        CampaignError::from_message(format!("cannot read manifest {}: {e}", path.display()))
+    })?;
+    CampaignManifest::from_json(&text)
+        .map_err(|e| CampaignError::from_message(format!("{}: {e}", path.display())))
+}
+
+fn describe_grid(manifest: &CampaignManifest, cells: &[CellSpec], quick: bool) {
+    let scenarios = cells
+        .iter()
+        .map(|c| c.scenario.label())
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    let points: usize = cells.iter().map(|c| c.utilizations.len()).sum();
+    let samples: usize = cells
+        .iter()
+        .map(|c| c.utilizations.len() * c.eval.samples_per_point)
+        .sum();
+    println!(
+        "campaign '{}'{}: {} cells ({} scenarios × {} ablations), {} points, {} task-set samples, seed {}",
+        manifest.name,
+        if quick { " [quick]" } else { "" },
+        cells.len(),
+        scenarios,
+        manifest.ablation_list().len(),
+        points,
+        samples,
+        manifest.seed,
+    );
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let manifest = match load_manifest(&args.manifest) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cells = manifest.cells(args.quick);
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results/campaign").join(&manifest.name));
+    describe_grid(&manifest, &cells, args.quick);
+
+    let outcome = match args.command {
+        Command::Plan => {
+            for cell in &cells {
+                println!(
+                    "  cell {:>4}  {}  [{}]  methods {:?}  {} points × {} samples",
+                    cell.index,
+                    cell.scenario.label(),
+                    cell.ablation,
+                    cell.methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
+                    cell.utilizations.len(),
+                    cell.eval.samples_per_point,
+                );
+            }
+            Ok(())
+        }
+        Command::Run => {
+            let started = std::time::Instant::now();
+            run_shard(&manifest, &cells, args.shard, &out, |done, total| {
+                println!(
+                    "  shard {}: {done}/{total} cells  ({:.1?})",
+                    args.shard,
+                    started.elapsed()
+                );
+            })
+            .map(|stats| {
+                println!(
+                    "shard {} complete: {} owned, {} resumed from checkpoint, {} evaluated \
+                     ({:.1?}) → {}",
+                    args.shard,
+                    stats.owned,
+                    stats.resumed,
+                    stats.evaluated,
+                    started.elapsed(),
+                    args.shard.path(&out).display(),
+                );
+            })
+        }
+        Command::Merge => merge_dir(&manifest, &cells, &out).and_then(|results| {
+            let final_dir = args.final_dir.clone().unwrap_or_else(|| out.join("merged"));
+            write_merged_outputs(&results, &final_dir).map(|written| {
+                println!("merged {} cells:", results.len());
+                for path in written {
+                    println!("  wrote {}", path.display());
+                }
+            })
+        }),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -4,22 +4,30 @@
 //! ```text
 //! cargo run -p dpcp_experiments --release --bin fig2 -- \
 //!     [--samples N] [--seed S] [--panels abcd] [--out DIR] \
-//!     [--prune-dominated]
+//!     [--no-prune-dominated] [--assert-golden DIR]
 //! ```
 //!
-//! `--prune-dominated` turns on the EP analysis's dominance pruning
-//! (enumeration drops path signatures that provably cannot bind) — an
-//! ablation knob; acceptance ratios are unchanged whenever enumeration
-//! completes, see `tests/signature_dp.rs`.
+//! A thin wrapper over the campaign engine: each panel is one bundled
+//! single-scenario manifest (`fig2_panel_manifest`) whose cell the
+//! engine evaluates with the exact seed discipline the pre-campaign
+//! binary used — flag-for-flag, the emitted `fig2_<panel>.csv` bytes
+//! are unchanged (note the *default* changed alongside: pruning is now
+//! on, so a no-flag run corresponds to the old `--prune-dominated`, and
+//! the old no-flag behaviour is `--no-prune-dominated`).
+//! `--assert-golden DIR` diffs every emitted CSV against
+//! `DIR/fig2_<panel>.csv` and exits non-zero on any difference.
 //!
-//! Writes `fig2_<panel>.csv` per panel into the output directory (default
-//! `results/`) and prints an ASCII rendition plus the per-point table.
+//! Dominance pruning is on by default (the binding bound is proven
+//! unchanged; see `tests/signature_dp.rs`); `--no-prune-dominated` is
+//! the ablation knob for the unpruned reference enumeration.
 
 use std::path::PathBuf;
+use std::process::ExitCode;
 
 use dpcp_experiments::ascii::{render_curve, render_table};
-use dpcp_experiments::{evaluate_curve, EvalConfig};
-use dpcp_gen::scenario::{Fig2Panel, Scenario};
+use dpcp_experiments::campaign::{assert_golden, run_cells};
+use dpcp_experiments::manifest::fig2_panel_manifest;
+use dpcp_gen::scenario::Fig2Panel;
 
 struct Args {
     samples: usize,
@@ -27,6 +35,7 @@ struct Args {
     panels: Vec<Fig2Panel>,
     out: PathBuf,
     prune_dominated: bool,
+    assert_golden: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -35,7 +44,8 @@ fn parse_args() -> Args {
         seed: 2020,
         panels: Fig2Panel::all().to_vec(),
         out: PathBuf::from("results"),
-        prune_dominated: false,
+        prune_dominated: true,
+        assert_golden: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,59 +78,62 @@ fn parse_args() -> Args {
             "--out" => {
                 args.out = PathBuf::from(it.next().expect("--out needs a directory"));
             }
-            "--prune-dominated" => {
-                args.prune_dominated = true;
+            "--no-prune-dominated" => {
+                args.prune_dominated = false;
+            }
+            "--assert-golden" => {
+                args.assert_golden = Some(PathBuf::from(
+                    it.next().expect("--assert-golden needs a directory"),
+                ));
             }
             other => panic!(
                 "unknown flag '{other}' \
-                 (try --samples/--seed/--panels/--out/--prune-dominated)"
+                 (try --samples/--seed/--panels/--out/--no-prune-dominated/--assert-golden)"
             ),
         }
     }
     args
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("cannot create output directory");
-    let mut cfg = EvalConfig {
-        samples_per_point: args.samples,
-        seed: args.seed,
-        ..EvalConfig::default()
-    };
-    cfg.ep_config.prune_dominated = args.prune_dominated;
     println!(
-        "Fig. 2 reproduction — {} samples/point, seed {}, {} threads{}",
-        cfg.samples_per_point,
-        cfg.seed,
-        cfg.effective_threads(),
+        "Fig. 2 reproduction — {} samples/point, seed {}{}",
+        args.samples,
+        args.seed,
         if args.prune_dominated {
-            ", dominance pruning on"
-        } else {
             ""
+        } else {
+            ", dominance pruning off"
         }
     );
+    let mut golden_ok = true;
     for panel in &args.panels {
-        let scenario = Scenario::fig2(*panel);
+        let manifest = fig2_panel_manifest(*panel, args.samples, args.seed, args.prune_dominated);
+        let cells = manifest.cells(false);
         let started = std::time::Instant::now();
-        let curve = evaluate_curve(&scenario, &cfg);
+        let results = run_cells(&cells);
+        let curve = results[0].curve();
         let elapsed = started.elapsed();
         println!("\n=== {panel} ===  ({elapsed:.1?})");
         println!("{}", render_curve(&curve, 16));
         println!("{}", render_table(&curve));
-        let path = args
-            .out
-            .join(format!("fig2_{panel_tag}.csv", panel_tag = tag(*panel)));
-        std::fs::write(&path, curve.to_csv()).expect("cannot write CSV");
+        // The bundled manifest's name ("fig2_<panel>") is the single
+        // owner of the panel tag; output and golden filenames derive
+        // from it.
+        let csv_name = format!("{}.csv", manifest.name);
+        let csv = curve.to_csv();
+        let path = args.out.join(&csv_name);
+        std::fs::write(&path, &csv).expect("cannot write CSV");
         println!("wrote {}", path.display());
+        if let Some(golden_dir) = &args.assert_golden {
+            golden_ok &= assert_golden(golden_dir, &csv_name, &csv);
+        }
     }
-}
-
-fn tag(panel: Fig2Panel) -> char {
-    match panel {
-        Fig2Panel::A => 'a',
-        Fig2Panel::B => 'b',
-        Fig2Panel::C => 'c',
-        Fig2Panel::D => 'd',
+    if golden_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -3,26 +3,33 @@
 //!
 //! ```text
 //! cargo run -p dpcp_experiments --release --bin tables -- \
-//!     [--samples N] [--seed S] [--limit K] [--out DIR]
+//!     [--samples N] [--seed S] [--limit K] [--out DIR] \
+//!     [--assert-golden DIR]
 //! ```
 //!
-//! `--limit K` evaluates only the first `K` scenarios of the grid (useful
-//! for smoke runs); the full grid takes a while at higher sample counts.
+//! A thin wrapper over the campaign engine: the bundled `tables`
+//! manifest expands to the paper's full grid in `Scenario::grid_216`
+//! order; `--limit K` evaluates only the first `K` cells (smoke runs).
 //! Writes `table2_dominance.txt`, `table3_outperformance.txt` and a
-//! per-scenario CSV into the output directory.
+//! per-scenario CSV into the output directory; `--assert-golden DIR`
+//! diffs all three against committed goldens and exits non-zero on any
+//! difference.
 
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
+use dpcp_experiments::campaign::{assert_golden, evaluate_cell};
 use dpcp_experiments::harness::Method;
-use dpcp_experiments::{dominates, evaluate_curve, outperforms, EvalConfig, PairwiseTable};
-use dpcp_gen::scenario::Scenario;
+use dpcp_experiments::manifest::tables_manifest;
+use dpcp_experiments::{dominates, outperforms, PairwiseTable};
 
 struct Args {
     samples: usize,
     seed: u64,
     limit: usize,
     out: PathBuf,
+    assert_golden: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +38,7 @@ fn parse_args() -> Args {
         seed: 2020,
         limit: usize::MAX,
         out: PathBuf::from("results"),
+        assert_golden: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,54 +59,60 @@ fn parse_args() -> Args {
                 args.limit = it
                     .next()
                     .and_then(|v| v.parse().ok())
+                    .filter(|&k| k > 0)
                     .expect("--limit needs a positive integer");
             }
             "--out" => {
                 args.out = PathBuf::from(it.next().expect("--out needs a directory"));
             }
-            other => panic!("unknown flag '{other}' (try --samples/--seed/--limit/--out)"),
+            "--assert-golden" => {
+                args.assert_golden = Some(PathBuf::from(
+                    it.next().expect("--assert-golden needs a directory"),
+                ));
+            }
+            other => panic!(
+                "unknown flag '{other}' \
+                 (try --samples/--seed/--limit/--out/--assert-golden)"
+            ),
         }
     }
     args
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("cannot create output directory");
-    let cfg = EvalConfig {
-        samples_per_point: args.samples,
-        seed: args.seed,
-        ..EvalConfig::default()
-    };
-    let grid: Vec<Scenario> = Scenario::grid_216().into_iter().take(args.limit).collect();
+    let manifest = tables_manifest(args.samples, args.seed);
+    let mut cells = manifest.cells(false);
+    cells.truncate(args.limit.min(cells.len()));
     println!(
         "Tables 2/3 reproduction — {} scenarios, {} samples/point, seed {}",
-        grid.len(),
-        cfg.samples_per_point,
-        cfg.seed
+        cells.len(),
+        args.samples,
+        args.seed
     );
 
-    let mut curves = Vec::with_capacity(grid.len());
+    let mut curves = Vec::with_capacity(cells.len());
     let mut csv = String::from("scenario,method,total_accepted\n");
     let started = std::time::Instant::now();
-    for (i, scenario) in grid.iter().enumerate() {
-        let curve = evaluate_curve(scenario, &cfg);
+    for (i, cell) in cells.iter().enumerate() {
+        let curve = evaluate_cell(cell).curve();
         for m in Method::ALL {
             csv.push_str(&format!(
                 "{},{},{}\n",
-                scenario.label(),
+                curve.scenario.label(),
                 m.name(),
                 curve.total_accepted(m)
             ));
         }
         curves.push(curve);
-        if (i + 1) % 9 == 0 || i + 1 == grid.len() {
+        if (i + 1) % 9 == 0 || i + 1 == cells.len() {
             let rate = (i + 1) as f64 / started.elapsed().as_secs_f64().max(1e-9);
-            let remaining = (grid.len() - i - 1) as f64 / rate;
+            let remaining = (cells.len() - i - 1) as f64 / rate;
             println!(
                 "  {}/{} scenarios ({:.1}/min, ~{:.0}s left)",
                 i + 1,
-                grid.len(),
+                cells.len(),
                 rate * 60.0,
                 remaining
             );
@@ -111,14 +125,23 @@ fn main() {
     println!("\n{}", dominance.render());
     println!("{}", outperformance.render());
 
-    std::fs::write(args.out.join("table2_dominance.txt"), dominance.render())
-        .expect("cannot write table 2");
-    std::fs::write(
-        args.out.join("table3_outperformance.txt"),
-        outperformance.render(),
-    )
-    .expect("cannot write table 3");
-    std::fs::write(args.out.join("tables_per_scenario.csv"), csv)
-        .expect("cannot write per-scenario CSV");
-    println!("wrote tables into {}", args.out.display());
+    let outputs = [
+        ("table2_dominance.txt", dominance.render()),
+        ("table3_outperformance.txt", outperformance.render()),
+        ("tables_per_scenario.csv", csv),
+    ];
+    let mut golden_ok = true;
+    for (name, contents) in &outputs {
+        let path = args.out.join(name);
+        std::fs::write(&path, contents).expect("cannot write output");
+        println!("wrote {}", path.display());
+        if let Some(golden_dir) = &args.assert_golden {
+            golden_ok &= assert_golden(golden_dir, name, contents);
+        }
+    }
+    if golden_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

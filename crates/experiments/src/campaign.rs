@@ -1,0 +1,747 @@
+//! The campaign engine: sharded, resumable, manifest-driven sweeps.
+//!
+//! A campaign expands its [`CampaignManifest`] into an ordered cell grid
+//! (see [`CampaignManifest::cells`]); the runner evaluates the cells of
+//! one shard (`index % of == shard.index`), fanning each utilization
+//! point's samples over rayon with the harness's per-sample seed
+//! discipline — results are bit-identical for any thread count *and any
+//! shard split*, because every sample's RNG stream is a pure function of
+//! `(seed, point, sample, retry)`.
+//!
+//! Progress is checkpointed as **append-only JSONL**: one header line
+//! identifying the campaign, then one line per completed cell. On
+//! restart the runner replays the shard file, skips completed cells and
+//! appends the rest — a crashed multi-hour sweep loses at most one cell.
+//! `merge` folds any number of shard files back into the final tables
+//! and asserts the grid is complete.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{AcceptanceCurve, Method, PointResult};
+use crate::manifest::{CampaignManifest, CellSpec};
+
+/// One shard of a campaign: `index ∈ [0, of)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This shard's index.
+    pub index: usize,
+    /// Total number of shards.
+    pub of: usize,
+}
+
+impl ShardSpec {
+    /// The unsharded singleton.
+    pub fn single() -> ShardSpec {
+        ShardSpec { index: 0, of: 1 }
+    }
+
+    /// Parses `"i/n"` (e.g. `--shard 0/2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CampaignError`] on malformed input or `i ≥ n`.
+    pub fn parse(text: &str) -> Result<ShardSpec, CampaignError> {
+        let (i, n) = text
+            .split_once('/')
+            .ok_or_else(|| CampaignError::new(format!("shard spec '{text}' is not 'i/n'")))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|_| CampaignError::new(format!("bad shard index in '{text}'")))?;
+        let of: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| CampaignError::new(format!("bad shard count in '{text}'")))?;
+        if of == 0 || index >= of {
+            return Err(CampaignError::new(format!(
+                "shard index {index} out of range for {of} shards"
+            )));
+        }
+        Ok(ShardSpec { index, of })
+    }
+
+    /// Does this shard own the cell?
+    pub fn owns(&self, cell_index: usize) -> bool {
+        cell_index % self.of == self.index
+    }
+
+    /// The shard's checkpoint file inside the campaign directory.
+    pub fn path(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("shard_{}_of_{}.jsonl", self.index, self.of))
+    }
+}
+
+impl core::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/{}", self.index, self.of)
+    }
+}
+
+/// Campaign-engine failure (I/O, corrupt checkpoints, incomplete grids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError(String);
+
+impl CampaignError {
+    fn new(message: impl Into<String>) -> CampaignError {
+        CampaignError(message.into())
+    }
+
+    /// Wraps a caller-side failure message (CLI I/O, manifest loading).
+    pub fn from_message(message: impl Into<String>) -> CampaignError {
+        CampaignError::new(message)
+    }
+}
+
+impl core::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "campaign error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The identity line at the top of every shard file; a resume or merge
+/// against a different campaign/grid/scale is rejected instead of
+/// silently mixing results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardHeader {
+    /// Manifest name.
+    pub campaign: String,
+    /// Manifest seed.
+    pub seed: u64,
+    /// Expanded grid size (cell count).
+    pub grid: usize,
+    /// Effective samples per point (quick mode changes it).
+    pub samples_per_point: usize,
+    /// FNV-1a hash over every expanded cell's full configuration
+    /// (scenario, ablation, methods, heuristic, analysis config,
+    /// utilization points, sample scale) — see [`grid_fingerprint`]. Any
+    /// manifest edit that changes what a cell *means* changes this, even
+    /// when name/seed/grid-size stay equal.
+    pub fingerprint: String,
+    /// Shard coordinates.
+    pub shard: ShardSpec,
+}
+
+/// FNV-1a fingerprint of the fully expanded grid: a resume or merge
+/// after a manifest edit that re-points any cell (different utilization
+/// points, ablation config, methods, heuristic or sample scale) is
+/// rejected up front instead of silently mixing results evaluated under
+/// the old meaning. FNV-1a is implemented inline so the hash is stable
+/// across builds and toolchains (std's hasher is not).
+pub fn grid_fingerprint(cells: &[CellSpec]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for cell in cells {
+        // Nested ≤4-tuples: the vendored serde implements tuples only up
+        // to arity four.
+        let identity = serde_json::to_string(&(
+            (cell.index, &cell.scenario, &cell.ablation),
+            (&cell.methods, cell.heuristic, &cell.eval.ep_config),
+            (
+                cell.eval.samples_per_point,
+                cell.eval.seed,
+                cell.eval.generation_retries,
+                &cell.utilizations,
+            ),
+        ))
+        .expect("cell identity serializes");
+        eat(identity.as_bytes());
+        eat(b"\n");
+    }
+    format!("{hash:016x}")
+}
+
+/// One completed cell: the scenario×ablation identity plus its full
+/// acceptance sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Grid position (the resume/merge key).
+    pub index: usize,
+    /// The evaluated scenario.
+    pub scenario: dpcp_gen::Scenario,
+    /// The ablation label.
+    pub ablation: String,
+    /// Methods this cell evaluated.
+    pub methods: Vec<Method>,
+    /// One entry per utilization point, ascending.
+    pub points: Vec<PointResult>,
+}
+
+impl CellResult {
+    /// The cell folded into a legacy [`AcceptanceCurve`].
+    pub fn curve(&self) -> AcceptanceCurve {
+        AcceptanceCurve {
+            scenario: self.scenario.clone(),
+            points: self.points.clone(),
+        }
+    }
+}
+
+/// One JSONL line: exactly one of the two fields is populated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LineRecord {
+    header: Option<ShardHeader>,
+    cell: Option<CellResult>,
+}
+
+/// Evaluates one cell (all utilization points, samples rayon-fanned).
+pub fn evaluate_cell(cell: &CellSpec) -> CellResult {
+    let points = cell
+        .utilizations
+        .iter()
+        .enumerate()
+        .map(|(pi, &u)| {
+            crate::harness::evaluate_point_subset(
+                &cell.scenario,
+                u,
+                pi,
+                &cell.eval,
+                cell.heuristic,
+                &cell.methods,
+            )
+        })
+        .collect();
+    CellResult {
+        index: cell.index,
+        scenario: cell.scenario.clone(),
+        ablation: cell.ablation.clone(),
+        methods: cell.methods.clone(),
+        points,
+    }
+}
+
+/// Evaluates a full cell list in memory (no checkpoint files) — the path
+/// the legacy wrapper binaries take.
+pub fn run_cells(cells: &[CellSpec]) -> Vec<CellResult> {
+    cells.iter().map(evaluate_cell).collect()
+}
+
+fn header_for(manifest: &CampaignManifest, cells: &[CellSpec], shard: ShardSpec) -> ShardHeader {
+    ShardHeader {
+        campaign: manifest.name.clone(),
+        seed: manifest.seed,
+        grid: cells.len(),
+        samples_per_point: cells.first().map(|c| c.eval.samples_per_point).unwrap_or(0),
+        fingerprint: grid_fingerprint(cells),
+        shard,
+    }
+}
+
+/// Parses a shard checkpoint file: the header plus every completed cell.
+/// Unparseable lines are tolerated (an interrupted writer leaves at most
+/// one torn tail line; resuming re-evaluates that cell), but a missing
+/// or mismatched header is an error.
+fn read_shard_file(
+    path: &Path,
+    expect: &ShardHeader,
+) -> Result<BTreeMap<usize, CellResult>, CampaignError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CampaignError::new(format!("cannot read {}: {e}", path.display())))?;
+    parse_checkpoint(&text, path, expect)
+}
+
+/// The parsing half of [`read_shard_file`], over already-loaded text
+/// (resume reads the checkpoint exactly once).
+fn parse_checkpoint(
+    text: &str,
+    path: &Path,
+    expect: &ShardHeader,
+) -> Result<BTreeMap<usize, CellResult>, CampaignError> {
+    let mut lines = text.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| CampaignError::new(format!("{} is empty", path.display())))?;
+    let header: LineRecord = serde_json::from_str(header_line)
+        .map_err(|e| CampaignError::new(format!("{}: bad header: {e}", path.display())))?;
+    let header = header.header.ok_or_else(|| {
+        CampaignError::new(format!("{}: first line is not a header", path.display()))
+    })?;
+    // Shard coordinates may differ (merge reads every shard of a split);
+    // everything that defines the result space must match — including
+    // the grid fingerprint, which pins every cell's full configuration.
+    if header.campaign != expect.campaign
+        || header.seed != expect.seed
+        || header.grid != expect.grid
+        || header.samples_per_point != expect.samples_per_point
+        || header.fingerprint != expect.fingerprint
+    {
+        return Err(CampaignError::new(format!(
+            "{}: header mismatch — the checkpoint was written by a different campaign \
+             or an edited manifest \
+             (file: campaign '{}' seed {} grid {} samples {} fingerprint {}; \
+             expected: campaign '{}' seed {} grid {} samples {} fingerprint {})",
+            path.display(),
+            header.campaign,
+            header.seed,
+            header.grid,
+            header.samples_per_point,
+            header.fingerprint,
+            expect.campaign,
+            expect.seed,
+            expect.grid,
+            expect.samples_per_point,
+            expect.fingerprint,
+        )));
+    }
+    let mut cells = BTreeMap::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(record) = serde_json::from_str::<LineRecord>(line) else {
+            continue; // torn tail line from an interrupted run
+        };
+        if let Some(cell) = record.cell {
+            cells.insert(cell.index, cell);
+        }
+    }
+    Ok(cells)
+}
+
+/// An interrupted writer can leave a torn final line with no trailing
+/// newline; appending straight after it would glue the next record onto
+/// the fragment and corrupt *that* record too. Terminate the fragment
+/// before any append (the fragment itself is then skipped as one
+/// unparseable line and its cell is re-evaluated).
+fn heal_torn_tail(path: &Path, text: &str) -> Result<(), CampaignError> {
+    if !text.is_empty() && !text.ends_with('\n') {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| CampaignError::new(format!("cannot open {}: {e}", path.display())))?;
+        file.write_all(b"\n")
+            .map_err(|e| CampaignError::new(format!("cannot append to {}: {e}", path.display())))?;
+    }
+    Ok(())
+}
+
+/// Is the checkpoint's first line a well-formed header? `false` for an
+/// empty file or a torn header line (a writer killed during the very
+/// first append) — such a file holds no recoverable cells and is safely
+/// recreated from scratch; a *parseable* header is never second-guessed
+/// here, so mismatch protection stays intact.
+fn has_wellformed_header(text: &str) -> bool {
+    text.lines().next().is_some_and(|first| {
+        serde_json::from_str::<LineRecord>(first)
+            .ok()
+            .is_some_and(|record| record.header.is_some())
+    })
+}
+
+fn append_line(path: &Path, record: &LineRecord) -> Result<(), CampaignError> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| CampaignError::new(format!("cannot open {}: {e}", path.display())))?;
+    let line = serde_json::to_string(record)
+        .map_err(|e| CampaignError::new(format!("cannot serialize record: {e}")))?;
+    file.write_all(line.as_bytes())
+        .and_then(|()| file.write_all(b"\n"))
+        .and_then(|()| file.flush())
+        .map_err(|e| CampaignError::new(format!("cannot append to {}: {e}", path.display())))
+}
+
+/// Outcome of one [`run_shard`] invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRunStats {
+    /// Cells this shard owns.
+    pub owned: usize,
+    /// Cells found complete in the checkpoint (skipped).
+    pub resumed: usize,
+    /// Cells evaluated by this invocation.
+    pub evaluated: usize,
+}
+
+/// Runs (or resumes) one shard of a campaign, checkpointing each
+/// completed cell to `dir/shard_<i>_of_<n>.jsonl`. `progress` is called
+/// after every cell with `(cells done, cells owned)`.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] on I/O failures or when the directory holds
+/// a checkpoint of a *different* campaign (name, seed, grid or sample
+/// scale mismatch).
+pub fn run_shard(
+    manifest: &CampaignManifest,
+    cells: &[CellSpec],
+    shard: ShardSpec,
+    dir: &Path,
+    mut progress: impl FnMut(usize, usize),
+) -> Result<ShardRunStats, CampaignError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CampaignError::new(format!("cannot create {}: {e}", dir.display())))?;
+    let header = header_for(manifest, cells, shard);
+    let path = shard.path(dir);
+    // One read serves the header check, the torn-tail heal and the
+    // completed-cell replay.
+    let existing = if path.exists() {
+        Some(
+            std::fs::read_to_string(&path)
+                .map_err(|e| CampaignError::new(format!("cannot read {}: {e}", path.display())))?,
+        )
+    } else {
+        None
+    };
+    let completed = if let Some(text) = existing.filter(|t| has_wellformed_header(t)) {
+        heal_torn_tail(&path, &text)?;
+        parse_checkpoint(&text, &path, &header)?
+    } else {
+        // Fresh shard — or a checkpoint whose *header* append was itself
+        // interrupted (empty file / torn first line): nothing is
+        // recoverable from it, so recreate rather than brick the shard.
+        std::fs::write(&path, "")
+            .map_err(|e| CampaignError::new(format!("cannot create {}: {e}", path.display())))?;
+        append_line(
+            &path,
+            &LineRecord {
+                header: Some(header.clone()),
+                cell: None,
+            },
+        )?;
+        BTreeMap::new()
+    };
+    let owned: Vec<&CellSpec> = cells.iter().filter(|c| shard.owns(c.index)).collect();
+    let mut stats = ShardRunStats {
+        owned: owned.len(),
+        resumed: 0,
+        evaluated: 0,
+    };
+    let mut done = 0usize;
+    for cell in owned {
+        if completed.contains_key(&cell.index) {
+            stats.resumed += 1;
+        } else {
+            let result = evaluate_cell(cell);
+            append_line(
+                &path,
+                &LineRecord {
+                    header: None,
+                    cell: Some(result),
+                },
+            )?;
+            stats.evaluated += 1;
+        }
+        done += 1;
+        progress(done, stats.owned);
+    }
+    Ok(stats)
+}
+
+/// Collects every shard checkpoint in `dir` and folds them into the
+/// complete, index-ordered cell list.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] when no checkpoint exists, a header
+/// mismatches the manifest, or the grid is incomplete (lists the missing
+/// cell indices — the shards still to run).
+pub fn merge_dir(
+    manifest: &CampaignManifest,
+    cells: &[CellSpec],
+    dir: &Path,
+) -> Result<Vec<CellResult>, CampaignError> {
+    let expect = header_for(manifest, cells, ShardSpec::single());
+    let mut shard_files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CampaignError::new(format!("cannot read {}: {e}", dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard_") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    shard_files.sort();
+    if shard_files.is_empty() {
+        return Err(CampaignError::new(format!(
+            "no shard checkpoints in {}",
+            dir.display()
+        )));
+    }
+    let mut merged: BTreeMap<usize, CellResult> = BTreeMap::new();
+    for path in &shard_files {
+        for (index, cell) in read_shard_file(path, &expect)? {
+            merged.insert(index, cell);
+        }
+    }
+    // Belt-and-braces on top of the fingerprint: every merged cell must
+    // agree with the expanded spec at its index on what it evaluated.
+    for cell in cells {
+        if let Some(result) = merged.get(&cell.index) {
+            if result.scenario != cell.scenario || result.ablation != cell.ablation {
+                return Err(CampaignError::new(format!(
+                    "cell {} identity mismatch: checkpoint holds ({}, {}), manifest expands to \
+                     ({}, {})",
+                    cell.index,
+                    result.scenario.label(),
+                    result.ablation,
+                    cell.scenario.label(),
+                    cell.ablation,
+                )));
+            }
+        }
+    }
+    let missing: Vec<usize> = cells
+        .iter()
+        .map(|c| c.index)
+        .filter(|i| !merged.contains_key(i))
+        .collect();
+    if !missing.is_empty() {
+        return Err(CampaignError::new(format!(
+            "grid incomplete: {} of {} cells missing (indices {:?}{})",
+            missing.len(),
+            cells.len(),
+            &missing[..missing.len().min(16)],
+            if missing.len() > 16 { ", …" } else { "" }
+        )));
+    }
+    Ok(merged.into_values().collect())
+}
+
+/// The merged long-format CSV: one row per `(cell, method, point)`.
+/// Deterministic bytes for any shard split or thread count — the CI
+/// smoke gate diffs this against a committed golden file.
+pub fn merged_csv(results: &[CellResult]) -> String {
+    let mut out =
+        String::from("cell,scenario,ablation,method,utilization,normalized,samples,ratio\n");
+    for cell in results {
+        for &method in &cell.methods {
+            for p in &cell.points {
+                out.push_str(&format!(
+                    "{},{},{},{},{:.3},{:.3},{},{:.4}\n",
+                    cell.index,
+                    cell.scenario.label(),
+                    cell.ablation,
+                    method.name(),
+                    p.utilization,
+                    p.normalized,
+                    p.samples,
+                    p.ratio(method),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The per-cell totals CSV (`total_accepted` per method — the paper's
+/// outperformance metric).
+pub fn summary_csv(results: &[CellResult]) -> String {
+    let mut out = String::from("cell,scenario,ablation,method,total_accepted\n");
+    for cell in results {
+        let curve = cell.curve();
+        for &method in &cell.methods {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                cell.index,
+                cell.scenario.label(),
+                cell.ablation,
+                method.name(),
+                curve.total_accepted(method),
+            ));
+        }
+    }
+    out
+}
+
+/// A column-per-ablation matrix CSV for campaigns whose ablations each
+/// evaluate a single method on a shared scenario (the legacy `ablation`
+/// binary's layout): `utilization,normalized,samples,<label…>`.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] when the cells disagree on scenario or
+/// utilization points, or an ablation evaluates more than one method.
+pub fn ablation_matrix_csv(results: &[CellResult]) -> Result<String, CampaignError> {
+    let Some(first) = results.first() else {
+        return Err(CampaignError::new("no cells to tabulate"));
+    };
+    for cell in results {
+        if cell.scenario != first.scenario {
+            return Err(CampaignError::new(
+                "ablation matrix needs a single shared scenario",
+            ));
+        }
+        if cell.points.len() != first.points.len() {
+            return Err(CampaignError::new("cells disagree on utilization points"));
+        }
+        if cell.methods.len() != 1 {
+            return Err(CampaignError::new(
+                "ablation matrix needs single-method cells",
+            ));
+        }
+    }
+    let mut out = String::from("utilization,normalized,samples");
+    for cell in results {
+        out.push(',');
+        out.push_str(&cell.ablation);
+    }
+    out.push('\n');
+    for pi in 0..first.points.len() {
+        let p = &first.points[pi];
+        out.push_str(&format!(
+            "{:.3},{:.3},{}",
+            p.utilization, p.normalized, p.samples
+        ));
+        for cell in results {
+            let ratio = cell.points[pi].ratio(cell.methods[0]);
+            out.push_str(&format!(",{ratio:.4}"));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Diffs freshly emitted output bytes against a committed golden file
+/// (`golden_dir/name`), printing the verdict; returns `false` on a
+/// mismatch or an unreadable golden. The wrapper binaries
+/// (`fig2`/`tables`/`ablation --assert-golden`) and CI's
+/// `campaign-smoke` job share this one comparison.
+pub fn assert_golden(golden_dir: &Path, name: &str, contents: &str) -> bool {
+    let golden_path = golden_dir.join(name);
+    match std::fs::read_to_string(&golden_path) {
+        Ok(golden) if golden == contents => {
+            println!("golden match: {}", golden_path.display());
+            true
+        }
+        Ok(_) => {
+            eprintln!("GOLDEN MISMATCH: {}", golden_path.display());
+            false
+        }
+        Err(e) => {
+            eprintln!("cannot read golden {}: {e}", golden_path.display());
+            false
+        }
+    }
+}
+
+/// Writes the standard merged outputs (`merged.csv`, `summary.csv`, one
+/// `curve_*.csv` per cell) into `dir`; returns the written paths.
+///
+/// The `merged.csv` bytes are a pure function of the manifest (cell
+/// order, method order and float formatting are all pinned), which is
+/// what lets CI diff them against a committed golden file.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] on I/O failures.
+pub fn write_merged_outputs(
+    results: &[CellResult],
+    dir: &Path,
+) -> Result<Vec<PathBuf>, CampaignError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CampaignError::new(format!("cannot create {}: {e}", dir.display())))?;
+    let mut written = Vec::new();
+    let mut write = |name: String, contents: String| -> Result<(), CampaignError> {
+        let path = dir.join(name);
+        std::fs::write(&path, contents)
+            .map_err(|e| CampaignError::new(format!("cannot write {}: {e}", path.display())))?;
+        written.push(path);
+        Ok(())
+    };
+    write("merged.csv".to_string(), merged_csv(results))?;
+    write("summary.csv".to_string(), summary_csv(results))?;
+    for cell in results {
+        write(
+            format!(
+                "curve_{:04}_{}_{}.csv",
+                cell.index,
+                cell.scenario.label(),
+                cell.ablation
+            ),
+            cell.curve().to_csv(),
+        )?;
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_parsing() {
+        assert_eq!(
+            ShardSpec::parse("0/2").unwrap(),
+            ShardSpec { index: 0, of: 2 }
+        );
+        assert_eq!(ShardSpec::parse("3/4").unwrap().to_string(), "3/4");
+        assert!(ShardSpec::parse("2/2").is_err());
+        assert!(ShardSpec::parse("0/0").is_err());
+        assert!(ShardSpec::parse("x/2").is_err());
+        assert!(ShardSpec::parse("1").is_err());
+        let s = ShardSpec { index: 1, of: 3 };
+        assert!(!s.owns(0) && s.owns(1) && !s.owns(2) && !s.owns(3) && s.owns(4));
+        assert_eq!(
+            s.path(Path::new("/tmp/x")),
+            PathBuf::from("/tmp/x/shard_1_of_3.jsonl")
+        );
+    }
+
+    #[test]
+    fn csv_emitters_have_stable_shape() {
+        let scenario = dpcp_gen::Scenario::fig2(dpcp_gen::Fig2Panel::A);
+        let mk = |index: usize, ablation: &str, method: Method, accepted: usize| CellResult {
+            index,
+            scenario: scenario.clone(),
+            ablation: ablation.to_string(),
+            methods: vec![method],
+            points: vec![PointResult {
+                utilization: 4.0,
+                normalized: 0.25,
+                samples: 4,
+                generation_failures: 0,
+                accepted: {
+                    let mut a = [0usize; 5];
+                    a[method.index()] = accepted;
+                    a
+                },
+            }],
+        };
+        let results = vec![
+            mk(0, "WFD", Method::DpcpEp, 3),
+            mk(1, "EN", Method::DpcpEn, 2),
+        ];
+        let merged = merged_csv(&results);
+        let mut lines = merged.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "cell,scenario,ablation,method,utilization,normalized,samples,ratio"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            format!("0,{},WFD,DPCP-p-EP,4.000,0.250,4,0.7500", scenario.label())
+        );
+        let summary = summary_csv(&results);
+        assert!(summary.contains(&format!("1,{},EN,DPCP-p-EN,2", scenario.label())));
+        let matrix = ablation_matrix_csv(&results).unwrap();
+        assert_eq!(
+            matrix,
+            "utilization,normalized,samples,WFD,EN\n4.000,0.250,4,0.7500,0.5000\n"
+        );
+    }
+
+    #[test]
+    fn ablation_matrix_rejects_mixed_shapes() {
+        let scenario = dpcp_gen::Scenario::fig2(dpcp_gen::Fig2Panel::A);
+        let cell = CellResult {
+            index: 0,
+            scenario,
+            ablation: "default".to_string(),
+            methods: Method::ALL.to_vec(),
+            points: Vec::new(),
+        };
+        assert!(ablation_matrix_csv(&[cell]).is_err());
+        assert!(ablation_matrix_csv(&[]).is_err());
+    }
+}

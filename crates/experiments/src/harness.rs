@@ -11,7 +11,7 @@
 use dpcp_baselines::{FedFp, Lpp, SpinSon};
 use dpcp_core::analysis::EvalScratch;
 use dpcp_core::partition::{algorithm1_scratch, DpcpAnalyzer, ResourceHeuristic};
-use dpcp_core::{AnalysisConfig, SchedAnalyzer};
+use dpcp_core::AnalysisConfig;
 use dpcp_gen::scenario::Scenario;
 use dpcp_model::{Platform, TaskSet};
 use rand::rngs::StdRng;
@@ -43,6 +43,15 @@ impl Method {
         Method::Lpp,
         Method::FedFp,
     ];
+
+    /// The method's position in [`Method::ALL`] (the index of the
+    /// `accepted` slot it owns in a [`PointResult`]).
+    pub fn index(self) -> usize {
+        Method::ALL
+            .iter()
+            .position(|&m| m == self)
+            .expect("every method is in ALL")
+    }
 
     /// The paper's display name.
     pub fn name(self) -> &'static str {
@@ -135,11 +144,7 @@ impl PointResult {
         if self.samples == 0 {
             return 0.0;
         }
-        let idx = Method::ALL
-            .iter()
-            .position(|&m| m == method)
-            .expect("known method");
-        self.accepted[idx] as f64 / self.samples as f64
+        self.accepted[method.index()] as f64 / self.samples as f64
     }
 }
 
@@ -156,11 +161,7 @@ impl AcceptanceCurve {
     /// Total accepted task sets of a method across the sweep (the
     /// outperformance metric of the paper's footnote).
     pub fn total_accepted(&self, method: Method) -> usize {
-        let idx = Method::ALL
-            .iter()
-            .position(|&m| m == method)
-            .expect("known method");
-        self.points.iter().map(|p| p.accepted[idx]).sum()
+        self.points.iter().map(|p| p.accepted[method.index()]).sum()
     }
 
     /// Writes the curve as CSV (`utilization,normalized,samples,<methods>`).
@@ -185,28 +186,42 @@ impl AcceptanceCurve {
     }
 }
 
-/// Runs every method on one generated task set.
+/// Runs the requested methods on one generated task set; slots of
+/// methods outside `methods` stay `false` (and are never analysed — a
+/// campaign ablation cell that only compares DPCP-p variants skips the
+/// baseline protocols entirely).
 ///
-/// One [`EvalScratch`] serves all five methods (and every partitioning
-/// round inside each): the DPCP-p analyses reset the task-scoped state per
-/// task but keep the memo/table/buffer allocations warm, and the baseline
-/// protocols simply ignore it.
+/// One [`EvalScratch`] serves all requested methods (and every
+/// partitioning round inside each): the DPCP-p analyses reset the
+/// task-scoped state per task but keep the memo/table/buffer allocations
+/// warm, and the baseline protocols simply ignore it.
 fn evaluate_task_set(
     tasks: &TaskSet,
     platform: &Platform,
     ep_cfg: &AnalysisConfig,
+    heuristic: ResourceHeuristic,
+    methods: &[Method],
     scratch: &mut EvalScratch,
 ) -> [bool; 5] {
-    let wfd = ResourceHeuristic::WorstFitDecreasing;
-    let ep = DpcpAnalyzer::new(tasks, ep_cfg.clone());
-    let en = DpcpAnalyzer::new(tasks, AnalysisConfig::en());
-    let spin = SpinSon::new();
-    let lpp = Lpp::new();
-    let fed = FedFp::new();
-    let analyzers: [&dyn SchedAnalyzer; 5] = [&ep, &en, &spin, &lpp, &fed];
     let mut out = [false; 5];
-    for (slot, analyzer) in out.iter_mut().zip(analyzers) {
-        *slot = algorithm1_scratch(tasks, platform, wfd, analyzer, scratch).is_schedulable();
+    for &method in methods {
+        let accepted = match method {
+            Method::DpcpEp => {
+                let ep = DpcpAnalyzer::new(tasks, ep_cfg.clone());
+                algorithm1_scratch(tasks, platform, heuristic, &ep, scratch)
+            }
+            Method::DpcpEn => {
+                let en = DpcpAnalyzer::new(tasks, AnalysisConfig::en());
+                algorithm1_scratch(tasks, platform, heuristic, &en, scratch)
+            }
+            Method::SpinSon => {
+                algorithm1_scratch(tasks, platform, heuristic, &SpinSon::new(), scratch)
+            }
+            Method::Lpp => algorithm1_scratch(tasks, platform, heuristic, &Lpp::new(), scratch),
+            Method::FedFp => algorithm1_scratch(tasks, platform, heuristic, &FedFp::new(), scratch),
+        }
+        .is_schedulable();
+        out[method.index()] = accepted;
     }
     out
 }
@@ -249,6 +264,7 @@ impl PointAccum {
 /// Generates and evaluates one sample; the whole unit depends only on the
 /// deterministic `(seed, point, sample, retry)` stream, never on which
 /// worker runs it.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_sample(
     scenario: &Scenario,
     platform: &Platform,
@@ -256,6 +272,8 @@ fn evaluate_sample(
     point_index: usize,
     sample: usize,
     cfg: &EvalConfig,
+    heuristic: ResourceHeuristic,
+    methods: &[Method],
 ) -> PointAccum {
     let mut generated = None;
     for retry in 0..=cfg.generation_retries {
@@ -269,7 +287,14 @@ fn evaluate_sample(
     match generated {
         Some(ts) => {
             let mut scratch = EvalScratch::new();
-            let accepted = evaluate_task_set(&ts, platform, &cfg.ep_config, &mut scratch);
+            let accepted = evaluate_task_set(
+                &ts,
+                platform,
+                &cfg.ep_config,
+                heuristic,
+                methods,
+                &mut scratch,
+            );
             PointAccum {
                 accepted: accepted.map(usize::from),
                 samples: 1,
@@ -298,6 +323,34 @@ pub fn evaluate_point(
     point_index: usize,
     cfg: &EvalConfig,
 ) -> PointResult {
+    evaluate_point_subset(
+        scenario,
+        utilization,
+        point_index,
+        cfg,
+        ResourceHeuristic::WorstFitDecreasing,
+        &Method::ALL,
+    )
+}
+
+/// [`evaluate_point`] restricted to a method subset and a configurable
+/// resource-placement heuristic — the campaign engine's per-cell entry
+/// point. Task-set generation depends only on the deterministic
+/// `(seed, point, sample, retry)` stream, so the counts of the evaluated
+/// methods are bit-identical to a full [`Method::ALL`] run; slots of
+/// unevaluated methods stay zero.
+///
+/// # Panics
+///
+/// Panics if the scenario's processor count is below 2.
+pub fn evaluate_point_subset(
+    scenario: &Scenario,
+    utilization: f64,
+    point_index: usize,
+    cfg: &EvalConfig,
+    heuristic: ResourceHeuristic,
+    methods: &[Method],
+) -> PointResult {
     let platform = Platform::new(scenario.m).expect("scenario platforms have m ≥ 2");
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(cfg.threads)
@@ -307,7 +360,16 @@ pub fn evaluate_point(
         (0..cfg.samples_per_point)
             .into_par_iter()
             .map(|sample| {
-                evaluate_sample(scenario, &platform, utilization, point_index, sample, cfg)
+                evaluate_sample(
+                    scenario,
+                    &platform,
+                    utilization,
+                    point_index,
+                    sample,
+                    cfg,
+                    heuristic,
+                    methods,
+                )
             })
             .reduce(PointAccum::default, PointAccum::merge)
     });
@@ -347,6 +409,8 @@ mod tests {
             access_prob: 0.5,
             max_requests: 25,
             cs_range_us: (15, 50),
+            graph_shape: dpcp_gen::GraphShape::ErdosRenyi,
+            light_fraction: 0.0,
         }
     }
 
@@ -464,6 +528,33 @@ mod tests {
             .unwrap()
             .starts_with("2.000,0.250,4,1.0000,0.7500"));
         assert_eq!(curve.total_accepted(Method::DpcpEp), 4);
+    }
+
+    #[test]
+    fn subset_evaluation_matches_full_run() {
+        // A subset run reproduces exactly the full run's counts for the
+        // requested methods (shared generation stream) and leaves the
+        // rest at zero — the invariant campaign ablation cells rely on.
+        let s = tiny_scenario();
+        let cfg = tiny_cfg();
+        let full = evaluate_point(&s, 4.0, 2, &cfg);
+        let subset = [Method::DpcpEp, Method::Lpp];
+        let part = evaluate_point_subset(
+            &s,
+            4.0,
+            2,
+            &cfg,
+            dpcp_core::partition::ResourceHeuristic::WorstFitDecreasing,
+            &subset,
+        );
+        assert_eq!(part.samples, full.samples);
+        for m in Method::ALL {
+            if subset.contains(&m) {
+                assert_eq!(part.accepted[m.index()], full.accepted[m.index()], "{m}");
+            } else {
+                assert_eq!(part.accepted[m.index()], 0, "{m} leaked into subset run");
+            }
+        }
     }
 
     #[test]

@@ -1,26 +1,49 @@
 //! Reproduction harness for the paper's evaluation (Sec. VII).
 //!
 //! The library half of this crate evaluates acceptance ratios of the five
-//! compared methods over generated task sets; the binaries (`fig2`,
-//! `tables`, `ablation`) drive it to regenerate the paper's figures and
-//! tables:
+//! compared methods over generated task sets. All experiment sweeps run
+//! through the unified **campaign engine** ([`campaign`] + [`manifest`]):
+//! a JSON manifest declares the scenario axes, methods, sample counts and
+//! analysis ablations once; the runner shards the cell grid across jobs
+//! (`--shard i/n`), checkpoints append-only JSONL and resumes completed
+//! cells after a crash; `merge` folds shard outputs into the final
+//! tables. Results are bit-identical for any thread count and any shard
+//! split.
 //!
+//! Binaries:
+//!
+//! - `cargo run -p dpcp_experiments --release --bin campaign -- run
+//!   --manifest ci/smoke.json` — the generic engine (`run`/`merge`/
+//!   `plan`),
 //! - `cargo run -p dpcp_experiments --release --bin fig2` — the four
-//!   acceptance-ratio panels of Fig. 2 (CSV + ASCII plots),
+//!   acceptance-ratio panels of Fig. 2 (CSV + ASCII plots); a thin
+//!   wrapper over a bundled manifest,
 //! - `cargo run -p dpcp_experiments --release --bin tables` — the
 //!   dominance and outperformance statistics of Tables 2 and 3 over the
-//!   216-scenario grid,
+//!   216-scenario grid (bundled manifest),
 //! - `cargo run -p dpcp_experiments --release --bin ablation` — resource
-//!   partitioning heuristics and path-cap sensitivity (not in the paper).
+//!   partitioning heuristics and path-cap sensitivity (bundled
+//!   manifest).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ascii;
+pub mod campaign;
 pub mod harness;
+pub mod manifest;
 pub mod stats;
 
+pub use campaign::{
+    evaluate_cell, merge_dir, merged_csv, run_cells, run_shard, CampaignError, CellResult,
+    ShardSpec,
+};
 pub use harness::{
-    evaluate_curve, evaluate_point, AcceptanceCurve, EvalConfig, Method, PointResult,
+    evaluate_curve, evaluate_point, evaluate_point_subset, AcceptanceCurve, EvalConfig, Method,
+    PointResult,
+};
+pub use manifest::{
+    ablation_manifest, fig2_panel_manifest, tables_manifest, AblationSpec, AxisSpec,
+    CampaignManifest, CellSpec, ManifestError, QuickOverrides,
 };
 pub use stats::{dominates, outperforms, PairwiseTable};

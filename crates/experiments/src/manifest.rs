@@ -1,0 +1,667 @@
+//! Manifest-driven campaign declarations.
+//!
+//! A [`CampaignManifest`] is a serde-deserialized JSON document that
+//! declares an experiment sweep once: the scenario axes (the cartesian
+//! product becomes the grid), the methods to compare, sample counts and
+//! the analysis-config ablations. Expanding a manifest yields the ordered
+//! list of [`CellSpec`]s the campaign runner evaluates — cell order is a
+//! pure function of the manifest, which is what makes sharded runs
+//! (`--shard i/n`) and resume-after-crash deterministic.
+//!
+//! The bundled manifests behind the legacy binaries live in
+//! [`fig2_panel_manifest`], [`tables_manifest`] and
+//! [`ablation_manifest`]; the CI smoke manifest is committed at
+//! `ci/smoke.json`.
+
+use dpcp_core::partition::ResourceHeuristic;
+use dpcp_core::AnalysisConfig;
+use dpcp_gen::scenario::Scenario;
+use dpcp_gen::GraphShape;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{EvalConfig, Method};
+
+/// The scenario axes of a campaign; the grid is the cartesian product in
+/// the fixed order `m → nr_range → u_avg → access_prob → max_requests →
+/// cs_range_us → graph_shape → light_fraction` (outermost first), which
+/// pins cell indices across shards and resumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisSpec {
+    /// Processor counts `m`.
+    pub m: Vec<usize>,
+    /// Shared-resource count ranges `n_r` (inclusive).
+    pub nr_range: Vec<(usize, usize)>,
+    /// Average task utilizations `U^avg`.
+    pub u_avg: Vec<f64>,
+    /// Per-resource access probabilities `p_r`.
+    pub access_prob: Vec<f64>,
+    /// Maximum request counts `N^max`.
+    pub max_requests: Vec<u32>,
+    /// Critical-section length classes, in microseconds.
+    pub cs_range_us: Vec<(u64, u64)>,
+    /// DAG-shape axis; omitted → ordered Erdős–Rényi only.
+    pub graph_shape: Option<Vec<GraphShape>>,
+    /// Heavy/light-mix axis (fraction of utilization given to sequential
+    /// light tasks); omitted → purely heavy sets.
+    pub light_fraction: Option<Vec<f64>>,
+}
+
+impl AxisSpec {
+    /// The single-scenario axis spec (all axes pinned to one value).
+    pub fn single(s: &Scenario) -> AxisSpec {
+        AxisSpec {
+            m: vec![s.m],
+            nr_range: vec![s.nr_range],
+            u_avg: vec![s.u_avg],
+            access_prob: vec![s.access_prob],
+            max_requests: vec![s.max_requests],
+            cs_range_us: vec![s.cs_range_us],
+            graph_shape: Some(vec![s.graph_shape]),
+            light_fraction: Some(vec![s.light_fraction]),
+        }
+    }
+
+    /// Expands the axes into the ordered scenario grid.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let shapes = self
+            .graph_shape
+            .clone()
+            .unwrap_or_else(|| vec![GraphShape::ErdosRenyi]);
+        let fractions = self.light_fraction.clone().unwrap_or_else(|| vec![0.0]);
+        let mut out = Vec::new();
+        for &m in &self.m {
+            for &nr_range in &self.nr_range {
+                for &u_avg in &self.u_avg {
+                    for &access_prob in &self.access_prob {
+                        for &max_requests in &self.max_requests {
+                            for &cs_range_us in &self.cs_range_us {
+                                for &graph_shape in &shapes {
+                                    for &light_fraction in &fractions {
+                                        out.push(Scenario {
+                                            m,
+                                            nr_range,
+                                            u_avg,
+                                            access_prob,
+                                            max_requests,
+                                            cs_range_us,
+                                            graph_shape,
+                                            light_fraction,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One analysis/placement ablation: a labelled override set applied on
+/// top of the manifest-wide defaults. Every `(scenario, ablation)` pair
+/// is one campaign cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationSpec {
+    /// Column label in merged outputs (must be unique in the manifest).
+    pub label: String,
+    /// Methods this ablation evaluates; omitted → the manifest's methods.
+    pub methods: Option<Vec<Method>>,
+    /// Resource-placement heuristic; omitted → Worst-Fit Decreasing.
+    pub heuristic: Option<ResourceHeuristic>,
+    /// Override for [`AnalysisConfig::prune_dominated`].
+    pub prune_dominated: Option<bool>,
+    /// Override for [`AnalysisConfig::path_signature_cap`].
+    pub path_signature_cap: Option<usize>,
+    /// Override for [`AnalysisConfig::path_visit_cap`].
+    pub path_visit_cap: Option<u64>,
+}
+
+impl AblationSpec {
+    /// The no-override ablation (the paper's default configuration).
+    pub fn default_cell() -> AblationSpec {
+        AblationSpec {
+            label: "default".to_string(),
+            methods: None,
+            heuristic: None,
+            prune_dominated: None,
+            path_signature_cap: None,
+            path_visit_cap: None,
+        }
+    }
+
+    /// The EP analysis configuration this ablation induces.
+    pub fn ep_config(&self) -> AnalysisConfig {
+        let mut cfg = AnalysisConfig::ep();
+        if let Some(p) = self.prune_dominated {
+            cfg.prune_dominated = p;
+        }
+        if let Some(cap) = self.path_signature_cap {
+            cfg.path_signature_cap = cap;
+        }
+        if let Some(cap) = self.path_visit_cap {
+            cfg.path_visit_cap = cap;
+        }
+        cfg
+    }
+}
+
+/// Reduced-scale overrides applied by `campaign run --quick` (the CI
+/// smoke gate and local sanity runs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuickOverrides {
+    /// Samples per utilization point in quick mode.
+    pub samples_per_point: Option<usize>,
+    /// Normalized utilization points (`U/m`) in quick mode.
+    pub normalized_utilization: Option<Vec<f64>>,
+    /// Evaluate only the first `K` scenarios of the grid.
+    pub limit_scenarios: Option<usize>,
+}
+
+/// A declarative experiment sweep: scenario axes × ablations × methods,
+/// with the sample count and seed discipline pinned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignManifest {
+    /// Campaign name (output directory component, shard-header identity).
+    pub name: String,
+    /// Base RNG seed; every `(point, sample, retry)` triple derives its
+    /// own stream, identically for any shard split or thread count.
+    pub seed: u64,
+    /// Task sets generated per utilization point.
+    pub samples_per_point: usize,
+    /// Generation retries before a sample is skipped; omitted → 8.
+    pub generation_retries: Option<usize>,
+    /// Methods compared in every cell (unless an ablation overrides).
+    pub methods: Vec<Method>,
+    /// The scenario axes.
+    pub axes: AxisSpec,
+    /// Normalized utilization points (`U/m`) shared by every scenario;
+    /// omitted → the paper's full sweep (1 to `m` in steps of `0.05·m`).
+    pub normalized_utilization: Option<Vec<f64>>,
+    /// Analysis/placement ablations; omitted → one default cell per
+    /// scenario.
+    pub ablations: Option<Vec<AblationSpec>>,
+    /// Quick-mode overrides.
+    pub quick: Option<QuickOverrides>,
+}
+
+/// One unit of campaign work: a scenario × ablation pair with its fully
+/// resolved evaluation configuration and utilization points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Position in the expanded grid (stable across shards/resumes).
+    pub index: usize,
+    /// The generated workload's scenario.
+    pub scenario: Scenario,
+    /// The ablation label this cell evaluates under.
+    pub ablation: String,
+    /// Methods evaluated in this cell.
+    pub methods: Vec<Method>,
+    /// Resource-placement heuristic.
+    pub heuristic: ResourceHeuristic,
+    /// Fully resolved evaluation config (seed, samples, EP analysis).
+    pub eval: EvalConfig,
+    /// Total-utilization points, ascending.
+    pub utilizations: Vec<f64>,
+}
+
+/// Manifest validation/parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError(String);
+
+impl core::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid campaign manifest: {}", self.0)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl CampaignManifest {
+    /// Parses and validates a manifest from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifestError`] on malformed JSON or an invalid
+    /// declaration (empty axes, duplicate ablation labels, out-of-range
+    /// values).
+    pub fn from_json(text: &str) -> Result<CampaignManifest, ManifestError> {
+        let manifest: CampaignManifest =
+            serde_json::from_str(text).map_err(|e| ManifestError(e.to_string()))?;
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Validates the declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifestError`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ManifestError> {
+        let err = |m: &str| Err(ManifestError(m.to_string()));
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return err("name must be non-empty and filesystem-safe ([A-Za-z0-9_-])");
+        }
+        if self.samples_per_point == 0 {
+            return err("samples_per_point must be positive");
+        }
+        if self.methods.is_empty() {
+            return err("methods must be non-empty");
+        }
+        let a = &self.axes;
+        if a.m.is_empty()
+            || a.nr_range.is_empty()
+            || a.u_avg.is_empty()
+            || a.access_prob.is_empty()
+            || a.max_requests.is_empty()
+            || a.cs_range_us.is_empty()
+        {
+            return err("every axis needs at least one value");
+        }
+        if a.m.iter().any(|&m| m < 2) {
+            return err("processor counts must be at least 2");
+        }
+        if a.u_avg.iter().any(|&u| !u.is_finite() || u <= 0.5) {
+            // Per-task utilizations are drawn from (1, 2·U^avg]; the band
+            // is empty (and RandFixedSum degenerate) for U^avg ≤ 0.5.
+            return err("u_avg values must be finite and exceed 0.5");
+        }
+        if a.max_requests.contains(&0) {
+            return err("max_requests values must be at least 1");
+        }
+        if a.nr_range.iter().any(|&(lo, hi)| lo == 0 || hi < lo) {
+            return err("nr_range entries must be non-empty inclusive ranges");
+        }
+        if a.cs_range_us.iter().any(|&(lo, hi)| lo == 0 || hi < lo) {
+            return err("cs_range_us entries must be non-empty inclusive ranges");
+        }
+        if a.access_prob.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+            return err("access probabilities must lie in [0, 1]");
+        }
+        if let Some(fractions) = &a.light_fraction {
+            if fractions.is_empty() {
+                return err("light_fraction, when present, must be non-empty");
+            }
+            if fractions.iter().any(|&f| !(0.0..=1.0).contains(&f)) {
+                return err("light fractions must lie in [0, 1]");
+            }
+        }
+        if let Some(shapes) = &a.graph_shape {
+            if shapes.is_empty() {
+                return err("graph_shape, when present, must be non-empty");
+            }
+            if shapes
+                .iter()
+                .any(|s| matches!(s, GraphShape::Layered { layers: 0 }))
+            {
+                return err("a layered graph shape needs at least one layer");
+            }
+        }
+        if let Some(points) = &self.normalized_utilization {
+            if points.is_empty() || points.iter().any(|&p| p <= 0.0 || p > 1.0) {
+                return err("normalized utilizations must lie in (0, 1]");
+            }
+        }
+        if let Some(ablations) = &self.ablations {
+            if ablations.is_empty() {
+                return err("ablations, when present, must be non-empty");
+            }
+            // Labels become CSV cells and output-file path components, so
+            // they get the same charset discipline as the campaign name.
+            if ablations.iter().any(|a| {
+                a.label.is_empty()
+                    || !a
+                        .label
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            }) {
+                return err(
+                    "ablation labels must be non-empty and filesystem-safe ([A-Za-z0-9_-])",
+                );
+            }
+            let mut labels: Vec<&str> = ablations.iter().map(|a| a.label.as_str()).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            if labels.len() != ablations.len() {
+                return err("ablation labels must be unique");
+            }
+            if ablations
+                .iter()
+                .any(|a| a.methods.as_ref().is_some_and(Vec::is_empty))
+            {
+                return err("an ablation's methods override must be non-empty");
+            }
+        }
+        Ok(())
+    }
+
+    /// The effective ablation list (the implicit default cell when the
+    /// manifest declares none).
+    pub fn ablation_list(&self) -> Vec<AblationSpec> {
+        self.ablations
+            .clone()
+            .unwrap_or_else(|| vec![AblationSpec::default_cell()])
+    }
+
+    /// Expands the manifest into the ordered cell grid. Cells iterate
+    /// scenario-major (`scenario × ablation`), so legacy per-scenario
+    /// outputs fold back naturally. `quick` applies the manifest's
+    /// [`QuickOverrides`] (or a 2-sample cap when none are declared).
+    pub fn cells(&self, quick: bool) -> Vec<CellSpec> {
+        let mut samples = self.samples_per_point;
+        let mut normalized = self.normalized_utilization.clone();
+        let mut scenarios = self.axes.scenarios();
+        if quick {
+            let overrides = self.quick.clone().unwrap_or(QuickOverrides {
+                samples_per_point: Some(2),
+                normalized_utilization: None,
+                limit_scenarios: None,
+            });
+            if let Some(s) = overrides.samples_per_point {
+                samples = s.max(1);
+            }
+            if let Some(points) = overrides.normalized_utilization {
+                normalized = Some(points);
+            }
+            if let Some(limit) = overrides.limit_scenarios {
+                scenarios.truncate(limit.max(1));
+            }
+        }
+        let retries = self.generation_retries.unwrap_or(8);
+        let ablations = self.ablation_list();
+        let mut cells = Vec::with_capacity(scenarios.len() * ablations.len());
+        for scenario in &scenarios {
+            let utilizations: Vec<f64> = match &normalized {
+                Some(points) => points.iter().map(|p| p * scenario.m as f64).collect(),
+                None => scenario.utilization_points(),
+            };
+            for ablation in &ablations {
+                cells.push(CellSpec {
+                    index: cells.len(),
+                    scenario: scenario.clone(),
+                    ablation: ablation.label.clone(),
+                    methods: ablation
+                        .methods
+                        .clone()
+                        .unwrap_or_else(|| self.methods.clone()),
+                    heuristic: ablation
+                        .heuristic
+                        .unwrap_or(ResourceHeuristic::WorstFitDecreasing),
+                    eval: EvalConfig {
+                        samples_per_point: samples,
+                        seed: self.seed,
+                        threads: 0,
+                        generation_retries: retries,
+                        ep_config: ablation.ep_config(),
+                    },
+                    utilizations: utilizations.clone(),
+                });
+            }
+        }
+        cells
+    }
+}
+
+/// The single-panel fig2 manifest (`fig2` runs one per selected panel;
+/// panels couple `m` with `n_r`/`p_r`, so they are not one product grid).
+pub fn fig2_panel_manifest(
+    panel: dpcp_gen::Fig2Panel,
+    samples: usize,
+    seed: u64,
+    prune_dominated: bool,
+) -> CampaignManifest {
+    let scenario = Scenario::fig2(panel);
+    let tag = match panel {
+        dpcp_gen::Fig2Panel::A => 'a',
+        dpcp_gen::Fig2Panel::B => 'b',
+        dpcp_gen::Fig2Panel::C => 'c',
+        dpcp_gen::Fig2Panel::D => 'd',
+    };
+    CampaignManifest {
+        name: format!("fig2_{tag}"),
+        seed,
+        samples_per_point: samples,
+        generation_retries: None,
+        methods: Method::ALL.to_vec(),
+        axes: AxisSpec::single(&scenario),
+        normalized_utilization: None,
+        ablations: Some(vec![AblationSpec {
+            label: "default".to_string(),
+            methods: None,
+            heuristic: None,
+            prune_dominated: Some(prune_dominated),
+            path_signature_cap: None,
+            path_visit_cap: None,
+        }]),
+        quick: None,
+    }
+}
+
+/// The bundled manifest behind the legacy `tables` binary: the paper's
+/// full 216-scenario grid (the wrapper's `--limit` truncates the cell
+/// list it evaluates).
+pub fn tables_manifest(samples: usize, seed: u64) -> CampaignManifest {
+    CampaignManifest {
+        name: "tables".to_string(),
+        seed,
+        samples_per_point: samples,
+        generation_retries: None,
+        methods: Method::ALL.to_vec(),
+        axes: AxisSpec {
+            m: vec![8, 16, 32],
+            nr_range: vec![(2, 4), (4, 8), (8, 16)],
+            u_avg: vec![1.5, 2.0],
+            access_prob: vec![0.5, 0.75, 1.0],
+            max_requests: vec![25, 50],
+            cs_range_us: vec![(15, 50), (50, 100)],
+            graph_shape: None,
+            light_fraction: None,
+        },
+        normalized_utilization: None,
+        ablations: None,
+        quick: Some(QuickOverrides {
+            samples_per_point: Some(2),
+            normalized_utilization: None,
+            limit_scenarios: Some(4),
+        }),
+    }
+}
+
+/// The bundled manifest behind the legacy `ablation` binary: the heavy
+/// -contention Fig. 2(b) scenario under three placement heuristics, four
+/// signature caps and the EN variant.
+pub fn ablation_manifest(samples: usize, seed: u64) -> CampaignManifest {
+    let scenario = Scenario::fig2(dpcp_gen::Fig2Panel::B);
+    let ep_only = Some(vec![Method::DpcpEp]);
+    let mut ablations = vec![
+        AblationSpec {
+            label: "WFD".to_string(),
+            methods: ep_only.clone(),
+            heuristic: Some(ResourceHeuristic::WorstFitDecreasing),
+            prune_dominated: None,
+            path_signature_cap: None,
+            path_visit_cap: None,
+        },
+        AblationSpec {
+            label: "FFD".to_string(),
+            methods: ep_only.clone(),
+            heuristic: Some(ResourceHeuristic::FirstFitDecreasing),
+            prune_dominated: None,
+            path_signature_cap: None,
+            path_visit_cap: None,
+        },
+        AblationSpec {
+            label: "BFD".to_string(),
+            methods: ep_only.clone(),
+            heuristic: Some(ResourceHeuristic::BestFitDecreasing),
+            prune_dominated: None,
+            path_signature_cap: None,
+            path_visit_cap: None,
+        },
+    ];
+    for cap in [1usize, 16, 128, 1024] {
+        ablations.push(AblationSpec {
+            label: format!("cap{cap}"),
+            methods: ep_only.clone(),
+            heuristic: None,
+            prune_dominated: None,
+            path_signature_cap: Some(cap),
+            path_visit_cap: None,
+        });
+    }
+    ablations.push(AblationSpec {
+        label: "EN".to_string(),
+        methods: Some(vec![Method::DpcpEn]),
+        heuristic: None,
+        prune_dominated: None,
+        path_signature_cap: None,
+        path_visit_cap: None,
+    });
+    CampaignManifest {
+        name: "ablation".to_string(),
+        seed,
+        samples_per_point: samples,
+        generation_retries: None,
+        methods: Method::ALL.to_vec(),
+        axes: AxisSpec::single(&scenario),
+        normalized_utilization: None,
+        ablations: Some(ablations),
+        quick: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcp_gen::Fig2Panel;
+
+    fn tiny_manifest_json() -> &'static str {
+        r#"{
+            "name": "unit",
+            "seed": 7,
+            "samples_per_point": 4,
+            "methods": ["DpcpEp", "DpcpEn"],
+            "axes": {
+                "m": [8],
+                "nr_range": [[2, 4]],
+                "u_avg": [1.5, 2.0],
+                "access_prob": [0.5],
+                "max_requests": [25],
+                "cs_range_us": [[15, 50], [50, 100]],
+                "graph_shape": ["ErdosRenyi", "ForkJoin", {"Layered": {"layers": 3}}],
+                "light_fraction": [0.0, 0.25]
+            },
+            "normalized_utilization": [0.25, 0.5],
+            "ablations": [
+                {"label": "pruned", "prune_dominated": true},
+                {"label": "unpruned", "prune_dominated": false}
+            ],
+            "quick": {"samples_per_point": 1, "limit_scenarios": 2}
+        }"#
+    }
+
+    #[test]
+    fn json_roundtrip_and_grid_expansion() {
+        let manifest = CampaignManifest::from_json(tiny_manifest_json()).unwrap();
+        // 1·1·2·1·1·2·3·2 = 24 scenarios × 2 ablations.
+        let cells = manifest.cells(false);
+        assert_eq!(cells.len(), 48);
+        // Indices are dense and ordered; utilizations are normalized × m.
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.utilizations, vec![2.0, 4.0]);
+            assert_eq!(cell.eval.seed, 7);
+            assert_eq!(cell.eval.samples_per_point, 4);
+        }
+        // Scenario-major order: consecutive cells share the scenario.
+        assert_eq!(cells[0].scenario, cells[1].scenario);
+        assert_eq!(cells[0].ablation, "pruned");
+        assert_eq!(cells[1].ablation, "unpruned");
+        assert!(cells[0].eval.ep_config.prune_dominated);
+        assert!(!cells[1].eval.ep_config.prune_dominated);
+        // Round-trip through JSON is lossless.
+        let text = serde_json::to_string(&manifest).unwrap();
+        let back = CampaignManifest::from_json(&text).unwrap();
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn quick_mode_applies_overrides() {
+        let manifest = CampaignManifest::from_json(tiny_manifest_json()).unwrap();
+        let cells = manifest.cells(true);
+        // limit_scenarios: 2 → 2 scenarios × 2 ablations.
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| c.eval.samples_per_point == 1));
+    }
+
+    #[test]
+    fn validation_rejects_bad_manifests() {
+        let good = CampaignManifest::from_json(tiny_manifest_json()).unwrap();
+        let mut bad = good.clone();
+        bad.name = "has space".to_string();
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.samples_per_point = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.axes.m = vec![1];
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.ablations.as_mut().unwrap()[1].label = "pruned".to_string();
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.normalized_utilization = Some(vec![1.5]);
+        assert!(bad.validate().is_err());
+        let mut bad = good;
+        bad.axes.light_fraction = Some(vec![2.0]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn bundled_fig2_manifest_matches_legacy_sweep() {
+        let manifest = fig2_panel_manifest(Fig2Panel::C, 50, 2020, true);
+        let cells = manifest.cells(false);
+        assert_eq!(cells.len(), 1);
+        let cell = &cells[0];
+        let scenario = Scenario::fig2(Fig2Panel::C);
+        assert_eq!(cell.scenario, scenario);
+        // The default (no normalized list) reproduces the paper's
+        // absolute sweep: 1 to m in steps of 0.05·m.
+        assert_eq!(cell.utilizations, scenario.utilization_points());
+        assert_eq!(cell.methods, Method::ALL.to_vec());
+        assert!(cell.eval.ep_config.prune_dominated);
+    }
+
+    #[test]
+    fn bundled_tables_manifest_matches_grid_216() {
+        let manifest = tables_manifest(10, 2020);
+        let cells = manifest.cells(false);
+        let grid = Scenario::grid_216();
+        assert_eq!(cells.len(), grid.len());
+        for (cell, scenario) in cells.iter().zip(&grid) {
+            assert_eq!(&cell.scenario, scenario);
+        }
+    }
+
+    #[test]
+    fn bundled_ablation_manifest_shapes_the_matrix() {
+        let manifest = ablation_manifest(20, 2020);
+        let cells = manifest.cells(false);
+        let labels: Vec<&str> = cells.iter().map(|c| c.ablation.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["WFD", "FFD", "BFD", "cap1", "cap16", "cap128", "cap1024", "EN"]
+        );
+        assert!(cells.iter().all(|c| c.methods.len() == 1));
+        assert_eq!(cells[1].heuristic, ResourceHeuristic::FirstFitDecreasing);
+        assert_eq!(cells[4].eval.ep_config.path_signature_cap, 16);
+        assert_eq!(cells[7].methods, vec![Method::DpcpEn]);
+    }
+}

@@ -46,6 +46,74 @@ pub fn erdos_renyi_dag<R: Rng + ?Sized>(vertices: usize, edge_prob: f64, rng: &m
     Dag::new(vertices, edges).expect("ordered forward edges are always acyclic")
 }
 
+/// A layered DAG: `vertices` vertices split into `layers` ranks as evenly
+/// as possible (earlier ranks take the remainder), with every vertex of
+/// rank `k` preceding every vertex of rank `k + 1`. Deterministic — the
+/// structural counterpart of the synchronous fork–join stages common in
+/// dataflow workloads, and the merge-friendly shape the signature DP
+/// collapses well.
+///
+/// # Panics
+///
+/// Panics if `vertices == 0` or `layers == 0`.
+pub fn layered_dag(vertices: usize, layers: usize) -> Dag {
+    assert!(vertices > 0, "a DAG needs at least one vertex");
+    assert!(layers > 0, "a layered DAG needs at least one layer");
+    let layers = layers.min(vertices);
+    let base = vertices / layers;
+    let extra = vertices % layers;
+    let mut ranks: Vec<(usize, usize)> = Vec::with_capacity(layers); // (start, len)
+    let mut next = 0usize;
+    for l in 0..layers {
+        let len = base + usize::from(l < extra);
+        ranks.push((next, len));
+        next += len;
+    }
+    let mut edges = Vec::new();
+    for w in ranks.windows(2) {
+        let (a_start, a_len) = w[0];
+        let (b_start, b_len) = w[1];
+        for i in a_start..a_start + a_len {
+            for j in b_start..b_start + b_len {
+                edges.push((i, j));
+            }
+        }
+    }
+    Dag::new(vertices, edges).expect("rank-ordered edges are acyclic")
+}
+
+/// A fork–join DAG: vertex 0 fans out to `vertices − 2` parallel middle
+/// vertices which join into the last vertex. Degenerates to a chain for
+/// `vertices ≤ 3`. Deterministic.
+///
+/// # Panics
+///
+/// Panics if `vertices == 0`.
+pub fn fork_join_dag(vertices: usize) -> Dag {
+    assert!(vertices > 0, "a DAG needs at least one vertex");
+    if vertices <= 3 {
+        return chain_dag(vertices);
+    }
+    let sink = vertices - 1;
+    let mut edges = Vec::with_capacity(2 * (vertices - 2));
+    for mid in 1..sink {
+        edges.push((0, mid));
+        edges.push((mid, sink));
+    }
+    Dag::new(vertices, edges).expect("fork-join edges are acyclic")
+}
+
+/// A fully sequential chain of `vertices` vertices. Deterministic.
+///
+/// # Panics
+///
+/// Panics if `vertices == 0`.
+pub fn chain_dag(vertices: usize) -> Dag {
+    assert!(vertices > 0, "a DAG needs at least one vertex");
+    let edges: Vec<(usize, usize)> = (1..vertices).map(|j| (j - 1, j)).collect();
+    Dag::new(vertices, edges).expect("a chain is acyclic")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +176,43 @@ mod tests {
     #[should_panic(expected = "at least one vertex")]
     fn rejects_empty() {
         let _ = erdos_renyi_dag(0, 0.1, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn layered_dag_ranks_and_wiring() {
+        // 10 vertices over 3 layers → ranks of 4, 3, 3; every consecutive
+        // rank pair is fully wired.
+        let dag = layered_dag(10, 3);
+        assert_eq!(dag.vertex_count(), 10);
+        assert_eq!(dag.edge_count(), 4 * 3 + 3 * 3);
+        assert_eq!(dag.heads().len(), 4);
+        assert_eq!(dag.tails().len(), 3);
+        // More layers than vertices degenerates to a chain.
+        let chainish = layered_dag(3, 8);
+        assert_eq!(chainish.edge_count(), 2);
+        // One layer: no edges at all.
+        assert_eq!(layered_dag(5, 1).edge_count(), 0);
+    }
+
+    #[test]
+    fn fork_join_dag_shape() {
+        let dag = fork_join_dag(6);
+        assert_eq!(dag.vertex_count(), 6);
+        assert_eq!(dag.edge_count(), 2 * 4);
+        assert_eq!(dag.heads().len(), 1);
+        assert_eq!(dag.tails().len(), 1);
+        // Small instances degenerate to chains.
+        assert_eq!(fork_join_dag(3).edge_count(), 2);
+        assert_eq!(fork_join_dag(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn chain_dag_is_sequential() {
+        let dag = chain_dag(7);
+        assert_eq!(dag.vertex_count(), 7);
+        assert_eq!(dag.edge_count(), 6);
+        assert_eq!(dag.heads().len(), 1);
+        assert_eq!(dag.tails().len(), 1);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub mod scenario;
 pub mod taskgen;
 
 pub use fixed_sum::rand_fixed_sum;
-pub use graph_gen::erdos_renyi_dag;
+pub use graph_gen::{chain_dag, erdos_renyi_dag, fork_join_dag, layered_dag};
 pub use scenario::{Fig2Panel, Scenario};
-pub use taskgen::{generate_task, generate_task_set, GenError, TaskGenParams};
+pub use taskgen::{
+    generate_light_task, generate_mixed_task_set, generate_task, generate_task_set, GenError,
+    GraphShape, TaskGenParams,
+};

@@ -12,9 +12,16 @@ use dpcp_model::{TaskSet, Time};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::taskgen::{generate_task_set, GenError, TaskGenParams};
+use crate::taskgen::{generate_mixed_task_set, GenError, GraphShape, TaskGenParams};
 
 /// One cell of the experimental grid.
+///
+/// Beyond the paper's six axes, two scenario axes open workload
+/// diversity: [`graph_shape`](Self::graph_shape) selects the DAG
+/// generator and [`light_fraction`](Self::light_fraction) mixes
+/// sequential light tasks into the set. Both default to the paper's
+/// setup (`ErdosRenyi`, `0.0`) and reproduce its RNG stream bit-for-bit
+/// when left there.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Number of processors `m`.
@@ -29,6 +36,11 @@ pub struct Scenario {
     pub max_requests: u32,
     /// Critical-section length range in microseconds.
     pub cs_range_us: (u64, u64),
+    /// DAG structure generator (paper: ordered Erdős–Rényi).
+    pub graph_shape: GraphShape,
+    /// Fraction of the total utilization given to sequential light tasks
+    /// (paper: 0 — purely heavy sets).
+    pub light_fraction: f64,
 }
 
 impl Scenario {
@@ -48,6 +60,8 @@ impl Scenario {
                                     access_prob,
                                     max_requests,
                                     cs_range_us,
+                                    graph_shape: GraphShape::ErdosRenyi,
+                                    light_fraction: 0.0,
                                 });
                             }
                         }
@@ -78,6 +92,8 @@ impl Scenario {
             access_prob,
             max_requests: 50,
             cs_range_us: (50, 100),
+            graph_shape: GraphShape::ErdosRenyi,
+            light_fraction: 0.0,
         }
     }
 
@@ -104,6 +120,7 @@ impl Scenario {
                 Time::from_us(self.cs_range_us.0),
                 Time::from_us(self.cs_range_us.1),
             ),
+            graph_shape: self.graph_shape,
             ..TaskGenParams::default()
         }
     }
@@ -120,12 +137,20 @@ impl Scenario {
         rng: &mut R,
     ) -> Result<TaskSet, GenError> {
         let nr = rng.gen_range(self.nr_range.0..=self.nr_range.1);
-        generate_task_set(&self.params(), total_utilization, nr, rng)
+        generate_mixed_task_set(
+            &self.params(),
+            total_utilization,
+            self.light_fraction,
+            nr,
+            rng,
+        )
     }
 
-    /// A compact, filesystem-safe label (used in CSV output).
+    /// A compact, filesystem-safe label (used in CSV output). The new
+    /// axes only appear when they deviate from the paper's defaults, so
+    /// legacy labels are unchanged.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "m{}_nr{}-{}_u{}_pr{}_N{}_L{}-{}",
             self.m,
             self.nr_range.0,
@@ -135,7 +160,14 @@ impl Scenario {
             self.max_requests,
             self.cs_range_us.0,
             self.cs_range_us.1
-        )
+        );
+        if self.graph_shape != GraphShape::ErdosRenyi {
+            label.push_str(&format!("_g{}", self.graph_shape.tag()));
+        }
+        if self.light_fraction > 0.0 {
+            label.push_str(&format!("_lf{}", self.light_fraction));
+        }
+        label
     }
 }
 
@@ -253,6 +285,8 @@ mod tests {
             access_prob: 0.75,
             max_requests: 25,
             cs_range_us: (15, 50),
+            graph_shape: GraphShape::ErdosRenyi,
+            light_fraction: 0.0,
         };
         let mut rng = StdRng::seed_from_u64(17);
         let ts = s.sample_task_set(4.0, &mut rng).unwrap();
@@ -266,5 +300,32 @@ mod tests {
         assert_eq!(s.label(), "m32_nr8-16_u2_pr1_N50_L50-100");
         assert!(s.to_string().contains("m=32"));
         assert_eq!(Fig2Panel::D.to_string(), "Fig.2(d)");
+    }
+
+    #[test]
+    fn new_axes_extend_labels_and_sets() {
+        let mut s = Scenario::fig2(Fig2Panel::A);
+        s.graph_shape = GraphShape::Layered { layers: 4 };
+        s.light_fraction = 0.25;
+        assert_eq!(s.label(), "m16_nr4-8_u1.5_pr0.5_N50_L50-100_glay4_lf0.25");
+        let mut rng = StdRng::seed_from_u64(9);
+        let ts = s.sample_task_set(6.0, &mut rng).unwrap();
+        assert!((ts.total_utilization() - 6.0).abs() < 0.01);
+        assert!(ts.iter().any(|t| !t.is_heavy()), "mix produced no lights");
+    }
+
+    #[test]
+    fn default_axes_keep_the_paper_stream() {
+        // Same seed, new-axis defaults: the sampled set must be identical
+        // to the paper-configured generator's.
+        let s = Scenario::fig2(Fig2Panel::A);
+        let a = s
+            .sample_task_set(5.0, &mut StdRng::seed_from_u64(77))
+            .unwrap();
+        let b = s
+            .sample_task_set(5.0, &mut StdRng::seed_from_u64(77))
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|t| t.utilization() > 1.0 || a.len() == 1));
     }
 }

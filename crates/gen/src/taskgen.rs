@@ -22,8 +22,51 @@ use dpcp_model::{
     Dag, DagTask, ModelError, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexId, VertexSpec,
 };
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::fixed_sum::{rand_fixed_sum, FixedSumError};
+
+/// The DAG-structure axis: which generator shapes a task's graph.
+///
+/// The paper only evaluates ordered Erdős–Rényi structures; the other
+/// shapes open scenario diversity along the parallelism-profile axis
+/// (deterministic wiring, so they consume no RNG draws — selecting
+/// [`GraphShape::ErdosRenyi`] reproduces the paper's stream bit-for-bit).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GraphShape {
+    /// Ordered Erdős–Rényi with the configured edge probability (the
+    /// paper's generator, the default).
+    #[default]
+    ErdosRenyi,
+    /// Evenly split ranks with full inter-rank wiring (synchronous
+    /// stages; merge-friendly for the signature DP).
+    Layered {
+        /// Number of ranks the sampled vertex count is split into.
+        layers: usize,
+    },
+    /// One fork vertex, parallel middles, one join vertex.
+    ForkJoin,
+}
+
+impl GraphShape {
+    /// Builds the task DAG for `vertices` vertices.
+    pub fn build<R: Rng + ?Sized>(self, vertices: usize, edge_prob: f64, rng: &mut R) -> Dag {
+        match self {
+            GraphShape::ErdosRenyi => crate::graph_gen::erdos_renyi_dag(vertices, edge_prob, rng),
+            GraphShape::Layered { layers } => crate::graph_gen::layered_dag(vertices, layers),
+            GraphShape::ForkJoin => crate::graph_gen::fork_join_dag(vertices),
+        }
+    }
+
+    /// A short, filesystem-safe tag (scenario labels).
+    pub fn tag(self) -> String {
+        match self {
+            GraphShape::ErdosRenyi => "er".to_string(),
+            GraphShape::Layered { layers } => format!("lay{layers}"),
+            GraphShape::ForkJoin => "fj".to_string(),
+        }
+    }
+}
 
 /// Parameters of the Sec. VII-A generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +91,8 @@ pub struct TaskGenParams {
     pub cs_budget_fraction: f64,
     /// Attempts at generating one task before giving up.
     pub max_task_attempts: usize,
+    /// DAG structure generator (paper: ordered Erdős–Rényi).
+    pub graph_shape: GraphShape,
 }
 
 impl Default for TaskGenParams {
@@ -62,6 +107,7 @@ impl Default for TaskGenParams {
             cs_range: (Time::from_us(50), Time::from_us(100)),
             cs_budget_fraction: 0.5,
             max_task_attempts: 64,
+            graph_shape: GraphShape::ErdosRenyi,
         }
     }
 }
@@ -321,7 +367,7 @@ pub fn generate_task<R: Rng + ?Sized>(
         let (vmin, vmax) = params.vertex_range;
         let lo = if attempt > 1 { (vmin + vmax) / 2 } else { vmin };
         let vertices = rng.gen_range(lo.max(1)..=vmax.max(lo.max(1)));
-        let dag = crate::graph_gen::erdos_renyi_dag(vertices, params.edge_prob, rng);
+        let dag = params.graph_shape.build(vertices, params.edge_prob, rng);
 
         let requests = scatter_requests(&usage, vertices, rng);
         let floors: Vec<Time> = requests
@@ -372,6 +418,67 @@ pub fn generate_task<R: Rng + ?Sized>(
     })
 }
 
+/// Generates one *light* (sequential, `U ≤ 1`) task: a single vertex
+/// carrying the task's whole WCET and every sampled request — the
+/// sequential task model of the paper's Sec. VI mixed extension.
+///
+/// # Errors
+///
+/// Returns [`GenError::TaskGenerationFailed`] when no plausible light
+/// task emerges (degenerate zero-WCET draws).
+pub fn generate_light_task<R: Rng + ?Sized>(
+    params: &TaskGenParams,
+    id: TaskId,
+    utilization: f64,
+    resource_count: usize,
+    rng: &mut R,
+) -> Result<DagTask, GenError> {
+    for _ in 0..params.max_task_attempts.max(1) {
+        let period = log_uniform_period(params.period_range, rng);
+        let wcet = Time::from_ns((utilization * period.as_ns() as f64).round() as u64);
+        if wcet.is_zero() || wcet > period {
+            continue;
+        }
+        let usage = sample_resource_usage(params, resource_count, wcet, rng);
+        let requests: Vec<RequestSpec> = usage
+            .iter()
+            .map(|&(q, n, _)| RequestSpec::new(q, n))
+            .collect();
+        let mut builder = DagTask::builder(id, period)
+            .deadline(period)
+            .vertex(VertexSpec::with_requests(wcet, requests));
+        for &(q, _, len) in &usage {
+            builder = builder.critical_section(q, len);
+        }
+        return builder.build().map_err(GenError::from);
+    }
+    Err(GenError::TaskGenerationFailed {
+        utilization,
+        attempts: params.max_task_attempts,
+    })
+}
+
+/// Splits a light-task utilization budget into per-task utilizations in
+/// `(0.05, 0.95]`.
+fn split_light_utilizations<R: Rng + ?Sized>(
+    total: f64,
+    rng: &mut R,
+) -> Result<Vec<f64>, GenError> {
+    const LO: f64 = 0.05;
+    const HI: f64 = 0.95;
+    if total <= HI {
+        // A single light task carrying the whole (possibly tiny) budget:
+        // never inflate it, or the set would overshoot the requested
+        // total utilization.
+        return Ok(vec![total]);
+    }
+    // Aim for ~0.45 average, clamped into the feasible band n·LO < total ≤ n·HI.
+    let mut n = (total / 0.45).round() as usize;
+    n = n.max((total / HI).ceil() as usize).max(1);
+    n = n.min((total / LO).floor() as usize).max(1);
+    Ok(rand_fixed_sum(n, total, LO, HI, rng)?)
+}
+
 /// Generates a complete task set with target total utilization and
 /// `resource_count` shared resources (Rate-Monotonic priorities).
 ///
@@ -395,6 +502,54 @@ pub fn generate_task_set<R: Rng + ?Sized>(
             resource_count,
             rng,
         )?);
+    }
+    TaskSet::new(tasks, resource_count).map_err(GenError::from)
+}
+
+/// Generates a mixed heavy/light task set: `light_fraction` of the total
+/// utilization goes to sequential light tasks, the rest to parallel DAG
+/// tasks (the heavy/light-mix scenario axis).
+///
+/// `light_fraction = 0` reproduces [`generate_task_set`]'s RNG stream
+/// bit-for-bit; `light_fraction = 1` produces a purely sequential set.
+/// Heavy tasks come first in the identifier (and hence priority
+/// tie-break) order.
+///
+/// # Errors
+///
+/// Propagates task-level generation failures and utilization-sampling
+/// errors.
+pub fn generate_mixed_task_set<R: Rng + ?Sized>(
+    params: &TaskGenParams,
+    total_utilization: f64,
+    light_fraction: f64,
+    resource_count: usize,
+    rng: &mut R,
+) -> Result<TaskSet, GenError> {
+    let frac = light_fraction.clamp(0.0, 1.0);
+    if frac <= 0.0 {
+        return generate_task_set(params, total_utilization, resource_count, rng);
+    }
+    let light_total = total_utilization * frac;
+    let heavy_total = total_utilization - light_total;
+    let heavy_utils = if heavy_total > f64::EPSILON {
+        split_utilizations(heavy_total, params.u_avg, rng)?
+    } else {
+        Vec::new()
+    };
+    let light_utils = if light_total > f64::EPSILON {
+        split_light_utilizations(light_total, rng)?
+    } else {
+        Vec::new()
+    };
+    let mut tasks = Vec::with_capacity(heavy_utils.len() + light_utils.len());
+    for &u in &heavy_utils {
+        let id = TaskId::new(tasks.len());
+        tasks.push(generate_task(params, id, u, resource_count, rng)?);
+    }
+    for &u in &light_utils {
+        let id = TaskId::new(tasks.len());
+        tasks.push(generate_light_task(params, id, u, resource_count, rng)?);
     }
     TaskSet::new(tasks, resource_count).map_err(GenError::from)
 }
@@ -547,6 +702,88 @@ mod tests {
         let a = generate_task_set(&params, 5.0, 4, &mut rng(11)).unwrap();
         let b = generate_task_set(&params, 5.0, 4, &mut rng(11)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_shapes_generate_plausible_tasks() {
+        for shape in [GraphShape::Layered { layers: 4 }, GraphShape::ForkJoin] {
+            let params = TaskGenParams {
+                graph_shape: shape,
+                ..small_params()
+            };
+            let mut r = rng(21);
+            let t = generate_task(&params, TaskId::new(0), 1.5, 4, &mut r).unwrap();
+            assert!((t.utilization() - 1.5).abs() / 1.5 < 0.01, "{shape:?}");
+            assert!(
+                t.longest_path_len() < Time::from_ns(t.deadline().as_ns() / 2 + 1),
+                "{shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_shapes_share_the_rng_stream() {
+        // The deterministic shapes draw nothing for wiring, so two shapes
+        // consume identical RNG prefixes: the sampled periods must match.
+        let mk = |shape| {
+            let params = TaskGenParams {
+                graph_shape: shape,
+                ..small_params()
+            };
+            generate_task(&params, TaskId::new(0), 1.3, 2, &mut rng(5))
+                .unwrap()
+                .period()
+        };
+        assert_eq!(
+            mk(GraphShape::Layered { layers: 3 }),
+            mk(GraphShape::ForkJoin)
+        );
+    }
+
+    #[test]
+    fn light_tasks_are_sequential_and_light() {
+        let params = small_params();
+        let mut r = rng(31);
+        for i in 0..6 {
+            let u = 0.1 + 0.14 * i as f64;
+            let t = generate_light_task(&params, TaskId::new(0), u, 4, &mut r).unwrap();
+            assert!(!t.is_heavy());
+            assert_eq!(t.dag().vertex_count(), 1);
+            assert!((t.utilization() - u).abs() / u < 0.02);
+        }
+    }
+
+    #[test]
+    fn mixed_set_respects_fraction_and_total() {
+        let params = small_params();
+        let mut r = rng(32);
+        let ts = generate_mixed_task_set(&params, 6.0, 0.5, 4, &mut r).unwrap();
+        assert!((ts.total_utilization() - 6.0).abs() < 0.01);
+        let light_util: f64 = ts
+            .iter()
+            .filter(|t| !t.is_heavy())
+            .map(|t| t.utilization())
+            .sum();
+        assert!((light_util - 3.0).abs() < 0.05, "light share {light_util}");
+        assert!(ts.iter().any(|t| t.is_heavy()));
+        assert!(ts.iter().any(|t| !t.is_heavy()));
+    }
+
+    #[test]
+    fn zero_light_fraction_matches_plain_generation_bitwise() {
+        let params = small_params();
+        let plain = generate_task_set(&params, 5.0, 3, &mut rng(33)).unwrap();
+        let mixed = generate_mixed_task_set(&params, 5.0, 0.0, 3, &mut rng(33)).unwrap();
+        assert_eq!(plain, mixed);
+    }
+
+    #[test]
+    fn full_light_fraction_is_purely_sequential() {
+        let params = small_params();
+        let ts = generate_mixed_task_set(&params, 3.0, 1.0, 3, &mut rng(34)).unwrap();
+        assert!(ts.iter().all(|t| !t.is_heavy()));
+        assert!(ts.iter().all(|t| t.dag().vertex_count() == 1));
+        assert!((ts.total_utilization() - 3.0).abs() < 0.01);
     }
 
     #[test]

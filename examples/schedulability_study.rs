@@ -22,6 +22,8 @@ fn main() {
         access_prob: 0.75,
         max_requests: 25,
         cs_range_us: (15, 50),
+        graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
+        light_fraction: 0.0,
     };
     let cfg = EvalConfig {
         samples_per_point: samples,

@@ -28,6 +28,8 @@ fn small_scenario() -> Scenario {
         access_prob: 0.75,
         max_requests: 25,
         cs_range_us: (15, 50),
+        graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
+        light_fraction: 0.0,
     }
 }
 

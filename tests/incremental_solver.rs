@@ -11,7 +11,8 @@
 //! SPIN-SON/LPP/FED-FP).
 
 use dpcp_p::core::analysis::wcrt::{
-    wcrt_en_direct, wcrt_en_with, wcrt_over_signatures_direct, wcrt_over_signatures_with,
+    wcrt_en_direct, wcrt_en_with, wcrt_over_signatures_direct, wcrt_over_signatures_sweep_direct,
+    wcrt_over_signatures_with,
 };
 use dpcp_p::core::analysis::{AnalysisContext, EvalScratch, SignatureCache};
 use dpcp_p::core::partition::{assign_resources, layout_clusters, ResourceHeuristic};
@@ -29,6 +30,8 @@ fn sweep_scenario() -> Scenario {
         access_prob: 0.75,
         max_requests: 25,
         cs_range_us: (15, 50),
+        graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
+        light_fraction: 0.0,
     }
 }
 
@@ -151,4 +154,79 @@ fn divergent_system_matches_direct_none() {
     .unwrap();
     let divergent = assert_equivalent(&tasks, &partition, "divergent fixture");
     assert!(divergent >= 1, "the heavy fixture must diverge");
+}
+
+#[test]
+fn truncated_tasks_report_the_en_bound_with_sweep_equal_verdicts() {
+    // The truncated-task skip: when path enumeration hits a cap, the
+    // analysis reports the EN fallback directly instead of sweeping the
+    // capped signature subset (the EN bound term-wise dominates every
+    // per-signature bound, so it decides the max). This sweep pins the
+    // skip against the retained sweeping reference
+    // (`wcrt_over_signatures_sweep_direct`): identical WCRTs and
+    // identical schedulability verdicts, with the `truncated` tag
+    // carried on the reported bound.
+    use dpcp_p::core::analysis::{analyze_with_cache, SignatureCache};
+    let scenario = sweep_scenario();
+    let platform = Platform::new(scenario.m).unwrap();
+    // Tight caps force truncation on generated workloads; pruning off so
+    // the capped subsets are the densest (the hardest case for the skip).
+    let cfg = AnalysisConfig {
+        path_signature_cap: 8,
+        path_visit_cap: 200,
+        prune_dominated: false,
+        ..AnalysisConfig::ep()
+    };
+    let mut truncated_checked = 0usize;
+    for (pi, utilization) in [2.0, 5.0, 7.5].into_iter().enumerate() {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(0x7A5C_0000 + seed * 257 + pi as u64);
+            let Ok(tasks) = scenario.sample_task_set(utilization, &mut rng) else {
+                continue;
+            };
+            let cache = SignatureCache::new(&tasks, &cfg);
+            for (idx, partition) in method_partitions(&tasks, &platform).iter().enumerate() {
+                let label = format!("u={utilization} seed={seed} partition#{idx}");
+                // Thread response bounds exactly like analyze_with_cache
+                // so the per-task comparison sees the same contexts.
+                let report = analyze_with_cache(&tasks, partition, &cfg, &cache);
+                let mut ctx = dpcp_p::core::analysis::AnalysisContext::new(&tasks, partition);
+                for i in tasks.by_decreasing_priority() {
+                    let sigs = cache.signatures(i);
+                    let sweep = wcrt_over_signatures_sweep_direct(&ctx, i, sigs, &cfg);
+                    let bound = report.bound(i);
+                    if sigs.truncated {
+                        truncated_checked += 1;
+                        assert!(bound.truncated, "{label}: missing truncated tag on {i}");
+                        assert_eq!(
+                            bound.wcrt,
+                            sweep.as_ref().map(|b| b.wcrt),
+                            "{label}: skip changed the WCRT of {i}"
+                        );
+                        assert_eq!(
+                            bound.schedulable,
+                            sweep
+                                .as_ref()
+                                .is_some_and(|b| b.wcrt <= tasks.task(i).deadline()),
+                            "{label}: skip changed the verdict of {i}"
+                        );
+                        // The reported bound IS the EN fallback's.
+                        let en = wcrt_en_direct(&ctx, i, &cfg);
+                        assert_eq!(bound.wcrt, en.map(|b| b.wcrt), "{label}: {i} not EN");
+                        assert_eq!(bound.signatures_evaluated, 1, "{label}: {i}");
+                    } else {
+                        // Complete enumerations are untouched by the skip.
+                        assert_eq!(bound.wcrt, sweep.map(|b| b.wcrt), "{label}: {i}");
+                    }
+                    if let Some(w) = bound.wcrt {
+                        ctx.set_response_bound(i, w);
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        truncated_checked >= 5,
+        "the sweep exercised too few truncated tasks ({truncated_checked})"
+    );
 }

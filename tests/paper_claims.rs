@@ -67,6 +67,8 @@ fn lemma1_holds_on_generated_contention() {
         access_prob: 1.0,
         max_requests: 25,
         cs_range_us: (50, 100),
+        graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
+        light_fraction: 0.0,
     };
     let platform = Platform::new(8).unwrap();
     let mut simulated = 0;
@@ -115,6 +117,8 @@ fn ep_accepts_whenever_en_accepts() {
         access_prob: 0.75,
         max_requests: 25,
         cs_range_us: (15, 50),
+        graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
+        light_fraction: 0.0,
     };
     let platform = Platform::new(8).unwrap();
     for seed in 0..25u64 {
@@ -177,6 +181,8 @@ fn dpcp_ep_is_at_least_as_good_under_heavy_contention() {
         access_prob: 1.0,
         max_requests: 50,
         cs_range_us: (50, 100),
+        graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
+        light_fraction: 0.0,
     };
     let platform = Platform::new(8).unwrap();
     let wfd = ResourceHeuristic::WorstFitDecreasing;

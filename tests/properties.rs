@@ -218,6 +218,8 @@ fn simulator_respects_bounds_on_random_systems() {
             access_prob: 0.75,
             max_requests: 10,
             cs_range_us: (15, 50),
+            graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
+            light_fraction: 0.0,
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let Ok(tasks) = scenario.sample_task_set(3.0, &mut rng) else {

@@ -39,15 +39,32 @@ fn sweep_scenario() -> Scenario {
         access_prob: 0.75,
         max_requests: 25,
         cs_range_us: (15, 50),
+        graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
+        light_fraction: 0.0,
     }
 }
 
 /// Caps high enough that no sweep workload truncates (the densest observed
-/// task has ~39k complete paths): the strict-equivalence regime.
+/// task has ~39k complete paths): the strict-equivalence regime. Pruning
+/// is explicitly off — the unpruned enumeration is the reference set the
+/// DFS comparison and the pruning-soundness test lean on (the *default*
+/// config prunes).
 fn lifted_cfg() -> AnalysisConfig {
     AnalysisConfig {
         path_signature_cap: 1 << 17,
         path_visit_cap: u64::MAX,
+        prune_dominated: false,
+        ..AnalysisConfig::ep()
+    }
+}
+
+/// Default caps with pruning off: the truncated-regime reference (the
+/// pruned default often enumerates completely where the unpruned set
+/// truncates, which is exactly the precision win — but this test needs
+/// truncation to happen on both sides).
+fn unpruned_default_cfg() -> AnalysisConfig {
+    AnalysisConfig {
+        prune_dominated: false,
         ..AnalysisConfig::ep()
     }
 }
@@ -128,7 +145,7 @@ fn seeded_sweep_dfs_and_dp_sets_and_bounds_are_identical() {
 #[test]
 fn seeded_sweep_truncated_regime_outcomes_agree() {
     let platform = Platform::new(sweep_scenario().m).unwrap();
-    let cfg = AnalysisConfig::ep();
+    let cfg = unpruned_default_cfg();
     let mut truncated_tasks = 0usize;
     for (label, tasks) in sweep_task_sets() {
         let dfs_cache = SignatureCache::new_dfs(&tasks, &cfg);
