@@ -9,8 +9,9 @@
 //! other method, as in Fig. 2.
 
 use dpcp_core::analysis::{DelayBreakdown, SchedulabilityReport, TaskBound};
-use dpcp_core::SchedAnalyzer;
-use dpcp_model::{Partition, TaskSet, Time};
+use dpcp_core::partition::PartitionOutcome;
+use dpcp_core::{AnalysisSession, ProtocolAnalysis, ResourceHeuristic, SchedAnalyzer};
+use dpcp_model::{Partition, Platform, TaskSet, Time};
 
 /// The FED-FP analyzer (implements [`SchedAnalyzer`]).
 ///
@@ -18,13 +19,13 @@ use dpcp_model::{Partition, TaskSet, Time};
 ///
 /// ```
 /// use dpcp_baselines::FedFp;
-/// use dpcp_core::partition::{algorithm1, ResourceHeuristic};
-/// use dpcp_core::SchedAnalyzer;
+/// use dpcp_core::{AnalysisConfig, AnalysisSession, ResourceHeuristic};
 /// use dpcp_model::{fig1, Platform};
 ///
 /// let tasks = fig1::task_set()?;
 /// let platform = Platform::new(4)?;
-/// let outcome = algorithm1(
+/// let mut session = AnalysisSession::new(AnalysisConfig::ep());
+/// let outcome = session.partition_with(
 ///     &tasks,
 ///     &platform,
 ///     ResourceHeuristic::WorstFitDecreasing,
@@ -87,6 +88,32 @@ impl SchedAnalyzer for FedFp {
     }
 }
 
+/// FED-FP as a registry protocol: the generic Algorithm 1 loop with the
+/// session's scratch (which this analysis ignores — it is stateless).
+impl ProtocolAnalysis for FedFp {
+    fn name(&self) -> &str {
+        SchedAnalyzer::name(self)
+    }
+
+    fn tag(&self) -> char {
+        'F'
+    }
+
+    fn description(&self) -> &str {
+        "resource-oblivious federated bound (hypothetical upper baseline)"
+    }
+
+    fn evaluate(
+        &self,
+        session: &mut AnalysisSession,
+        tasks: &TaskSet,
+        platform: &Platform,
+        heuristic: ResourceHeuristic,
+    ) -> PartitionOutcome {
+        session.partition_with(tasks, platform, heuristic, self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,7 +149,7 @@ mod tests {
             assert_eq!(b.inter_task_blocking, Time::ZERO);
             assert_eq!(b.agent_interference, Time::ZERO);
         }
-        assert_eq!(fed.name(), "FED-FP");
+        assert_eq!(SchedAnalyzer::name(&fed), "FED-FP");
         assert!(!fed.needs_resource_homes());
     }
 
@@ -132,7 +159,7 @@ mod tests {
         let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
         let fed = FedFp::new().analyze(&tasks, &partition);
         let dpcp =
-            dpcp_core::analysis::analyze(&tasks, &partition, &dpcp_core::AnalysisConfig::ep());
+            AnalysisSession::new(dpcp_core::AnalysisConfig::ep()).analyze(&tasks, &partition);
         for (f, d) in fed.task_bounds.iter().zip(&dpcp.task_bounds) {
             assert!(f.wcrt.unwrap() <= d.wcrt.unwrap());
         }

@@ -4,34 +4,41 @@
 //! All three implement [`dpcp_core::SchedAnalyzer`], so they plug into the
 //! same Algorithm 1 partitioning loop as DPCP-p itself — mirroring the
 //! paper's setup where every protocol runs under federated scheduling.
+//! They also implement [`dpcp_core::ProtocolAnalysis`], and
+//! [`standard_registry`] assembles the paper's five compared methods in
+//! presentation order (`DPCP-p-EP`, `DPCP-p-EN`, `SPIN-SON`, `LPP`,
+//! `FED-FP`) — experiment harnesses resolve methods by name from that
+//! registry instead of hand-wiring protocol calls.
 //!
 //! # Examples
 //!
-//! Compare all analyzers on the paper's Fig. 1 system:
+//! Compare all five methods on the paper's Fig. 1 system:
 //!
 //! ```
-//! use dpcp_baselines::{FedFp, Lpp, SpinSon};
-//! use dpcp_core::partition::{algorithm1, DpcpAnalyzer, ResourceHeuristic};
-//! use dpcp_core::{AnalysisConfig, SchedAnalyzer};
+//! use dpcp_baselines::standard_registry;
+//! use dpcp_core::{AnalysisConfig, AnalysisSession, ResourceHeuristic};
 //! use dpcp_model::{fig1, Platform};
 //!
 //! let tasks = fig1::task_set()?;
 //! let platform = Platform::new(4)?;
-//! let h = ResourceHeuristic::WorstFitDecreasing;
-//! let dpcp = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
-//! for analyzer in [
-//!     &dpcp as &dyn SchedAnalyzer,
-//!     &SpinSon::new(),
-//!     &Lpp::new(),
-//!     &FedFp::new(),
-//! ] {
-//!     assert!(algorithm1(&tasks, &platform, h, analyzer).is_schedulable());
+//! let registry = standard_registry();
+//! let mut session = AnalysisSession::new(AnalysisConfig::ep());
+//! for protocol in registry.iter() {
+//!     let outcome = session.run(
+//!         protocol,
+//!         &tasks,
+//!         &platform,
+//!         ResourceHeuristic::WorstFitDecreasing,
+//!     );
+//!     assert!(outcome.is_schedulable(), "{}", protocol.name());
 //! }
 //! # Ok::<(), dpcp_model::ModelError>(())
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+use dpcp_core::ProtocolRegistry;
 
 mod common;
 pub mod fed;
@@ -41,3 +48,38 @@ pub mod spin;
 pub use fed::FedFp;
 pub use lpp::{Lpp, LppConfig};
 pub use spin::{SpinConfig, SpinSon};
+
+/// The paper's five compared methods as one registry, in presentation
+/// order: `DPCP-p-EP`, `DPCP-p-EN`, `SPIN-SON`, `LPP`, `FED-FP`.
+/// Registration order is the single source of truth for dispatch
+/// indices, CSV column order and plot legends downstream.
+pub fn standard_registry() -> ProtocolRegistry {
+    let mut registry = dpcp_core::dpcp_protocols();
+    registry
+        .register(Box::new(SpinSon::new()))
+        .expect("distinct baseline names");
+    registry
+        .register(Box::new(Lpp::new()))
+        .expect("distinct baseline names");
+    registry
+        .register(Box::new(FedFp::new()))
+        .expect("distinct baseline names");
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_the_paper_order() {
+        let registry = standard_registry();
+        assert_eq!(
+            registry.names(),
+            ["DPCP-p-EP", "DPCP-p-EN", "SPIN-SON", "LPP", "FED-FP"]
+        );
+        let tags: Vec<char> = registry.iter().map(|p| p.tag()).collect();
+        assert_eq!(tags, ['E', 'N', 'S', 'L', 'F']);
+        assert!(registry.iter().all(|p| !p.description().is_empty()));
+    }
+}

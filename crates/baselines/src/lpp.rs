@@ -17,8 +17,9 @@
 //! capped by the windowed request supply, exactly like the spin analysis.
 
 use dpcp_core::analysis::{DelayBreakdown, SchedulabilityReport, TaskBound};
-use dpcp_core::SchedAnalyzer;
-use dpcp_model::{Partition, TaskSet};
+use dpcp_core::partition::PartitionOutcome;
+use dpcp_core::{AnalysisSession, ProtocolAnalysis, ResourceHeuristic, SchedAnalyzer};
+use dpcp_model::{Partition, Platform, TaskSet};
 
 use crate::common::{baseline_wcrt, QueueDepth, ResponseBounds};
 
@@ -43,12 +44,13 @@ impl Default for LppConfig {
 ///
 /// ```
 /// use dpcp_baselines::Lpp;
-/// use dpcp_core::partition::{algorithm1, ResourceHeuristic};
+/// use dpcp_core::{AnalysisConfig, AnalysisSession, ResourceHeuristic};
 /// use dpcp_model::{fig1, Platform};
 ///
 /// let tasks = fig1::task_set()?;
 /// let platform = Platform::new(4)?;
-/// let outcome = algorithm1(
+/// let mut session = AnalysisSession::new(AnalysisConfig::ep());
+/// let outcome = session.partition_with(
 ///     &tasks,
 ///     &platform,
 ///     ResourceHeuristic::WorstFitDecreasing,
@@ -122,6 +124,33 @@ impl SchedAnalyzer for Lpp {
             schedulable: all_ok,
             truncated: false,
         }
+    }
+}
+
+/// LPP as a registry protocol: the generic Algorithm 1 loop with the
+/// session's scratch (which this analysis ignores — it keeps no per-task
+/// evaluation state).
+impl ProtocolAnalysis for Lpp {
+    fn name(&self) -> &str {
+        SchedAnalyzer::name(self)
+    }
+
+    fn tag(&self) -> char {
+        'L'
+    }
+
+    fn description(&self) -> &str {
+        "suspension-based FIFO semaphores, boosted lock holders (Jiang et al.)"
+    }
+
+    fn evaluate(
+        &self,
+        session: &mut AnalysisSession,
+        tasks: &TaskSet,
+        platform: &Platform,
+        heuristic: ResourceHeuristic,
+    ) -> PartitionOutcome {
+        session.partition_with(tasks, platform, heuristic, self)
     }
 }
 
@@ -202,7 +231,7 @@ mod tests {
     #[test]
     fn name_and_homes() {
         let l = Lpp::new();
-        assert_eq!(l.name(), "LPP");
+        assert_eq!(SchedAnalyzer::name(&l), "LPP");
         assert!(!l.needs_resource_homes());
     }
 }

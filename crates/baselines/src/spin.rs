@@ -18,8 +18,9 @@
 //! tasks, and `S^spin` the spin time off-path requests can burn.
 
 use dpcp_core::analysis::{DelayBreakdown, SchedulabilityReport, TaskBound};
-use dpcp_core::SchedAnalyzer;
-use dpcp_model::{Partition, TaskId, TaskSet, Time};
+use dpcp_core::partition::PartitionOutcome;
+use dpcp_core::{AnalysisSession, ProtocolAnalysis, ResourceHeuristic, SchedAnalyzer};
+use dpcp_model::{Partition, Platform, TaskId, TaskSet, Time};
 
 use crate::common::{baseline_wcrt, per_request_delay, QueueDepth, ResponseBounds};
 
@@ -44,12 +45,13 @@ impl Default for SpinConfig {
 ///
 /// ```
 /// use dpcp_baselines::SpinSon;
-/// use dpcp_core::partition::{algorithm1, ResourceHeuristic};
+/// use dpcp_core::{AnalysisConfig, AnalysisSession, ResourceHeuristic};
 /// use dpcp_model::{fig1, Platform};
 ///
 /// let tasks = fig1::task_set()?;
 /// let platform = Platform::new(4)?;
-/// let outcome = algorithm1(
+/// let mut session = AnalysisSession::new(AnalysisConfig::ep());
+/// let outcome = session.partition_with(
 ///     &tasks,
 ///     &platform,
 ///     ResourceHeuristic::WorstFitDecreasing,
@@ -140,6 +142,33 @@ impl SchedAnalyzer for SpinSon {
     }
 }
 
+/// SPIN-SON as a registry protocol: the generic Algorithm 1 loop with
+/// the session's scratch (which this analysis ignores — it keeps no
+/// per-task evaluation state).
+impl ProtocolAnalysis for SpinSon {
+    fn name(&self) -> &str {
+        SchedAnalyzer::name(self)
+    }
+
+    fn tag(&self) -> char {
+        'S'
+    }
+
+    fn description(&self) -> &str {
+        "FIFO non-preemptive spin locks, local execution (Dinh et al.)"
+    }
+
+    fn evaluate(
+        &self,
+        session: &mut AnalysisSession,
+        tasks: &TaskSet,
+        platform: &Platform,
+        heuristic: ResourceHeuristic,
+    ) -> PartitionOutcome {
+        session.partition_with(tasks, platform, heuristic, self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,7 +202,7 @@ mod tests {
     #[test]
     fn name_and_homes() {
         let s = SpinSon::new();
-        assert_eq!(s.name(), "SPIN-SON");
+        assert_eq!(SchedAnalyzer::name(&s), "SPIN-SON");
         assert!(!s.needs_resource_homes());
     }
 

@@ -12,16 +12,16 @@
 //!   the ambient rayon pool.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dpcp_baselines::{FedFp, Lpp, SpinSon};
+use dpcp_baselines::{Lpp, SpinSon};
 use dpcp_bench::panel_task_set;
 use dpcp_core::analysis::wcrt::{
     wcrt_for_signature, wcrt_for_signature_direct, wcrt_for_signature_with,
     wcrt_over_signatures_direct, wcrt_over_signatures_with,
 };
-use dpcp_core::analysis::{analyze, AnalysisContext, EvalScratch, SignatureCache};
-use dpcp_core::partition::{algorithm1, assign_resources, DpcpAnalyzer, ResourceHeuristic};
-use dpcp_core::{AnalysisConfig, SchedAnalyzer};
-use dpcp_experiments::{evaluate_point, EvalConfig};
+use dpcp_core::analysis::{AnalysisContext, EvalScratch, SignatureCache};
+use dpcp_core::partition::{assign_resources, ResourceHeuristic};
+use dpcp_core::{AnalysisConfig, AnalysisSession, SchedAnalyzer};
+use dpcp_experiments::{evaluate_point, standard_registry, EvalConfig};
 use dpcp_gen::scenario::{Fig2Panel, Scenario};
 use dpcp_model::{
     enumerate_signatures_capped, enumerate_signatures_dp_capped, initial_processors, Platform,
@@ -39,16 +39,17 @@ fn bench_fig2_point(c: &mut Criterion) {
             BenchmarkId::new("all_methods", format!("{panel}")),
             &tasks,
             |b, tasks| {
+                let registry = standard_registry();
                 b.iter(|| {
                     let wfd = ResourceHeuristic::WorstFitDecreasing;
-                    let ep = DpcpAnalyzer::new(tasks, AnalysisConfig::ep());
-                    let en = DpcpAnalyzer::new(tasks, AnalysisConfig::en());
-                    let analyzers: [&dyn SchedAnalyzer; 5] =
-                        [&ep, &en, &SpinSon::new(), &Lpp::new(), &FedFp::new()];
+                    let mut session = AnalysisSession::new(AnalysisConfig::ep());
                     let mut accepted = 0u32;
-                    for a in analyzers {
-                        accepted +=
-                            u32::from(algorithm1(tasks, &platform, wfd, a).is_schedulable());
+                    for protocol in registry.iter() {
+                        accepted += u32::from(
+                            session
+                                .run(protocol, tasks, &platform, wfd)
+                                .is_schedulable(),
+                        );
                     }
                     black_box(accepted)
                 })
@@ -66,10 +67,12 @@ fn bench_tables_cell(c: &mut Criterion) {
     group.bench_function("ep_vs_en", |b| {
         b.iter(|| {
             let wfd = ResourceHeuristic::WorstFitDecreasing;
-            let ep = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
-            let en = DpcpAnalyzer::new(&tasks, AnalysisConfig::en());
-            let a = algorithm1(&tasks, &platform, wfd, &ep).is_schedulable();
-            let b2 = algorithm1(&tasks, &platform, wfd, &en).is_schedulable();
+            let a = AnalysisSession::new(AnalysisConfig::ep())
+                .partition_and_analyze(&tasks, &platform, wfd)
+                .is_schedulable();
+            let b2 = AnalysisSession::new(AnalysisConfig::en())
+                .partition_and_analyze(&tasks, &platform, wfd)
+                .is_schedulable();
             black_box((a, b2))
         })
     });
@@ -129,10 +132,10 @@ fn bench_components(c: &mut Criterion) {
         })
     });
     group.bench_function("wcrt_ep", |b| {
-        b.iter(|| black_box(analyze(&tasks, &partition, &AnalysisConfig::ep())))
+        b.iter(|| black_box(AnalysisSession::new(AnalysisConfig::ep()).analyze(&tasks, &partition)))
     });
     group.bench_function("wcrt_en", |b| {
-        b.iter(|| black_box(analyze(&tasks, &partition, &AnalysisConfig::en())))
+        b.iter(|| black_box(AnalysisSession::new(AnalysisConfig::en()).analyze(&tasks, &partition)))
     });
     group.bench_function("wfd_placement", |b| {
         b.iter(|| {

@@ -37,9 +37,9 @@ use dpcp_core::analysis::wcrt::{
     wcrt_for_signature, wcrt_for_signature_direct, wcrt_for_signature_with, wcrt_over_signatures,
     wcrt_over_signatures_direct, wcrt_over_signatures_with,
 };
-use dpcp_core::analysis::{analyze, AnalysisContext, EvalScratch, SignatureCache};
+use dpcp_core::analysis::{AnalysisContext, EvalScratch, SignatureCache};
 use dpcp_core::partition::{assign_resources, layout_clusters, ResourceHeuristic};
-use dpcp_core::AnalysisConfig;
+use dpcp_core::{AnalysisConfig, AnalysisSession};
 use dpcp_experiments::{evaluate_point, EvalConfig, Method, PointResult};
 use dpcp_gen::scenario::{Fig2Panel, Scenario};
 use dpcp_model::{
@@ -218,10 +218,10 @@ fn component_benches(sample_size: usize) -> Vec<ComponentBench> {
         b.iter(|| black_box(wcrt_over_signatures_direct(&ctx, busiest, sigs, &cfg)))
     });
     criterion.bench_function("analyze/task_set_ep", |b| {
-        b.iter(|| black_box(analyze(&tasks, &partition, &AnalysisConfig::ep())))
+        b.iter(|| black_box(AnalysisSession::new(AnalysisConfig::ep()).analyze(&tasks, &partition)))
     });
     criterion.bench_function("analyze/task_set_en", |b| {
-        b.iter(|| black_box(analyze(&tasks, &partition, &AnalysisConfig::en())))
+        b.iter(|| black_box(AnalysisSession::new(AnalysisConfig::en()).analyze(&tasks, &partition)))
     });
     criterion.bench_function("signature_cache/enumerate", |b| {
         b.iter(|| black_box(SignatureCache::new(&tasks, &cfg)))

@@ -1,11 +1,11 @@
 //! Worst-case response-time analysis for DPCP-p (Sec. IV).
 //!
-//! The entry point is [`analyze`]: given a task set and a partition it
-//! bounds every task's WCRT via the per-path analysis of Theorem 1 and
-//! reports schedulability. Tasks are processed in decreasing priority
-//! order; each computed bound feeds the job-count function `η_j` of the
-//! remaining tasks (lower-priority tasks use the sound fallback
-//! `R_j ≤ D_j`, DESIGN.md note 3).
+//! The entry point is [`AnalysisSession::analyze`](crate::session::AnalysisSession::analyze):
+//! given a task set and a partition it bounds every task's WCRT via the
+//! per-path analysis of Theorem 1 and reports schedulability. Tasks are
+//! processed in decreasing priority order; each computed bound feeds the
+//! job-count function `η_j` of the remaining tasks (lower-priority tasks
+//! use the sound fallback `R_j ≤ D_j`, DESIGN.md note 3).
 //!
 //! Two variants mirror the paper's evaluation:
 //! [`AnalysisVariant::EnumeratePaths`] (`DPCP-p-EP`) and
@@ -228,34 +228,44 @@ impl SignatureCache {
 }
 
 /// Analyses a complete `(task set, partition)` pair.
-///
-/// Convenience wrapper that builds the [`SignatureCache`] internally; use
-/// [`analyze_with_cache`] inside partitioning loops to avoid re-enumerating
-/// paths on every round.
+#[deprecated(note = "use `AnalysisSession::analyze` (one session owns config, cache and scratch)")]
 pub fn analyze(
     tasks: &TaskSet,
     partition: &Partition,
     cfg: &AnalysisConfig,
 ) -> SchedulabilityReport {
-    let cache = SignatureCache::new(tasks, cfg);
-    analyze_with_cache(tasks, partition, cfg, &cache)
+    crate::session::AnalysisSession::new(cfg.clone()).analyze(tasks, partition)
 }
 
 /// Analyses a `(task set, partition)` pair with pre-enumerated signatures.
+#[deprecated(note = "use `AnalysisSession::analyze_with_signatures`")]
 pub fn analyze_with_cache(
     tasks: &TaskSet,
     partition: &Partition,
     cfg: &AnalysisConfig,
     cache: &SignatureCache,
 ) -> SchedulabilityReport {
-    analyze_with_cache_scratch(tasks, partition, cfg, cache, &mut EvalScratch::new())
+    crate::session::AnalysisSession::new(cfg.clone())
+        .analyze_with_signatures(tasks, partition, cache)
 }
 
-/// [`analyze_with_cache`] with caller-provided evaluation scratch, so the
-/// memo/table/buffer allocations survive across partitioning rounds and
-/// across methods sharing one scratch (every per-task entry point resets
-/// the task-scoped state itself, so reuse across contexts is safe).
+/// [`analyze_with_cache`] with caller-provided evaluation scratch.
+#[deprecated(note = "use `AnalysisSession::analyze` (the session owns the scratch)")]
 pub fn analyze_with_cache_scratch(
+    tasks: &TaskSet,
+    partition: &Partition,
+    cfg: &AnalysisConfig,
+    cache: &SignatureCache,
+    scratch: &mut EvalScratch,
+) -> SchedulabilityReport {
+    analyze_impl(tasks, partition, cfg, cache, scratch)
+}
+
+/// The whole-task-set analysis shared by `AnalysisSession::analyze` and
+/// the deprecated free functions: tasks in decreasing priority order,
+/// each converged bound feeding the remaining tasks' `η_j`, one scratch
+/// across all of them.
+pub(crate) fn analyze_impl(
     tasks: &TaskSet,
     partition: &Partition,
     cfg: &AnalysisConfig,
@@ -267,7 +277,7 @@ pub fn analyze_with_cache_scratch(
     let mut all_ok = true;
     let mut any_truncated = false;
     for i in tasks.by_decreasing_priority() {
-        let bound = analyze_task_with(&ctx, i, cfg, cache, scratch);
+        let bound = analyze_task_impl(&ctx, i, cfg, cache, scratch);
         if let Some(w) = bound.wcrt {
             ctx.set_response_bound(i, w);
         }
@@ -283,13 +293,14 @@ pub fn analyze_with_cache_scratch(
 }
 
 /// Analyses a single task against the context's current response bounds.
+#[deprecated(note = "use `AnalysisSession::analyze` for whole-set analyses")]
 pub fn analyze_task(
     ctx: &AnalysisContext<'_>,
     i: TaskId,
     cfg: &AnalysisConfig,
     cache: &SignatureCache,
 ) -> TaskBound {
-    analyze_task_with(ctx, i, cfg, cache, &mut EvalScratch::new())
+    analyze_task_impl(ctx, i, cfg, cache, &mut EvalScratch::new())
 }
 
 /// The EP arm shared by [`analyze_task_with`] and the mixed analysis:
@@ -319,7 +330,20 @@ pub(crate) fn evaluate_ep_arm(
 /// [`analyze_task`] with shared evaluation state (request-bound memo +
 /// scratch buffers); the memo is reset per task, the buffers live for the
 /// whole analysis run.
+#[deprecated(note = "use `AnalysisSession::analyze` for whole-set analyses")]
 pub fn analyze_task_with(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    cfg: &AnalysisConfig,
+    cache: &SignatureCache,
+    scratch: &mut EvalScratch,
+) -> TaskBound {
+    analyze_task_impl(ctx, i, cfg, cache, scratch)
+}
+
+/// The single-task analysis primitive behind the session, the mixed
+/// analysis and the deprecated per-task entry points.
+pub(crate) fn analyze_task_impl(
     ctx: &AnalysisContext<'_>,
     i: TaskId,
     cfg: &AnalysisConfig,
@@ -357,13 +381,14 @@ pub fn analyze_task_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::AnalysisSession;
     use dpcp_model::fig1;
 
     #[test]
     fn fig1_is_schedulable_under_both_variants() {
         let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
         for cfg in [AnalysisConfig::ep(), AnalysisConfig::en()] {
-            let report = analyze(&tasks, &partition, &cfg);
+            let report = AnalysisSession::new(cfg.clone()).analyze(&tasks, &partition);
             assert!(report.schedulable, "variant {:?}", cfg.variant);
             for tb in &report.task_bounds {
                 let w = tb.wcrt.unwrap();
@@ -376,8 +401,8 @@ mod tests {
     #[test]
     fn ep_bounds_never_exceed_en_bounds() {
         let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
-        let ep = analyze(&tasks, &partition, &AnalysisConfig::ep());
-        let en = analyze(&tasks, &partition, &AnalysisConfig::en());
+        let ep = AnalysisSession::new(AnalysisConfig::ep()).analyze(&tasks, &partition);
+        let en = AnalysisSession::new(AnalysisConfig::en()).analyze(&tasks, &partition);
         for (e, n) in ep.task_bounds.iter().zip(&en.task_bounds) {
             assert!(e.wcrt.unwrap() <= n.wcrt.unwrap());
         }
@@ -386,7 +411,7 @@ mod tests {
     #[test]
     fn report_indexing() {
         let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
-        let report = analyze(&tasks, &partition, &AnalysisConfig::ep());
+        let report = AnalysisSession::new(AnalysisConfig::ep()).analyze(&tasks, &partition);
         assert_eq!(report.bound(TaskId::new(1)).task, TaskId::new(1));
     }
 
@@ -398,13 +423,13 @@ mod tests {
         let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
         let cfg = AnalysisConfig::ep();
         let cache = SignatureCache::new(&tasks, &cfg);
-        let report = analyze_with_cache(&tasks, &partition, &cfg, &cache);
+        let report = analyze_impl(&tasks, &partition, &cfg, &cache, &mut EvalScratch::new());
 
         let order = tasks.by_decreasing_priority();
         let lo = order[1];
         // Fresh context: R_hi = D (pessimistic).
         let ctx = AnalysisContext::new(&tasks, &partition);
-        let pessimistic = analyze_task(&ctx, lo, &cfg, &cache);
+        let pessimistic = analyze_task_impl(&ctx, lo, &cfg, &cache, &mut EvalScratch::new());
         assert!(report.bound(lo).wcrt.unwrap() <= pessimistic.wcrt.unwrap());
     }
 
@@ -425,11 +450,11 @@ mod tests {
         let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
         for cfg in [AnalysisConfig::ep(), AnalysisConfig::en()] {
             let cache = SignatureCache::new(&tasks, &cfg);
-            let shared = analyze_with_cache(&tasks, &partition, &cfg, &cache);
+            let shared = analyze_impl(&tasks, &partition, &cfg, &cache, &mut EvalScratch::new());
             let mut ctx = AnalysisContext::new(&tasks, &partition);
             let mut bounds = Vec::new();
             for i in tasks.by_decreasing_priority() {
-                let b = analyze_task(&ctx, i, &cfg, &cache);
+                let b = analyze_task_impl(&ctx, i, &cfg, &cache, &mut EvalScratch::new());
                 if let Some(w) = b.wcrt {
                     ctx.set_response_bound(i, w);
                 }

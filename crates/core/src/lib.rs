@@ -12,24 +12,31 @@
 //!   (Lemmas 2–6, Theorem 1), in both the path-enumerating (`DPCP-p-EP`)
 //!   and request-count-enumerating (`DPCP-p-EN`) variants;
 //! - [`partition`] — the task/resource partitioning of Sec. V
-//!   (Algorithms 1 and 2) plus ablation heuristics.
+//!   (Algorithms 1 and 2) plus ablation heuristics;
+//! - [`session`] — the unified entry point: an [`AnalysisSession`] owns
+//!   the configuration, signature cache and evaluation scratch behind
+//!   every analysis and partitioning call;
+//! - [`registry`] — locking protocols as named, interchangeable
+//!   strategies ([`ProtocolAnalysis`] / [`ProtocolRegistry`]), so
+//!   evaluation methods are resolved by name instead of hand-wired
+//!   enum arms.
 //!
 //! # Examples
 //!
 //! End-to-end schedulability test of the paper's Fig. 1 system:
 //!
 //! ```
-//! use dpcp_core::analysis::AnalysisConfig;
-//! use dpcp_core::partition::{partition_and_analyze, ResourceHeuristic};
+//! use dpcp_core::partition::ResourceHeuristic;
+//! use dpcp_core::{AnalysisConfig, AnalysisSession};
 //! use dpcp_model::{fig1, Platform};
 //!
 //! let tasks = fig1::task_set()?;
 //! let platform = Platform::new(4)?;
-//! let outcome = partition_and_analyze(
+//! let mut session = AnalysisSession::new(AnalysisConfig::ep());
+//! let outcome = session.partition_and_analyze(
 //!     &tasks,
 //!     &platform,
 //!     ResourceHeuristic::WorstFitDecreasing,
-//!     AnalysisConfig::ep(),
 //! );
 //! assert!(outcome.is_schedulable());
 //! # Ok::<(), dpcp_model::ModelError>(())
@@ -41,12 +48,20 @@
 pub mod analysis;
 pub mod partition;
 pub mod protocol;
+pub mod registry;
+pub mod session;
 
+#[allow(deprecated)] // the shim stays reachable at its historical path
+pub use analysis::analyze;
 pub use analysis::{
-    analyze, AnalysisConfig, AnalysisVariant, DelayBreakdown, SchedulabilityReport, TaskBound,
+    AnalysisConfig, AnalysisVariant, DelayBreakdown, SchedulabilityReport, TaskBound,
 };
-pub use partition::{
-    algorithm1, partition_and_analyze, PartitionOutcome, ResourceHeuristic, SchedAnalyzer,
-    UnschedulableReason,
-};
+#[allow(deprecated)] // the shims stay reachable at their historical paths
+pub use partition::{algorithm1, partition_and_analyze};
+pub use partition::{PartitionOutcome, ResourceHeuristic, SchedAnalyzer, UnschedulableReason};
 pub use protocol::{CeilingTable, LockDecision, ProcessorCeiling};
+pub use registry::{
+    dpcp_protocols, DpcpProtocol, PlacementVariant, ProtocolAnalysis, ProtocolRegistry,
+    RegistryError,
+};
+pub use session::{AnalysisSession, SessionBuilder};

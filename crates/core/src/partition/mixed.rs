@@ -70,23 +70,34 @@ fn pack_lights(
 /// Analyses a mixed partition: Theorem 1 for heavy tasks, the sequential
 /// light-task bound for light ones, response bounds threaded in
 /// decreasing priority order.
-///
-/// Convenience wrapper over [`analyze_mixed_scratch`] with throwaway
-/// evaluation state; the top-up loop holds one scratch across rounds.
+#[deprecated(note = "use `AnalysisSession::analyze_mixed`")]
 pub fn analyze_mixed(
     tasks: &TaskSet,
     partition: &Partition,
     cfg: &AnalysisConfig,
     cache: &SignatureCache,
 ) -> SchedulabilityReport {
-    analyze_mixed_scratch(tasks, partition, cfg, cache, &mut EvalScratch::new())
+    analyze_mixed_impl(tasks, partition, cfg, cache, &mut EvalScratch::new())
 }
 
-/// [`analyze_mixed`] with caller-provided evaluation scratch: heavy tasks
-/// run the table-driven Theorem 1 enumeration, light tasks the tabled
-/// sequential bound ([`wcrt_light_with`]) — every per-task entry point
-/// resets the task-scoped state itself, so one scratch serves all rounds.
+/// [`analyze_mixed`] with caller-provided evaluation scratch.
+#[deprecated(note = "use `AnalysisSession::analyze_mixed` (the session owns the scratch)")]
 pub fn analyze_mixed_scratch(
+    tasks: &TaskSet,
+    partition: &Partition,
+    cfg: &AnalysisConfig,
+    cache: &SignatureCache,
+    scratch: &mut EvalScratch,
+) -> SchedulabilityReport {
+    analyze_mixed_impl(tasks, partition, cfg, cache, scratch)
+}
+
+/// The mixed analysis shared by the session and the deprecated free
+/// functions: heavy tasks run the table-driven Theorem 1 enumeration,
+/// light tasks the tabled sequential bound ([`wcrt_light_with`]) — every
+/// per-task entry point resets the task-scoped state itself, so one
+/// scratch serves all rounds.
+pub(crate) fn analyze_mixed_impl(
     tasks: &TaskSet,
     partition: &Partition,
     cfg: &AnalysisConfig,
@@ -154,11 +165,38 @@ pub fn analyze_mixed_scratch(
 ///
 /// Panics if a heavy task has `L*_i ≥ D_i` (same precondition as
 /// [`algorithm1`](crate::partition::algorithm1)).
+#[deprecated(note = "use `AnalysisSession::partition_and_analyze_mixed`")]
 pub fn algorithm1_mixed(
     tasks: &TaskSet,
     platform: &Platform,
     heuristic: ResourceHeuristic,
     cfg: AnalysisConfig,
+) -> PartitionOutcome {
+    // The historical entry point always enumerated signatures, even for
+    // the EN variant (which never reads them); the session builds an
+    // empty cache there instead — observationally identical.
+    let cache = SignatureCache::new(tasks, &cfg);
+    algorithm1_mixed_impl(
+        tasks,
+        platform,
+        heuristic,
+        &cfg,
+        &cache,
+        &mut EvalScratch::new(),
+    )
+}
+
+/// The mixed Algorithm 1 loop shared by the session and the deprecated
+/// free function: signature cache and evaluation scratch are injected so
+/// one allocation serves every top-up round (and, via the session, every
+/// sample of a sweep).
+pub(crate) fn algorithm1_mixed_impl(
+    tasks: &TaskSet,
+    platform: &Platform,
+    heuristic: ResourceHeuristic,
+    cfg: &AnalysisConfig,
+    cache: &SignatureCache,
+    scratch: &mut EvalScratch,
 ) -> PartitionOutcome {
     let m = platform.processor_count();
     let heavy: Vec<TaskId> = tasks
@@ -189,8 +227,6 @@ pub fn algorithm1_mixed(
         (light_util.ceil() as usize).clamp(1, lights.len())
     };
 
-    let cache = SignatureCache::new(tasks, &cfg);
-    let mut scratch = EvalScratch::new();
     let mut rounds = 0usize;
     loop {
         rounds += 1;
@@ -268,7 +304,7 @@ pub fn algorithm1_mixed(
         let partition = Partition::mixed(tasks, platform, clusters, homes)
             .expect("layout and homes are valid by construction");
 
-        let report = analyze_mixed_scratch(tasks, &partition, &cfg, &cache, &mut scratch);
+        let report = analyze_mixed_impl(tasks, &partition, cfg, cache, scratch);
         let failing = tasks
             .by_decreasing_priority()
             .into_iter()
@@ -312,10 +348,23 @@ pub fn lights_only_demand(tasks: &TaskSet) -> Time {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::AnalysisSession;
     use dpcp_model::{Dag, DagTask, RequestSpec, ResourceId, VertexSpec};
 
     fn rid(i: usize) -> ResourceId {
         ResourceId::new(i)
+    }
+
+    fn session_mixed(
+        tasks: &TaskSet,
+        platform: &Platform,
+        cfg: AnalysisConfig,
+    ) -> PartitionOutcome {
+        AnalysisSession::new(cfg).partition_and_analyze_mixed(
+            tasks,
+            platform,
+            ResourceHeuristic::WorstFitDecreasing,
+        )
     }
 
     /// One heavy DAG task plus two light sequential tasks, all sharing ℓ0.
@@ -349,12 +398,7 @@ mod tests {
     fn mixed_system_partitions_and_schedules() {
         let tasks = mixed_set();
         let platform = Platform::new(6).unwrap();
-        let outcome = algorithm1_mixed(
-            &tasks,
-            &platform,
-            ResourceHeuristic::WorstFitDecreasing,
-            AnalysisConfig::ep(),
-        );
+        let outcome = session_mixed(&tasks, &platform, AnalysisConfig::ep());
         let PartitionOutcome::Schedulable {
             partition, report, ..
         } = outcome
@@ -378,12 +422,7 @@ mod tests {
         let tasks = mixed_set();
         // Heavy needs 2; on 3 processors both lights must share the third.
         let platform = Platform::new(3).unwrap();
-        let outcome = algorithm1_mixed(
-            &tasks,
-            &platform,
-            ResourceHeuristic::WorstFitDecreasing,
-            AnalysisConfig::ep(),
-        );
+        let outcome = session_mixed(&tasks, &platform, AnalysisConfig::ep());
         if let PartitionOutcome::Schedulable { partition, .. } = &outcome {
             let p1 = partition.cluster(TaskId::new(1))[0];
             let p2 = partition.cluster(TaskId::new(2))[0];
@@ -402,17 +441,17 @@ mod tests {
 
     #[test]
     fn scratch_reuse_matches_fresh_state_across_partitions() {
-        // One scratch carried across two different mixed partitions (and
-        // therefore across context changes) must reproduce the throwaway
-        // -scratch reports bit-identically — heavy and light tasks alike.
+        // One session (one scratch + one signature cache) carried across
+        // two different mixed partitions (and therefore across context
+        // changes) must reproduce throwaway-state reports bit-identically
+        // — heavy and light tasks alike.
         use dpcp_model::{Platform, ProcessorId};
         use std::collections::BTreeMap;
         let tasks = mixed_set();
         let platform = Platform::new(3).unwrap();
         let pid = ProcessorId::new;
         let cfg = AnalysisConfig::ep();
-        let cache = SignatureCache::new(&tasks, &cfg);
-        let mut shared = crate::analysis::EvalScratch::new();
+        let mut shared = AnalysisSession::new(cfg.clone());
         for home in [pid(0), pid(2)] {
             let partition = Partition::mixed(
                 &tasks,
@@ -421,8 +460,8 @@ mod tests {
                 BTreeMap::from([(rid(0), home)]),
             )
             .unwrap();
-            let reused = analyze_mixed_scratch(&tasks, &partition, &cfg, &cache, &mut shared);
-            let fresh = analyze_mixed(&tasks, &partition, &cfg, &cache);
+            let reused = shared.analyze_mixed(&tasks, &partition);
+            let fresh = AnalysisSession::new(cfg.clone()).analyze_mixed(&tasks, &partition);
             assert_eq!(reused, fresh, "home {home}");
         }
     }
@@ -444,21 +483,13 @@ mod tests {
 
     #[test]
     fn purely_heavy_sets_match_algorithm1() {
-        use crate::partition::{algorithm1, DpcpAnalyzer};
         let tasks = dpcp_model::fig1::task_set().unwrap();
         let platform = Platform::new(4).unwrap();
-        let mixed = algorithm1_mixed(
+        let mixed = session_mixed(&tasks, &platform, AnalysisConfig::ep());
+        let classic = AnalysisSession::new(AnalysisConfig::ep()).partition_and_analyze(
             &tasks,
             &platform,
             ResourceHeuristic::WorstFitDecreasing,
-            AnalysisConfig::ep(),
-        );
-        let analyzer = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
-        let classic = algorithm1(
-            &tasks,
-            &platform,
-            ResourceHeuristic::WorstFitDecreasing,
-            &analyzer,
         );
         // Fig. 1 tasks are light (C ≤ D) with our chosen periods, so the
         // mixed loop routes them through the sequential analysis; both
@@ -477,12 +508,7 @@ mod tests {
         };
         let tasks = TaskSet::new(vec![light(0), light(1), light(2)], 0).unwrap();
         let platform = Platform::new(2).unwrap();
-        let outcome = algorithm1_mixed(
-            &tasks,
-            &platform,
-            ResourceHeuristic::WorstFitDecreasing,
-            AnalysisConfig::ep(),
-        );
+        let outcome = session_mixed(&tasks, &platform, AnalysisConfig::ep());
         assert!(!outcome.is_schedulable());
     }
 }

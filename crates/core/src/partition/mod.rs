@@ -16,13 +16,13 @@ use dpcp_model::{initial_processors, Partition, Platform, TaskId, TaskSet};
 use serde::{Deserialize, Serialize};
 
 use crate::analysis::{
-    analyze_with_cache, analyze_with_cache_scratch, AnalysisConfig, EvalScratch,
-    SchedulabilityReport, SignatureCache,
+    analyze_impl, AnalysisConfig, EvalScratch, SchedulabilityReport, SignatureCache,
 };
 
 pub mod mixed;
 pub mod wfd;
 
+#[allow(deprecated)] // the shims stay reachable at their historical paths
 pub use mixed::{algorithm1_mixed, analyze_mixed, analyze_mixed_scratch};
 pub use wfd::{
     assign_resources, assign_resources_to_bins, layout_clusters, CapacityBin, ResourceHeuristic,
@@ -96,7 +96,13 @@ impl SchedAnalyzer for DpcpAnalyzer {
     }
 
     fn analyze(&self, tasks: &TaskSet, partition: &Partition) -> SchedulabilityReport {
-        analyze_with_cache(tasks, partition, &self.cfg, &self.cache)
+        analyze_impl(
+            tasks,
+            partition,
+            &self.cfg,
+            &self.cache,
+            &mut EvalScratch::new(),
+        )
     }
 
     fn analyze_with_scratch(
@@ -105,7 +111,7 @@ impl SchedAnalyzer for DpcpAnalyzer {
         partition: &Partition,
         scratch: &mut EvalScratch,
     ) -> SchedulabilityReport {
-        analyze_with_cache_scratch(tasks, partition, &self.cfg, &self.cache, scratch)
+        analyze_impl(tasks, partition, &self.cfg, &self.cache, scratch)
     }
 }
 
@@ -152,7 +158,7 @@ impl core::fmt::Display for UnschedulableReason {
 }
 
 /// The result of [`algorithm1`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PartitionOutcome {
     /// A feasible placement was found and every task passed analysis.
     Schedulable {
@@ -202,13 +208,15 @@ impl PartitionOutcome {
 ///
 /// Panics if a heavy task has `L*_i ≥ D_i` (no processor count can make it
 /// schedulable; the paper's generator enforces `L*_i < D_i/2`).
+#[deprecated(note = "use `AnalysisSession::partition_with` (or \
+    `AnalysisSession::partition_and_analyze` for DPCP-p itself)")]
 pub fn algorithm1(
     tasks: &TaskSet,
     platform: &Platform,
     heuristic: ResourceHeuristic,
     analyzer: &dyn SchedAnalyzer,
 ) -> PartitionOutcome {
-    algorithm1_scratch(
+    algorithm1_impl(
         tasks,
         platform,
         heuristic,
@@ -217,11 +225,23 @@ pub fn algorithm1(
     )
 }
 
-/// [`algorithm1`] with caller-provided evaluation scratch: the analysis
-/// memo tables and buffers are reused across every partition-analyse round
-/// (and, when the caller shares one scratch, across methods — see the
-/// experiment harness).
+/// [`algorithm1`] with caller-provided evaluation scratch.
+#[deprecated(note = "use `AnalysisSession::partition_with` (the session owns the scratch)")]
 pub fn algorithm1_scratch(
+    tasks: &TaskSet,
+    platform: &Platform,
+    heuristic: ResourceHeuristic,
+    analyzer: &dyn SchedAnalyzer,
+    scratch: &mut EvalScratch,
+) -> PartitionOutcome {
+    algorithm1_impl(tasks, platform, heuristic, analyzer, scratch)
+}
+
+/// The Algorithm 1 loop shared by the session entry points and the
+/// deprecated free functions: the analysis memo tables and buffers in
+/// `scratch` are reused across every partition-analyse round (and across
+/// methods when the caller shares one scratch).
+pub(crate) fn algorithm1_impl(
     tasks: &TaskSet,
     platform: &Platform,
     heuristic: ResourceHeuristic,
@@ -294,31 +314,39 @@ pub fn algorithm1_scratch(
 }
 
 /// Convenience: run Algorithm 1 with the DPCP-p analysis.
+#[deprecated(note = "use `AnalysisSession::partition_and_analyze`")]
 pub fn partition_and_analyze(
     tasks: &TaskSet,
     platform: &Platform,
     heuristic: ResourceHeuristic,
     cfg: AnalysisConfig,
 ) -> PartitionOutcome {
-    let analyzer = DpcpAnalyzer::new(tasks, cfg);
-    algorithm1(tasks, platform, heuristic, &analyzer)
+    crate::session::AnalysisSession::new(cfg).partition_and_analyze(tasks, platform, heuristic)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::AnalysisSession;
     use dpcp_model::{fig1, DagTask, RequestSpec, ResourceId, Time, VertexSpec};
+
+    fn session_partition(
+        tasks: &TaskSet,
+        platform: &Platform,
+        cfg: AnalysisConfig,
+    ) -> PartitionOutcome {
+        AnalysisSession::new(cfg).partition_and_analyze(
+            tasks,
+            platform,
+            ResourceHeuristic::WorstFitDecreasing,
+        )
+    }
 
     #[test]
     fn fig1_partitions_and_schedules() {
         let tasks = fig1::task_set().unwrap();
         let platform = Platform::new(4).unwrap();
-        let outcome = partition_and_analyze(
-            &tasks,
-            &platform,
-            ResourceHeuristic::WorstFitDecreasing,
-            AnalysisConfig::ep(),
-        );
+        let outcome = session_partition(&tasks, &platform, AnalysisConfig::ep());
         assert!(outcome.is_schedulable());
         let partition = outcome.partition().unwrap();
         // ℓ1 must have a home; ℓ2 is local.
@@ -343,12 +371,7 @@ mod tests {
         };
         let tasks = TaskSet::new(vec![mk(0), mk(1)], 0).unwrap();
         let platform = Platform::new(2).unwrap();
-        let outcome = partition_and_analyze(
-            &tasks,
-            &platform,
-            ResourceHeuristic::WorstFitDecreasing,
-            AnalysisConfig::ep(),
-        );
+        let outcome = session_partition(&tasks, &platform, AnalysisConfig::ep());
         match outcome {
             PartitionOutcome::Unschedulable { reason, rounds } => {
                 assert_eq!(rounds, 0);
@@ -396,12 +419,7 @@ mod tests {
             .unwrap();
         let tasks = TaskSet::new(vec![t0, t1], 1).unwrap();
         let platform = Platform::new(5).unwrap();
-        let outcome = partition_and_analyze(
-            &tasks,
-            &platform,
-            ResourceHeuristic::WorstFitDecreasing,
-            AnalysisConfig::ep(),
-        );
+        let outcome = session_partition(&tasks, &platform, AnalysisConfig::ep());
         match outcome {
             PartitionOutcome::Schedulable {
                 partition, rounds, ..

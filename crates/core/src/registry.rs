@@ -1,0 +1,450 @@
+//! The protocol registry: locking-protocol analyses as named,
+//! interchangeable strategies over the shared task/platform model.
+//!
+//! The paper's evaluation compares five *methods* — DPCP-p under two
+//! analyses plus three baseline protocols — that all follow the same
+//! recipe: partition a task set onto a platform and bound every task's
+//! response time. [`ProtocolAnalysis`] captures that recipe (a name for
+//! reports and manifests, a display tag, and a partition-and-analyze
+//! entry point over a shared [`AnalysisSession`], which supplies the
+//! scratch-reuse contract), and [`ProtocolRegistry`] resolves protocols
+//! by name so experiment manifests, CLIs and new comparison methods
+//! never need another hand-wired enum arm.
+//!
+//! This crate registers the DPCP-p variants ([`dpcp_protocols`]); the
+//! baseline protocols add themselves in `dpcp_baselines` (see its
+//! `standard_registry`), keeping the dependency direction intact.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpcp_core::{dpcp_protocols, AnalysisConfig, AnalysisSession};
+//! use dpcp_core::partition::ResourceHeuristic;
+//! use dpcp_model::{fig1, Platform};
+//!
+//! let registry = dpcp_protocols();
+//! let ep = registry.resolve("DPCP-p-EP").expect("registered");
+//! let mut session = AnalysisSession::new(AnalysisConfig::ep());
+//! let outcome = session.run(
+//!     ep,
+//!     &fig1::task_set()?,
+//!     &Platform::new(4)?,
+//!     ResourceHeuristic::WorstFitDecreasing,
+//! );
+//! assert!(outcome.is_schedulable());
+//! # Ok::<(), dpcp_model::ModelError>(())
+//! ```
+
+use dpcp_model::{Platform, TaskSet};
+
+use crate::analysis::{AnalysisConfig, AnalysisVariant};
+use crate::partition::{PartitionOutcome, ResourceHeuristic};
+use crate::session::AnalysisSession;
+
+/// A locking-protocol analysis as a pluggable strategy: partition a task
+/// set onto a platform and report schedulability, reusing the session's
+/// evaluation state.
+pub trait ProtocolAnalysis: core::fmt::Debug + Send + Sync {
+    /// The registry name (the paper's display name, e.g. `"DPCP-p-EP"`).
+    /// Also the method name campaign manifests use.
+    fn name(&self) -> &str;
+
+    /// One-letter tag for ASCII plots.
+    fn tag(&self) -> char;
+
+    /// A one-line description for listings (`campaign plan --methods`).
+    fn description(&self) -> &str {
+        ""
+    }
+
+    /// Partitions and analyses one task set. Implementations draw their
+    /// cache and scratch from the session (the scratch-reuse contract:
+    /// per-task state is reset by every entry point, allocations are
+    /// shared across calls, protocols and task sets) and must not depend
+    /// on session state surviving between calls in any other way.
+    fn evaluate(
+        &self,
+        session: &mut AnalysisSession,
+        tasks: &TaskSet,
+        platform: &Platform,
+        heuristic: ResourceHeuristic,
+    ) -> PartitionOutcome;
+}
+
+/// Registry failure (duplicate names).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryError(String);
+
+impl core::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "protocol registry error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// An ordered, name-addressed collection of protocol analyses.
+/// Registration order is presentation order: experiment CSV columns,
+/// plot legends and dispatch indices all derive from it, so they can
+/// never diverge from each other.
+#[derive(Debug, Default)]
+pub struct ProtocolRegistry {
+    entries: Vec<Box<dyn ProtocolAnalysis>>,
+}
+
+impl ProtocolRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ProtocolRegistry::default()
+    }
+
+    /// Appends a protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] when a protocol of the same name is
+    /// already registered.
+    pub fn register(&mut self, protocol: Box<dyn ProtocolAnalysis>) -> Result<(), RegistryError> {
+        if self.resolve(protocol.name()).is_some() {
+            return Err(RegistryError(format!(
+                "protocol '{}' is already registered",
+                protocol.name()
+            )));
+        }
+        self.entries.push(protocol);
+        Ok(())
+    }
+
+    /// Looks a protocol up by its registry name.
+    pub fn resolve(&self, name: &str) -> Option<&dyn ProtocolAnalysis> {
+        self.entries
+            .iter()
+            .find(|p| p.name() == name)
+            .map(Box::as_ref)
+    }
+
+    /// The position of a protocol in registration order.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|p| p.name() == name)
+    }
+
+    /// The protocol at a registration index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn entry(&self, index: usize) -> &dyn ProtocolAnalysis {
+        self.entries[index].as_ref()
+    }
+
+    /// Number of registered protocols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered names, in registration (presentation) order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|p| p.name()).collect()
+    }
+
+    /// Iterates the protocols in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn ProtocolAnalysis> {
+        self.entries.iter().map(Box::as_ref)
+    }
+}
+
+/// DPCP-p as a registry protocol, in either analysis variant.
+///
+/// Task sets containing light (sequential, `C ≤ D`) tasks route through
+/// the mixed Algorithm 1 of Sec. VI — light tasks share pooled
+/// processors instead of receiving singleton federated clusters — so a
+/// generator scenario with `light_fraction > 0` exercises the shared
+/// light pools end to end. Purely heavy sets take the classic Algorithm 1
+/// path, bit-identical to the pre-registry pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct DpcpProtocol {
+    variant: AnalysisVariant,
+}
+
+impl DpcpProtocol {
+    /// The path-enumerating variant (`DPCP-p-EP`). Its analysis
+    /// configuration is the session's (ablation caps and pruning knobs
+    /// apply), with the variant forced to EP.
+    pub fn ep() -> Self {
+        DpcpProtocol {
+            variant: AnalysisVariant::EnumeratePaths,
+        }
+    }
+
+    /// The request-count variant (`DPCP-p-EN`). Runs under
+    /// [`AnalysisConfig::en`] regardless of the session's base
+    /// configuration, mirroring the paper's evaluation (EN has no
+    /// enumeration knobs to ablate).
+    pub fn en() -> Self {
+        DpcpProtocol {
+            variant: AnalysisVariant::EnumerateRequestCounts,
+        }
+    }
+
+    /// The variant this protocol runs.
+    pub fn variant(&self) -> AnalysisVariant {
+        self.variant
+    }
+}
+
+impl ProtocolAnalysis for DpcpProtocol {
+    fn name(&self) -> &str {
+        match self.variant {
+            AnalysisVariant::EnumeratePaths => "DPCP-p-EP",
+            AnalysisVariant::EnumerateRequestCounts => "DPCP-p-EN",
+        }
+    }
+
+    fn tag(&self) -> char {
+        match self.variant {
+            AnalysisVariant::EnumeratePaths => 'E',
+            AnalysisVariant::EnumerateRequestCounts => 'N',
+        }
+    }
+
+    fn description(&self) -> &str {
+        match self.variant {
+            AnalysisVariant::EnumeratePaths => {
+                "DPCP-p, path-signature enumeration (Theorem 1 per path)"
+            }
+            AnalysisVariant::EnumerateRequestCounts => {
+                "DPCP-p, term-wise maximal request counts (one virtual path)"
+            }
+        }
+    }
+
+    fn evaluate(
+        &self,
+        session: &mut AnalysisSession,
+        tasks: &TaskSet,
+        platform: &Platform,
+        heuristic: ResourceHeuristic,
+    ) -> PartitionOutcome {
+        let cfg = match self.variant {
+            AnalysisVariant::EnumeratePaths => {
+                let mut cfg = session.config().clone();
+                cfg.variant = AnalysisVariant::EnumeratePaths;
+                cfg
+            }
+            AnalysisVariant::EnumerateRequestCounts => AnalysisConfig::en(),
+        };
+        session.with_config(cfg, |s| {
+            if tasks.iter().any(|t| !t.is_heavy()) {
+                s.partition_and_analyze_mixed(tasks, platform, heuristic)
+            } else {
+                s.partition_and_analyze(tasks, platform, heuristic)
+            }
+        })
+    }
+}
+
+/// A placement-heuristic variant of another protocol: same analysis, but
+/// the resource-placement heuristic is pinned regardless of what the
+/// caller passes — e.g. `PlacementVariant::new(DpcpProtocol::ep(),
+/// ResourceHeuristic::FirstFitDecreasing)` registers as `"DPCP-p-EP/FFD"`
+/// for ablation sweeps that compare WFD/FFD/BFD side by side.
+#[derive(Debug)]
+pub struct PlacementVariant<P> {
+    inner: P,
+    heuristic: ResourceHeuristic,
+    name: String,
+}
+
+impl<P: ProtocolAnalysis> PlacementVariant<P> {
+    /// Wraps `inner`, pinning its placement heuristic.
+    pub fn new(inner: P, heuristic: ResourceHeuristic) -> Self {
+        let name = format!("{}/{heuristic}", inner.name());
+        PlacementVariant {
+            inner,
+            heuristic,
+            name,
+        }
+    }
+
+    /// The pinned heuristic.
+    pub fn heuristic(&self) -> ResourceHeuristic {
+        self.heuristic
+    }
+}
+
+impl<P: ProtocolAnalysis> ProtocolAnalysis for PlacementVariant<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tag(&self) -> char {
+        self.inner.tag()
+    }
+
+    fn description(&self) -> &str {
+        self.inner.description()
+    }
+
+    fn evaluate(
+        &self,
+        session: &mut AnalysisSession,
+        tasks: &TaskSet,
+        platform: &Platform,
+        _heuristic: ResourceHeuristic,
+    ) -> PartitionOutcome {
+        self.inner
+            .evaluate(session, tasks, platform, self.heuristic)
+    }
+}
+
+/// The registry of this crate's own protocols: `DPCP-p-EP` then
+/// `DPCP-p-EN`, in the paper's presentation order. Baseline protocols
+/// register on top of this (see `dpcp_baselines::standard_registry`).
+pub fn dpcp_protocols() -> ProtocolRegistry {
+    let mut registry = ProtocolRegistry::new();
+    registry
+        .register(Box::new(DpcpProtocol::ep()))
+        .expect("fresh registry");
+    registry
+        .register(Box::new(DpcpProtocol::en()))
+        .expect("distinct names");
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcp_model::{DagTask, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexSpec};
+
+    /// Two purely heavy (C > D) DAG tasks sharing one global resource —
+    /// the shape that takes the classic Algorithm 1 path.
+    fn heavy_set() -> TaskSet {
+        let rid = ResourceId::new(0);
+        let mk = |id: usize, cs_us: u64| {
+            let dag = dpcp_model::Dag::new(3, []).unwrap();
+            DagTask::builder(TaskId::new(id), Time::from_ms(20))
+                .dag(dag)
+                .vertex(VertexSpec::with_requests(
+                    Time::from_ms(10),
+                    [RequestSpec::new(rid, 2)],
+                ))
+                .vertex(VertexSpec::new(Time::from_ms(10)))
+                .vertex(VertexSpec::new(Time::from_ms(10)))
+                .critical_section(rid, Time::from_us(cs_us))
+                .build()
+                .unwrap()
+        };
+        TaskSet::new(vec![mk(0, 100), mk(1, 60)], 1).unwrap()
+    }
+
+    #[test]
+    fn registry_resolves_by_name_and_order() {
+        let registry = dpcp_protocols();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names(), ["DPCP-p-EP", "DPCP-p-EN"]);
+        assert_eq!(registry.position("DPCP-p-EN"), Some(1));
+        assert!(registry.resolve("SPIN-SON").is_none());
+        assert_eq!(registry.entry(0).tag(), 'E');
+        assert!(!registry.entry(1).description().is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut registry = dpcp_protocols();
+        let err = registry.register(Box::new(DpcpProtocol::ep())).unwrap_err();
+        assert!(err.to_string().contains("DPCP-p-EP"));
+    }
+
+    #[test]
+    fn dispatch_matches_direct_session_calls() {
+        // Purely heavy sets take the classic Algorithm 1 path through the
+        // registry, bit-identical to the direct session call.
+        let tasks = heavy_set();
+        let platform = Platform::new(6).unwrap();
+        let wfd = ResourceHeuristic::WorstFitDecreasing;
+        let registry = dpcp_protocols();
+        for (name, cfg) in [
+            ("DPCP-p-EP", AnalysisConfig::ep()),
+            ("DPCP-p-EN", AnalysisConfig::en()),
+        ] {
+            let protocol = registry.resolve(name).unwrap();
+            let mut session = AnalysisSession::new(AnalysisConfig::ep());
+            let via_registry = session.run(protocol, &tasks, &platform, wfd);
+            let direct = AnalysisSession::new(cfg).partition_and_analyze(&tasks, &platform, wfd);
+            assert_eq!(via_registry, direct, "{name}");
+        }
+    }
+
+    #[test]
+    fn placement_variant_pins_the_heuristic() {
+        let ffd = PlacementVariant::new(DpcpProtocol::ep(), ResourceHeuristic::FirstFitDecreasing);
+        assert_eq!(ffd.name(), "DPCP-p-EP/FFD");
+        assert_eq!(ffd.heuristic(), ResourceHeuristic::FirstFitDecreasing);
+        assert_eq!(ffd.tag(), 'E');
+        let tasks = heavy_set();
+        let platform = Platform::new(6).unwrap();
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        // Passing WFD must not matter: the wrapper dispatches FFD.
+        let pinned = session.run(
+            &ffd,
+            &tasks,
+            &platform,
+            ResourceHeuristic::WorstFitDecreasing,
+        );
+        let direct = AnalysisSession::new(AnalysisConfig::ep()).partition_and_analyze(
+            &tasks,
+            &platform,
+            ResourceHeuristic::FirstFitDecreasing,
+        );
+        assert_eq!(pinned, direct);
+    }
+
+    #[test]
+    fn light_sets_route_through_the_mixed_loop() {
+        // A set with light tasks dispatched through the registry must
+        // match the session's mixed entry point, not the classic loop.
+        use dpcp_model::{DagTask, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexSpec};
+        let rid = ResourceId::new(0);
+        let heavy = {
+            let dag = dpcp_model::Dag::new(3, []).unwrap();
+            DagTask::builder(TaskId::new(0), Time::from_ms(20))
+                .dag(dag)
+                .vertex(VertexSpec::with_requests(
+                    Time::from_ms(10),
+                    [RequestSpec::new(rid, 2)],
+                ))
+                .vertex(VertexSpec::new(Time::from_ms(10)))
+                .vertex(VertexSpec::new(Time::from_ms(10)))
+                .critical_section(rid, Time::from_us(100))
+                .build()
+                .unwrap()
+        };
+        let light = DagTask::builder(TaskId::new(1), Time::from_ms(10))
+            .vertex(VertexSpec::with_requests(
+                Time::from_ms(3),
+                [RequestSpec::new(rid, 1)],
+            ))
+            .critical_section(rid, Time::from_us(50))
+            .build()
+            .unwrap();
+        let tasks = TaskSet::new(vec![heavy, light], 1).unwrap();
+        let platform = Platform::new(6).unwrap();
+        let wfd = ResourceHeuristic::WorstFitDecreasing;
+        let registry = dpcp_protocols();
+        for (name, cfg) in [
+            ("DPCP-p-EP", AnalysisConfig::ep()),
+            ("DPCP-p-EN", AnalysisConfig::en()),
+        ] {
+            let mut session = AnalysisSession::new(AnalysisConfig::ep());
+            let routed = session.run(registry.resolve(name).unwrap(), &tasks, &platform, wfd);
+            let mixed =
+                AnalysisSession::new(cfg).partition_and_analyze_mixed(&tasks, &platform, wfd);
+            assert_eq!(routed, mixed, "{name}");
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! The unified analysis entry point: one [`AnalysisSession`] owns the
+//! [`AnalysisConfig`], the per-task-set [`SignatureCache`] and the
+//! [`EvalScratch`], replacing the former zoo of free functions
+//! (`analyze`, `analyze_with_cache[_scratch]`, `algorithm1[_scratch]`,
+//! `partition_and_analyze`, `algorithm1_mixed`, `analyze_mixed[_scratch]`
+//! — all now `#[deprecated]` shims over this type).
+//!
+//! A session is cheap to build and reusable: the signature cache is keyed
+//! by the task set's structure plus the enumeration-relevant parts of the
+//! configuration (path caps and dominance pruning — nothing else), so
+//! consecutive calls on the same task set (partition studies, top-up
+//! loops, repeated analyses under different partitions) never
+//! re-enumerate paths; the EN variant never reads signatures and leaves
+//! the cached EP enumeration intact. The scratch's memo tables and
+//! buffers stay allocated across calls, task sets and even protocols
+//! (every per-task entry point resets the task-scoped state itself).
+//!
+//! # Examples
+//!
+//! ```
+//! use dpcp_core::{AnalysisConfig, AnalysisSession};
+//! use dpcp_core::partition::ResourceHeuristic;
+//! use dpcp_model::{fig1, Platform};
+//!
+//! let tasks = fig1::task_set()?;
+//! let platform = Platform::new(4)?;
+//! let mut session = AnalysisSession::new(AnalysisConfig::ep());
+//! let outcome = session.partition_and_analyze(
+//!     &tasks,
+//!     &platform,
+//!     ResourceHeuristic::WorstFitDecreasing,
+//! );
+//! assert!(outcome.is_schedulable());
+//! # Ok::<(), dpcp_model::ModelError>(())
+//! ```
+
+use dpcp_model::{Partition, Platform, TaskSet};
+
+use crate::analysis::{
+    analyze_impl, AnalysisConfig, AnalysisVariant, EvalScratch, SchedulabilityReport,
+    SignatureCache,
+};
+use crate::partition::mixed::{algorithm1_mixed_impl, analyze_mixed_impl};
+use crate::partition::{algorithm1_impl, PartitionOutcome, ResourceHeuristic, SchedAnalyzer};
+use crate::registry::ProtocolAnalysis;
+
+/// The configuration fields path enumeration actually depends on — the
+/// signature-cache key deliberately excludes everything else (variant,
+/// fixed-point budget), so config swaps that cannot change the
+/// enumeration never invalidate the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EnumerationParams {
+    path_signature_cap: usize,
+    path_visit_cap: u64,
+    prune_dominated: bool,
+}
+
+impl EnumerationParams {
+    fn of(cfg: &AnalysisConfig) -> Self {
+        EnumerationParams {
+            path_signature_cap: cfg.path_signature_cap,
+            path_visit_cap: cfg.path_visit_cap,
+            prune_dominated: cfg.prune_dominated,
+        }
+    }
+}
+
+/// The EP signature cache together with the key it was built for: the
+/// task set's structure and the enumeration parameters. Clones of a task
+/// set compare equal and correctly share the cache (signatures depend
+/// only on task structure, never on the partition). The EN variant never
+/// reads signatures and never touches this slot — an EP → EN → EP
+/// sequence on one session reuses the enumeration.
+#[derive(Debug)]
+struct CachedSignatures {
+    tasks: TaskSet,
+    params: EnumerationParams,
+    cache: SignatureCache,
+}
+
+/// Builder for [`AnalysisSession`] — start from [`AnalysisSession::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    cfg: AnalysisConfig,
+}
+
+impl SessionBuilder {
+    /// Replaces the whole configuration.
+    pub fn config(mut self, cfg: AnalysisConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Selects the analysis variant (EP path enumeration / EN request
+    /// counts).
+    pub fn variant(mut self, variant: AnalysisVariant) -> Self {
+        self.cfg.variant = variant;
+        self
+    }
+
+    /// Sets [`AnalysisConfig::prune_dominated`].
+    pub fn prune_dominated(mut self, prune: bool) -> Self {
+        self.cfg.prune_dominated = prune;
+        self
+    }
+
+    /// Sets [`AnalysisConfig::path_signature_cap`].
+    pub fn path_signature_cap(mut self, cap: usize) -> Self {
+        self.cfg.path_signature_cap = cap;
+        self
+    }
+
+    /// Sets [`AnalysisConfig::path_visit_cap`].
+    pub fn path_visit_cap(mut self, cap: u64) -> Self {
+        self.cfg.path_visit_cap = cap;
+        self
+    }
+
+    /// Sets [`AnalysisConfig::max_fixpoint_iterations`].
+    pub fn max_fixpoint_iterations(mut self, iterations: usize) -> Self {
+        self.cfg.max_fixpoint_iterations = iterations;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> AnalysisSession {
+        AnalysisSession::new(self.cfg)
+    }
+}
+
+/// A reusable analysis session: configuration + signature cache +
+/// evaluation scratch behind one coherent API.
+///
+/// All DPCP-p entry points live here ([`analyze`](Self::analyze),
+/// [`analyze_mixed`](Self::analyze_mixed),
+/// [`partition_and_analyze`](Self::partition_and_analyze),
+/// [`partition_and_analyze_mixed`](Self::partition_and_analyze_mixed)),
+/// and the generic Algorithm 1 loop over any [`SchedAnalyzer`] is
+/// [`partition_with`](Self::partition_with). Protocol strategies from the
+/// [`registry`](crate::registry) dispatch through
+/// [`run`](Self::run).
+#[derive(Debug)]
+pub struct AnalysisSession {
+    cfg: AnalysisConfig,
+    scratch: EvalScratch,
+    cache: Option<CachedSignatures>,
+}
+
+impl AnalysisSession {
+    /// A session over the given configuration.
+    pub fn new(cfg: AnalysisConfig) -> Self {
+        AnalysisSession {
+            cfg,
+            scratch: EvalScratch::new(),
+            cache: None,
+        }
+    }
+
+    /// A builder starting from the default (EP) configuration.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The session's analysis configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
+    }
+
+    /// Replaces the configuration, returning the previous one. The
+    /// signature cache is keyed by the enumeration-relevant fields (path
+    /// caps, pruning), so a change that affects enumeration invalidates
+    /// it automatically on the next call — and one that cannot (variant,
+    /// fixed-point budget) keeps it.
+    pub fn set_config(&mut self, cfg: AnalysisConfig) -> AnalysisConfig {
+        core::mem::replace(&mut self.cfg, cfg)
+    }
+
+    /// Runs `f` under a temporarily replaced configuration (restored on
+    /// return) — how registry protocols with a fixed variant (e.g. the EN
+    /// baseline of a sweep) borrow a shared session.
+    pub fn with_config<T>(
+        &mut self,
+        cfg: AnalysisConfig,
+        f: impl FnOnce(&mut AnalysisSession) -> T,
+    ) -> T {
+        let saved = self.set_config(cfg);
+        let out = f(self);
+        self.cfg = saved;
+        out
+    }
+
+    /// Rebuilds the EP signature cache when the task set or the
+    /// enumeration parameters changed since the last call. Only the EP
+    /// variant calls this; the identity clone it stores is paid once per
+    /// `(task set, enumeration params)` and amortized across partition
+    /// rounds, repeated analyses and protocol switches.
+    fn ensure_ep_cache(&mut self, tasks: &TaskSet) {
+        let params = EnumerationParams::of(&self.cfg);
+        let stale = match &self.cache {
+            Some(c) => c.params != params || c.tasks != *tasks,
+            None => true,
+        };
+        if stale {
+            self.cache = Some(CachedSignatures {
+                tasks: tasks.clone(),
+                params,
+                cache: SignatureCache::new(tasks, &self.cfg),
+            });
+        }
+    }
+
+    /// Runs `f` with the signatures the current variant needs: the cached
+    /// EP enumeration, or a throwaway empty cache for EN (which never
+    /// reads signatures — the EP slot is left untouched).
+    fn with_cache<T>(
+        &mut self,
+        tasks: &TaskSet,
+        f: impl FnOnce(&AnalysisConfig, &SignatureCache, &mut EvalScratch) -> T,
+    ) -> T {
+        match self.cfg.variant {
+            AnalysisVariant::EnumeratePaths => {
+                self.ensure_ep_cache(tasks);
+                let cached = self.cache.as_ref().expect("ensure_ep_cache ran");
+                f(&self.cfg, &cached.cache, &mut self.scratch)
+            }
+            AnalysisVariant::EnumerateRequestCounts => {
+                let empty = SignatureCache::empty(tasks.len());
+                f(&self.cfg, &empty, &mut self.scratch)
+            }
+        }
+    }
+
+    /// Analyses a `(task set, partition)` pair: every task's WCRT bound
+    /// under Theorem 1 (EP) or the request-count bound (EN), in
+    /// decreasing priority order.
+    pub fn analyze(&mut self, tasks: &TaskSet, partition: &Partition) -> SchedulabilityReport {
+        self.with_cache(tasks, |cfg, cache, scratch| {
+            analyze_impl(tasks, partition, cfg, cache, scratch)
+        })
+    }
+
+    /// [`analyze`](Self::analyze) over caller-provided signatures —
+    /// for reference enumerators (e.g. the depth-first
+    /// [`SignatureCache::new_dfs`]) and equivalence tests; the session's
+    /// own cache is left untouched.
+    pub fn analyze_with_signatures(
+        &mut self,
+        tasks: &TaskSet,
+        partition: &Partition,
+        cache: &SignatureCache,
+    ) -> SchedulabilityReport {
+        analyze_impl(tasks, partition, &self.cfg, cache, &mut self.scratch)
+    }
+
+    /// Analyses a mixed heavy/light partition (Sec. VI): Theorem 1 for
+    /// heavy tasks, the sequential tabled bound for light ones.
+    pub fn analyze_mixed(
+        &mut self,
+        tasks: &TaskSet,
+        partition: &Partition,
+    ) -> SchedulabilityReport {
+        self.with_cache(tasks, |cfg, cache, scratch| {
+            analyze_mixed_impl(tasks, partition, cfg, cache, scratch)
+        })
+    }
+
+    /// Algorithm 1 with the session's DPCP-p analysis: iterative
+    /// partitioning with per-task processor top-up and
+    /// resource-assignment rollback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a heavy task has `L*_i ≥ D_i` (no processor count can
+    /// make it schedulable; the paper's generator enforces `L*_i < D_i/2`).
+    pub fn partition_and_analyze(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        heuristic: ResourceHeuristic,
+    ) -> PartitionOutcome {
+        self.with_cache(tasks, |cfg, cache, scratch| {
+            let analyzer = SessionDpcp {
+                cfg,
+                cache,
+                name: cfg.variant.to_string(),
+            };
+            algorithm1_impl(tasks, platform, heuristic, &analyzer, scratch)
+        })
+    }
+
+    /// Algorithm 1 extended to mixed heavy/light task sets: heavy tasks
+    /// keep exclusive federated clusters, light tasks are packed onto a
+    /// shared pool, and Algorithm 2 places resources over both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a heavy task has `L*_i ≥ D_i` (same precondition as
+    /// [`partition_and_analyze`](Self::partition_and_analyze)).
+    pub fn partition_and_analyze_mixed(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        heuristic: ResourceHeuristic,
+    ) -> PartitionOutcome {
+        self.with_cache(tasks, |cfg, cache, scratch| {
+            algorithm1_mixed_impl(tasks, platform, heuristic, cfg, cache, scratch)
+        })
+    }
+
+    /// The generic Algorithm 1 loop over any [`SchedAnalyzer`] — how the
+    /// baseline protocols (SPIN-SON, LPP, FED-FP) run with the session's
+    /// scratch. Analyses without per-task evaluation state ignore the
+    /// scratch.
+    pub fn partition_with(
+        &mut self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        heuristic: ResourceHeuristic,
+        analyzer: &dyn SchedAnalyzer,
+    ) -> PartitionOutcome {
+        algorithm1_impl(tasks, platform, heuristic, analyzer, &mut self.scratch)
+    }
+
+    /// Dispatches one registry protocol over this session — sugar for
+    /// [`ProtocolAnalysis::evaluate`].
+    pub fn run(
+        &mut self,
+        protocol: &dyn ProtocolAnalysis,
+        tasks: &TaskSet,
+        platform: &Platform,
+        heuristic: ResourceHeuristic,
+    ) -> PartitionOutcome {
+        protocol.evaluate(self, tasks, platform, heuristic)
+    }
+}
+
+impl Default for AnalysisSession {
+    fn default() -> Self {
+        AnalysisSession::new(AnalysisConfig::default())
+    }
+}
+
+/// The session's DPCP-p analysis as a [`SchedAnalyzer`], borrowing the
+/// session's configuration and cache (the owned equivalent is
+/// [`DpcpAnalyzer`](crate::partition::DpcpAnalyzer)).
+struct SessionDpcp<'a> {
+    cfg: &'a AnalysisConfig,
+    cache: &'a SignatureCache,
+    name: String,
+}
+
+impl SchedAnalyzer for SessionDpcp<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn analyze(&self, tasks: &TaskSet, partition: &Partition) -> SchedulabilityReport {
+        analyze_impl(
+            tasks,
+            partition,
+            self.cfg,
+            self.cache,
+            &mut EvalScratch::new(),
+        )
+    }
+
+    fn analyze_with_scratch(
+        &self,
+        tasks: &TaskSet,
+        partition: &Partition,
+        scratch: &mut EvalScratch,
+    ) -> SchedulabilityReport {
+        analyze_impl(tasks, partition, self.cfg, self.cache, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcp_model::fig1;
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let session = AnalysisSession::builder()
+            .variant(AnalysisVariant::EnumerateRequestCounts)
+            .prune_dominated(false)
+            .path_signature_cap(64)
+            .path_visit_cap(1000)
+            .max_fixpoint_iterations(99)
+            .build();
+        let cfg = session.config();
+        assert_eq!(cfg.variant, AnalysisVariant::EnumerateRequestCounts);
+        assert!(!cfg.prune_dominated);
+        assert_eq!(cfg.path_signature_cap, 64);
+        assert_eq!(cfg.path_visit_cap, 1000);
+        assert_eq!(cfg.max_fixpoint_iterations, 99);
+    }
+
+    #[test]
+    fn cache_survives_repeat_calls_and_tracks_config() {
+        let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        let first = session.analyze(&tasks, &partition);
+        // Same task set (a structural clone) → the cache is reused.
+        let clone = tasks.clone();
+        let second = session.analyze(&clone, &partition);
+        assert_eq!(first, second);
+        // A config change that affects enumeration rebuilds the cache and
+        // still matches a fresh session.
+        session.set_config(AnalysisConfig::en());
+        let en = session.analyze(&tasks, &partition);
+        let fresh = AnalysisSession::new(AnalysisConfig::en()).analyze(&tasks, &partition);
+        assert_eq!(en, fresh);
+    }
+
+    #[test]
+    fn en_calls_leave_the_ep_enumeration_intact() {
+        // EP → EN → EP on one session must not re-enumerate: the EN
+        // variant never reads signatures, so the EP slot survives. The
+        // slot is also keyed only by enumeration-relevant config — a
+        // fixed-point-budget change keeps it.
+        let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        let ep_first = session.analyze(&tasks, &partition);
+        let slot_ptr = |s: &AnalysisSession| {
+            s.cache
+                .as_ref()
+                .map(|c| c.cache.signatures(dpcp_model::TaskId::new(0)) as *const _)
+        };
+        let before = slot_ptr(&session).expect("EP call filled the slot");
+        let en = session.with_config(AnalysisConfig::en(), |s| s.analyze(&tasks, &partition));
+        assert_eq!(
+            en,
+            AnalysisSession::new(AnalysisConfig::en()).analyze(&tasks, &partition)
+        );
+        assert_eq!(slot_ptr(&session), Some(before), "EN replaced the EP slot");
+        let mut budget = session.config().clone();
+        budget.max_fixpoint_iterations += 1;
+        session.set_config(budget);
+        let ep_again = session.analyze(&tasks, &partition);
+        assert_eq!(ep_first, ep_again);
+        assert_eq!(
+            slot_ptr(&session),
+            Some(before),
+            "a fixed-point budget change rebuilt the enumeration"
+        );
+    }
+
+    #[test]
+    fn with_config_restores_the_base_configuration() {
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        let inner_variant = session.with_config(AnalysisConfig::en(), |s| s.config().variant);
+        assert_eq!(inner_variant, AnalysisVariant::EnumerateRequestCounts);
+        assert_eq!(session.config().variant, AnalysisVariant::EnumeratePaths);
+    }
+
+    #[test]
+    fn session_matches_owned_analyzer_pipeline() {
+        // The session's partitioning must be bit-identical to the owned
+        // DpcpAnalyzer + Algorithm 1 loop it replaces.
+        use crate::partition::DpcpAnalyzer;
+        let tasks = fig1::task_set().unwrap();
+        let platform = Platform::new(4).unwrap();
+        let wfd = ResourceHeuristic::WorstFitDecreasing;
+        for cfg in [AnalysisConfig::ep(), AnalysisConfig::en()] {
+            let via_session =
+                AnalysisSession::new(cfg.clone()).partition_and_analyze(&tasks, &platform, wfd);
+            let analyzer = DpcpAnalyzer::new(&tasks, cfg.clone());
+            let via_loop =
+                algorithm1_impl(&tasks, &platform, wfd, &analyzer, &mut EvalScratch::new());
+            assert_eq!(via_session, via_loop, "variant {:?}", cfg.variant);
+        }
+    }
+}

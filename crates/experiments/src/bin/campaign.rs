@@ -4,6 +4,7 @@
 //! campaign run   --manifest PATH [--out DIR] [--shard i/n] [--quick]
 //! campaign merge --manifest PATH [--out DIR] [--quick] [--final DIR]
 //! campaign plan  --manifest PATH [--quick]
+//! campaign plan  --methods
 //! ```
 //!
 //! `run` evaluates (or resumes) one shard of the manifest's cell grid,
@@ -11,7 +12,8 @@
 //! completed cells. `merge` folds every shard checkpoint in `DIR` into
 //! the final CSVs (written to `--final`, default `DIR/merged`) and fails
 //! if the grid is incomplete. `plan` prints the expanded grid without
-//! evaluating anything.
+//! evaluating anything; `plan --methods` lists the protocol registry —
+//! the names a manifest's `"methods"` array may use.
 //!
 //! The default `--out` is `results/campaign/<manifest name>`. `--quick`
 //! applies the manifest's quick overrides (CI smoke scale); run and
@@ -27,11 +29,12 @@ use dpcp_experiments::manifest::{CampaignManifest, CellSpec};
 
 struct Args {
     command: Command,
-    manifest: PathBuf,
+    manifest: Option<PathBuf>,
     out: Option<PathBuf>,
     final_dir: Option<PathBuf>,
     shard: ShardSpec,
     quick: bool,
+    methods: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -44,7 +47,8 @@ enum Command {
 fn usage() -> ! {
     eprintln!(
         "usage: campaign <run|merge|plan> --manifest PATH \
-         [--out DIR] [--shard i/n] [--quick] [--final DIR]"
+         [--out DIR] [--shard i/n] [--quick] [--final DIR]\n\
+         \x20      campaign plan --methods   (list registry method names)"
     );
     std::process::exit(2)
 }
@@ -62,6 +66,7 @@ fn parse_args() -> Args {
     let mut final_dir = None;
     let mut shard = ShardSpec::single();
     let mut quick = false;
+    let mut methods = false;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--manifest" => manifest = it.next().map(PathBuf::from),
@@ -78,10 +83,19 @@ fn parse_args() -> Args {
                 };
             }
             "--quick" => quick = true,
+            "--methods" => methods = true,
             _ => usage(),
         }
     }
-    let Some(manifest) = manifest else { usage() };
+    // --methods is the manifest-free registry listing: only meaningful
+    // for `plan`, and mutually exclusive with --manifest (anything else
+    // would silently ignore one of the two).
+    if methods && (command != Command::Plan || manifest.is_some()) {
+        usage()
+    }
+    if manifest.is_none() && !methods {
+        usage()
+    }
     Args {
         command,
         manifest,
@@ -89,6 +103,22 @@ fn parse_args() -> Args {
         final_dir,
         shard,
         quick,
+        methods,
+    }
+}
+
+/// `plan --methods`: the registry listing manifest authors draw their
+/// `"methods"` names from.
+fn print_methods() {
+    let registry = dpcp_experiments::standard_registry();
+    println!("registered methods (use these names in a manifest's \"methods\" array):");
+    for protocol in registry.iter() {
+        println!(
+            "  {:<12} tag {}  {}",
+            protocol.name(),
+            protocol.tag(),
+            protocol.description(),
+        );
     }
 }
 
@@ -126,7 +156,12 @@ fn describe_grid(manifest: &CampaignManifest, cells: &[CellSpec], quick: bool) {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let manifest = match load_manifest(&args.manifest) {
+    if args.command == Command::Plan && args.methods {
+        print_methods();
+        return ExitCode::SUCCESS;
+    }
+    let manifest_path = args.manifest.clone().expect("parse_args enforces presence");
+    let manifest = match load_manifest(&manifest_path) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("{e}");

@@ -2,23 +2,26 @@
 //!
 //! A campaign expands its [`CampaignManifest`] into an ordered cell grid
 //! (see [`CampaignManifest::cells`]); the runner evaluates the cells of
-//! one shard (`index % of == shard.index`), fanning each utilization
-//! point's samples over rayon with the harness's per-sample seed
-//! discipline — results are bit-identical for any thread count *and any
-//! shard split*, because every sample's RNG stream is a pure function of
-//! `(seed, point, sample, retry)`.
+//! one shard (`index % of == shard.index`) in waves over the ambient
+//! rayon pool — cell-level parallelism on top of the per-sample fan-out
+//! inside each utilization point, with the harness's per-sample seed
+//! discipline — so results are bit-identical for any thread count *and
+//! any shard split*, because every sample's RNG stream is a pure
+//! function of `(seed, point, sample, retry)` and wave results fold back
+//! in index order.
 //!
 //! Progress is checkpointed as **append-only JSONL**: one header line
-//! identifying the campaign, then one line per completed cell. On
-//! restart the runner replays the shard file, skips completed cells and
-//! appends the rest — a crashed multi-hour sweep loses at most one cell.
-//! `merge` folds any number of shard files back into the final tables
-//! and asserts the grid is complete.
+//! identifying the campaign, then one line per completed cell, in index
+//! order. On restart the runner replays the shard file, skips completed
+//! cells and appends the rest — a crashed multi-hour sweep loses at most
+//! one wave of cells. `merge` folds any number of shard files back into
+//! the final tables and asserts the grid is complete.
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::harness::{AcceptanceCurve, Method, PointResult};
@@ -221,9 +224,11 @@ pub fn evaluate_cell(cell: &CellSpec) -> CellResult {
 }
 
 /// Evaluates a full cell list in memory (no checkpoint files) — the path
-/// the legacy wrapper binaries take.
+/// the legacy wrapper binaries take. Cells fan out over the ambient
+/// rayon pool (on top of the per-sample parallelism inside each point);
+/// the result order is the input order regardless of pool width.
 pub fn run_cells(cells: &[CellSpec]) -> Vec<CellResult> {
-    cells.iter().map(evaluate_cell).collect()
+    cells.par_iter().map(evaluate_cell).collect()
 }
 
 fn header_for(manifest: &CampaignManifest, cells: &[CellSpec], shard: ShardSpec) -> ShardHeader {
@@ -365,7 +370,15 @@ pub struct ShardRunStats {
 
 /// Runs (or resumes) one shard of a campaign, checkpointing each
 /// completed cell to `dir/shard_<i>_of_<n>.jsonl`. `progress` is called
-/// after every cell with `(cells done, cells owned)`.
+/// after every cell with `(cells done, cells owned)` — resumed cells
+/// first, then evaluated cells in index order.
+///
+/// Pending cells are evaluated in *waves* over the ambient rayon pool
+/// (wave width = pool width), a cell-level work layer on top of the
+/// per-sample parallelism inside each utilization point. Each wave's
+/// results are appended in index order, so the checkpoint bytes are
+/// identical to a sequential run for any pool width (asserted in
+/// `tests/campaign.rs`) and a crash loses at most one wave.
 ///
 /// # Errors
 ///
@@ -418,11 +431,23 @@ pub fn run_shard(
         evaluated: 0,
     };
     let mut done = 0usize;
+    let mut pending: Vec<&CellSpec> = Vec::with_capacity(owned.len());
     for cell in owned {
         if completed.contains_key(&cell.index) {
             stats.resumed += 1;
+            done += 1;
+            progress(done, stats.owned);
         } else {
-            let result = evaluate_cell(cell);
+            pending.push(cell);
+        }
+    }
+    let width = rayon::current_num_threads().max(1);
+    for wave in pending.chunks(width) {
+        // The wave fans out over the ambient pool; the index-ordered fold
+        // below keeps the JSONL append order (and therefore the
+        // checkpoint bytes) deterministic for any pool width.
+        let results: Vec<CellResult> = wave.par_iter().map(|cell| evaluate_cell(cell)).collect();
+        for result in results {
             append_line(
                 &path,
                 &LineRecord {
@@ -431,9 +456,9 @@ pub fn run_shard(
                 },
             )?;
             stats.evaluated += 1;
+            done += 1;
+            progress(done, stats.owned);
         }
-        done += 1;
-        progress(done, stats.owned);
     }
     Ok(stats)
 }

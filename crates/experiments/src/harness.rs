@@ -1,5 +1,5 @@
-//! Acceptance-ratio evaluation: generate task sets, run every method's
-//! partition-and-analyse pipeline, count acceptances.
+//! Acceptance-ratio evaluation: generate task sets, dispatch every
+//! requested method through the protocol registry, count acceptances.
 //!
 //! The per-point evaluation fans the independent `(task set, methods)`
 //! units out over a rayon pool and aggregates acceptance counts with an
@@ -8,10 +8,10 @@
 //! result is bit-identical for any worker count (see
 //! `deterministic_across_thread_counts`).
 
-use dpcp_baselines::{FedFp, Lpp, SpinSon};
-use dpcp_core::analysis::EvalScratch;
-use dpcp_core::partition::{algorithm1_scratch, DpcpAnalyzer, ResourceHeuristic};
-use dpcp_core::AnalysisConfig;
+use std::sync::OnceLock;
+
+use dpcp_core::partition::ResourceHeuristic;
+use dpcp_core::{AnalysisConfig, AnalysisSession, ProtocolRegistry};
 use dpcp_gen::scenario::Scenario;
 use dpcp_model::{Platform, TaskSet};
 use rand::rngs::StdRng;
@@ -19,8 +19,34 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+/// The standard protocol registry the harness dispatches through: the
+/// paper's five compared methods in presentation order (assembled by
+/// [`dpcp_baselines::standard_registry`]). [`Method`]'s `index`/`name`/
+/// `tag` and every CSV header derive from this one ordered list, so
+/// column order can never diverge from dispatch order.
+pub fn standard_registry() -> &'static ProtocolRegistry {
+    static REGISTRY: OnceLock<ProtocolRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let registry = dpcp_baselines::standard_registry();
+        assert_eq!(
+            registry.len(),
+            Method::COUNT,
+            "Method::COUNT must match the standard registry size"
+        );
+        registry
+    })
+}
+
 /// The five compared methods, in the paper's presentation order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Method` is a dense dispatch handle into [`standard_registry`]:
+/// [`index`](Method::index) is the registry position, and
+/// [`name`](Method::name)/[`tag`](Method::tag) read the registered
+/// protocol rather than hand-maintained tables. In JSON (campaign
+/// manifests, checkpoints) a method is its registry *name* (e.g.
+/// `"DPCP-p-EP"`); unknown names are a schema error listing the known
+/// registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// DPCP-p with the path-enumerating analysis.
     DpcpEp,
@@ -35,8 +61,11 @@ pub enum Method {
 }
 
 impl Method {
-    /// All methods in presentation order.
-    pub const ALL: [Method; 5] = [
+    /// Number of methods (the width of every `accepted` slot array).
+    pub const COUNT: usize = 5;
+
+    /// All methods in presentation (= registry) order.
+    pub const ALL: [Method; Method::COUNT] = [
         Method::DpcpEp,
         Method::DpcpEn,
         Method::SpinSon,
@@ -44,41 +73,58 @@ impl Method {
         Method::FedFp,
     ];
 
-    /// The method's position in [`Method::ALL`] (the index of the
-    /// `accepted` slot it owns in a [`PointResult`]).
+    /// The method's registry position (also the index of the `accepted`
+    /// slot it owns in a [`PointResult`]).
     pub fn index(self) -> usize {
-        Method::ALL
-            .iter()
-            .position(|&m| m == self)
-            .expect("every method is in ALL")
+        self as usize
     }
 
-    /// The paper's display name.
+    /// The registry protocol this method dispatches to.
+    pub fn protocol(self) -> &'static dyn dpcp_core::ProtocolAnalysis {
+        standard_registry().entry(self.index())
+    }
+
+    /// The registry name (the paper's display name).
     pub fn name(self) -> &'static str {
-        match self {
-            Method::DpcpEp => "DPCP-p-EP",
-            Method::DpcpEn => "DPCP-p-EN",
-            Method::SpinSon => "SPIN-SON",
-            Method::Lpp => "LPP",
-            Method::FedFp => "FED-FP",
-        }
+        self.protocol().name()
     }
 
-    /// One-letter tag for ASCII plots.
+    /// One-letter tag for ASCII plots (from the registry).
     pub fn tag(self) -> char {
-        match self {
-            Method::DpcpEp => 'E',
-            Method::DpcpEn => 'N',
-            Method::SpinSon => 'S',
-            Method::Lpp => 'L',
-            Method::FedFp => 'F',
-        }
+        self.protocol().tag()
+    }
+
+    /// Resolves a registry name back to its dispatch handle.
+    pub fn from_name(name: &str) -> Option<Method> {
+        standard_registry()
+            .position(name)
+            .and_then(|i| Method::ALL.get(i).copied())
     }
 }
 
 impl core::fmt::Display for Method {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl Serialize for Method {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::String(self.name().to_string())
+    }
+}
+
+impl Deserialize for Method {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let name = value
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected a method name string"))?;
+        Method::from_name(name).ok_or_else(|| {
+            serde::Error::custom(format!(
+                "unknown method '{name}' (known methods: {})",
+                standard_registry().names().join(", ")
+            ))
+        })
     }
 }
 
@@ -134,8 +180,8 @@ pub struct PointResult {
     pub samples: usize,
     /// Samples skipped because generation kept failing.
     pub generation_failures: usize,
-    /// Accepted counts, indexed like [`Method::ALL`].
-    pub accepted: [usize; 5],
+    /// Accepted counts, indexed like [`Method::ALL`] (= registry order).
+    pub accepted: [usize; Method::COUNT],
 }
 
 impl PointResult {
@@ -191,37 +237,27 @@ impl AcceptanceCurve {
 /// campaign ablation cell that only compares DPCP-p variants skips the
 /// baseline protocols entirely).
 ///
-/// One [`EvalScratch`] serves all requested methods (and every
-/// partitioning round inside each): the DPCP-p analyses reset the
-/// task-scoped state per task but keep the memo/table/buffer allocations
-/// warm, and the baseline protocols simply ignore it.
+/// Dispatch is pure registry traversal: `method.index()` selects the
+/// [`ProtocolAnalysis`](dpcp_core::ProtocolAnalysis) and the session
+/// supplies the shared evaluation state (one cache + scratch serves all
+/// requested methods and every partitioning round inside each; the
+/// baseline protocols simply ignore it). DPCP-p methods route task sets
+/// containing light tasks (`light_fraction > 0` scenarios) through the
+/// mixed Algorithm 1 with shared light pools — Sec. VI end to end.
 fn evaluate_task_set(
     tasks: &TaskSet,
     platform: &Platform,
-    ep_cfg: &AnalysisConfig,
     heuristic: ResourceHeuristic,
     methods: &[Method],
-    scratch: &mut EvalScratch,
-) -> [bool; 5] {
-    let mut out = [false; 5];
+    session: &mut AnalysisSession,
+) -> [bool; Method::COUNT] {
+    let registry = standard_registry();
+    let mut out = [false; Method::COUNT];
     for &method in methods {
-        let accepted = match method {
-            Method::DpcpEp => {
-                let ep = DpcpAnalyzer::new(tasks, ep_cfg.clone());
-                algorithm1_scratch(tasks, platform, heuristic, &ep, scratch)
-            }
-            Method::DpcpEn => {
-                let en = DpcpAnalyzer::new(tasks, AnalysisConfig::en());
-                algorithm1_scratch(tasks, platform, heuristic, &en, scratch)
-            }
-            Method::SpinSon => {
-                algorithm1_scratch(tasks, platform, heuristic, &SpinSon::new(), scratch)
-            }
-            Method::Lpp => algorithm1_scratch(tasks, platform, heuristic, &Lpp::new(), scratch),
-            Method::FedFp => algorithm1_scratch(tasks, platform, heuristic, &FedFp::new(), scratch),
-        }
-        .is_schedulable();
-        out[method.index()] = accepted;
+        let protocol = registry.entry(method.index());
+        out[method.index()] = protocol
+            .evaluate(session, tasks, platform, heuristic)
+            .is_schedulable();
     }
     out
 }
@@ -242,7 +278,7 @@ fn sample_seed(base: u64, point: usize, sample: usize, retry: usize) -> u64 {
 /// element of the parallel reduce is `PointAccum::default()`.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 struct PointAccum {
-    accepted: [usize; 5],
+    accepted: [usize; Method::COUNT],
     samples: usize,
     generation_failures: usize,
 }
@@ -286,15 +322,8 @@ fn evaluate_sample(
     }
     match generated {
         Some(ts) => {
-            let mut scratch = EvalScratch::new();
-            let accepted = evaluate_task_set(
-                &ts,
-                platform,
-                &cfg.ep_config,
-                heuristic,
-                methods,
-                &mut scratch,
-            );
+            let mut session = AnalysisSession::new(cfg.ep_config.clone());
+            let accepted = evaluate_task_set(&ts, platform, heuristic, methods, &mut session);
             PointAccum {
                 accepted: accepted.map(usize::from),
                 samples: 1,
@@ -302,7 +331,7 @@ fn evaluate_sample(
             }
         }
         None => PointAccum {
-            accepted: [0; 5],
+            accepted: [0; Method::COUNT],
             samples: 0,
             generation_failures: 1,
         },

@@ -39,8 +39,8 @@ pub use campaign::{
     ShardSpec,
 };
 pub use harness::{
-    evaluate_curve, evaluate_point, evaluate_point_subset, AcceptanceCurve, EvalConfig, Method,
-    PointResult,
+    evaluate_curve, evaluate_point, evaluate_point_subset, standard_registry, AcceptanceCurve,
+    EvalConfig, Method, PointResult,
 };
 pub use manifest::{
     ablation_manifest, fig2_panel_manifest, tables_manifest, AblationSpec, AxisSpec,

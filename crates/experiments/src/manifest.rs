@@ -172,7 +172,10 @@ pub struct CampaignManifest {
     pub samples_per_point: usize,
     /// Generation retries before a sample is skipped; omitted → 8.
     pub generation_retries: Option<usize>,
-    /// Methods compared in every cell (unless an ablation overrides).
+    /// Methods compared in every cell (unless an ablation overrides),
+    /// as registry names (e.g. `"DPCP-p-EP"`; see `campaign plan
+    /// --methods` for the full listing). Unknown names are a schema
+    /// error.
     pub methods: Vec<Method>,
     /// The scenario axes.
     pub axes: AxisSpec,
@@ -547,7 +550,7 @@ mod tests {
             "name": "unit",
             "seed": 7,
             "samples_per_point": 4,
-            "methods": ["DpcpEp", "DpcpEn"],
+            "methods": ["DPCP-p-EP", "DPCP-p-EN"],
             "axes": {
                 "m": [8],
                 "nr_range": [[2, 4]],
@@ -622,6 +625,21 @@ mod tests {
         let mut bad = good;
         bad.axes.light_fraction = Some(vec![2.0]);
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_method_names_are_a_schema_error() {
+        // Methods are registry names in the JSON schema; anything the
+        // registry cannot resolve is rejected at parse time with the
+        // known names listed.
+        let bad = tiny_manifest_json().replace("DPCP-p-EN", "DPCP-q-XX");
+        let err = CampaignManifest::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown method 'DPCP-q-XX'"), "{msg}");
+        assert!(msg.contains("DPCP-p-EP"), "{msg}");
+        // The legacy enum-variant spelling is likewise rejected.
+        let legacy = tiny_manifest_json().replace("DPCP-p-EP", "DpcpEp");
+        assert!(CampaignManifest::from_json(&legacy).is_err());
     }
 
     #[test]

@@ -789,8 +789,8 @@ mod tests {
     #[test]
     fn simulated_responses_are_below_analysis_bounds() {
         let (_, partition, tasks) = fig1::platform_and_partition().unwrap();
-        let report =
-            dpcp_core::analysis::analyze(&tasks, &partition, &dpcp_core::AnalysisConfig::ep());
+        let report = dpcp_core::AnalysisSession::new(dpcp_core::AnalysisConfig::ep())
+            .analyze(&tasks, &partition);
         assert!(report.schedulable);
         for seed in 0..10 {
             let result = fig1_sim(600, seed);

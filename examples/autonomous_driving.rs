@@ -16,9 +16,9 @@
 //!
 //! Run with: `cargo run --release --example autonomous_driving`
 
-use dpcp_p::baselines::{FedFp, Lpp, SpinSon};
-use dpcp_p::core::partition::{algorithm1, DpcpAnalyzer, PartitionOutcome, ResourceHeuristic};
-use dpcp_p::core::{AnalysisConfig, SchedAnalyzer};
+use dpcp_p::baselines::standard_registry;
+use dpcp_p::core::partition::{PartitionOutcome, ResourceHeuristic};
+use dpcp_p::core::{AnalysisConfig, AnalysisSession};
 use dpcp_p::model::{
     Dag, DagTask, ModelError, Platform, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexSpec,
 };
@@ -133,15 +133,13 @@ fn main() -> Result<(), ModelError> {
 
     println!("\n== Schedulability under each method ==");
     let wfd = ResourceHeuristic::WorstFitDecreasing;
-    let ep = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
-    let en = DpcpAnalyzer::new(&tasks, AnalysisConfig::en());
-    let spin = SpinSon::new();
-    let lpp = Lpp::new();
-    let fed = FedFp::new();
-    let analyzers: [&dyn SchedAnalyzer; 5] = [&ep, &en, &spin, &lpp, &fed];
+    // One session serves all five methods: the registry resolves each
+    // protocol, the session carries the shared cache and scratch.
+    let registry = standard_registry();
+    let mut session = AnalysisSession::new(AnalysisConfig::ep());
     let mut dpcp_partition = None;
-    for analyzer in analyzers {
-        let outcome = algorithm1(&tasks, &platform, wfd, analyzer);
+    for protocol in registry.iter() {
+        let outcome = session.run(protocol, &tasks, &platform, wfd);
         match &outcome {
             PartitionOutcome::Schedulable {
                 report, partition, ..
@@ -157,15 +155,15 @@ fn main() -> Result<(), ModelError> {
                     .fold(0.0f64, f64::max);
                 println!(
                     "  {:<10} schedulable (worst R/D = {:.2})",
-                    analyzer.name(),
+                    protocol.name(),
                     worst
                 );
-                if analyzer.name() == "DPCP-p-EP" {
+                if protocol.name() == "DPCP-p-EP" {
                     dpcp_partition = Some(partition.clone());
                 }
             }
             PartitionOutcome::Unschedulable { reason, .. } => {
-                println!("  {:<10} unschedulable: {reason}", analyzer.name());
+                println!("  {:<10} unschedulable: {reason}", protocol.name());
             }
         }
     }

@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example mixed_workload`
 
-use dpcp_p::core::partition::{algorithm1_mixed, PartitionOutcome, ResourceHeuristic};
-use dpcp_p::core::AnalysisConfig;
+use dpcp_p::core::partition::{PartitionOutcome, ResourceHeuristic};
+use dpcp_p::core::{AnalysisConfig, AnalysisSession};
 use dpcp_p::model::{
     Dag, DagTask, ModelError, Platform, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexSpec,
 };
@@ -87,11 +87,10 @@ fn main() -> Result<(), ModelError> {
     }
 
     let platform = Platform::new(8)?;
-    let outcome = algorithm1_mixed(
+    let outcome = AnalysisSession::new(AnalysisConfig::ep()).partition_and_analyze_mixed(
         &tasks,
         &platform,
         ResourceHeuristic::WorstFitDecreasing,
-        AnalysisConfig::ep(),
     );
     match outcome {
         PartitionOutcome::Schedulable {

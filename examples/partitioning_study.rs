@@ -4,10 +4,9 @@
 //! Run with: `cargo run --release --example partitioning_study`
 
 use dpcp_p::core::partition::{
-    algorithm1, assign_resources, layout_clusters, DpcpAnalyzer, PartitionOutcome,
-    ResourceHeuristic,
+    assign_resources, layout_clusters, PartitionOutcome, ResourceHeuristic,
 };
-use dpcp_p::core::AnalysisConfig;
+use dpcp_p::core::{AnalysisConfig, AnalysisSession};
 use dpcp_p::gen::scenario::{Fig2Panel, Scenario};
 use dpcp_p::model::{initial_processors, Platform};
 use rand::rngs::StdRng;
@@ -60,13 +59,15 @@ fn main() {
     }
 
     println!("\n== Algorithm 1 with the DPCP-p-EP analysis ==");
+    // One session across all three heuristics: the path signatures are
+    // enumerated once and reused (they depend only on the task set).
+    let mut session = AnalysisSession::new(AnalysisConfig::ep());
     for h in [
         ResourceHeuristic::WorstFitDecreasing,
         ResourceHeuristic::FirstFitDecreasing,
         ResourceHeuristic::BestFitDecreasing,
     ] {
-        let analyzer = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
-        match algorithm1(&tasks, &platform, h, &analyzer) {
+        match session.partition_and_analyze(&tasks, &platform, h) {
             PartitionOutcome::Schedulable {
                 partition, rounds, ..
             } => {

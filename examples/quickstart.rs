@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dpcp_p::core::partition::{partition_and_analyze, PartitionOutcome, ResourceHeuristic};
-use dpcp_p::core::AnalysisConfig;
+use dpcp_p::core::partition::{PartitionOutcome, ResourceHeuristic};
+use dpcp_p::core::{AnalysisConfig, AnalysisSession};
 use dpcp_p::model::{fig1, ModelError, Platform};
 use dpcp_p::sim::{simulate, SimConfig, TraceEvent};
 
@@ -38,11 +38,10 @@ fn main() -> Result<(), ModelError> {
     }
 
     println!("\n== Partitioning (Algorithm 1, WFD) ==");
-    let outcome = partition_and_analyze(
+    let outcome = AnalysisSession::new(AnalysisConfig::ep()).partition_and_analyze(
         &tasks,
         &platform,
         ResourceHeuristic::WorstFitDecreasing,
-        AnalysisConfig::ep(),
     );
     let PartitionOutcome::Schedulable {
         partition,

@@ -261,8 +261,8 @@ fn analysis_schedulable_sets_survive_simulation() {
     // accepts, the discrete-event simulator must observe no deadline
     // miss and no Lemma 1 violation (simulation can never contradict a
     // proven bound).
-    use dpcp_p::core::partition::{partition_and_analyze, PartitionOutcome, ResourceHeuristic};
-    use dpcp_p::core::AnalysisConfig;
+    use dpcp_p::core::partition::{PartitionOutcome, ResourceHeuristic};
+    use dpcp_p::core::{AnalysisConfig, AnalysisSession};
     use dpcp_p::model::Platform;
     use dpcp_p::sim::{simulate, SimConfig};
     use rand::rngs::StdRng;
@@ -276,11 +276,10 @@ fn analysis_schedulable_sets_survive_simulation() {
         let Ok(tasks) = scenario.sample_task_set(3.0, &mut rng) else {
             continue;
         };
-        let outcome = partition_and_analyze(
+        let outcome = AnalysisSession::new(AnalysisConfig::ep()).partition_and_analyze(
             &tasks,
             &platform,
             ResourceHeuristic::WorstFitDecreasing,
-            AnalysisConfig::ep(),
         );
         let PartitionOutcome::Schedulable {
             partition, report, ..
@@ -313,5 +312,108 @@ fn analysis_schedulable_sets_survive_simulation() {
     assert!(
         simulated >= 3,
         "too few analysis-schedulable sets simulated ({simulated})"
+    );
+}
+
+#[test]
+fn parallel_cell_fan_is_bit_identical() {
+    // run_shard evaluates pending cells in waves over the ambient rayon
+    // pool; the index-ordered fold must make the checkpoint *bytes* (and
+    // therefore every merged output) identical for any pool width.
+    let manifest = tiny_manifest();
+    let cells = manifest.cells(false);
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let dir = test_dir(&format!("parallel{threads}"));
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let stats = pool
+            .install(|| run_shard(&manifest, &cells, ShardSpec::single(), &dir, |_, _| {}))
+            .unwrap();
+        assert_eq!(stats.evaluated, cells.len(), "width {threads}");
+        let bytes = std::fs::read_to_string(ShardSpec::single().path(&dir)).unwrap();
+        runs.push((dir, bytes));
+    }
+    assert_eq!(
+        runs[0].1, runs[1].1,
+        "pool width changed the checkpoint bytes"
+    );
+    let merged_1 = merge_dir(&manifest, &cells, &runs[0].0).unwrap();
+    let merged_4 = merge_dir(&manifest, &cells, &runs[1].0).unwrap();
+    assert_eq!(merged_csv(&merged_1), merged_csv(&merged_4));
+    for (dir, _) in runs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn mixed_light_pool_sets_survive_simulation() {
+    // The registry routes DPCP methods through the mixed Algorithm 1
+    // (shared light pools) whenever the scenario mixes in light tasks —
+    // the path every `light_fraction > 0` campaign cell now exercises.
+    // Soundness smoke: analysis-accepted mixed sets must survive the
+    // discrete-event simulator (no deadline miss, no Lemma 1 violation,
+    // observed responses within the proven bounds).
+    use dpcp_p::core::partition::{PartitionOutcome, ResourceHeuristic};
+    use dpcp_p::core::{AnalysisConfig, AnalysisSession};
+    use dpcp_p::model::Platform;
+    use dpcp_p::sim::{simulate, SimConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut scenario = tiny_scenario();
+    scenario.light_fraction = 0.3;
+    let platform = Platform::new(scenario.m).unwrap();
+    let registry = dpcp_experiments::standard_registry();
+    let ep = registry.resolve("DPCP-p-EP").expect("registered");
+    let mut simulated = 0usize;
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0x11A7_7000 + seed);
+        let Ok(tasks) = scenario.sample_task_set(3.0, &mut rng) else {
+            continue;
+        };
+        assert!(
+            tasks.iter().any(|t| !t.is_heavy()),
+            "seed {seed}: light_fraction 0.3 must generate light tasks"
+        );
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        let outcome = session.run(ep, &tasks, &platform, ResourceHeuristic::WorstFitDecreasing);
+        let PartitionOutcome::Schedulable {
+            partition, report, ..
+        } = outcome
+        else {
+            continue;
+        };
+        // The registry really took the light-pool path: light tasks sit
+        // on single (possibly shared) processors.
+        for t in tasks.iter().filter(|t| !t.is_heavy()) {
+            assert_eq!(partition.cluster_size(t.id()), 1, "seed {seed}");
+        }
+        let horizon = tasks.iter().map(|t| t.period()).max().unwrap() * 3;
+        let cfg = SimConfig {
+            duration: horizon,
+            seed,
+            ..SimConfig::default()
+        };
+        let result = simulate(&tasks, &partition, &cfg);
+        assert_eq!(result.lemma1_violations, 0, "seed {seed}: Lemma 1 violated");
+        assert_eq!(
+            result.deadline_misses(),
+            0,
+            "seed {seed}: deadline miss on an analysis-schedulable mixed set"
+        );
+        for (bound, stats) in report.task_bounds.iter().zip(&result.per_task) {
+            assert!(
+                stats.max_response <= bound.wcrt.unwrap(),
+                "seed {seed}: observed response exceeds the proven bound"
+            );
+        }
+        simulated += 1;
+    }
+    assert!(
+        simulated >= 3,
+        "too few schedulable mixed sets simulated ({simulated})"
     );
 }

@@ -10,15 +10,17 @@
 //! - FED-FP (no blocking charged) accepts a superset of every method.
 
 use dpcp_p::baselines::{FedFp, Lpp, SpinSon};
-use dpcp_p::core::partition::{
-    algorithm1, partition_and_analyze, DpcpAnalyzer, PartitionOutcome, ResourceHeuristic,
-};
-use dpcp_p::core::{AnalysisConfig, SchedAnalyzer};
+use dpcp_p::core::partition::{PartitionOutcome, ResourceHeuristic};
+use dpcp_p::core::{AnalysisConfig, AnalysisSession, SchedAnalyzer};
 use dpcp_p::gen::scenario::Scenario;
 use dpcp_p::model::{Platform, TaskSet, Time};
 use dpcp_p::sim::{simulate, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn ep_partition(tasks: &TaskSet, platform: &Platform) -> PartitionOutcome {
+    AnalysisSession::new(AnalysisConfig::ep()).partition_and_analyze(tasks, platform, WFD)
+}
 
 fn small_scenario() -> Scenario {
     Scenario {
@@ -48,7 +50,7 @@ fn accepted_systems_hold_up_in_simulation() {
         let Some(tasks) = generate(seed, 4.0) else {
             continue;
         };
-        let outcome = partition_and_analyze(&tasks, &platform, WFD, AnalysisConfig::ep());
+        let outcome = ep_partition(&tasks, &platform);
         let PartitionOutcome::Schedulable {
             partition, report, ..
         } = outcome
@@ -95,7 +97,8 @@ fn ep_bound_never_exceeds_en_bound_on_same_partition() {
         };
         // Fix the partition with EN (coarser), then compare both analyses
         // on that same placement.
-        let en_outcome = partition_and_analyze(&tasks, &platform, WFD, AnalysisConfig::en());
+        let en_outcome = AnalysisSession::new(AnalysisConfig::en())
+            .partition_and_analyze(&tasks, &platform, WFD);
         let PartitionOutcome::Schedulable {
             partition,
             report: en_report,
@@ -104,7 +107,7 @@ fn ep_bound_never_exceeds_en_bound_on_same_partition() {
         else {
             continue;
         };
-        let ep_report = dpcp_p::core::analysis::analyze(&tasks, &partition, &AnalysisConfig::ep());
+        let ep_report = AnalysisSession::new(AnalysisConfig::ep()).analyze(&tasks, &partition);
         for (ep, en) in ep_report.task_bounds.iter().zip(&en_report.task_bounds) {
             let (Some(ep_w), Some(en_w)) = (ep.wcrt, en.wcrt) else {
                 panic!("seed {seed}: converged EN must imply converged EP");
@@ -130,11 +133,18 @@ fn acceptance_ordering_fed_ep_en() {
         let Some(tasks) = generate(seed, 3.0) else {
             continue;
         };
-        let ep = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
-        let en = DpcpAnalyzer::new(&tasks, AnalysisConfig::en());
-        let ep_ok = algorithm1(&tasks, &platform, WFD, &ep).is_schedulable();
-        let en_ok = algorithm1(&tasks, &platform, WFD, &en).is_schedulable();
-        let fed_ok = algorithm1(&tasks, &platform, WFD, &FedFp::new()).is_schedulable();
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        let ep_ok = session
+            .partition_and_analyze(&tasks, &platform, WFD)
+            .is_schedulable();
+        let en_ok = session
+            .with_config(AnalysisConfig::en(), |s| {
+                s.partition_and_analyze(&tasks, &platform, WFD)
+            })
+            .is_schedulable();
+        let fed_ok = session
+            .partition_with(&tasks, &platform, WFD, &FedFp::new())
+            .is_schedulable();
         if en_ok {
             assert!(ep_ok, "seed {seed}: EN accepted but EP rejected");
             seen_en += 1;
@@ -156,9 +166,15 @@ fn fed_fp_upper_bounds_local_execution_baselines_too() {
         let Some(tasks) = generate(seed, 5.0) else {
             continue;
         };
-        let fed_ok = algorithm1(&tasks, &platform, WFD, &FedFp::new()).is_schedulable();
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        let fed_ok = session
+            .partition_with(&tasks, &platform, WFD, &FedFp::new())
+            .is_schedulable();
         for analyzer in [&SpinSon::new() as &dyn SchedAnalyzer, &Lpp::new()] {
-            if algorithm1(&tasks, &platform, WFD, analyzer).is_schedulable() {
+            if session
+                .partition_with(&tasks, &platform, WFD, analyzer)
+                .is_schedulable()
+            {
                 assert!(
                     fed_ok,
                     "seed {seed}: {} accepted but FED-FP rejected",
@@ -175,8 +191,8 @@ fn pipeline_is_deterministic() {
     let tasks_a = generate(7, 4.0).expect("seed 7 generates");
     let tasks_b = generate(7, 4.0).expect("seed 7 generates");
     assert_eq!(tasks_a, tasks_b);
-    let oa = partition_and_analyze(&tasks_a, &platform, WFD, AnalysisConfig::ep());
-    let ob = partition_and_analyze(&tasks_b, &platform, WFD, AnalysisConfig::ep());
+    let oa = ep_partition(&tasks_a, &platform);
+    let ob = ep_partition(&tasks_b, &platform);
     assert_eq!(oa.is_schedulable(), ob.is_schedulable());
     if let (Some(pa), Some(pb)) = (oa.partition(), ob.partition()) {
         assert_eq!(pa, pb);
@@ -195,7 +211,7 @@ fn sporadic_releases_also_respect_bounds() {
         let Some(tasks) = generate(seed, 3.5) else {
             continue;
         };
-        let outcome = partition_and_analyze(&tasks, &platform, WFD, AnalysisConfig::ep());
+        let outcome = ep_partition(&tasks, &platform);
         let PartitionOutcome::Schedulable {
             partition, report, ..
         } = outcome

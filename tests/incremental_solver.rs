@@ -166,7 +166,8 @@ fn truncated_tasks_report_the_en_bound_with_sweep_equal_verdicts() {
     // (`wcrt_over_signatures_sweep_direct`): identical WCRTs and
     // identical schedulability verdicts, with the `truncated` tag
     // carried on the reported bound.
-    use dpcp_p::core::analysis::{analyze_with_cache, SignatureCache};
+    use dpcp_p::core::analysis::SignatureCache;
+    use dpcp_p::core::AnalysisSession;
     let scenario = sweep_scenario();
     let platform = Platform::new(scenario.m).unwrap();
     // Tight caps force truncation on generated workloads; pruning off so
@@ -189,7 +190,8 @@ fn truncated_tasks_report_the_en_bound_with_sweep_equal_verdicts() {
                 let label = format!("u={utilization} seed={seed} partition#{idx}");
                 // Thread response bounds exactly like analyze_with_cache
                 // so the per-task comparison sees the same contexts.
-                let report = analyze_with_cache(&tasks, partition, &cfg, &cache);
+                let report = AnalysisSession::new(cfg.clone())
+                    .analyze_with_signatures(&tasks, partition, &cache);
                 let mut ctx = dpcp_p::core::analysis::AnalysisContext::new(&tasks, partition);
                 for i in tasks.by_decreasing_priority() {
                     let sigs = cache.signatures(i);

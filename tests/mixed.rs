@@ -1,9 +1,8 @@
 //! Integration tests for the mixed heavy/light extension (Sec. VI).
 
-use dpcp_p::core::analysis::{AnalysisConfig, SignatureCache};
-use dpcp_p::core::partition::{
-    algorithm1_mixed, analyze_mixed, PartitionOutcome, ResourceHeuristic,
-};
+use dpcp_p::core::analysis::AnalysisConfig;
+use dpcp_p::core::partition::{PartitionOutcome, ResourceHeuristic};
+use dpcp_p::core::AnalysisSession;
 use dpcp_p::model::{
     Dag, DagTask, Platform, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexSpec,
 };
@@ -11,6 +10,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const WFD: ResourceHeuristic = ResourceHeuristic::WorstFitDecreasing;
+
+fn mixed_partition(tasks: &TaskSet, platform: &Platform, cfg: AnalysisConfig) -> PartitionOutcome {
+    AnalysisSession::new(cfg).partition_and_analyze_mixed(tasks, platform, WFD)
+}
 
 fn rid(i: usize) -> ResourceId {
     ResourceId::new(i)
@@ -70,8 +73,8 @@ fn mixed_sets_partition_deterministically() {
     let platform = Platform::new(8).unwrap();
     for seed in 0..10u64 {
         let tasks = random_mixed_set(seed, 3);
-        let a = algorithm1_mixed(&tasks, &platform, WFD, AnalysisConfig::ep());
-        let b = algorithm1_mixed(&tasks, &platform, WFD, AnalysisConfig::ep());
+        let a = mixed_partition(&tasks, &platform, AnalysisConfig::ep());
+        let b = mixed_partition(&tasks, &platform, AnalysisConfig::ep());
         assert_eq!(a.is_schedulable(), b.is_schedulable(), "seed {seed}");
         if let (Some(pa), Some(pb)) = (a.partition(), b.partition()) {
             assert_eq!(pa, pb, "seed {seed}");
@@ -85,7 +88,7 @@ fn heavy_clusters_stay_exclusive_lights_may_share() {
     let mut accepted = 0;
     for seed in 0..20u64 {
         let tasks = random_mixed_set(seed, 4);
-        let outcome = algorithm1_mixed(&tasks, &platform, WFD, AnalysisConfig::ep());
+        let outcome = mixed_partition(&tasks, &platform, AnalysisConfig::ep());
         let PartitionOutcome::Schedulable {
             partition, report, ..
         } = outcome
@@ -122,8 +125,8 @@ fn en_variant_also_supports_mixed_sets() {
     let mut both = 0;
     for seed in 0..15u64 {
         let tasks = random_mixed_set(seed, 2);
-        let ep = algorithm1_mixed(&tasks, &platform, WFD, AnalysisConfig::ep());
-        let en = algorithm1_mixed(&tasks, &platform, WFD, AnalysisConfig::en());
+        let ep = mixed_partition(&tasks, &platform, AnalysisConfig::ep());
+        let en = mixed_partition(&tasks, &platform, AnalysisConfig::en());
         // EN accepted ⇒ EP accepted (lights are analysed identically; the
         // heavy task's EP bound dominates its EN bound).
         if en.is_schedulable() {
@@ -139,15 +142,14 @@ fn analyze_mixed_matches_partition_outcome_report() {
     let platform = Platform::new(8).unwrap();
     let tasks = random_mixed_set(3, 3);
     let cfg = AnalysisConfig::ep();
-    let outcome = algorithm1_mixed(&tasks, &platform, WFD, cfg.clone());
+    let outcome = mixed_partition(&tasks, &platform, cfg.clone());
     let PartitionOutcome::Schedulable {
         partition, report, ..
     } = outcome
     else {
         panic!("seed 3 must be schedulable on 8 processors");
     };
-    let cache = SignatureCache::new(&tasks, &cfg);
-    let again = analyze_mixed(&tasks, &partition, &cfg, &cache);
+    let again = AnalysisSession::new(cfg).analyze_mixed(&tasks, &partition);
     assert_eq!(
         report, again,
         "re-analysis of the accepted partition must agree"
@@ -174,7 +176,7 @@ fn light_bound_degrades_with_more_sharers() {
     let three = TaskSet::new(vec![mk(0, 10), mk(1, 50), mk(2, 25)], 1).unwrap();
 
     let get_bound = |tasks: &TaskSet, id: usize| -> Time {
-        let outcome = algorithm1_mixed(tasks, &platform, WFD, AnalysisConfig::ep());
+        let outcome = mixed_partition(tasks, &platform, AnalysisConfig::ep());
         let report = outcome.report().expect("schedulable").clone();
         report.bound(TaskId::new(id)).wcrt.expect("bound exists")
     };

@@ -1,9 +1,9 @@
 //! Direct checks of claims the paper states, on the paper's own example
 //! and on generated workloads.
 
-use dpcp_p::baselines::{FedFp, Lpp, SpinSon};
-use dpcp_p::core::partition::{algorithm1, DpcpAnalyzer, ResourceHeuristic};
-use dpcp_p::core::{AnalysisConfig, SchedAnalyzer};
+use dpcp_p::baselines::standard_registry;
+use dpcp_p::core::partition::ResourceHeuristic;
+use dpcp_p::core::{AnalysisConfig, AnalysisSession};
 use dpcp_p::model::{fig1, Platform, Time, VertexId};
 use dpcp_p::sim::{simulate, ReleaseModel, SimConfig};
 use rand::rngs::StdRng;
@@ -59,7 +59,7 @@ fn lemma1_holds_at_runtime() {
 /// Lemma 1 on generated contended workloads (not just the toy example).
 #[test]
 fn lemma1_holds_on_generated_contention() {
-    use dpcp_p::core::partition::{partition_and_analyze, PartitionOutcome};
+    use dpcp_p::core::partition::PartitionOutcome;
     let scenario = dpcp_p::gen::scenario::Scenario {
         m: 8,
         nr_range: (2, 3),
@@ -77,11 +77,10 @@ fn lemma1_holds_on_generated_contention() {
         let Ok(tasks) = scenario.sample_task_set(4.0, &mut rng) else {
             continue;
         };
-        let outcome = partition_and_analyze(
+        let outcome = AnalysisSession::new(AnalysisConfig::en()).partition_and_analyze(
             &tasks,
             &platform,
             ResourceHeuristic::WorstFitDecreasing,
-            AnalysisConfig::en(),
         );
         let PartitionOutcome::Schedulable { partition, .. } = outcome else {
             continue;
@@ -126,11 +125,13 @@ fn ep_accepts_whenever_en_accepts() {
         let Ok(tasks) = scenario.sample_task_set(4.5, &mut rng) else {
             continue;
         };
-        let ep = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
-        let en = DpcpAnalyzer::new(&tasks, AnalysisConfig::en());
         let wfd = ResourceHeuristic::WorstFitDecreasing;
-        let en_ok = algorithm1(&tasks, &platform, wfd, &en).is_schedulable();
-        let ep_ok = algorithm1(&tasks, &platform, wfd, &ep).is_schedulable();
+        let en_ok = AnalysisSession::new(AnalysisConfig::en())
+            .partition_and_analyze(&tasks, &platform, wfd)
+            .is_schedulable();
+        let ep_ok = AnalysisSession::new(AnalysisConfig::ep())
+            .partition_and_analyze(&tasks, &platform, wfd)
+            .is_schedulable();
         assert!(!en_ok || ep_ok, "seed {seed}: EN accepted, EP rejected");
     }
 }
@@ -152,18 +153,15 @@ fn without_resources_all_methods_agree_with_fed_fp() {
     let tasks = TaskSet::new(vec![strip(&ti, 0), strip(&tj, 1)], 0).unwrap();
     let platform = Platform::new(4).unwrap();
     let wfd = ResourceHeuristic::WorstFitDecreasing;
-    let ep = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
-    let en = DpcpAnalyzer::new(&tasks, AnalysisConfig::en());
-    let verdicts: Vec<bool> = [
-        &ep as &dyn SchedAnalyzer,
-        &en,
-        &SpinSon::new(),
-        &Lpp::new(),
-        &FedFp::new(),
-    ]
-    .into_iter()
-    .map(|a| algorithm1(&tasks, &platform, wfd, a).is_schedulable())
-    .collect();
+    let mut session = AnalysisSession::new(AnalysisConfig::ep());
+    let verdicts: Vec<bool> = standard_registry()
+        .iter()
+        .map(|protocol| {
+            session
+                .run(protocol, &tasks, &platform, wfd)
+                .is_schedulable()
+        })
+        .collect();
     assert!(
         verdicts.iter().all(|&v| v),
         "resource-free Fig. 1 must be schedulable everywhere: {verdicts:?}"
@@ -194,15 +192,16 @@ fn dpcp_ep_is_at_least_as_good_under_heavy_contention() {
             continue;
         };
         valid += 1;
-        let ep = DpcpAnalyzer::new(&tasks, AnalysisConfig::ep());
-        if algorithm1(&tasks, &platform, wfd, &ep).is_schedulable() {
-            counts[0] += 1;
-        }
-        if algorithm1(&tasks, &platform, wfd, &SpinSon::new()).is_schedulable() {
-            counts[1] += 1;
-        }
-        if algorithm1(&tasks, &platform, wfd, &Lpp::new()).is_schedulable() {
-            counts[2] += 1;
+        let registry = standard_registry();
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        for (slot, name) in [(0usize, "DPCP-p-EP"), (1, "SPIN-SON"), (2, "LPP")] {
+            let protocol = registry.resolve(name).expect("registered");
+            if session
+                .run(protocol, &tasks, &platform, wfd)
+                .is_schedulable()
+            {
+                counts[slot] += 1;
+            }
         }
     }
     assert!(valid >= 20, "generator failed too often ({valid} valid)");

@@ -6,9 +6,10 @@
 //! are driven by an explicit `StdRng` stream; failures print the seed so
 //! a case can be replayed by hand).
 
-use dpcp_p::core::partition::{partition_and_analyze, PartitionOutcome, ResourceHeuristic};
+use dpcp_p::core::partition::{PartitionOutcome, ResourceHeuristic};
 use dpcp_p::core::protocol::{effective_priority, ProcessorCeiling};
 use dpcp_p::core::AnalysisConfig;
+use dpcp_p::core::AnalysisSession;
 use dpcp_p::gen::taskgen::{generate_task, TaskGenParams};
 use dpcp_p::gen::{erdos_renyi_dag, rand_fixed_sum};
 use dpcp_p::model::{
@@ -226,11 +227,10 @@ fn simulator_respects_bounds_on_random_systems() {
             continue;
         };
         let platform = Platform::new(8).expect("valid platform");
-        let outcome = partition_and_analyze(
+        let outcome = AnalysisSession::new(AnalysisConfig::ep()).partition_and_analyze(
             &tasks,
             &platform,
             ResourceHeuristic::WorstFitDecreasing,
-            AnalysisConfig::ep(),
         );
         let PartitionOutcome::Schedulable {
             partition, report, ..

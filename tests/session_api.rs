@@ -1,0 +1,209 @@
+//! Shim-equivalence suite for the `AnalysisSession` / protocol-registry
+//! redesign (the only place outside the shims themselves allowed to call
+//! the deprecated entry points): registry dispatch through a shared
+//! session must reproduce the deprecated free-function pipeline
+//! bit-identically — `PartitionOutcome`s (partitions, reports, rounds)
+//! and acceptance counts alike — for all five methods and both partition
+//! shapes (classic Algorithm 1 on purely heavy sets, mixed Algorithm 1
+//! with shared light pools on heavy/light sets).
+#![allow(deprecated)]
+
+use dpcp_p::baselines::{standard_registry, FedFp, Lpp, SpinSon};
+use dpcp_p::core::analysis::{analyze, AnalysisConfig};
+use dpcp_p::core::partition::{
+    algorithm1, algorithm1_mixed, partition_and_analyze, DpcpAnalyzer, PartitionOutcome,
+    ResourceHeuristic,
+};
+use dpcp_p::core::{AnalysisSession, SchedAnalyzer};
+use dpcp_p::gen::scenario::Scenario;
+use dpcp_p::gen::GraphShape;
+use dpcp_p::model::{Platform, TaskSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const METHODS: [&str; 5] = ["DPCP-p-EP", "DPCP-p-EN", "SPIN-SON", "LPP", "FED-FP"];
+
+fn scenario(light_fraction: f64) -> Scenario {
+    Scenario {
+        m: 8,
+        nr_range: (2, 4),
+        u_avg: 1.5,
+        access_prob: 0.75,
+        max_requests: 25,
+        cs_range_us: (15, 50),
+        graph_shape: GraphShape::ErdosRenyi,
+        light_fraction,
+    }
+}
+
+/// The pre-registry dispatch, verbatim: hand-wired free-function calls
+/// per method. For task sets with light tasks the DPCP methods go
+/// through `algorithm1_mixed` (the path the registry now routes to);
+/// baselines always run the classic loop.
+fn legacy_outcome(
+    method: &str,
+    tasks: &TaskSet,
+    platform: &Platform,
+    heuristic: ResourceHeuristic,
+) -> PartitionOutcome {
+    let has_lights = tasks.iter().any(|t| !t.is_heavy());
+    match method {
+        "DPCP-p-EP" if has_lights => {
+            algorithm1_mixed(tasks, platform, heuristic, AnalysisConfig::ep())
+        }
+        "DPCP-p-EN" if has_lights => {
+            algorithm1_mixed(tasks, platform, heuristic, AnalysisConfig::en())
+        }
+        "DPCP-p-EP" => {
+            let analyzer = DpcpAnalyzer::new(tasks, AnalysisConfig::ep());
+            algorithm1(tasks, platform, heuristic, &analyzer)
+        }
+        "DPCP-p-EN" => {
+            let analyzer = DpcpAnalyzer::new(tasks, AnalysisConfig::en());
+            algorithm1(tasks, platform, heuristic, &analyzer)
+        }
+        "SPIN-SON" => algorithm1(tasks, platform, heuristic, &SpinSon::new()),
+        "LPP" => algorithm1(tasks, platform, heuristic, &Lpp::new()),
+        "FED-FP" => algorithm1(tasks, platform, heuristic, &FedFp::new()),
+        other => panic!("unknown method {other}"),
+    }
+}
+
+/// Seeded sweep: every generated task set, every method, registry
+/// dispatch vs the deprecated free functions — outcomes must be equal
+/// (partition, per-task report and round count included).
+fn assert_dispatch_equivalence(light_fraction: f64, heuristic: ResourceHeuristic) {
+    let scenario = scenario(light_fraction);
+    let platform = Platform::new(scenario.m).unwrap();
+    let registry = standard_registry();
+    let mut generated = 0usize;
+    for seed in 0..12u64 {
+        for utilization in [2.5, 4.0, 5.5] {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(1000) + utilization as u64);
+            let Ok(tasks) = scenario.sample_task_set(utilization, &mut rng) else {
+                continue;
+            };
+            generated += 1;
+            if light_fraction > 0.0 {
+                assert!(
+                    tasks.iter().any(|t| !t.is_heavy()),
+                    "seed {seed}: light_fraction > 0 must produce light tasks"
+                );
+            }
+            // One session shared across all five methods, exactly like
+            // the harness uses it.
+            let mut session = AnalysisSession::new(AnalysisConfig::ep());
+            for method in METHODS {
+                let protocol = registry.resolve(method).expect("registered");
+                let via_registry = session.run(protocol, &tasks, &platform, heuristic);
+                let via_free_fns = legacy_outcome(method, &tasks, &platform, heuristic);
+                assert_eq!(
+                    via_registry, via_free_fns,
+                    "seed {seed}, U {utilization}, {method}: registry dispatch diverged"
+                );
+            }
+        }
+    }
+    assert!(generated >= 15, "only {generated} task sets generated");
+}
+
+#[test]
+fn registry_dispatch_matches_free_functions_heavy_sets() {
+    assert_dispatch_equivalence(0.0, ResourceHeuristic::WorstFitDecreasing);
+}
+
+#[test]
+fn registry_dispatch_matches_free_functions_mixed_sets() {
+    assert_dispatch_equivalence(0.4, ResourceHeuristic::WorstFitDecreasing);
+}
+
+#[test]
+fn registry_dispatch_matches_free_functions_under_ffd_placement() {
+    assert_dispatch_equivalence(0.0, ResourceHeuristic::FirstFitDecreasing);
+}
+
+/// Acceptance counts over a small utilization sweep: the per-method
+/// accept totals of the registry path equal the free-function path's,
+/// point for point (the curve-level equivalence the fig2/tables goldens
+/// also pin at full scale).
+#[test]
+fn acceptance_counts_match_point_for_point() {
+    for light_fraction in [0.0, 0.3] {
+        let scenario = scenario(light_fraction);
+        let platform = Platform::new(scenario.m).unwrap();
+        let registry = standard_registry();
+        let heuristic = ResourceHeuristic::WorstFitDecreasing;
+        for (point, utilization) in [2.0, 4.0, 6.0].into_iter().enumerate() {
+            let mut accepted_new = [0usize; 5];
+            let mut accepted_old = [0usize; 5];
+            for sample in 0..6u64 {
+                let seed = (point as u64) << 32 | sample;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let Ok(tasks) = scenario.sample_task_set(utilization, &mut rng) else {
+                    continue;
+                };
+                let mut session = AnalysisSession::new(AnalysisConfig::ep());
+                for (slot, method) in METHODS.iter().enumerate() {
+                    let protocol = registry.resolve(method).expect("registered");
+                    if session
+                        .run(protocol, &tasks, &platform, heuristic)
+                        .is_schedulable()
+                    {
+                        accepted_new[slot] += 1;
+                    }
+                    if legacy_outcome(method, &tasks, &platform, heuristic).is_schedulable() {
+                        accepted_old[slot] += 1;
+                    }
+                }
+            }
+            assert_eq!(
+                accepted_new, accepted_old,
+                "lf {light_fraction}, point {point}: acceptance counts diverged"
+            );
+        }
+    }
+}
+
+/// The deprecated analysis shims delegate to the session — their outputs
+/// are pinned equal.
+#[test]
+fn deprecated_analysis_shims_delegate_to_the_session() {
+    let scenario = scenario(0.0);
+    let platform = Platform::new(scenario.m).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let tasks = scenario
+        .sample_task_set(3.0, &mut rng)
+        .expect("seed 11 generates");
+    let wfd = ResourceHeuristic::WorstFitDecreasing;
+    for cfg in [AnalysisConfig::ep(), AnalysisConfig::en()] {
+        let via_shim = partition_and_analyze(&tasks, &platform, wfd, cfg.clone());
+        let via_session =
+            AnalysisSession::new(cfg.clone()).partition_and_analyze(&tasks, &platform, wfd);
+        assert_eq!(via_shim, via_session, "variant {:?}", cfg.variant);
+        if let Some(partition) = via_session.partition() {
+            let report_shim = analyze(&tasks, partition, &cfg);
+            let report_session = AnalysisSession::new(cfg.clone()).analyze(&tasks, partition);
+            assert_eq!(report_shim, report_session, "variant {:?}", cfg.variant);
+        }
+    }
+}
+
+/// `SchedAnalyzer` stays the low-level hook: a session-driven baseline
+/// loop equals the deprecated generic loop for every baseline analyzer.
+#[test]
+fn partition_with_matches_deprecated_generic_loop() {
+    let scenario = scenario(0.0);
+    let platform = Platform::new(scenario.m).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let tasks = scenario
+        .sample_task_set(4.0, &mut rng)
+        .expect("seed 5 generates");
+    let wfd = ResourceHeuristic::WorstFitDecreasing;
+    let analyzers: [&dyn SchedAnalyzer; 3] = [&SpinSon::new(), &Lpp::new(), &FedFp::new()];
+    let mut session = AnalysisSession::new(AnalysisConfig::ep());
+    for analyzer in analyzers {
+        let via_session = session.partition_with(&tasks, &platform, wfd, analyzer);
+        let via_free_fn = algorithm1(&tasks, &platform, wfd, analyzer);
+        assert_eq!(via_session, via_free_fn, "{}", analyzer.name());
+    }
+}

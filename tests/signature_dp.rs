@@ -21,8 +21,9 @@
 //!    off/on produces identical acceptance ratios for all five methods.
 
 use dpcp_experiments::{evaluate_point, EvalConfig};
-use dpcp_p::core::analysis::{analyze_with_cache, AnalysisConfig, SignatureCache};
+use dpcp_p::core::analysis::{AnalysisConfig, SignatureCache};
 use dpcp_p::core::partition::{assign_resources, layout_clusters, ResourceHeuristic};
+use dpcp_p::core::AnalysisSession;
 use dpcp_p::gen::scenario::{Fig2Panel, Scenario};
 use dpcp_p::model::{
     enumerate_signatures_capped, enumerate_signatures_dp_capped, initial_processors, Partition,
@@ -129,8 +130,9 @@ fn seeded_sweep_dfs_and_dp_sets_and_bounds_are_identical() {
         let dfs_cache = SignatureCache::new_dfs(tasks, &cfg);
         let dp_cache = SignatureCache::new(tasks, &cfg);
         for (idx, partition) in method_partitions(tasks, &platform).iter().enumerate() {
-            let via_dfs = analyze_with_cache(tasks, partition, &cfg, &dfs_cache);
-            let via_dp = analyze_with_cache(tasks, partition, &cfg, &dp_cache);
+            let mut session = AnalysisSession::new(cfg.clone());
+            let via_dfs = session.analyze_with_signatures(tasks, partition, &dfs_cache);
+            let via_dp = session.analyze_with_signatures(tasks, partition, &dp_cache);
             assert_eq!(via_dfs, via_dp, "{label} partition#{idx}");
             partitions_compared += 1;
         }
@@ -163,8 +165,9 @@ fn seeded_sweep_truncated_regime_outcomes_agree() {
             truncated_tasks += usize::from(dp_cache.signatures(i).truncated);
         }
         for (idx, partition) in method_partitions(&tasks, &platform).iter().enumerate() {
-            let via_dfs = analyze_with_cache(&tasks, partition, &cfg, &dfs_cache);
-            let via_dp = analyze_with_cache(&tasks, partition, &cfg, &dp_cache);
+            let mut session = AnalysisSession::new(cfg.clone());
+            let via_dfs = session.analyze_with_signatures(&tasks, partition, &dfs_cache);
+            let via_dp = session.analyze_with_signatures(&tasks, partition, &dp_cache);
             assert_eq!(via_dfs.schedulable, via_dp.schedulable, "{label}#{idx}");
             assert_eq!(via_dfs.truncated, via_dp.truncated, "{label}#{idx}");
             for (a, b) in via_dfs.task_bounds.iter().zip(&via_dp.task_bounds) {
@@ -213,8 +216,16 @@ fn seeded_sweep_pruning_preserves_binding_bounds_and_verdicts() {
             pruned_away += full.len() - kept.len();
         }
         for (idx, partition) in method_partitions(&tasks, &platform).iter().enumerate() {
-            let plain = analyze_with_cache(&tasks, partition, &plain_cfg, &plain_cache);
-            let pruned = analyze_with_cache(&tasks, partition, &pruned_cfg, &pruned_cache);
+            let plain = AnalysisSession::new(plain_cfg.clone()).analyze_with_signatures(
+                &tasks,
+                partition,
+                &plain_cache,
+            );
+            let pruned = AnalysisSession::new(pruned_cfg.clone()).analyze_with_signatures(
+                &tasks,
+                partition,
+                &pruned_cache,
+            );
             assert_eq!(plain.schedulable, pruned.schedulable, "{label}#{idx}");
             for (a, b) in plain.task_bounds.iter().zip(&pruned.task_bounds) {
                 // The binding PathBound — WCRT and full breakdown — must be
