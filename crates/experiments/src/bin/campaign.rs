@@ -201,24 +201,26 @@ fn main() -> ExitCode {
             })
             .map(|stats| {
                 println!(
-                    "shard {} complete: {} owned, {} resumed from checkpoint, {} evaluated \
-                     ({:.1?}) → {}",
+                    "shard {} complete: {} owned, {} resumed from checkpoint, {} evaluated, \
+                     {} failed ({:.1?}) → {}",
                     args.shard,
                     stats.owned,
                     stats.resumed,
                     stats.evaluated,
+                    stats.failed,
                     started.elapsed(),
                     args.shard.path(&out).display(),
                 );
             })
         }
-        Command::Merge => merge_dir(&manifest, &cells, &out).and_then(|results| {
+        Command::Merge => merge_dir(&manifest, &cells, &out).and_then(|outcome| {
             let final_dir = args.final_dir.clone().unwrap_or_else(|| out.join("merged"));
-            write_merged_outputs(&results, &final_dir).map(|written| {
-                println!("merged {} cells:", results.len());
+            write_merged_outputs(&outcome.results, &outcome.failures, &final_dir).map(|written| {
+                println!("merged {} cells:", outcome.results.len());
                 for path in written {
                     println!("  wrote {}", path.display());
                 }
+                println!("{}", outcome.failure_summary());
             })
         }),
     };

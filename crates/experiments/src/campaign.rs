@@ -136,14 +136,14 @@ pub struct ShardHeader {
 /// rejected up front instead of silently mixing results evaluated under
 /// the old meaning. FNV-1a is implemented inline so the hash is stable
 /// across builds and toolchains (std's hasher is not).
-pub fn grid_fingerprint(cells: &[CellSpec]) -> String {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] when a cell identity fails to serialize
+/// (propagated instead of panicking — a malformed cell must not abort a
+/// shard).
+pub fn grid_fingerprint(cells: &[CellSpec]) -> Result<String, CampaignError> {
+    let mut hasher = Fnv1a::new();
     for cell in cells {
         // Nested ≤4-tuples: the vendored serde implements tuples only up
         // to arity four.
@@ -157,11 +157,37 @@ pub fn grid_fingerprint(cells: &[CellSpec]) -> String {
                 &cell.utilizations,
             ),
         ))
-        .expect("cell identity serializes");
-        eat(identity.as_bytes());
-        eat(b"\n");
+        .map_err(|e| {
+            CampaignError::new(format!(
+                "cell {} identity fails to serialize: {e}",
+                cell.index
+            ))
+        })?;
+        hasher.eat(identity.as_bytes());
+        hasher.eat(b"\n");
     }
-    format!("{hash:016x}")
+    Ok(hasher.finish())
+}
+
+/// Streaming FNV-1a, shared by the campaign and fuzz grid fingerprints.
+/// Implemented inline so the hash is stable across builds and toolchains.
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub(crate) fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> String {
+        format!("{:016x}", self.0)
+    }
 }
 
 /// One completed cell: the scenario×ablation identity plus its full
@@ -190,11 +216,33 @@ impl CellResult {
     }
 }
 
-/// One JSONL line: exactly one of the two fields is populated.
+/// A recorded per-cell failure: the cell panicked (or its identity
+/// failed to serialize) after the bounded deterministic retry, and the
+/// shard kept going instead of aborting. Failures are checkpointed like
+/// results — a resume skips them, keeping checkpoint bytes stable — and
+/// surfaced in the merge summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// Grid position (the resume/merge key).
+    pub index: usize,
+    /// The failed cell's scenario label (kept so the merge summary can
+    /// name the cell without re-expanding the grid).
+    pub scenario: String,
+    /// The failed cell's ablation label.
+    pub ablation: String,
+    /// The captured panic/error message.
+    pub error: String,
+    /// Retries attempted before recording the failure.
+    pub retries: usize,
+}
+
+/// One JSONL line: exactly one of the fields is populated. `failed` is
+/// absent in pre-existing checkpoints and deserializes to `None`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct LineRecord {
     header: Option<ShardHeader>,
     cell: Option<CellResult>,
+    failed: Option<CellFailure>,
 }
 
 /// Evaluates one cell (all utilization points, samples rayon-fanned).
@@ -231,25 +279,34 @@ pub fn run_cells(cells: &[CellSpec]) -> Vec<CellResult> {
     cells.par_iter().map(evaluate_cell).collect()
 }
 
-fn header_for(manifest: &CampaignManifest, cells: &[CellSpec], shard: ShardSpec) -> ShardHeader {
-    ShardHeader {
+fn header_for(
+    manifest: &CampaignManifest,
+    cells: &[CellSpec],
+    shard: ShardSpec,
+) -> Result<ShardHeader, CampaignError> {
+    Ok(ShardHeader {
         campaign: manifest.name.clone(),
         seed: manifest.seed,
         grid: cells.len(),
         samples_per_point: cells.first().map(|c| c.eval.samples_per_point).unwrap_or(0),
-        fingerprint: grid_fingerprint(cells),
+        fingerprint: grid_fingerprint(cells)?,
         shard,
-    }
+    })
+}
+
+/// The replayed contents of one shard checkpoint: completed cells plus
+/// recorded failures, both keyed by grid index.
+#[derive(Debug, Default)]
+struct ShardContents {
+    cells: BTreeMap<usize, CellResult>,
+    failures: BTreeMap<usize, CellFailure>,
 }
 
 /// Parses a shard checkpoint file: the header plus every completed cell.
 /// Unparseable lines are tolerated (an interrupted writer leaves at most
 /// one torn tail line; resuming re-evaluates that cell), but a missing
 /// or mismatched header is an error.
-fn read_shard_file(
-    path: &Path,
-    expect: &ShardHeader,
-) -> Result<BTreeMap<usize, CellResult>, CampaignError> {
+fn read_shard_file(path: &Path, expect: &ShardHeader) -> Result<ShardContents, CampaignError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CampaignError::new(format!("cannot read {}: {e}", path.display())))?;
     parse_checkpoint(&text, path, expect)
@@ -261,7 +318,7 @@ fn parse_checkpoint(
     text: &str,
     path: &Path,
     expect: &ShardHeader,
-) -> Result<BTreeMap<usize, CellResult>, CampaignError> {
+) -> Result<ShardContents, CampaignError> {
     let mut lines = text.lines();
     let header_line = lines
         .next()
@@ -298,7 +355,7 @@ fn parse_checkpoint(
             expect.fingerprint,
         )));
     }
-    let mut cells = BTreeMap::new();
+    let mut contents = ShardContents::default();
     for line in lines {
         if line.trim().is_empty() {
             continue;
@@ -307,10 +364,13 @@ fn parse_checkpoint(
             continue; // torn tail line from an interrupted run
         };
         if let Some(cell) = record.cell {
-            cells.insert(cell.index, cell);
+            contents.cells.insert(cell.index, cell);
+        }
+        if let Some(failed) = record.failed {
+            contents.failures.insert(failed.index, failed);
         }
     }
-    Ok(cells)
+    Ok(contents)
 }
 
 /// An interrupted writer can leave a torn final line with no trailing
@@ -318,7 +378,7 @@ fn parse_checkpoint(
 /// the fragment and corrupt *that* record too. Terminate the fragment
 /// before any append (the fragment itself is then skipped as one
 /// unparseable line and its cell is re-evaluated).
-fn heal_torn_tail(path: &Path, text: &str) -> Result<(), CampaignError> {
+pub(crate) fn heal_torn_tail(path: &Path, text: &str) -> Result<(), CampaignError> {
     if !text.is_empty() && !text.ends_with('\n') {
         let mut file = std::fs::OpenOptions::new()
             .append(true)
@@ -358,14 +418,55 @@ fn append_line(path: &Path, record: &LineRecord) -> Result<(), CampaignError> {
 }
 
 /// Outcome of one [`run_shard`] invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardRunStats {
     /// Cells this shard owns.
     pub owned: usize,
-    /// Cells found complete in the checkpoint (skipped).
+    /// Cells found complete in the checkpoint (skipped) — recorded
+    /// failures count too, so a resume never retries a poisoned cell
+    /// (which keeps checkpoint bytes stable across resumes).
     pub resumed: usize,
     /// Cells evaluated by this invocation.
     pub evaluated: usize,
+    /// Cells that panicked past the retry budget and were recorded as
+    /// [`CellFailure`]s by this invocation.
+    pub failed: usize,
+}
+
+/// Captures the panic payload as a human-readable message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Bounded deterministic retry budget for a panicking cell (the inputs
+/// are pure functions of the seed, so a second attempt only guards
+/// against environmental flukes like allocation failure).
+pub(crate) const CELL_RETRIES: usize = 1;
+
+/// Evaluates one cell panic-isolated: a panic anywhere in generation,
+/// analysis or the rayon fan-out is caught, retried once, and then
+/// reported as a [`CellFailure`] instead of unwinding the shard.
+fn evaluate_cell_isolated(cell: &CellSpec) -> Result<CellResult, CellFailure> {
+    let mut last = String::new();
+    for _ in 0..=CELL_RETRIES {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| evaluate_cell(cell))) {
+            Ok(result) => return Ok(result),
+            Err(payload) => last = panic_message(payload.as_ref()),
+        }
+    }
+    Err(CellFailure {
+        index: cell.index,
+        scenario: cell.scenario.label(),
+        ablation: cell.ablation.clone(),
+        error: last,
+        retries: CELL_RETRIES,
+    })
 }
 
 /// Runs (or resumes) one shard of a campaign, checkpointing each
@@ -394,7 +495,7 @@ pub fn run_shard(
 ) -> Result<ShardRunStats, CampaignError> {
     std::fs::create_dir_all(dir)
         .map_err(|e| CampaignError::new(format!("cannot create {}: {e}", dir.display())))?;
-    let header = header_for(manifest, cells, shard);
+    let header = header_for(manifest, cells, shard)?;
     let path = shard.path(dir);
     // One read serves the header check, the torn-tail heal and the
     // completed-cell replay.
@@ -420,20 +521,21 @@ pub fn run_shard(
             &LineRecord {
                 header: Some(header.clone()),
                 cell: None,
+                failed: None,
             },
         )?;
-        BTreeMap::new()
+        ShardContents::default()
     };
     let owned: Vec<&CellSpec> = cells.iter().filter(|c| shard.owns(c.index)).collect();
     let mut stats = ShardRunStats {
         owned: owned.len(),
-        resumed: 0,
-        evaluated: 0,
+        ..ShardRunStats::default()
     };
     let mut done = 0usize;
     let mut pending: Vec<&CellSpec> = Vec::with_capacity(owned.len());
     for cell in owned {
-        if completed.contains_key(&cell.index) {
+        if completed.cells.contains_key(&cell.index) || completed.failures.contains_key(&cell.index)
+        {
             stats.resumed += 1;
             done += 1;
             progress(done, stats.owned);
@@ -445,17 +547,33 @@ pub fn run_shard(
     for wave in pending.chunks(width) {
         // The wave fans out over the ambient pool; the index-ordered fold
         // below keeps the JSONL append order (and therefore the
-        // checkpoint bytes) deterministic for any pool width.
-        let results: Vec<CellResult> = wave.par_iter().map(|cell| evaluate_cell(cell)).collect();
+        // checkpoint bytes) deterministic for any pool width. Each cell
+        // is panic-isolated: a poisoned input records a failure line
+        // instead of killing the shard.
+        let results: Vec<Result<CellResult, CellFailure>> = wave
+            .par_iter()
+            .map(|cell| evaluate_cell_isolated(cell))
+            .collect();
         for result in results {
-            append_line(
-                &path,
-                &LineRecord {
-                    header: None,
-                    cell: Some(result),
-                },
-            )?;
-            stats.evaluated += 1;
+            let record = match result {
+                Ok(cell) => {
+                    stats.evaluated += 1;
+                    LineRecord {
+                        header: None,
+                        cell: Some(cell),
+                        failed: None,
+                    }
+                }
+                Err(failure) => {
+                    stats.failed += 1;
+                    LineRecord {
+                        header: None,
+                        cell: None,
+                        failed: Some(failure),
+                    }
+                }
+            };
+            append_line(&path, &record)?;
             done += 1;
             progress(done, stats.owned);
         }
@@ -463,8 +581,44 @@ pub fn run_shard(
     Ok(stats)
 }
 
+/// A completed merge: the index-ordered results plus every recorded
+/// per-cell failure (a cell is either a result or a failure; failures
+/// count as *covered* for the completeness check but are excluded from
+/// the result tables and surfaced in the summary instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeOutcome {
+    /// Successfully evaluated cells, in index order.
+    pub results: Vec<CellResult>,
+    /// Recorded failures, in index order.
+    pub failures: Vec<CellFailure>,
+}
+
+impl MergeOutcome {
+    /// A short human-readable error/retry summary (printed by
+    /// `campaign merge`).
+    pub fn failure_summary(&self) -> String {
+        if self.failures.is_empty() {
+            return "0 errored cells".to_string();
+        }
+        let retries: usize = self.failures.iter().map(|f| f.retries).sum();
+        let mut out = format!(
+            "{} errored cell(s) after {} retr{}:",
+            self.failures.len(),
+            retries,
+            if retries == 1 { "y" } else { "ies" }
+        );
+        for f in &self.failures {
+            out.push_str(&format!(
+                "\n  cell {} ({}, {}): {}",
+                f.index, f.scenario, f.ablation, f.error
+            ));
+        }
+        out
+    }
+}
+
 /// Collects every shard checkpoint in `dir` and folds them into the
-/// complete, index-ordered cell list.
+/// complete, index-ordered cell list plus the recorded failures.
 ///
 /// # Errors
 ///
@@ -475,8 +629,8 @@ pub fn merge_dir(
     manifest: &CampaignManifest,
     cells: &[CellSpec],
     dir: &Path,
-) -> Result<Vec<CellResult>, CampaignError> {
-    let expect = header_for(manifest, cells, ShardSpec::single());
+) -> Result<MergeOutcome, CampaignError> {
+    let expect = header_for(manifest, cells, ShardSpec::single())?;
     let mut shard_files: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| CampaignError::new(format!("cannot read {}: {e}", dir.display())))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -494,9 +648,14 @@ pub fn merge_dir(
         )));
     }
     let mut merged: BTreeMap<usize, CellResult> = BTreeMap::new();
+    let mut failed: BTreeMap<usize, CellFailure> = BTreeMap::new();
     for path in &shard_files {
-        for (index, cell) in read_shard_file(path, &expect)? {
+        let contents = read_shard_file(path, &expect)?;
+        for (index, cell) in contents.cells {
             merged.insert(index, cell);
+        }
+        for (index, failure) in contents.failures {
+            failed.insert(index, failure);
         }
     }
     // Belt-and-braces on top of the fingerprint: every merged cell must
@@ -519,7 +678,7 @@ pub fn merge_dir(
     let missing: Vec<usize> = cells
         .iter()
         .map(|c| c.index)
-        .filter(|i| !merged.contains_key(i))
+        .filter(|i| !merged.contains_key(i) && !failed.contains_key(i))
         .collect();
     if !missing.is_empty() {
         return Err(CampaignError::new(format!(
@@ -530,7 +689,10 @@ pub fn merge_dir(
             if missing.len() > 16 { ", …" } else { "" }
         )));
     }
-    Ok(merged.into_values().collect())
+    Ok(MergeOutcome {
+        results: merged.into_values().collect(),
+        failures: failed.into_values().collect(),
+    })
 }
 
 /// The merged long-format CSV: one row per `(cell, method, point)`.
@@ -560,14 +722,35 @@ pub fn merged_csv(results: &[CellResult]) -> String {
 }
 
 /// The per-cell totals CSV (`total_accepted` per method — the paper's
-/// outperformance metric).
-pub fn summary_csv(results: &[CellResult]) -> String {
-    let mut out = String::from("cell,scenario,ablation,method,total_accepted\n");
+/// outperformance metric) plus the robustness columns: `errored_cells`
+/// (1 on the synthetic row emitted for each recorded [`CellFailure`],
+/// 0 everywhere else) and `budget_exceeded` (always 0 for analysis-only
+/// campaigns; the fuzz pipeline tracks sim budgets separately). Existing
+/// goldens stay byte-stable modulo the header re-pin because healthy
+/// campaigns append `,0,0` to every row.
+pub fn summary_csv(results: &[CellResult], failures: &[CellFailure]) -> String {
+    let mut out = String::from(
+        "cell,scenario,ablation,method,total_accepted,errored_cells,budget_exceeded\n",
+    );
+    // Results and failures are disjoint and index-ordered; interleave by
+    // grid index while preserving the registry method order within each
+    // cell (exactly the legacy row order, with `,0,0` appended).
+    let failure_row =
+        |f: &CellFailure| format!("{},{},{},-,0,1,0\n", f.index, f.scenario, f.ablation);
+    let mut pending = failures.iter().peekable();
     for cell in results {
+        while let Some(f) = pending.peek() {
+            if f.index < cell.index {
+                out.push_str(&failure_row(f));
+                pending.next();
+            } else {
+                break;
+            }
+        }
         let curve = cell.curve();
         for &method in &cell.methods {
             out.push_str(&format!(
-                "{},{},{},{},{}\n",
+                "{},{},{},{},{},0,0\n",
                 cell.index,
                 cell.scenario.label(),
                 cell.ablation,
@@ -575,6 +758,9 @@ pub fn summary_csv(results: &[CellResult]) -> String {
                 curve.total_accepted(method),
             ));
         }
+    }
+    for f in pending {
+        out.push_str(&failure_row(f));
     }
     out
 }
@@ -662,6 +848,7 @@ pub fn assert_golden(golden_dir: &Path, name: &str, contents: &str) -> bool {
 /// Returns [`CampaignError`] on I/O failures.
 pub fn write_merged_outputs(
     results: &[CellResult],
+    failures: &[CellFailure],
     dir: &Path,
 ) -> Result<Vec<PathBuf>, CampaignError> {
     std::fs::create_dir_all(dir)
@@ -675,7 +862,7 @@ pub fn write_merged_outputs(
         Ok(())
     };
     write("merged.csv".to_string(), merged_csv(results))?;
-    write("summary.csv".to_string(), summary_csv(results))?;
+    write("summary.csv".to_string(), summary_csv(results, failures))?;
     for cell in results {
         write(
             format!(
@@ -747,8 +934,23 @@ mod tests {
             lines.next().unwrap(),
             format!("0,{},WFD,DPCP-p-EP,4.000,0.250,4,0.7500", scenario.label())
         );
-        let summary = summary_csv(&results);
-        assert!(summary.contains(&format!("1,{},EN,DPCP-p-EN,2", scenario.label())));
+        let summary = summary_csv(&results, &[]);
+        assert_eq!(
+            summary.lines().next().unwrap(),
+            "cell,scenario,ablation,method,total_accepted,errored_cells,budget_exceeded"
+        );
+        assert!(summary.contains(&format!("1,{},EN,DPCP-p-EN,2,0,0", scenario.label())));
+        // A recorded failure interleaves by index as a synthetic row with
+        // errored_cells = 1.
+        let failure = CellFailure {
+            index: 2,
+            scenario: scenario.label(),
+            ablation: "WFD".to_string(),
+            error: "boom".to_string(),
+            retries: 1,
+        };
+        let with_failure = summary_csv(&results, std::slice::from_ref(&failure));
+        assert!(with_failure.ends_with(&format!("2,{},WFD,-,0,1,0\n", scenario.label())));
         let matrix = ablation_matrix_csv(&results).unwrap();
         assert_eq!(
             matrix,

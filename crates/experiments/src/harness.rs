@@ -262,7 +262,7 @@ fn evaluate_task_set(
     out
 }
 
-fn sample_seed(base: u64, point: usize, sample: usize, retry: usize) -> u64 {
+pub(crate) fn sample_seed(base: u64, point: usize, sample: usize, retry: usize) -> u64 {
     let mut x = base
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add((point as u64) << 32)
@@ -440,6 +440,8 @@ mod tests {
             cs_range_us: (15, 50),
             graph_shape: dpcp_gen::GraphShape::ErdosRenyi,
             light_fraction: 0.0,
+            vertex_range: None,
+            cs_budget_fraction: None,
         }
     }
 

@@ -30,13 +30,18 @@
 
 pub mod ascii;
 pub mod campaign;
+pub mod fuzz;
 pub mod harness;
 pub mod manifest;
 pub mod stats;
 
 pub use campaign::{
-    evaluate_cell, merge_dir, merged_csv, run_cells, run_shard, CampaignError, CellResult,
-    ShardSpec,
+    evaluate_cell, merge_dir, merged_csv, run_cells, run_shard, CampaignError, CellFailure,
+    CellResult, MergeOutcome, ShardSpec,
+};
+pub use fuzz::{
+    fuzz_merge_dir, replay_bundle, run_fuzz_shard, shrink_violation, FuzzManifest,
+    FuzzMergeOutcome, FuzzOracleConfig, ReproBundle, Verdict, ViolationKind,
 };
 pub use harness::{
     evaluate_curve, evaluate_point, evaluate_point_subset, standard_registry, AcceptanceCurve,

@@ -23,8 +23,10 @@ use crate::harness::{EvalConfig, Method};
 
 /// The scenario axes of a campaign; the grid is the cartesian product in
 /// the fixed order `m → nr_range → u_avg → access_prob → max_requests →
-/// cs_range_us → graph_shape → light_fraction` (outermost first), which
-/// pins cell indices across shards and resumes.
+/// cs_range_us → graph_shape → light_fraction → vertex_range →
+/// cs_budget_fraction` (outermost first), which pins cell indices across
+/// shards and resumes. The optional axes expand innermost, so manifests
+/// that omit them keep their historical cell order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AxisSpec {
     /// Processor counts `m`.
@@ -44,6 +46,14 @@ pub struct AxisSpec {
     /// Heavy/light-mix axis (fraction of utilization given to sequential
     /// light tasks); omitted → purely heavy sets.
     pub light_fraction: Option<Vec<f64>>,
+    /// Per-task vertex-count range axis; omitted → the generator's
+    /// default (`[10, 100]`). The fuzz sweeps push this to ~1000 for
+    /// degenerate deep/wide structures.
+    pub vertex_range: Option<Vec<(usize, usize)>>,
+    /// Critical-section budget-fraction axis (share of a vertex's WCET
+    /// that critical sections may occupy); omitted → the generator's
+    /// default (0.5).
+    pub cs_budget_fraction: Option<Vec<f64>>,
 }
 
 impl AxisSpec {
@@ -58,6 +68,8 @@ impl AxisSpec {
             cs_range_us: vec![s.cs_range_us],
             graph_shape: Some(vec![s.graph_shape]),
             light_fraction: Some(vec![s.light_fraction]),
+            vertex_range: s.vertex_range.map(|v| vec![v]),
+            cs_budget_fraction: s.cs_budget_fraction.map(|f| vec![f]),
         }
     }
 
@@ -68,6 +80,14 @@ impl AxisSpec {
             .clone()
             .unwrap_or_else(|| vec![GraphShape::ErdosRenyi]);
         let fractions = self.light_fraction.clone().unwrap_or_else(|| vec![0.0]);
+        let vertex_ranges: Vec<Option<(usize, usize)>> = match &self.vertex_range {
+            Some(v) => v.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
+        let cs_budgets: Vec<Option<f64>> = match &self.cs_budget_fraction {
+            Some(v) => v.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
         let mut out = Vec::new();
         for &m in &self.m {
             for &nr_range in &self.nr_range {
@@ -77,16 +97,22 @@ impl AxisSpec {
                             for &cs_range_us in &self.cs_range_us {
                                 for &graph_shape in &shapes {
                                     for &light_fraction in &fractions {
-                                        out.push(Scenario {
-                                            m,
-                                            nr_range,
-                                            u_avg,
-                                            access_prob,
-                                            max_requests,
-                                            cs_range_us,
-                                            graph_shape,
-                                            light_fraction,
-                                        });
+                                        for &vertex_range in &vertex_ranges {
+                                            for &cs_budget_fraction in &cs_budgets {
+                                                out.push(Scenario {
+                                                    m,
+                                                    nr_range,
+                                                    u_avg,
+                                                    access_prob,
+                                                    max_requests,
+                                                    cs_range_us,
+                                                    graph_shape,
+                                                    light_fraction,
+                                                    vertex_range,
+                                                    cs_budget_fraction,
+                                                });
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -96,6 +122,82 @@ impl AxisSpec {
             }
         }
         out
+    }
+
+    /// Validates the axis declaration (shared by campaign and fuzz
+    /// manifests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifestError`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ManifestError> {
+        let err = |m: &str| Err(ManifestError(m.to_string()));
+        if self.m.is_empty()
+            || self.nr_range.is_empty()
+            || self.u_avg.is_empty()
+            || self.access_prob.is_empty()
+            || self.max_requests.is_empty()
+            || self.cs_range_us.is_empty()
+        {
+            return err("every axis needs at least one value");
+        }
+        if self.m.iter().any(|&m| m < 2) {
+            return err("processor counts must be at least 2");
+        }
+        if self.u_avg.iter().any(|&u| !u.is_finite() || u <= 0.5) {
+            // Per-task utilizations are drawn from (1, 2·U^avg]; the band
+            // is empty (and RandFixedSum degenerate) for U^avg ≤ 0.5.
+            return err("u_avg values must be finite and exceed 0.5");
+        }
+        if self.max_requests.contains(&0) {
+            return err("max_requests values must be at least 1");
+        }
+        if self.nr_range.iter().any(|&(lo, hi)| lo == 0 || hi < lo) {
+            return err("nr_range entries must be non-empty inclusive ranges");
+        }
+        if self.cs_range_us.iter().any(|&(lo, hi)| lo == 0 || hi < lo) {
+            return err("cs_range_us entries must be non-empty inclusive ranges");
+        }
+        if self.access_prob.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+            return err("access probabilities must lie in [0, 1]");
+        }
+        if let Some(fractions) = &self.light_fraction {
+            if fractions.is_empty() {
+                return err("light_fraction, when present, must be non-empty");
+            }
+            if fractions.iter().any(|&f| !(0.0..=1.0).contains(&f)) {
+                return err("light fractions must lie in [0, 1]");
+            }
+        }
+        if let Some(shapes) = &self.graph_shape {
+            if shapes.is_empty() {
+                return err("graph_shape, when present, must be non-empty");
+            }
+            if shapes
+                .iter()
+                .any(|s| matches!(s, GraphShape::Layered { layers: 0 }))
+            {
+                return err("a layered graph shape needs at least one layer");
+            }
+        }
+        if let Some(ranges) = &self.vertex_range {
+            if ranges.is_empty() {
+                return err("vertex_range, when present, must be non-empty");
+            }
+            if ranges.iter().any(|&(lo, hi)| lo == 0 || hi < lo) {
+                return err("vertex_range entries must be non-empty inclusive ranges");
+            }
+        }
+        if let Some(budgets) = &self.cs_budget_fraction {
+            if budgets.is_empty() {
+                return err("cs_budget_fraction, when present, must be non-empty");
+            }
+            if budgets.iter().any(|&f| !(0.0..=1.0).contains(&f)) {
+                return err("cs budget fractions must lie in [0, 1]");
+            }
+        }
+        Ok(())
     }
 }
 
@@ -213,6 +315,13 @@ pub struct CellSpec {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ManifestError(String);
 
+impl ManifestError {
+    /// Wraps a validation message (shared with the fuzz manifest).
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ManifestError(msg.into())
+    }
+}
+
 impl core::fmt::Display for ManifestError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "invalid campaign manifest: {}", self.0)
@@ -258,55 +367,7 @@ impl CampaignManifest {
         if self.methods.is_empty() {
             return err("methods must be non-empty");
         }
-        let a = &self.axes;
-        if a.m.is_empty()
-            || a.nr_range.is_empty()
-            || a.u_avg.is_empty()
-            || a.access_prob.is_empty()
-            || a.max_requests.is_empty()
-            || a.cs_range_us.is_empty()
-        {
-            return err("every axis needs at least one value");
-        }
-        if a.m.iter().any(|&m| m < 2) {
-            return err("processor counts must be at least 2");
-        }
-        if a.u_avg.iter().any(|&u| !u.is_finite() || u <= 0.5) {
-            // Per-task utilizations are drawn from (1, 2·U^avg]; the band
-            // is empty (and RandFixedSum degenerate) for U^avg ≤ 0.5.
-            return err("u_avg values must be finite and exceed 0.5");
-        }
-        if a.max_requests.contains(&0) {
-            return err("max_requests values must be at least 1");
-        }
-        if a.nr_range.iter().any(|&(lo, hi)| lo == 0 || hi < lo) {
-            return err("nr_range entries must be non-empty inclusive ranges");
-        }
-        if a.cs_range_us.iter().any(|&(lo, hi)| lo == 0 || hi < lo) {
-            return err("cs_range_us entries must be non-empty inclusive ranges");
-        }
-        if a.access_prob.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
-            return err("access probabilities must lie in [0, 1]");
-        }
-        if let Some(fractions) = &a.light_fraction {
-            if fractions.is_empty() {
-                return err("light_fraction, when present, must be non-empty");
-            }
-            if fractions.iter().any(|&f| !(0.0..=1.0).contains(&f)) {
-                return err("light fractions must lie in [0, 1]");
-            }
-        }
-        if let Some(shapes) = &a.graph_shape {
-            if shapes.is_empty() {
-                return err("graph_shape, when present, must be non-empty");
-            }
-            if shapes
-                .iter()
-                .any(|s| matches!(s, GraphShape::Layered { layers: 0 }))
-            {
-                return err("a layered graph shape needs at least one layer");
-            }
-        }
+        self.axes.validate()?;
         if let Some(points) = &self.normalized_utilization {
             if points.is_empty() || points.iter().any(|&p| p <= 0.0 || p > 1.0) {
                 return err("normalized utilizations must lie in (0, 1]");
@@ -466,6 +527,8 @@ pub fn tables_manifest(samples: usize, seed: u64) -> CampaignManifest {
             cs_range_us: vec![(15, 50), (50, 100)],
             graph_shape: None,
             light_fraction: None,
+            vertex_range: None,
+            cs_budget_fraction: None,
         },
         normalized_utilization: None,
         ablations: None,

@@ -41,6 +41,15 @@ pub struct Scenario {
     /// Fraction of the total utilization given to sequential light tasks
     /// (paper: 0 — purely heavy sets).
     pub light_fraction: f64,
+    /// Override of the per-task vertex-count range (paper: `[10, 100]`).
+    /// `None` keeps [`TaskGenParams::default`]'s range and the paper's
+    /// RNG stream; the fuzz sweeps push this to ~1000 for degenerate
+    /// deep/wide structures.
+    pub vertex_range: Option<(usize, usize)>,
+    /// Override of the fraction of each vertex's WCET that critical
+    /// sections may occupy (paper: 0.5). `None` keeps the default; the
+    /// fuzz sweeps push this toward 1.0 for extreme contention.
+    pub cs_budget_fraction: Option<f64>,
 }
 
 impl Scenario {
@@ -62,6 +71,8 @@ impl Scenario {
                                     cs_range_us,
                                     graph_shape: GraphShape::ErdosRenyi,
                                     light_fraction: 0.0,
+                                    vertex_range: None,
+                                    cs_budget_fraction: None,
                                 });
                             }
                         }
@@ -94,6 +105,8 @@ impl Scenario {
             cs_range_us: (50, 100),
             graph_shape: GraphShape::ErdosRenyi,
             light_fraction: 0.0,
+            vertex_range: None,
+            cs_budget_fraction: None,
         }
     }
 
@@ -112,6 +125,7 @@ impl Scenario {
 
     /// The generator parameters this scenario induces.
     pub fn params(&self) -> TaskGenParams {
+        let defaults = TaskGenParams::default();
         TaskGenParams {
             u_avg: self.u_avg,
             access_prob: self.access_prob,
@@ -121,7 +135,11 @@ impl Scenario {
                 Time::from_us(self.cs_range_us.1),
             ),
             graph_shape: self.graph_shape,
-            ..TaskGenParams::default()
+            vertex_range: self.vertex_range.unwrap_or(defaults.vertex_range),
+            cs_budget_fraction: self
+                .cs_budget_fraction
+                .unwrap_or(defaults.cs_budget_fraction),
+            ..defaults
         }
     }
 
@@ -166,6 +184,12 @@ impl Scenario {
         }
         if self.light_fraction > 0.0 {
             label.push_str(&format!("_lf{}", self.light_fraction));
+        }
+        if let Some((lo, hi)) = self.vertex_range {
+            label.push_str(&format!("_v{lo}-{hi}"));
+        }
+        if let Some(frac) = self.cs_budget_fraction {
+            label.push_str(&format!("_csb{frac}"));
         }
         label
     }
@@ -287,6 +311,8 @@ mod tests {
             cs_range_us: (15, 50),
             graph_shape: GraphShape::ErdosRenyi,
             light_fraction: 0.0,
+            vertex_range: None,
+            cs_budget_fraction: None,
         };
         let mut rng = StdRng::seed_from_u64(17);
         let ts = s.sample_task_set(4.0, &mut rng).unwrap();

@@ -46,6 +46,13 @@ pub enum GraphShape {
     },
     /// One fork vertex, parallel middles, one join vertex.
     ForkJoin,
+    /// A maximal-depth sequential chain (every vertex on the critical
+    /// path — the degenerate shape the fuzz sweeps use to stress
+    /// deep-recursion and cap handling). Note a chain task has
+    /// `L* = C`, so heavy chains cannot satisfy the generator's
+    /// `L* < D/2` constraint; pair this shape with `light_fraction = 1`
+    /// or small per-task utilizations.
+    Chain,
 }
 
 impl GraphShape {
@@ -55,6 +62,7 @@ impl GraphShape {
             GraphShape::ErdosRenyi => crate::graph_gen::erdos_renyi_dag(vertices, edge_prob, rng),
             GraphShape::Layered { layers } => crate::graph_gen::layered_dag(vertices, layers),
             GraphShape::ForkJoin => crate::graph_gen::fork_join_dag(vertices),
+            GraphShape::Chain => crate::graph_gen::chain_dag(vertices),
         }
     }
 
@@ -64,6 +72,7 @@ impl GraphShape {
             GraphShape::ErdosRenyi => "er".to_string(),
             GraphShape::Layered { layers } => format!("lay{layers}"),
             GraphShape::ForkJoin => "fj".to_string(),
+            GraphShape::Chain => "ch".to_string(),
         }
     }
 }

@@ -14,6 +14,19 @@ pub enum ReleaseModel {
         /// Maximum extra inter-arrival fraction (e.g. 0.2 ⇒ up to 20% late).
         jitter: f64,
     },
+    /// Deterministic bursty releases: within a burst of `burst` jobs the
+    /// gap is exactly `T` (maximal legal back-to-back pressure for a
+    /// sporadic task), then the task pauses for `T · (1 + pause)` before
+    /// the next burst. Gaps never drop below `T`, so every arrival
+    /// sequence remains legal under the sporadic model the analysis
+    /// assumes — any `observed > bound` under this model is a true
+    /// soundness violation. Draws no RNG.
+    Bursty {
+        /// Jobs per burst (clamped to at least 1).
+        burst: u32,
+        /// Extra inter-burst gap as a fraction of `T` (clamped to ≥ 0).
+        pause: f64,
+    },
 }
 
 /// Simulator configuration.

@@ -24,6 +24,8 @@ fn main() {
         cs_range_us: (15, 50),
         graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
         light_fraction: 0.0,
+        vertex_range: None,
+        cs_budget_fraction: None,
     };
     let cfg = EvalConfig {
         samples_per_point: samples,

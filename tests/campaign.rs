@@ -36,6 +36,8 @@ fn tiny_scenario() -> Scenario {
         cs_range_us: (15, 50),
         graph_shape: GraphShape::ErdosRenyi,
         light_fraction: 0.0,
+        vertex_range: None,
+        cs_budget_fraction: None,
     }
 }
 
@@ -85,7 +87,7 @@ fn shard_split_and_resume_are_bit_identical() {
     )
     .unwrap();
     let single = merge_dir(&manifest, &cells, &single_dir).unwrap();
-    let single_csv = merged_csv(&single);
+    let single_csv = merged_csv(&single.results);
 
     // Two shards, merged.
     let split_dir = test_dir("split");
@@ -98,7 +100,7 @@ fn shard_split_and_resume_are_bit_identical() {
     let split = merge_dir(&manifest, &cells, &split_dir).unwrap();
     assert_eq!(split, single, "shard split changed cell results");
     assert_eq!(
-        merged_csv(&split),
+        merged_csv(&split.results),
         single_csv,
         "shard split changed merged CSV bytes"
     );
@@ -135,7 +137,7 @@ fn shard_split_and_resume_are_bit_identical() {
     let resumed = merge_dir(&manifest, &cells, &resume_dir).unwrap();
     assert_eq!(resumed, single, "resume changed cell results");
     assert_eq!(
-        merged_csv(&resumed),
+        merged_csv(&resumed.results),
         single_csv,
         "resume changed merged CSV bytes"
     );
@@ -201,6 +203,46 @@ fn shard_split_and_resume_are_bit_identical() {
     for dir in [single_dir, split_dir, resume_dir, torn_header_dir] {
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+#[test]
+fn poisoned_cells_record_failures_instead_of_killing_the_shard() {
+    // A cell whose evaluation panics (here: a degenerate m = 1 platform,
+    // which trips the harness's `Platform::new` expect) must be recorded
+    // as a checkpoint failure, not abort the shard; the merge surfaces it
+    // and the remaining cells still produce their results.
+    let manifest = tiny_manifest();
+    let mut cells = manifest.cells(false);
+    cells[1].scenario.m = 1;
+    let dir = test_dir("poisoned");
+    let stats = run_shard(&manifest, &cells, ShardSpec::single(), &dir, |_, _| {}).unwrap();
+    assert_eq!(stats.owned, 4);
+    assert_eq!(stats.evaluated, 3);
+    assert_eq!(stats.failed, 1);
+    let outcome = merge_dir(&manifest, &cells, &dir).unwrap();
+    assert_eq!(outcome.results.len(), 3);
+    assert_eq!(outcome.failures.len(), 1);
+    assert_eq!(outcome.failures[0].index, 1);
+    assert!(outcome.failure_summary().contains("1 errored cell"));
+    // The summary CSV carries the re-pinned robustness columns: healthy
+    // rows end in `,0,0`, the failed cell gets a synthetic `,0,1,0` row.
+    let summary = dpcp_experiments::campaign::summary_csv(&outcome.results, &outcome.failures);
+    assert!(summary
+        .lines()
+        .next()
+        .unwrap()
+        .ends_with("total_accepted,errored_cells,budget_exceeded"));
+    assert!(summary
+        .lines()
+        .any(|l| l.starts_with("1,") && l.ends_with(",-,0,1,0")));
+    // Resume treats the recorded failure as complete: nothing re-runs and
+    // the checkpoint bytes stay put.
+    let before = std::fs::read_to_string(ShardSpec::single().path(&dir)).unwrap();
+    let stats = run_shard(&manifest, &cells, ShardSpec::single(), &dir, |_, _| {}).unwrap();
+    assert_eq!((stats.resumed, stats.evaluated, stats.failed), (4, 0, 0));
+    let after = std::fs::read_to_string(ShardSpec::single().path(&dir)).unwrap();
+    assert_eq!(before, after, "resume mutated a checkpoint with failures");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -342,7 +384,7 @@ fn parallel_cell_fan_is_bit_identical() {
     );
     let merged_1 = merge_dir(&manifest, &cells, &runs[0].0).unwrap();
     let merged_4 = merge_dir(&manifest, &cells, &runs[1].0).unwrap();
-    assert_eq!(merged_csv(&merged_1), merged_csv(&merged_4));
+    assert_eq!(merged_csv(&merged_1.results), merged_csv(&merged_4.results));
     for (dir, _) in runs {
         let _ = std::fs::remove_dir_all(&dir);
     }

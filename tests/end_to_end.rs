@@ -32,6 +32,8 @@ fn small_scenario() -> Scenario {
         cs_range_us: (15, 50),
         graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
         light_fraction: 0.0,
+        vertex_range: None,
+        cs_budget_fraction: None,
     }
 }
 

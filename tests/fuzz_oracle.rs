@@ -1,0 +1,194 @@
+//! Differential-fuzzing integration tests: the oracle's determinism
+//! contract (merged CSV bytes invariant under shard split, pool width,
+//! and resume), the injected-bug canary (a deliberately weakened bound
+//! must be caught, minimized, and replayable), and repro-bundle
+//! round-tripping.
+
+use std::path::PathBuf;
+
+use dpcp_experiments::fuzz::{fuzz_merged_csv, ViolationKind};
+use dpcp_experiments::manifest::AxisSpec;
+use dpcp_experiments::{
+    fuzz_merge_dir, replay_bundle, run_fuzz_shard, FuzzManifest, ShardSpec, Verdict,
+};
+use dpcp_p::gen::scenario::Scenario;
+use dpcp_p::gen::GraphShape;
+use dpcp_p::sim::ReleaseModel;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dpcp_fuzz_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A two-cell hostile manifest small enough for debug-mode CI: one
+/// fork-join scenario under two release models, one utilization point
+/// in the contention band, two samples.
+fn tiny_fuzz_manifest() -> FuzzManifest {
+    let scenario = Scenario {
+        m: 4,
+        nr_range: (2, 2),
+        u_avg: 0.75,
+        access_prob: 0.5,
+        max_requests: 5,
+        cs_range_us: (1, 50),
+        graph_shape: GraphShape::ForkJoin,
+        light_fraction: 0.0,
+        vertex_range: Some((8, 16)),
+        cs_budget_fraction: None,
+    };
+    FuzzManifest {
+        name: "tinyfuzz".to_string(),
+        seed: 2020,
+        samples_per_point: 2,
+        generation_retries: None,
+        method: None,
+        axes: AxisSpec::single(&scenario),
+        normalized_utilization: vec![0.55],
+        release: Some(vec![
+            ReleaseModel::Periodic,
+            ReleaseModel::Bursty {
+                burst: 3,
+                pause: 1.0,
+            },
+        ]),
+        sim_ms: Some(30),
+        max_sim_events: Some(2_000_000),
+        quick: None,
+    }
+}
+
+#[test]
+fn merged_fuzz_csv_is_invariant_under_shards_threads_and_resume() {
+    let manifest = tiny_fuzz_manifest();
+    manifest.validate().expect("tiny manifest is valid");
+    let cells = manifest.cells(false);
+    assert_eq!(cells.len(), 2);
+
+    // Reference: single shard on a single-worker pool.
+    let single_dir = test_dir("single");
+    let pool1 = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let stats = pool1
+        .install(|| {
+            run_fuzz_shard(
+                &manifest,
+                &cells,
+                ShardSpec::single(),
+                &single_dir,
+                None,
+                |_, _| {},
+            )
+        })
+        .unwrap();
+    assert_eq!(stats.evaluated, cells.len());
+    assert_eq!(stats.failed, 0);
+    let reference = fuzz_merge_dir(&manifest, &cells, &single_dir, None).unwrap();
+    assert_eq!(reference.total_violations(), 0, "current stack is sound");
+    // The canary test below needs at least one sound sample to weaken.
+    let sound: usize = reference
+        .results
+        .iter()
+        .flat_map(|c| c.points.iter())
+        .map(|p| p.sound)
+        .sum();
+    assert!(sound > 0, "the tiny grid must exercise the simulator");
+    let reference_csv = fuzz_merged_csv(&reference.results);
+
+    // Two shards on a contended pool must merge to the same bytes.
+    let split_dir = test_dir("split");
+    let pool4 = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    for shard in 0..2 {
+        let spec = ShardSpec::parse(&format!("{shard}/2")).unwrap();
+        pool4
+            .install(|| run_fuzz_shard(&manifest, &cells, spec, &split_dir, None, |_, _| {}))
+            .unwrap();
+    }
+    let split = fuzz_merge_dir(&manifest, &cells, &split_dir, None).unwrap();
+    assert_eq!(reference_csv, fuzz_merged_csv(&split.results));
+
+    // Resume on a complete shard is a no-op and changes nothing.
+    let spec = ShardSpec::parse("0/2").unwrap();
+    let resumed = run_fuzz_shard(&manifest, &cells, spec, &split_dir, None, |_, _| {}).unwrap();
+    assert_eq!(resumed.evaluated, 0);
+    assert_eq!(resumed.resumed, resumed.owned);
+    let after = fuzz_merge_dir(&manifest, &cells, &split_dir, None).unwrap();
+    assert_eq!(reference_csv, fuzz_merged_csv(&after.results));
+
+    for dir in [single_dir, split_dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn canary_bound_bug_is_caught_minimized_and_replayable() {
+    // Scale every analysis bound down to 5%: any sample the simulator
+    // drives past that shrunken bound becomes a soundness violation. The
+    // oracle must catch it, the shrinker must minimize it, and the
+    // bundle must reproduce it standalone.
+    let manifest = tiny_fuzz_manifest();
+    let cells = manifest.cells(false);
+    let canary = Some(0.05);
+    let dir = test_dir("canary");
+    run_fuzz_shard(
+        &manifest,
+        &cells,
+        ShardSpec::single(),
+        &dir,
+        canary,
+        |_, _| {},
+    )
+    .unwrap();
+    let outcome = fuzz_merge_dir(&manifest, &cells, &dir, canary).unwrap();
+    assert!(
+        outcome.total_violations() > 0,
+        "the weakened bound must be detected"
+    );
+
+    let bundles = outcome.bundles();
+    let bundle = bundles[0];
+    assert_eq!(bundle.canary_scale, canary);
+    assert!(
+        matches!(bundle.violation.kind, ViolationKind::BoundExceeded { .. }),
+        "a scaled-down bound fails as BoundExceeded, got {:?}",
+        bundle.violation.kind
+    );
+    // Minimized: never larger than the generated set, and the recorded
+    // partition matches the minimized task count.
+    assert!(bundle.tasks.len() <= bundle.original_tasks);
+    assert!(!bundle.tasks.is_empty());
+
+    // The bundle is self-contained: a JSON round-trip replays to the
+    // same violation class.
+    let text = serde_json::to_string(bundle).unwrap();
+    let reread: dpcp_experiments::ReproBundle = serde_json::from_str(&text).unwrap();
+    let verdict = replay_bundle(&reread).unwrap();
+    assert!(
+        matches!(verdict, Verdict::Violation(_)),
+        "replay must reproduce the violation, got {verdict:?}"
+    );
+
+    // Without the canary the same cells are sound — the violation is the
+    // injected bug, not a real soundness hole.
+    let clean_dir = test_dir("canary_clean");
+    run_fuzz_shard(
+        &manifest,
+        &cells,
+        ShardSpec::single(),
+        &clean_dir,
+        None,
+        |_, _| {},
+    )
+    .unwrap();
+    let clean = fuzz_merge_dir(&manifest, &cells, &clean_dir, None).unwrap();
+    assert_eq!(clean.total_violations(), 0);
+
+    for d in [dir, clean_dir] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

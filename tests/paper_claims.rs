@@ -69,6 +69,8 @@ fn lemma1_holds_on_generated_contention() {
         cs_range_us: (50, 100),
         graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
         light_fraction: 0.0,
+        vertex_range: None,
+        cs_budget_fraction: None,
     };
     let platform = Platform::new(8).unwrap();
     let mut simulated = 0;
@@ -118,6 +120,8 @@ fn ep_accepts_whenever_en_accepts() {
         cs_range_us: (15, 50),
         graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
         light_fraction: 0.0,
+        vertex_range: None,
+        cs_budget_fraction: None,
     };
     let platform = Platform::new(8).unwrap();
     for seed in 0..25u64 {
@@ -181,6 +185,8 @@ fn dpcp_ep_is_at_least_as_good_under_heavy_contention() {
         cs_range_us: (50, 100),
         graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
         light_fraction: 0.0,
+        vertex_range: None,
+        cs_budget_fraction: None,
     };
     let platform = Platform::new(8).unwrap();
     let wfd = ResourceHeuristic::WorstFitDecreasing;

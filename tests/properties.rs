@@ -221,6 +221,8 @@ fn simulator_respects_bounds_on_random_systems() {
             cs_range_us: (15, 50),
             graph_shape: dpcp_p::gen::GraphShape::ErdosRenyi,
             light_fraction: 0.0,
+            vertex_range: None,
+            cs_budget_fraction: None,
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let Ok(tasks) = scenario.sample_task_set(3.0, &mut rng) else {

@@ -33,6 +33,8 @@ fn scenario(light_fraction: f64) -> Scenario {
         cs_range_us: (15, 50),
         graph_shape: GraphShape::ErdosRenyi,
         light_fraction,
+        vertex_range: None,
+        cs_budget_fraction: None,
     }
 }
 
