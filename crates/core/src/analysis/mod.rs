@@ -227,42 +227,7 @@ impl SignatureCache {
     }
 }
 
-/// Analyses a complete `(task set, partition)` pair.
-#[deprecated(note = "use `AnalysisSession::analyze` (one session owns config, cache and scratch)")]
-pub fn analyze(
-    tasks: &TaskSet,
-    partition: &Partition,
-    cfg: &AnalysisConfig,
-) -> SchedulabilityReport {
-    crate::session::AnalysisSession::new(cfg.clone()).analyze(tasks, partition)
-}
-
-/// Analyses a `(task set, partition)` pair with pre-enumerated signatures.
-#[deprecated(note = "use `AnalysisSession::analyze_with_signatures`")]
-pub fn analyze_with_cache(
-    tasks: &TaskSet,
-    partition: &Partition,
-    cfg: &AnalysisConfig,
-    cache: &SignatureCache,
-) -> SchedulabilityReport {
-    crate::session::AnalysisSession::new(cfg.clone())
-        .analyze_with_signatures(tasks, partition, cache)
-}
-
-/// [`analyze_with_cache`] with caller-provided evaluation scratch.
-#[deprecated(note = "use `AnalysisSession::analyze` (the session owns the scratch)")]
-pub fn analyze_with_cache_scratch(
-    tasks: &TaskSet,
-    partition: &Partition,
-    cfg: &AnalysisConfig,
-    cache: &SignatureCache,
-    scratch: &mut EvalScratch,
-) -> SchedulabilityReport {
-    analyze_impl(tasks, partition, cfg, cache, scratch)
-}
-
-/// The whole-task-set analysis shared by `AnalysisSession::analyze` and
-/// the deprecated free functions: tasks in decreasing priority order,
+/// The whole-task-set analysis behind `AnalysisSession::analyze`: tasks in decreasing priority order,
 /// each converged bound feeding the remaining tasks' `η_j`, one scratch
 /// across all of them.
 pub(crate) fn analyze_impl(
@@ -292,18 +257,7 @@ pub(crate) fn analyze_impl(
     }
 }
 
-/// Analyses a single task against the context's current response bounds.
-#[deprecated(note = "use `AnalysisSession::analyze` for whole-set analyses")]
-pub fn analyze_task(
-    ctx: &AnalysisContext<'_>,
-    i: TaskId,
-    cfg: &AnalysisConfig,
-    cache: &SignatureCache,
-) -> TaskBound {
-    analyze_task_impl(ctx, i, cfg, cache, &mut EvalScratch::new())
-}
-
-/// The EP arm shared by [`analyze_task_with`] and the mixed analysis:
+/// The EP arm shared by the session's EP path and the mixed analysis:
 /// the task bound over the cached signatures plus the `(evaluated,
 /// truncated)` accounting. Truncated tasks skip the per-signature sweep
 /// and report the dominating EN fallback directly — one evaluation.
@@ -327,22 +281,8 @@ pub(crate) fn evaluate_ep_arm(
     )
 }
 
-/// [`analyze_task`] with shared evaluation state (request-bound memo +
-/// scratch buffers); the memo is reset per task, the buffers live for the
-/// whole analysis run.
-#[deprecated(note = "use `AnalysisSession::analyze` for whole-set analyses")]
-pub fn analyze_task_with(
-    ctx: &AnalysisContext<'_>,
-    i: TaskId,
-    cfg: &AnalysisConfig,
-    cache: &SignatureCache,
-    scratch: &mut EvalScratch,
-) -> TaskBound {
-    analyze_task_impl(ctx, i, cfg, cache, scratch)
-}
-
-/// The single-task analysis primitive behind the session, the mixed
-/// analysis and the deprecated per-task entry points.
+/// The single-task analysis primitive behind the session and the mixed
+/// analysis.
 pub(crate) fn analyze_task_impl(
     ctx: &AnalysisContext<'_>,
     i: TaskId,

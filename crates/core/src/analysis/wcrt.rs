@@ -55,10 +55,10 @@ pub struct PathBound {
 /// request-bound memo table, the per-task demand prefix tables and the
 /// scratch buffers that used to be allocated once per signature.
 ///
-/// One instance serves a whole `analyze_with_cache` run (and, via
-/// [`algorithm1_scratch`](crate::partition::algorithm1_scratch), many runs
-/// across partitioning rounds and methods); the memo, tables and warm-start
-/// hint are reset between tasks, while the buffers keep their allocations.
+/// One instance serves a whole task-set analysis (and, held by an
+/// `AnalysisSession`, many runs across partitioning rounds and methods);
+/// the memo, tables and warm-start hint are reset between tasks, while
+/// the buffers keep their allocations.
 ///
 /// [`reset_for_task`](Self::reset_for_task) **must** be called before
 /// analysing a different task *or* the same task under a different context

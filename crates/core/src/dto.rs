@@ -1,0 +1,455 @@
+//! The stable wire API: [`AnalysisRequest`] in, [`AnalysisVerdict`] out.
+//!
+//! Every consumer that ships an analysis across a boundary — the
+//! `dpcp-serve` HTTP server, fuzz repro bundles, harness dispatch —
+//! speaks this one DTO pair instead of an ad-hoc shape per subsystem.
+//! A request names a registry protocol and carries the full analysis
+//! input (task set, platform, config, partitioning heuristic); a
+//! verdict carries the outcome plus provenance: the canonical
+//! [`structural_key`] of the request, which is also what the serve
+//! crate's cross-request verdict cache is keyed by.
+//!
+//! # The canonical structural key
+//!
+//! Two requests get the same key exactly when they describe the same
+//! analysis problem: the key is invariant under task reordering and
+//! DAG vertex relabelling, and sensitive to everything the analysis
+//! reads (periods, deadlines, priority levels, vertex WCETs, request
+//! vectors, DAG shape, critical-section lengths, processor count,
+//! resource count, the full [`AnalysisConfig`] and the protocol name).
+//! Vertex-relabelling invariance comes from Weisfeiler–Lehman colour
+//! refinement over the DAG; task-order invariance from hashing the
+//! sorted multiset of per-task keys. Keys are 64-bit FNV-1a digests —
+//! collisions are possible in principle but astronomically unlikely at
+//! cache scale, the same trade the campaign engine's grid fingerprint
+//! already makes.
+
+use dpcp_model::{DagTask, Platform, TaskSet, VertexId};
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{AnalysisConfig, AnalysisVariant, TaskBound};
+use crate::partition::{PartitionOutcome, ResourceHeuristic, UnschedulableReason};
+
+/// One complete analysis problem, ready to cross a wire.
+///
+/// `protocol` names a [`ProtocolRegistry`](crate::ProtocolRegistry)
+/// entry; the remaining fields are everything that entry's
+/// [`evaluate`](crate::ProtocolAnalysis::evaluate) reads. The pair
+/// `(request, verdict)` is self-describing: replaying a request through
+/// the same registry reproduces its verdict bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisRequest {
+    /// Registry name of the method to run (e.g. `"DPCP-p-EP"`).
+    pub protocol: String,
+    /// The task system under test.
+    pub tasks: TaskSet,
+    /// The platform to partition onto.
+    pub platform: Platform,
+    /// Analysis tuning knobs (variant, caps, pruning).
+    pub config: AnalysisConfig,
+    /// Resource-partitioning heuristic.
+    pub heuristic: ResourceHeuristic,
+}
+
+impl AnalysisRequest {
+    /// The canonical structural key of this request.
+    ///
+    /// See [`structural_key`]; this is the cache key `dpcp-serve` uses
+    /// and the provenance stamped into the verdict.
+    pub fn structural_key(&self) -> u64 {
+        structural_key(
+            &self.tasks,
+            &self.platform,
+            &self.config,
+            self.heuristic,
+            &self.protocol,
+        )
+    }
+}
+
+/// The outcome of one [`AnalysisRequest`], ready to cross a wire.
+///
+/// Deliberately partition-free: the verdict answers the admission
+/// question (schedulable, per-task bounds, truncation) without
+/// committing the consumer to a placement representation. Consumers
+/// that need the witness partition (the fuzz oracle) keep it next to
+/// the verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisVerdict {
+    /// The protocol that produced this verdict.
+    pub protocol: String,
+    /// Whether the task system was admitted.
+    pub schedulable: bool,
+    /// Per-task WCRT bounds, in task order (empty when rejected before
+    /// analysis, e.g. infeasible resource allocation).
+    pub task_bounds: Vec<TaskBound>,
+    /// Whether any task's path enumeration hit a cap (bounds mix in the
+    /// EN fallback; still sound, coarser).
+    pub truncated: bool,
+    /// Partitioning rounds used (Algorithm 1's outer loop).
+    pub rounds: usize,
+    /// Why the set was rejected, when it was.
+    pub reason: Option<UnschedulableReason>,
+    /// Cache provenance: the request's canonical [`structural_key`],
+    /// as 16 lowercase hex digits. Identical requests carry identical
+    /// keys, so a cached verdict is byte-identical to a cold one —
+    /// hit/miss status travels out of band (the server's
+    /// `X-Verdict-Cache` header), never in the body.
+    pub cache_key: String,
+}
+
+impl AnalysisVerdict {
+    /// Builds a verdict from a [`PartitionOutcome`] and the request's
+    /// structural key.
+    pub fn from_outcome(protocol: &str, key: u64, outcome: &PartitionOutcome) -> Self {
+        match outcome {
+            PartitionOutcome::Schedulable { report, rounds, .. } => AnalysisVerdict {
+                protocol: protocol.to_string(),
+                schedulable: report.schedulable,
+                task_bounds: report.task_bounds.clone(),
+                truncated: report.truncated,
+                rounds: *rounds,
+                reason: None,
+                cache_key: key_hex(key),
+            },
+            PartitionOutcome::Unschedulable { reason, rounds } => AnalysisVerdict {
+                protocol: protocol.to_string(),
+                schedulable: false,
+                task_bounds: Vec::new(),
+                truncated: false,
+                rounds: *rounds,
+                reason: Some(reason.clone()),
+                cache_key: key_hex(key),
+            },
+        }
+    }
+}
+
+/// Formats a structural key the way verdicts carry it: 16 lowercase
+/// hex digits.
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+/// 64-bit FNV-1a, the same digest the campaign engine fingerprints
+/// grids with (kept private to each crate on purpose: the *constants*
+/// are a spec, the helper is trivial).
+#[derive(Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Domain-separation tags so structurally different inputs can't
+/// collide by concatenation (e.g. a predecessor list ending where a
+/// successor list begins).
+const TAG_VERTEX: u64 = 0x01;
+const TAG_PREDS: u64 = 0x02;
+const TAG_SUCCS: u64 = 0x03;
+const TAG_TASK: u64 = 0x04;
+const TAG_EDGES: u64 = 0x05;
+const TAG_SET: u64 = 0x06;
+const TAG_CONFIG: u64 = 0x07;
+
+/// WL refinement rounds. Colours stabilise after at most the DAG
+/// diameter; generated DAGs are small, so a modest cap bounds worst-case
+/// cost without giving up discrimination on any set this repo produces.
+const WL_ROUNDS_CAP: usize = 24;
+
+/// Canonical key of one task, invariant under vertex relabelling.
+fn task_key(task: &DagTask) -> u64 {
+    let dag = task.dag();
+    let n = dag.vertex_count();
+
+    // Initial colour: what the analysis reads per vertex in isolation.
+    let mut colors: Vec<u64> = (0..n)
+        .map(|x| {
+            let spec = task.vertex(VertexId::new(x));
+            let mut h = Fnv1a::new();
+            h.write_u64(TAG_VERTEX);
+            h.write_u64(spec.wcet().as_ns());
+            for req in spec.requests() {
+                h.write_usize(req.resource.index());
+                h.write_u64(u64::from(req.count));
+            }
+            h.finish()
+        })
+        .collect();
+
+    // Weisfeiler–Lehman refinement: fold in the sorted colours of each
+    // vertex's predecessors and successors until stable (or the cap).
+    let mut next = vec![0u64; n];
+    let mut buf: Vec<u64> = Vec::new();
+    for _ in 0..n.min(WL_ROUNDS_CAP) {
+        for x in 0..n {
+            let v = VertexId::new(x);
+            let mut h = Fnv1a::new();
+            h.write_u64(colors[x]);
+            for (tag, neighbours) in [
+                (TAG_PREDS, dag.predecessors(v)),
+                (TAG_SUCCS, dag.successors(v)),
+            ] {
+                buf.clear();
+                buf.extend(neighbours.iter().map(|p| colors[p.index()]));
+                buf.sort_unstable();
+                h.write_u64(tag);
+                h.write_usize(buf.len());
+                for &c in &buf {
+                    h.write_u64(c);
+                }
+            }
+            next[x] = h.finish();
+        }
+        if next == colors {
+            break;
+        }
+        std::mem::swap(&mut colors, &mut next);
+    }
+
+    let mut h = Fnv1a::new();
+    h.write_u64(TAG_TASK);
+    h.write_u64(task.period().as_ns());
+    h.write_u64(task.deadline().as_ns());
+    h.write_u64(u64::from(task.priority().level()));
+
+    // Critical-section lengths, in resource order (already canonical).
+    let mut cs: Vec<(usize, u64)> = task
+        .resources()
+        .filter_map(|q| task.cs_length(q).map(|len| (q.index(), len.as_ns())))
+        .collect();
+    cs.sort_unstable();
+    h.write_usize(cs.len());
+    for (q, len) in cs {
+        h.write_usize(q);
+        h.write_u64(len);
+    }
+
+    // Vertex colour multiset.
+    let mut sorted = colors.clone();
+    sorted.sort_unstable();
+    h.write_usize(n);
+    for c in &sorted {
+        h.write_u64(*c);
+    }
+
+    // Directed edge multiset over final colours.
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    for x in 0..n {
+        let v = VertexId::new(x);
+        for s in dag.successors(v) {
+            edges.push((colors[x], colors[s.index()]));
+        }
+    }
+    edges.sort_unstable();
+    h.write_u64(TAG_EDGES);
+    h.write_usize(edges.len());
+    for (from, to) in edges {
+        h.write_u64(from);
+        h.write_u64(to);
+    }
+
+    h.finish()
+}
+
+/// The canonical structural hash of one analysis problem.
+///
+/// Invariant under task reordering and DAG vertex relabelling;
+/// sensitive to every input the analysis reads. See the module docs
+/// for the construction and the collision trade-off.
+pub fn structural_key(
+    tasks: &TaskSet,
+    platform: &Platform,
+    config: &AnalysisConfig,
+    heuristic: ResourceHeuristic,
+    protocol: &str,
+) -> u64 {
+    let mut keys: Vec<u64> = tasks.iter().map(task_key).collect();
+    keys.sort_unstable();
+
+    let mut h = Fnv1a::new();
+    h.write_u64(TAG_SET);
+    h.write_usize(platform.processor_count());
+    h.write_usize(tasks.resource_count());
+    h.write_usize(keys.len());
+    for k in keys {
+        h.write_u64(k);
+    }
+
+    h.write_u64(TAG_CONFIG);
+    h.write_u64(match config.variant {
+        AnalysisVariant::EnumeratePaths => 0,
+        AnalysisVariant::EnumerateRequestCounts => 1,
+    });
+    h.write_usize(config.path_signature_cap);
+    h.write_u64(config.path_visit_cap);
+    h.write_usize(config.max_fixpoint_iterations);
+    h.write_u64(u64::from(config.prune_dominated));
+    h.write_bytes(format!("{heuristic}").as_bytes());
+    h.write_usize(protocol.len());
+    h.write_bytes(protocol.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcp_model::{Dag, DagTask, ModelError, RequestSpec, ResourceId, TaskId, Time, VertexSpec};
+
+    /// A diamond task 0 → {1, 2} → 3 with distinguishable middle
+    /// vertices, built under an arbitrary relabelling `perm` (perm[x]
+    /// is the new index of logical vertex x).
+    fn diamond(id: usize, period_ms: u64, perm: [usize; 4]) -> Result<DagTask, ModelError> {
+        let logical_specs = [
+            VertexSpec::new(Time::from_us(100)),
+            VertexSpec::with_requests(
+                Time::from_us(200),
+                [RequestSpec::new(ResourceId::new(0), 2)],
+            ),
+            VertexSpec::with_requests(
+                Time::from_us(300),
+                [RequestSpec::new(ResourceId::new(1), 1)],
+            ),
+            VertexSpec::new(Time::from_us(150)),
+        ];
+        let logical_edges = [(0, 1), (0, 2), (1, 3), (2, 3)];
+
+        let mut specs: Vec<Option<VertexSpec>> = vec![None; 4];
+        for (logical, spec) in logical_specs.into_iter().enumerate() {
+            specs[perm[logical]] = Some(spec);
+        }
+        let edges: Vec<(usize, usize)> = logical_edges
+            .iter()
+            .map(|&(a, b)| (perm[a], perm[b]))
+            .collect();
+        let dag = Dag::new(4, edges)?;
+        DagTask::builder(TaskId::new(id), Time::from_ms(period_ms))
+            .dag(dag)
+            .vertex_specs(specs.into_iter().map(|s| s.expect("perm is a bijection")))
+            .critical_section(ResourceId::new(0), Time::from_us(10))
+            .critical_section(ResourceId::new(1), Time::from_us(20))
+            .build()
+    }
+
+    fn request(tasks: TaskSet) -> AnalysisRequest {
+        AnalysisRequest {
+            protocol: "DPCP-p-EP".to_string(),
+            tasks,
+            platform: Platform::new(4).expect("m >= 2"),
+            config: AnalysisConfig::ep(),
+            heuristic: ResourceHeuristic::WorstFitDecreasing,
+        }
+    }
+
+    fn set(tasks: Vec<DagTask>) -> TaskSet {
+        TaskSet::new(tasks, 2).expect("valid set")
+    }
+
+    #[test]
+    fn task_order_permutation_keeps_the_key() {
+        let identity = [0, 1, 2, 3];
+        let a = set(vec![
+            diamond(0, 10, identity).unwrap(),
+            diamond(1, 20, identity).unwrap(),
+        ]);
+        // Same two tasks submitted in the opposite order with fresh ids:
+        // TaskSet::new reassigns RM priorities by (period, id), so the
+        // two sets are semantically identical.
+        let b = set(vec![
+            diamond(0, 20, identity).unwrap(),
+            diamond(1, 10, identity).unwrap(),
+        ]);
+        assert_eq!(
+            request(a).structural_key(),
+            request(b).structural_key(),
+            "task order must not matter"
+        );
+    }
+
+    #[test]
+    fn vertex_relabelling_keeps_the_key() {
+        let a = set(vec![diamond(0, 10, [0, 1, 2, 3]).unwrap()]);
+        // Swap the two distinguishable middle vertices and move the
+        // head to the end: same DAG up to isomorphism.
+        let b = set(vec![diamond(0, 10, [3, 2, 1, 0]).unwrap()]);
+        assert_eq!(
+            request(a).structural_key(),
+            request(b).structural_key(),
+            "vertex relabelling must not matter"
+        );
+    }
+
+    #[test]
+    fn semantic_differences_change_the_key() {
+        let identity = [0, 1, 2, 3];
+        let base = || set(vec![diamond(0, 10, identity).unwrap()]);
+        let base_key = request(base()).structural_key();
+
+        // A different period.
+        let slower = set(vec![diamond(0, 12, identity).unwrap()]);
+        assert_ne!(base_key, request(slower).structural_key());
+
+        // A different platform.
+        let mut req = request(base());
+        req.platform = Platform::new(8).expect("m >= 2");
+        assert_ne!(base_key, req.structural_key());
+
+        // A different analysis config.
+        let mut req = request(base());
+        req.config.path_signature_cap = 7;
+        assert_ne!(base_key, req.structural_key());
+
+        // A different protocol.
+        let mut req = request(base());
+        req.protocol = "DPCP-p-EN".to_string();
+        assert_ne!(base_key, req.structural_key());
+
+        // A different heuristic.
+        let mut req = request(base());
+        req.heuristic = ResourceHeuristic::FirstFitDecreasing;
+        assert_ne!(base_key, req.structural_key());
+    }
+
+    #[test]
+    fn key_hex_is_sixteen_lowercase_digits() {
+        assert_eq!(key_hex(0xdead_beef), "00000000deadbeef");
+        assert_eq!(key_hex(u64::MAX), "ffffffffffffffff");
+    }
+
+    #[test]
+    fn verdict_round_trips_through_json() {
+        let tasks = set(vec![diamond(0, 10, [0, 1, 2, 3]).unwrap()]);
+        let req = request(tasks);
+        let json = serde_json::to_string(&req).expect("serialize");
+        let back: AnalysisRequest = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(req, back);
+        assert_eq!(req.structural_key(), back.structural_key());
+    }
+}

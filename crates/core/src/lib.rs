@@ -46,18 +46,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod dto;
 pub mod partition;
 pub mod protocol;
 pub mod registry;
 pub mod session;
 
-#[allow(deprecated)] // the shim stays reachable at its historical path
-pub use analysis::analyze;
 pub use analysis::{
     AnalysisConfig, AnalysisVariant, DelayBreakdown, SchedulabilityReport, TaskBound,
 };
-#[allow(deprecated)] // the shims stay reachable at their historical paths
-pub use partition::{algorithm1, partition_and_analyze};
+pub use dto::{structural_key, AnalysisRequest, AnalysisVerdict};
 pub use partition::{PartitionOutcome, ResourceHeuristic, SchedAnalyzer, UnschedulableReason};
 pub use protocol::{CeilingTable, LockDecision, ProcessorCeiling};
 pub use registry::{

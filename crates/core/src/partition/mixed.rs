@@ -67,33 +67,8 @@ fn pack_lights(
     Some(placement)
 }
 
-/// Analyses a mixed partition: Theorem 1 for heavy tasks, the sequential
-/// light-task bound for light ones, response bounds threaded in
-/// decreasing priority order.
-#[deprecated(note = "use `AnalysisSession::analyze_mixed`")]
-pub fn analyze_mixed(
-    tasks: &TaskSet,
-    partition: &Partition,
-    cfg: &AnalysisConfig,
-    cache: &SignatureCache,
-) -> SchedulabilityReport {
-    analyze_mixed_impl(tasks, partition, cfg, cache, &mut EvalScratch::new())
-}
-
-/// [`analyze_mixed`] with caller-provided evaluation scratch.
-#[deprecated(note = "use `AnalysisSession::analyze_mixed` (the session owns the scratch)")]
-pub fn analyze_mixed_scratch(
-    tasks: &TaskSet,
-    partition: &Partition,
-    cfg: &AnalysisConfig,
-    cache: &SignatureCache,
-    scratch: &mut EvalScratch,
-) -> SchedulabilityReport {
-    analyze_mixed_impl(tasks, partition, cfg, cache, scratch)
-}
-
-/// The mixed analysis shared by the session and the deprecated free
-/// functions: heavy tasks run the table-driven Theorem 1 enumeration,
+/// The mixed analysis behind `AnalysisSession::analyze_mixed`:
+/// heavy tasks run the table-driven Theorem 1 enumeration,
 /// light tasks the tabled sequential bound ([`wcrt_light_with`]) — every
 /// per-task entry point resets the task-scoped state itself, so one
 /// scratch serves all rounds.
@@ -159,35 +134,9 @@ pub(crate) fn analyze_mixed_impl(
     }
 }
 
-/// Algorithm 1 extended to mixed heavy/light task sets.
-///
-/// # Panics
-///
-/// Panics if a heavy task has `L*_i ≥ D_i` (same precondition as
-/// [`algorithm1`](crate::partition::algorithm1)).
-#[deprecated(note = "use `AnalysisSession::partition_and_analyze_mixed`")]
-pub fn algorithm1_mixed(
-    tasks: &TaskSet,
-    platform: &Platform,
-    heuristic: ResourceHeuristic,
-    cfg: AnalysisConfig,
-) -> PartitionOutcome {
-    // The historical entry point always enumerated signatures, even for
-    // the EN variant (which never reads them); the session builds an
-    // empty cache there instead — observationally identical.
-    let cache = SignatureCache::new(tasks, &cfg);
-    algorithm1_mixed_impl(
-        tasks,
-        platform,
-        heuristic,
-        &cfg,
-        &cache,
-        &mut EvalScratch::new(),
-    )
-}
-
-/// The mixed Algorithm 1 loop shared by the session and the deprecated
-/// free function: signature cache and evaluation scratch are injected so
+/// The mixed Algorithm 1 loop behind
+/// `AnalysisSession::partition_and_analyze_mixed`:
+/// signature cache and evaluation scratch are injected so
 /// one allocation serves every top-up round (and, via the session, every
 /// sample of a sweep).
 pub(crate) fn algorithm1_mixed_impl(

@@ -1,6 +1,7 @@
 //! Task and resource partitioning (Sec. V, Algorithm 1).
 //!
-//! [`algorithm1`] reproduces the paper's iterative loop: every task starts
+//! [`AnalysisSession::partition_with`](crate::AnalysisSession::partition_with)
+//! reproduces the paper's iterative loop: every task starts
 //! with `m_i = ⌈(C_i − L*_i)/(D_i − L*_i)⌉` dedicated processors; global
 //! resources are placed by Worst-Fit Decreasing ([`wfd`], Algorithm 2);
 //! tasks are analysed in decreasing priority order; the first failing task
@@ -22,13 +23,12 @@ use crate::analysis::{
 pub mod mixed;
 pub mod wfd;
 
-#[allow(deprecated)] // the shims stay reachable at their historical paths
-pub use mixed::{algorithm1_mixed, analyze_mixed, analyze_mixed_scratch};
 pub use wfd::{
     assign_resources, assign_resources_to_bins, layout_clusters, CapacityBin, ResourceHeuristic,
 };
 
-/// A schedulability analysis pluggable into [`algorithm1`].
+/// A schedulability analysis pluggable into Algorithm 1's loop
+/// ([`AnalysisSession::partition_with`](crate::AnalysisSession::partition_with)).
 pub trait SchedAnalyzer {
     /// Short name for reports (e.g. `"DPCP-p-EP"`, `"SPIN-SON"`).
     fn name(&self) -> &str;
@@ -115,7 +115,7 @@ impl SchedAnalyzer for DpcpAnalyzer {
     }
 }
 
-/// Why [`algorithm1`] declared a task set unschedulable.
+/// Why Algorithm 1 declared a task set unschedulable.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum UnschedulableReason {
     /// The initial federated assignment needs more processors than exist
@@ -157,7 +157,7 @@ impl core::fmt::Display for UnschedulableReason {
     }
 }
 
-/// The result of [`algorithm1`].
+/// The result of Algorithm 1's partitioning loop.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PartitionOutcome {
     /// A feasible placement was found and every task passed analysis.
@@ -201,44 +201,8 @@ impl PartitionOutcome {
     }
 }
 
-/// Algorithm 1: iterative task-and-resource partitioning with per-task
-/// processor top-up and resource-assignment rollback.
-///
-/// # Panics
-///
-/// Panics if a heavy task has `L*_i ≥ D_i` (no processor count can make it
-/// schedulable; the paper's generator enforces `L*_i < D_i/2`).
-#[deprecated(note = "use `AnalysisSession::partition_with` (or \
-    `AnalysisSession::partition_and_analyze` for DPCP-p itself)")]
-pub fn algorithm1(
-    tasks: &TaskSet,
-    platform: &Platform,
-    heuristic: ResourceHeuristic,
-    analyzer: &dyn SchedAnalyzer,
-) -> PartitionOutcome {
-    algorithm1_impl(
-        tasks,
-        platform,
-        heuristic,
-        analyzer,
-        &mut EvalScratch::new(),
-    )
-}
-
-/// [`algorithm1`] with caller-provided evaluation scratch.
-#[deprecated(note = "use `AnalysisSession::partition_with` (the session owns the scratch)")]
-pub fn algorithm1_scratch(
-    tasks: &TaskSet,
-    platform: &Platform,
-    heuristic: ResourceHeuristic,
-    analyzer: &dyn SchedAnalyzer,
-    scratch: &mut EvalScratch,
-) -> PartitionOutcome {
-    algorithm1_impl(tasks, platform, heuristic, analyzer, scratch)
-}
-
-/// The Algorithm 1 loop shared by the session entry points and the
-/// deprecated free functions: the analysis memo tables and buffers in
+/// The Algorithm 1 loop behind the session entry points
+/// (`partition_with`, `partition_and_analyze`): the analysis memo tables and buffers in
 /// `scratch` are reused across every partition-analyse round (and across
 /// methods when the caller shares one scratch).
 pub(crate) fn algorithm1_impl(
@@ -311,17 +275,6 @@ pub(crate) fn algorithm1_impl(
             }
         }
     }
-}
-
-/// Convenience: run Algorithm 1 with the DPCP-p analysis.
-#[deprecated(note = "use `AnalysisSession::partition_and_analyze`")]
-pub fn partition_and_analyze(
-    tasks: &TaskSet,
-    platform: &Platform,
-    heuristic: ResourceHeuristic,
-    cfg: AnalysisConfig,
-) -> PartitionOutcome {
-    crate::session::AnalysisSession::new(cfg).partition_and_analyze(tasks, platform, heuristic)
 }
 
 #[cfg(test)]

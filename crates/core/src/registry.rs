@@ -38,6 +38,7 @@
 use dpcp_model::{Platform, TaskSet};
 
 use crate::analysis::{AnalysisConfig, AnalysisVariant};
+use crate::dto::{AnalysisRequest, AnalysisVerdict};
 use crate::partition::{PartitionOutcome, ResourceHeuristic};
 use crate::session::AnalysisSession;
 
@@ -155,6 +156,35 @@ impl ProtocolRegistry {
     /// Iterates the protocols in registration order.
     pub fn iter(&self) -> impl Iterator<Item = &dyn ProtocolAnalysis> {
         self.entries.iter().map(Box::as_ref)
+    }
+
+    /// Serves one [`AnalysisRequest`]: resolves the named protocol,
+    /// evaluates it under the request's configuration (the session's own
+    /// config is restored afterwards) and packages the outcome as an
+    /// [`AnalysisVerdict`] stamped with the request's canonical
+    /// structural key. The single dispatch point the HTTP server, the
+    /// harness and fuzz replay all share.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] when no protocol of the requested name
+    /// is registered.
+    pub fn respond(
+        &self,
+        session: &mut AnalysisSession,
+        request: &AnalysisRequest,
+    ) -> Result<AnalysisVerdict, RegistryError> {
+        let protocol = self
+            .resolve(&request.protocol)
+            .ok_or_else(|| RegistryError(format!("unknown protocol '{}'", request.protocol)))?;
+        let outcome = session.with_config(request.config.clone(), |s| {
+            protocol.evaluate(s, &request.tasks, &request.platform, request.heuristic)
+        });
+        Ok(AnalysisVerdict::from_outcome(
+            &request.protocol,
+            request.structural_key(),
+            &outcome,
+        ))
     }
 }
 

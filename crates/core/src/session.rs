@@ -3,7 +3,7 @@
 //! [`EvalScratch`], replacing the former zoo of free functions
 //! (`analyze`, `analyze_with_cache[_scratch]`, `algorithm1[_scratch]`,
 //! `partition_and_analyze`, `algorithm1_mixed`, `analyze_mixed[_scratch]`
-//! — all now `#[deprecated]` shims over this type).
+//! — deprecated in one release cycle, now deleted).
 //!
 //! A session is cheap to build and reusable: the signature cache is keyed
 //! by the task set's structure plus the enumeration-relevant parts of the
@@ -173,6 +173,22 @@ impl AnalysisSession {
     /// fixed-point budget) keeps it.
     pub fn set_config(&mut self, cfg: AnalysisConfig) -> AnalysisConfig {
         core::mem::replace(&mut self.cfg, cfg)
+    }
+
+    /// The canonical structural key of analysing `tasks` on `platform`
+    /// with `protocol` under this session's configuration and
+    /// `heuristic` — [`crate::dto::structural_key`] evaluated at the
+    /// session's config. Invariant under task reordering and DAG vertex
+    /// relabelling; what the serve crate's cross-request verdict cache
+    /// is keyed by.
+    pub fn structural_key(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        heuristic: ResourceHeuristic,
+        protocol: &str,
+    ) -> u64 {
+        crate::dto::structural_key(tasks, platform, &self.cfg, heuristic, protocol)
     }
 
     /// Runs `f` under a temporarily replaced configuration (restored on

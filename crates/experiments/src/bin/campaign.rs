@@ -22,18 +22,13 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dpcp_experiments::campaign::{
-    merge_dir, run_shard, write_merged_outputs, CampaignError, ShardSpec,
-};
+use dpcp_experiments::campaign::{merge_dir, run_shard, write_merged_outputs, CampaignError};
+use dpcp_experiments::cli::SweepArgs;
 use dpcp_experiments::manifest::{CampaignManifest, CellSpec};
 
 struct Args {
     command: Command,
-    manifest: Option<PathBuf>,
-    out: Option<PathBuf>,
-    final_dir: Option<PathBuf>,
-    shard: ShardSpec,
-    quick: bool,
+    shared: SweepArgs,
     methods: bool,
 }
 
@@ -61,28 +56,18 @@ fn parse_args() -> Args {
         Some("plan") => Command::Plan,
         _ => usage(),
     };
-    let mut manifest = None;
-    let mut out = None;
-    let mut final_dir = None;
-    let mut shard = ShardSpec::single();
-    let mut quick = false;
+    let mut shared = SweepArgs::new();
     let mut methods = false;
     while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--manifest" => manifest = it.next().map(PathBuf::from),
-            "--out" => out = it.next().map(PathBuf::from),
-            "--final" => final_dir = it.next().map(PathBuf::from),
-            "--shard" => {
-                let spec = it.next().unwrap_or_else(|| usage());
-                shard = match ShardSpec::parse(&spec) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        std::process::exit(2);
-                    }
-                };
+        match shared.try_flag(&flag, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
             }
-            "--quick" => quick = true,
+        }
+        match flag.as_str() {
             "--methods" => methods = true,
             _ => usage(),
         }
@@ -90,19 +75,15 @@ fn parse_args() -> Args {
     // --methods is the manifest-free registry listing: only meaningful
     // for `plan`, and mutually exclusive with --manifest (anything else
     // would silently ignore one of the two).
-    if methods && (command != Command::Plan || manifest.is_some()) {
+    if methods && (command != Command::Plan || shared.manifest.is_some()) {
         usage()
     }
-    if manifest.is_none() && !methods {
+    if shared.manifest.is_none() && !methods {
         usage()
     }
     Args {
         command,
-        manifest,
-        out,
-        final_dir,
-        shard,
-        quick,
+        shared,
         methods,
     }
 }
@@ -160,7 +141,11 @@ fn main() -> ExitCode {
         print_methods();
         return ExitCode::SUCCESS;
     }
-    let manifest_path = args.manifest.clone().expect("parse_args enforces presence");
+    let manifest_path = args
+        .shared
+        .manifest
+        .clone()
+        .expect("parse_args enforces presence");
     let manifest = match load_manifest(&manifest_path) {
         Ok(m) => m,
         Err(e) => {
@@ -168,12 +153,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cells = manifest.cells(args.quick);
-    let out = args
-        .out
-        .clone()
-        .unwrap_or_else(|| PathBuf::from("results/campaign").join(&manifest.name));
-    describe_grid(&manifest, &cells, args.quick);
+    let cells = manifest.cells(args.shared.quick);
+    let out = args.shared.out_or("results/campaign", &manifest.name);
+    describe_grid(&manifest, &cells, args.shared.quick);
 
     let outcome = match args.command {
         Command::Plan => {
@@ -192,29 +174,32 @@ fn main() -> ExitCode {
         }
         Command::Run => {
             let started = std::time::Instant::now();
-            run_shard(&manifest, &cells, args.shard, &out, |done, total| {
+            let shard = args.shared.shard;
+            run_shard(&manifest, &cells, shard, &out, |done, total| {
                 println!(
-                    "  shard {}: {done}/{total} cells  ({:.1?})",
-                    args.shard,
+                    "  shard {shard}: {done}/{total} cells  ({:.1?})",
                     started.elapsed()
                 );
             })
             .map(|stats| {
                 println!(
-                    "shard {} complete: {} owned, {} resumed from checkpoint, {} evaluated, \
+                    "shard {shard} complete: {} owned, {} resumed from checkpoint, {} evaluated, \
                      {} failed ({:.1?}) → {}",
-                    args.shard,
                     stats.owned,
                     stats.resumed,
                     stats.evaluated,
                     stats.failed,
                     started.elapsed(),
-                    args.shard.path(&out).display(),
+                    shard.path(&out).display(),
                 );
             })
         }
         Command::Merge => merge_dir(&manifest, &cells, &out).and_then(|outcome| {
-            let final_dir = args.final_dir.clone().unwrap_or_else(|| out.join("merged"));
+            let final_dir = args
+                .shared
+                .final_dir
+                .clone()
+                .unwrap_or_else(|| out.join("merged"));
             write_merged_outputs(&outcome.results, &outcome.failures, &final_dir).map(|written| {
                 println!("merged {} cells:", outcome.results.len());
                 for path in written {

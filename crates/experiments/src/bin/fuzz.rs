@@ -25,7 +25,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dpcp_experiments::campaign::{CampaignError, ShardSpec};
+use dpcp_experiments::campaign::CampaignError;
+use dpcp_experiments::cli::SweepArgs;
 use dpcp_experiments::fuzz::{
     fuzz_merge_dir, release_label, replay_bundle, run_fuzz_shard, write_fuzz_outputs, FuzzManifest,
     ReproBundle, Verdict,
@@ -33,11 +34,7 @@ use dpcp_experiments::fuzz::{
 
 struct Args {
     command: Command,
-    manifest: Option<PathBuf>,
-    out: Option<PathBuf>,
-    final_dir: Option<PathBuf>,
-    shard: ShardSpec,
-    quick: bool,
+    shared: SweepArgs,
     canary: Option<f64>,
     bundle: Option<PathBuf>,
 }
@@ -69,29 +66,19 @@ fn parse_args() -> Args {
         Some("replay") => Command::Replay,
         _ => usage(),
     };
-    let mut manifest = None;
-    let mut out = None;
-    let mut final_dir = None;
-    let mut shard = ShardSpec::single();
-    let mut quick = false;
+    let mut shared = SweepArgs::new();
     let mut canary = None;
     let mut bundle = None;
     while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--manifest" => manifest = it.next().map(PathBuf::from),
-            "--out" => out = it.next().map(PathBuf::from),
-            "--final" => final_dir = it.next().map(PathBuf::from),
-            "--shard" => {
-                let spec = it.next().unwrap_or_else(|| usage());
-                shard = match ShardSpec::parse(&spec) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        std::process::exit(2);
-                    }
-                };
+        match shared.try_flag(&flag, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
             }
-            "--quick" => quick = true,
+        }
+        match flag.as_str() {
             "--canary" => {
                 let text = it.next().unwrap_or_else(|| usage());
                 match text.parse::<f64>() {
@@ -112,16 +99,12 @@ fn parse_args() -> Args {
         if bundle.is_none() {
             usage()
         }
-    } else if manifest.is_none() {
+    } else if shared.manifest.is_none() {
         usage()
     }
     Args {
         command,
-        manifest,
-        out,
-        final_dir,
-        shard,
-        quick,
+        shared,
         canary,
         bundle,
     }
@@ -150,9 +133,9 @@ fn replay(path: &PathBuf) -> Result<bool, CampaignError> {
         bundle.cell,
         bundle.point,
         bundle.sample,
-        bundle.tasks.len(),
+        bundle.request.tasks.len(),
         release_label(bundle.release),
-        bundle.method,
+        bundle.request.protocol,
         match bundle.canary_scale {
             Some(s) => format!(", canary scale {s}"),
             None => String::new(),
@@ -184,7 +167,11 @@ fn main() -> ExitCode {
             }
         };
     }
-    let manifest_path = args.manifest.clone().expect("parse_args enforces presence");
+    let manifest_path = args
+        .shared
+        .manifest
+        .clone()
+        .expect("parse_args enforces presence");
     let manifest = match load_manifest(&manifest_path) {
         Ok(m) => m,
         Err(e) => {
@@ -192,15 +179,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cells = manifest.cells(args.quick);
-    let out = args
-        .out
-        .clone()
-        .unwrap_or_else(|| PathBuf::from("results/fuzz").join(&manifest.name));
+    let cells = manifest.cells(args.shared.quick);
+    let out = args.shared.out_or("results/fuzz", &manifest.name);
     println!(
         "fuzz campaign '{}'{}{}: {} cells, {} samples/point, seed {}",
         manifest.name,
-        if args.quick { " [quick]" } else { "" },
+        if args.shared.quick { " [quick]" } else { "" },
         match args.canary {
             Some(s) => format!(" [canary ×{s}]"),
             None => String::new(),
@@ -231,38 +215,41 @@ fn main() -> ExitCode {
         }
         Command::Run => {
             let started = std::time::Instant::now();
+            let shard = args.shared.shard;
             run_fuzz_shard(
                 &manifest,
                 &cells,
-                args.shard,
+                shard,
                 &out,
                 args.canary,
                 |done, total| {
                     println!(
-                        "  shard {}: {done}/{total} cells  ({:.1?})",
-                        args.shard,
+                        "  shard {shard}: {done}/{total} cells  ({:.1?})",
                         started.elapsed()
                     );
                 },
             )
             .map(|stats| {
                 println!(
-                    "shard {} complete: {} owned, {} resumed from checkpoint, {} evaluated, \
+                    "shard {shard} complete: {} owned, {} resumed from checkpoint, {} evaluated, \
                      {} failed ({:.1?}) → {}",
-                    args.shard,
                     stats.owned,
                     stats.resumed,
                     stats.evaluated,
                     stats.failed,
                     started.elapsed(),
-                    args.shard.path(&out).display(),
+                    shard.path(&out).display(),
                 );
                 ExitCode::SUCCESS
             })
         }
         Command::Merge => {
             fuzz_merge_dir(&manifest, &cells, &out, args.canary).and_then(|outcome| {
-                let final_dir = args.final_dir.clone().unwrap_or_else(|| out.join("merged"));
+                let final_dir = args
+                    .shared
+                    .final_dir
+                    .clone()
+                    .unwrap_or_else(|| out.join("merged"));
                 write_fuzz_outputs(&outcome, &final_dir).map(|written| {
                     println!("merged {} cells:", outcome.results.len());
                     for path in written {

@@ -1,0 +1,190 @@
+//! Shared CLI flags for the sweep-style binaries.
+//!
+//! `campaign`, `fuzz` and the serve binaries (`dpcp-serve`,
+//! `serve-loadgen`) all take the same core flags — `--manifest PATH`,
+//! `--out DIR`, `--final DIR`, `--shard i/n`, `--quick` — and used to
+//! carry one hand-rolled copy of the parsing each. [`SweepArgs`] is the
+//! single copy: a binary's argument loop *offers* every flag to
+//! [`SweepArgs::try_flag`] first and only matches binary-specific flags
+//! itself, so the shared surface can never drift between binaries.
+//!
+//! ```
+//! use dpcp_experiments::cli::SweepArgs;
+//!
+//! let argv = ["--quick", "--shard", "1/4", "--verbose"].map(String::from);
+//! let mut it = argv.into_iter();
+//! let mut shared = SweepArgs::new();
+//! let mut verbose = false;
+//! while let Some(flag) = it.next() {
+//!     if shared.try_flag(&flag, &mut it)? {
+//!         continue;
+//!     }
+//!     match flag.as_str() {
+//!         "--verbose" => verbose = true,
+//!         _ => panic!("usage"),
+//!     }
+//! }
+//! assert!(shared.quick && verbose);
+//! assert_eq!(shared.shard.to_string(), "1/4");
+//! # Ok::<(), dpcp_experiments::cli::CliError>(())
+//! ```
+
+use std::path::PathBuf;
+
+use crate::campaign::ShardSpec;
+
+/// A malformed value for one of the shared flags (e.g. a `--shard`
+/// spec that is not `i/n`). The sweep binaries print it and exit 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl CliError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        CliError(message.into())
+    }
+}
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The flag set shared by every sweep binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// `--manifest PATH` — the campaign/fuzz manifest.
+    pub manifest: Option<PathBuf>,
+    /// `--out DIR` — checkpoint/output directory.
+    pub out: Option<PathBuf>,
+    /// `--final DIR` — merged-output directory.
+    pub final_dir: Option<PathBuf>,
+    /// `--shard i/n` — which slice of the grid this process owns.
+    pub shard: ShardSpec,
+    /// `--quick` — the manifest's CI smoke scale.
+    pub quick: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            manifest: None,
+            out: None,
+            final_dir: None,
+            shard: ShardSpec::single(),
+            quick: false,
+        }
+    }
+}
+
+impl SweepArgs {
+    /// The empty flag set (unsharded, full scale).
+    pub fn new() -> Self {
+        SweepArgs::default()
+    }
+
+    /// Offers one flag to the shared set.
+    ///
+    /// Returns `Ok(true)` when `flag` is a shared flag and was consumed
+    /// (pulling its value from `it` when it takes one), `Ok(false)` when
+    /// it is not a shared flag (the caller matches it next).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] when a shared flag's value is missing or
+    /// malformed.
+    pub fn try_flag(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, CliError> {
+        match flag {
+            "--manifest" => self.manifest = it.next().map(PathBuf::from),
+            "--out" => self.out = it.next().map(PathBuf::from),
+            "--final" => self.final_dir = it.next().map(PathBuf::from),
+            "--shard" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--shard needs an 'i/n' spec"))?;
+                self.shard = ShardSpec::parse(&spec).map_err(|e| CliError(e.to_string()))?;
+            }
+            "--quick" => self.quick = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The output directory: `--out` when given, else `root/name` (the
+    /// sweep binaries' `results/<kind>/<campaign name>` convention).
+    pub fn out_or(&self, root: &str, name: &str) -> PathBuf {
+        self.out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(root).join(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<(SweepArgs, Vec<String>), CliError> {
+        let mut it = argv.iter().map(|s| s.to_string());
+        let mut shared = SweepArgs::new();
+        let mut rest = Vec::new();
+        while let Some(flag) = it.next() {
+            if !shared.try_flag(&flag, &mut it)? {
+                rest.push(flag);
+            }
+        }
+        Ok((shared, rest))
+    }
+
+    #[test]
+    fn consumes_shared_flags_and_passes_the_rest_through() {
+        let (shared, rest) = parse(&[
+            "--manifest",
+            "ci/smoke.json",
+            "--quick",
+            "--canary",
+            "0.05",
+            "--shard",
+            "1/2",
+            "--out",
+            "results/x",
+            "--final",
+            "merged",
+        ])
+        .expect("well-formed");
+        assert_eq!(shared.manifest.as_deref(), Some("ci/smoke.json".as_ref()));
+        assert_eq!(shared.out.as_deref(), Some("results/x".as_ref()));
+        assert_eq!(shared.final_dir.as_deref(), Some("merged".as_ref()));
+        assert_eq!((shared.shard.index, shared.shard.of), (1, 2));
+        assert!(shared.quick);
+        // Binary-specific flags fall through untouched, values included.
+        assert_eq!(rest, ["--canary", "0.05"]);
+    }
+
+    #[test]
+    fn rejects_malformed_shard_specs() {
+        assert!(parse(&["--shard"]).is_err());
+        assert!(parse(&["--shard", "nope"]).is_err());
+        assert!(parse(&["--shard", "2/2"]).is_err());
+    }
+
+    #[test]
+    fn out_or_falls_back_to_the_convention() {
+        let (shared, _) = parse(&["--quick"]).expect("well-formed");
+        assert_eq!(
+            shared.out_or("results/campaign", "smoke"),
+            PathBuf::from("results/campaign/smoke")
+        );
+        let (shared, _) = parse(&["--out", "elsewhere"]).expect("well-formed");
+        assert_eq!(
+            shared.out_or("results/campaign", "smoke"),
+            PathBuf::from("elsewhere")
+        );
+    }
+}

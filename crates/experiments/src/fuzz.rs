@@ -26,7 +26,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use dpcp_core::partition::{PartitionOutcome, ResourceHeuristic};
-use dpcp_core::{AnalysisConfig, AnalysisSession};
+use dpcp_core::{AnalysisConfig, AnalysisRequest, AnalysisSession};
 use dpcp_gen::scenario::Scenario;
 use dpcp_model::{
     Dag, DagTask, Partition, Platform, ResourceId, TaskId, TaskSet, Time, VertexSpec,
@@ -724,8 +724,6 @@ pub struct ReproBundle {
     pub scenario: Scenario,
     /// The hostile release model.
     pub release: ReleaseModel,
-    /// Registry name of the analysis under test.
-    pub method: String,
     /// Total utilization of the generated set.
     pub total_utilization: f64,
     /// Simulation seed (salted stream).
@@ -740,8 +738,11 @@ pub struct ReproBundle {
     pub original_tasks: usize,
     /// Accepted shrink mutations.
     pub shrink_steps: usize,
-    /// The minimized violating task set.
-    pub tasks: TaskSet,
+    /// The minimized violating analysis problem as a wire-stable
+    /// [`AnalysisRequest`]: protocol under test, minimized task set,
+    /// platform, analysis config and heuristic — replayable through the
+    /// same `ProtocolRegistry::respond` path the server uses.
+    pub request: AnalysisRequest,
     /// The partition the analysis accepted for the minimized set.
     pub partition: Partition,
     /// The violation observed on the minimized set.
@@ -752,13 +753,13 @@ impl ReproBundle {
     /// The oracle configuration this bundle replays under.
     pub fn oracle_config(&self) -> FuzzOracleConfig {
         FuzzOracleConfig {
-            method: self.method.clone(),
+            method: self.request.protocol.clone(),
             release: self.release,
             sim_seed: self.sim_seed,
             sim_duration: Time::from_ns(self.sim_duration_ns),
             max_events: self.max_sim_events,
             canary_scale: self.canary_scale,
-            ep_config: AnalysisConfig::ep(),
+            ep_config: self.request.config.clone(),
         }
     }
 
@@ -772,16 +773,20 @@ impl ReproBundle {
 }
 
 /// Re-runs a repro bundle end to end: analysis, simulation, verdict.
+/// The analysis inputs come straight from the bundle's embedded
+/// [`AnalysisRequest`] — nothing is reconstructed.
 ///
 /// # Errors
 ///
-/// Returns [`CampaignError`] when the bundle's platform or method cannot
-/// be reconstructed.
+/// Returns [`CampaignError`] when the bundle's method is not in the
+/// registry.
 pub fn replay_bundle(bundle: &ReproBundle) -> Result<Verdict, CampaignError> {
-    let platform = Platform::new(bundle.scenario.m).map_err(|e| {
-        CampaignError::from_message(format!("bundle platform m={}: {e}", bundle.scenario.m))
-    })?;
-    run_oracle(&bundle.tasks, &platform, &bundle.oracle_config()).map(|o| o.verdict)
+    run_oracle(
+        &bundle.request.tasks,
+        &bundle.request.platform,
+        &bundle.oracle_config(),
+    )
+    .map(|o| o.verdict)
 }
 
 // ---------------------------------------------------------------------------
@@ -918,7 +923,6 @@ fn evaluate_fuzz_point(
                         sample,
                         scenario: cell.scenario.clone(),
                         release: cell.release,
-                        method: cell.method.clone(),
                         total_utilization: utilization,
                         sim_seed: cfg.sim_seed,
                         sim_duration_ns: cfg.sim_duration.as_ns(),
@@ -926,7 +930,13 @@ fn evaluate_fuzz_point(
                         canary_scale: canary,
                         original_tasks: out.samples, // overwritten below
                         shrink_steps,
-                        tasks,
+                        request: AnalysisRequest {
+                            protocol: cell.method.clone(),
+                            tasks,
+                            platform,
+                            config: cfg.ep_config.clone(),
+                            heuristic: ResourceHeuristic::WorstFitDecreasing,
+                        },
                         partition,
                         violation: report,
                     },
@@ -975,7 +985,7 @@ pub fn evaluate_fuzz_cell(
         let mut point = evaluate_fuzz_point(cell, pi, u, canary)?;
         for v in &mut point.violations {
             v.bundle.campaign = campaign.to_string();
-            v.bundle.original_tasks = v.bundle.tasks.len().max(v.bundle.original_tasks);
+            v.bundle.original_tasks = v.bundle.request.tasks.len().max(v.bundle.original_tasks);
         }
         points.push(point);
     }

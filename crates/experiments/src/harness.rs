@@ -11,7 +11,7 @@
 use std::sync::OnceLock;
 
 use dpcp_core::partition::ResourceHeuristic;
-use dpcp_core::{AnalysisConfig, AnalysisSession, ProtocolRegistry};
+use dpcp_core::{AnalysisConfig, AnalysisRequest, AnalysisSession, ProtocolRegistry};
 use dpcp_gen::scenario::Scenario;
 use dpcp_model::{Platform, TaskSet};
 use rand::rngs::StdRng;
@@ -237,13 +237,16 @@ impl AcceptanceCurve {
 /// campaign ablation cell that only compares DPCP-p variants skips the
 /// baseline protocols entirely).
 ///
-/// Dispatch is pure registry traversal: `method.index()` selects the
-/// [`ProtocolAnalysis`](dpcp_core::ProtocolAnalysis) and the session
-/// supplies the shared evaluation state (one cache + scratch serves all
-/// requested methods and every partitioning round inside each; the
-/// baseline protocols simply ignore it). DPCP-p methods route task sets
-/// containing light tasks (`light_fraction > 0` scenarios) through the
-/// mixed Algorithm 1 with shared light pools — Sec. VI end to end.
+/// Dispatch goes through the wire API: one [`AnalysisRequest`] per
+/// requested method (task set cloned once, protocol name swapped per
+/// method), answered by [`ProtocolRegistry::respond`] — the same path
+/// `dpcp-serve` serves over HTTP, so harness rows and server verdicts
+/// can never disagree. The session supplies the shared evaluation state
+/// (one cache + scratch serves all requested methods and every
+/// partitioning round inside each; the baseline protocols simply ignore
+/// it). DPCP-p methods route task sets containing light tasks
+/// (`light_fraction > 0` scenarios) through the mixed Algorithm 1 with
+/// shared light pools — Sec. VI end to end.
 fn evaluate_task_set(
     tasks: &TaskSet,
     platform: &Platform,
@@ -252,12 +255,23 @@ fn evaluate_task_set(
     session: &mut AnalysisSession,
 ) -> [bool; Method::COUNT] {
     let registry = standard_registry();
+    let mut request = AnalysisRequest {
+        protocol: String::new(),
+        tasks: tasks.clone(),
+        platform: *platform,
+        config: session.config().clone(),
+        heuristic,
+    };
     let mut out = [false; Method::COUNT];
     for &method in methods {
-        let protocol = registry.entry(method.index());
-        out[method.index()] = protocol
-            .evaluate(session, tasks, platform, heuristic)
-            .is_schedulable();
+        registry
+            .entry(method.index())
+            .name()
+            .clone_into(&mut request.protocol);
+        let verdict = registry
+            .respond(session, &request)
+            .expect("every Method is registered");
+        out[method.index()] = verdict.schedulable;
     }
     out
 }

@@ -30,6 +30,7 @@
 
 pub mod ascii;
 pub mod campaign;
+pub mod cli;
 pub mod fuzz;
 pub mod harness;
 pub mod manifest;
@@ -39,6 +40,7 @@ pub use campaign::{
     evaluate_cell, merge_dir, merged_csv, run_cells, run_shard, CampaignError, CellFailure,
     CellResult, MergeOutcome, ShardSpec,
 };
+pub use cli::{CliError, SweepArgs};
 pub use fuzz::{
     fuzz_merge_dir, replay_bundle, run_fuzz_shard, shrink_violation, FuzzManifest,
     FuzzMergeOutcome, FuzzOracleConfig, ReproBundle, Verdict, ViolationKind,

@@ -1,0 +1,189 @@
+//! A deliberately minimal HTTP/1.1 layer over `std::net::TcpStream`:
+//! just enough of RFC 9112 for the admission-control wire protocol
+//! (request line, headers, `Content-Length` bodies, one response per
+//! connection). Hand-rolled because the evaluation container has no
+//! crates.io access — and the protocol surface is three endpoints.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted body size (16 MiB) — a submission larger than this
+/// is rejected before allocation, not trusted.
+pub const MAX_BODY_BYTES: u64 = 16 * 1024 * 1024;
+
+/// One parsed request: method, path and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, ...), uppercased by the client.
+    pub method: String,
+    /// The request target path (query strings are kept verbatim).
+    pub path: String,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A parse failure, reported to the client as `400 Bad Request`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError(pub String);
+
+impl core::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one request from the stream. Returns `Ok(None)` when the
+/// client closed the connection before sending a request line.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] for malformed request lines, unparseable or
+/// oversized `Content-Length`s, or a body shorter than promised.
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| HttpError(format!("stream clone failed: {e}")))?,
+    );
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| HttpError(format!("read request line: {e}")))?;
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m.to_string(), p.to_string()),
+        _ => return Err(HttpError(format!("malformed request line: {line:?}"))),
+    };
+
+    let mut content_length: u64 = 0;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| HttpError(format!("read header: {e}")))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError(format!("bad content-length: {value:?}")))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+
+    let mut body = vec![0u8; content_length as usize];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError(format!("read body: {e}")))?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Writes one response and flushes. `extra_headers` are `(name, value)`
+/// pairs appended verbatim (e.g. the verdict-cache provenance header).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A client-side response: status code, lowercased `(name, value)`
+/// headers, body bytes.
+pub type Response = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// A minimal blocking client for tests and the load generator: sends
+/// one request on a fresh connection, returns `(status, headers, body)`.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] on connection failure or a malformed response.
+pub fn roundtrip(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<Response, HttpError> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| HttpError(format!("connect {addr}: {e}")))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| HttpError(format!("send: {e}")))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| HttpError(format!("read status: {e}")))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError(format!("malformed status line: {status_line:?}")))?;
+
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| HttpError(format!("read header: {e}")))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| HttpError(format!("read body: {e}")))?;
+        }
+        None => {
+            reader
+                .read_to_end(&mut body)
+                .map_err(|e| HttpError(format!("read body: {e}")))?;
+        }
+    }
+    Ok((status, headers, body))
+}

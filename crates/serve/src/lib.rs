@@ -1,0 +1,38 @@
+//! `dpcp-serve`: the admission-control service.
+//!
+//! Schedulability analysis as a long-lived service: a hand-rolled
+//! HTTP/1.1 front end (no crates.io in the evaluation container) over a
+//! pool of worker threads, each owning one resident
+//! [`AnalysisSession`](dpcp_core::AnalysisSession). Submissions arrive
+//! as [`AnalysisRequest`](dpcp_core::AnalysisRequest) JSON on
+//! `POST /analyze`, are dispatched by registry protocol name, and come
+//! back as [`AnalysisVerdict`](dpcp_core::AnalysisVerdict) JSON.
+//!
+//! The service's centerpiece is the [`cache::VerdictCache`]: verdict
+//! bodies keyed by the canonical structural hash
+//! ([`dpcp_core::structural_key`]), so a duplicate submission — same
+//! structure up to task order and vertex relabeling — short-circuits
+//! the analysis entirely and returns the *identical bytes* of the cold
+//! response, with hit/miss provenance in the `x-verdict-cache` header.
+//!
+//! Binaries:
+//!
+//! - `cargo run -p dpcp_serve --release --bin dpcp-serve -- --addr
+//!   127.0.0.1:7115` — the server,
+//! - `cargo run -p dpcp_serve --release --bin serve-loadgen -- --quick`
+//!   — the seeded duplicate-heavy load generator (self-hosts a server
+//!   when `--addr` is absent) whose report feeds `BENCH_analysis.json`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+
+pub use cache::{CacheStats, VerdictCache};
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{ServeConfig, Server};

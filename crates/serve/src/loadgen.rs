@@ -1,0 +1,290 @@
+//! A seeded, duplicate-heavy load generator for the admission-control
+//! server.
+//!
+//! The workload models an admission-control front line: a small pool of
+//! distinct submissions (drawn from the paper's scenario generator,
+//! protocols round-robined over the standard registry) replayed many
+//! times over. The duplicate-heavy mix is the point — it exercises the
+//! verdict cache's short-circuit path and lets the report quote the
+//! hit/miss latency split, the hit speedup and the byte-identity check
+//! that every response for one submission carries the same bytes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dpcp_core::{AnalysisConfig, AnalysisRequest, ResourceHeuristic};
+use dpcp_gen::{Fig2Panel, Scenario};
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::http::{roundtrip, HttpError};
+use crate::metrics::percentile;
+
+/// Load-generator tuning. All randomness flows from `seed`, so two runs
+/// with the same config replay the same submissions in the same order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadgenConfig {
+    /// Distinct submissions in the pool.
+    pub distinct: usize,
+    /// Total requests sent (`total / distinct` ≈ the duplication factor).
+    pub total: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// RNG seed for task-set sampling and schedule shuffling.
+    pub seed: u64,
+    /// Per-set total utilization handed to the scenario sampler.
+    pub utilization: f64,
+}
+
+impl LoadgenConfig {
+    /// The CI-sized workload: small pool, heavy duplication, seconds of
+    /// wall clock.
+    pub fn quick() -> Self {
+        LoadgenConfig {
+            distinct: 6,
+            total: 60,
+            clients: 4,
+            seed: 7,
+            utilization: 8.0,
+        }
+    }
+
+    /// The bench-sized workload quoted in `BENCH_analysis.json`.
+    pub fn full() -> Self {
+        LoadgenConfig {
+            distinct: 24,
+            total: 360,
+            clients: 8,
+            seed: 7,
+            utilization: 8.0,
+        }
+    }
+}
+
+/// The measured outcome of one load-generator run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub requests: u64,
+    /// Non-200 responses or transport failures.
+    pub errors: u64,
+    /// Responses tagged `x-verdict-cache: HIT`.
+    pub hits: u64,
+    /// Responses tagged `x-verdict-cache: MISS`.
+    pub misses: u64,
+    /// Median end-to-end latency over every request, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_us: u64,
+    /// Median latency of cache hits, microseconds.
+    pub hit_p50_us: u64,
+    /// Median latency of cache misses (cold analyses), microseconds.
+    pub miss_p50_us: u64,
+    /// Verdicts returned per wall-clock second.
+    pub verdicts_per_sec: f64,
+    /// `miss_p50_us / hit_p50_us` — the cache short-circuit factor.
+    pub hit_speedup: f64,
+    /// Whether every response for one submission carried identical bytes.
+    pub byte_identical: bool,
+}
+
+/// Builds the distinct submission pool: task sets sampled from the
+/// Fig. 2(a) scenario at the configured utilization, protocols
+/// round-robined over the standard registry's presentation order.
+pub fn build_requests(config: &LoadgenConfig) -> Vec<AnalysisRequest> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let scenario = Scenario::fig2(Fig2Panel::A);
+    let platform = dpcp_model::Platform::new(scenario.m).expect("scenario m >= 2");
+    let protocols: Vec<String> = dpcp_baselines::standard_registry()
+        .names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let mut requests = Vec::with_capacity(config.distinct);
+    while requests.len() < config.distinct {
+        let Ok(tasks) = scenario.sample_task_set(config.utilization, &mut rng) else {
+            continue;
+        };
+        requests.push(AnalysisRequest {
+            protocol: protocols[requests.len() % protocols.len()].clone(),
+            tasks,
+            platform,
+            config: AnalysisConfig::ep(),
+            heuristic: ResourceHeuristic::WorstFitDecreasing,
+        });
+    }
+    requests
+}
+
+/// The seeded duplicate-heavy schedule: indices into the request pool,
+/// each distinct submission appearing `total / distinct` times (plus
+/// remainder), shuffled so duplicates interleave across clients.
+pub fn build_schedule(config: &LoadgenConfig) -> Vec<usize> {
+    let mut schedule: Vec<usize> = (0..config.total).map(|i| i % config.distinct).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+    schedule.shuffle(&mut rng);
+    schedule
+}
+
+struct Sample {
+    latency_us: u64,
+    hit: bool,
+    error: bool,
+}
+
+/// Runs the configured workload against a live server at `addr` and
+/// aggregates the report.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] only for setup failures; per-request transport
+/// errors are counted in [`LoadReport::errors`] instead.
+pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, HttpError> {
+    let bodies: Vec<Arc<str>> = build_requests(config)
+        .iter()
+        .map(|r| {
+            Arc::from(
+                serde_json::to_string(r)
+                    .expect("requests always serialize")
+                    .as_str(),
+            )
+        })
+        .collect();
+    let schedule = build_schedule(config);
+
+    // First response bytes seen per distinct submission; later
+    // responses must match byte-for-byte.
+    let canonical: Arc<Mutex<Vec<Option<Vec<u8>>>>> =
+        Arc::new(Mutex::new(vec![None; bodies.len()]));
+    let identical = Arc::new(std::sync::atomic::AtomicBool::new(true));
+
+    let clients = config.clients.max(1);
+    let started = Instant::now();
+    let samples: Vec<Sample> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(clients);
+        for client in 0..clients {
+            let bodies = &bodies;
+            let schedule = &schedule;
+            let canonical = Arc::clone(&canonical);
+            let identical = Arc::clone(&identical);
+            handles.push(scope.spawn(move || {
+                let mut samples = Vec::new();
+                // Strided partition: client k sends indices k, k+K, ...
+                for &request in schedule.iter().skip(client).step_by(clients) {
+                    let body = bodies[request].as_bytes();
+                    let sent = Instant::now();
+                    let outcome = roundtrip(addr, "POST", "/analyze", body);
+                    let latency_us = sent.elapsed().as_micros() as u64;
+                    match outcome {
+                        Ok((200, headers, response)) => {
+                            let hit = headers
+                                .iter()
+                                .any(|(name, value)| name == "x-verdict-cache" && value == "HIT");
+                            let mut canonical = canonical.lock();
+                            match &canonical[request] {
+                                Some(first) if *first != response => {
+                                    identical.store(false, std::sync::atomic::Ordering::SeqCst);
+                                }
+                                Some(_) => {}
+                                None => canonical[request] = Some(response),
+                            }
+                            samples.push(Sample {
+                                latency_us,
+                                hit,
+                                error: false,
+                            });
+                        }
+                        Ok(_) | Err(_) => samples.push(Sample {
+                            latency_us,
+                            hit: false,
+                            error: true,
+                        }),
+                    }
+                }
+                samples
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+    let errors = samples.iter().filter(|s| s.error).count() as u64;
+    let mut all: Vec<u64> = samples.iter().map(|s| s.latency_us).collect();
+    let mut hits_lat: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.hit && !s.error)
+        .map(|s| s.latency_us)
+        .collect();
+    let mut misses_lat: Vec<u64> = samples
+        .iter()
+        .filter(|s| !s.hit && !s.error)
+        .map(|s| s.latency_us)
+        .collect();
+    all.sort_unstable();
+    hits_lat.sort_unstable();
+    misses_lat.sort_unstable();
+
+    let hit_p50 = percentile(&hits_lat, 50.0);
+    let miss_p50 = percentile(&misses_lat, 50.0);
+    Ok(LoadReport {
+        requests: samples.len() as u64,
+        errors,
+        hits: hits_lat.len() as u64,
+        misses: misses_lat.len() as u64,
+        p50_us: percentile(&all, 50.0),
+        p99_us: percentile(&all, 99.0),
+        hit_p50_us: hit_p50,
+        miss_p50_us: miss_p50,
+        verdicts_per_sec: (samples.len() as u64 - errors) as f64 / elapsed,
+        hit_speedup: if hit_p50 > 0 {
+            miss_p50 as f64 / hit_p50 as f64
+        } else {
+            0.0
+        },
+        byte_identical: identical.load(std::sync::atomic::Ordering::SeqCst),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_duplicate_heavy_and_seeded() {
+        let config = LoadgenConfig::quick();
+        let schedule = build_schedule(&config);
+        assert_eq!(schedule.len(), config.total);
+        for request in 0..config.distinct {
+            let copies = schedule.iter().filter(|&&r| r == request).count();
+            assert_eq!(copies, config.total / config.distinct);
+        }
+        assert_eq!(schedule, build_schedule(&config), "seeded: replayable");
+    }
+
+    #[test]
+    fn request_pool_round_robins_protocols() {
+        let config = LoadgenConfig {
+            distinct: 5,
+            total: 5,
+            clients: 1,
+            seed: 3,
+            utilization: 2.0,
+        };
+        let requests = build_requests(&config);
+        let names: Vec<&str> = requests.iter().map(|r| r.protocol.as_str()).collect();
+        assert_eq!(
+            names,
+            ["DPCP-p-EP", "DPCP-p-EN", "SPIN-SON", "LPP", "FED-FP"]
+        );
+        let replay = build_requests(&config);
+        assert_eq!(
+            requests[0].structural_key(),
+            replay[0].structural_key(),
+            "seeded: same pool"
+        );
+    }
+}

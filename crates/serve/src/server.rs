@@ -1,0 +1,299 @@
+//! The admission-control server: a listener thread feeding a
+//! `crossbeam` channel of accepted connections, drained by a pool of
+//! workers that each own one [`AnalysisSession`] (the scratch-reuse
+//! contract, per worker) and share the protocol registry, the
+//! [`VerdictCache`] and the [`Metrics`] registry.
+//!
+//! # Endpoints
+//!
+//! - `POST /analyze` — body is an [`AnalysisRequest`] in JSON; the
+//!   response is the [`AnalysisVerdict`](dpcp_core::AnalysisVerdict)
+//!   in JSON with an
+//!   `x-verdict-cache: HIT|MISS` header. Malformed JSON is `400`; an
+//!   unknown protocol name is `422`.
+//! - `GET /metrics` — cache counters, per-endpoint p50/p99 latency and
+//!   verdicts/sec as JSON.
+//! - `GET /healthz` — liveness.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver};
+use dpcp_core::{AnalysisConfig, AnalysisRequest, AnalysisSession, ProtocolRegistry};
+use parking_lot::Mutex;
+
+use crate::cache::VerdictCache;
+use crate::http::{read_request, write_response, Request};
+use crate::metrics::Metrics;
+
+/// Server tuning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (= resident `AnalysisSession`s), minimum 1.
+    pub workers: usize,
+    /// Verdict-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7115".to_string(),
+            workers: 4,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// A running server; dropping the handle leaves it running, call
+/// [`Server::shutdown`] for an orderly stop.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Shared cache, exposed for in-process consumers (the bench
+    /// harness reads final counters without an HTTP round trip).
+    pub cache: Arc<VerdictCache>,
+    /// Shared metrics registry.
+    pub metrics: Arc<Metrics>,
+}
+
+impl Server {
+    /// Binds and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn spawn(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let cache = Arc::new(VerdictCache::new(config.cache_capacity));
+        let metrics = Arc::new(Metrics::default());
+        let registry = Arc::new(dpcp_baselines::standard_registry());
+
+        let (tx, rx) = unbounded::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let registry = Arc::clone(&registry);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || worker_loop(&rx, &registry, &cache, &metrics))
+            })
+            .collect();
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // Dropping `tx` disconnects the channel; workers drain the
+            // backlog and exit.
+        });
+
+        Ok(Server {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+            cache,
+            metrics,
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains in-flight connections and joins every
+    /// thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection.
+        if let Ok(mut stream) = TcpStream::connect(self.local_addr) {
+            let _ = stream.write_all(b"");
+        }
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    registry: &ProtocolRegistry,
+    cache: &VerdictCache,
+    metrics: &Metrics,
+) {
+    // One session per worker: config, signature cache and scratch are
+    // reused across every request this worker serves.
+    let mut session = AnalysisSession::new(AnalysisConfig::ep());
+    loop {
+        // Take the next connection; holding the lock only for the
+        // dequeue, never for request handling.
+        let next = { rx.lock().recv() };
+        let Ok(mut stream) = next else { break };
+        serve_connection(&mut stream, registry, cache, metrics, &mut session);
+    }
+}
+
+fn json_error(message: &str) -> String {
+    let value = serde::Value::Object(vec![(
+        "error".to_string(),
+        serde::Value::String(message.to_string()),
+    )]);
+    serde_json::to_string(&value).expect("error bodies always serialize")
+}
+
+fn serve_connection(
+    stream: &mut TcpStream,
+    registry: &ProtocolRegistry,
+    cache: &VerdictCache,
+    metrics: &Metrics,
+    session: &mut AnalysisSession,
+) {
+    let started = Instant::now();
+    let request = match read_request(stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => return, // closed before a request line (e.g. the shutdown poke)
+        Err(e) => {
+            let body = json_error(&e.to_string());
+            let _ = write_response(stream, 400, "Bad Request", &[], body.as_bytes());
+            metrics
+                .analyze
+                .record(started.elapsed().as_micros() as u64, true);
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/analyze") => {
+            let error = handle_analyze(stream, &request, registry, cache, metrics, session);
+            metrics
+                .analyze
+                .record(started.elapsed().as_micros() as u64, error);
+        }
+        ("GET", "/metrics") => {
+            let body = serde_json::to_string_pretty(&metrics.snapshot(cache.stats()))
+                .expect("metrics snapshots always serialize");
+            let _ = write_response(stream, 200, "OK", &[], body.as_bytes());
+            metrics
+                .metrics
+                .record(started.elapsed().as_micros() as u64, false);
+        }
+        ("GET", "/healthz") => {
+            let _ = write_response(stream, 200, "OK", &[], br#"{"status":"ok"}"#);
+            metrics
+                .healthz
+                .record(started.elapsed().as_micros() as u64, false);
+        }
+        (_, path) => {
+            let body = json_error(&format!("no such endpoint: {path}"));
+            let _ = write_response(stream, 404, "Not Found", &[], body.as_bytes());
+            metrics
+                .analyze
+                .record(started.elapsed().as_micros() as u64, true);
+        }
+    }
+}
+
+/// Serves one `/analyze` request; returns whether it was an error.
+fn handle_analyze(
+    stream: &mut TcpStream,
+    request: &Request,
+    registry: &ProtocolRegistry,
+    cache: &VerdictCache,
+    metrics: &Metrics,
+    session: &mut AnalysisSession,
+) -> bool {
+    // Parse-free fast path: a byte-identical duplicate of a resident
+    // submission is served before any JSON work.
+    let raw = crate::cache::raw_key(&request.body);
+    if let Some(body) = cache.get_raw(raw) {
+        metrics.count_verdict();
+        let _ = write_response(
+            stream,
+            200,
+            "OK",
+            &[("x-verdict-cache", "HIT")],
+            body.as_bytes(),
+        );
+        return false;
+    }
+
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            let body = json_error("request body is not UTF-8");
+            let _ = write_response(stream, 400, "Bad Request", &[], body.as_bytes());
+            return true;
+        }
+    };
+    let analysis: AnalysisRequest = match serde_json::from_str(text) {
+        Ok(request) => request,
+        Err(e) => {
+            let body = json_error(&format!("malformed AnalysisRequest: {e}"));
+            let _ = write_response(stream, 400, "Bad Request", &[], body.as_bytes());
+            return true;
+        }
+    };
+
+    let key = analysis.structural_key();
+    if let Some(body) = cache.get(key, raw) {
+        metrics.count_verdict();
+        let _ = write_response(
+            stream,
+            200,
+            "OK",
+            &[("x-verdict-cache", "HIT")],
+            body.as_bytes(),
+        );
+        return false;
+    }
+
+    match registry.respond(session, &analysis) {
+        Ok(verdict) => {
+            let body: Arc<str> = Arc::from(
+                serde_json::to_string(&verdict)
+                    .expect("verdicts always serialize")
+                    .as_str(),
+            );
+            // Under a key race the first writer wins, so concurrent
+            // callers still serve identical bytes.
+            let body = cache.insert(key, raw, body);
+            metrics.count_verdict();
+            let _ = write_response(
+                stream,
+                200,
+                "OK",
+                &[("x-verdict-cache", "MISS")],
+                body.as_bytes(),
+            );
+            false
+        }
+        Err(e) => {
+            let body = json_error(&e.to_string());
+            let _ = write_response(stream, 422, "Unprocessable Entity", &[], body.as_bytes());
+            true
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Hammers one server from many client threads with a duplicate-heavy
+//! mix and checks the cache's concurrency contract: every response for
+//! one submission is byte-identical, and the hit/miss counters account
+//! for every `/analyze` request.
+
+use std::collections::HashMap;
+
+use dpcp_core::{AnalysisConfig, AnalysisRequest, ResourceHeuristic};
+use dpcp_model::{fig1, Platform};
+use dpcp_serve::http::roundtrip;
+use dpcp_serve::{ServeConfig, Server};
+
+#[test]
+fn concurrent_duplicates_stay_byte_identical_and_counted() {
+    let server = Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        cache_capacity: 64,
+    })
+    .expect("ephemeral bind");
+    let addr = server.local_addr().to_string();
+
+    // Five distinct submissions (the five registered protocols over the
+    // Fig. 1 system), each replayed by every client thread.
+    let protocols = ["DPCP-p-EP", "DPCP-p-EN", "SPIN-SON", "LPP", "FED-FP"];
+    let bodies: Vec<String> = protocols
+        .iter()
+        .map(|protocol| {
+            let request = AnalysisRequest {
+                protocol: (*protocol).to_string(),
+                tasks: fig1::task_set().expect("fig1 fixture"),
+                platform: Platform::new(4).expect("m >= 2"),
+                config: AnalysisConfig::ep(),
+                heuristic: ResourceHeuristic::WorstFitDecreasing,
+            };
+            serde_json::to_string(&request).expect("requests serialize")
+        })
+        .collect();
+
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 4;
+    let responses: Vec<(usize, Vec<u8>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..CLIENTS {
+            let addr = &addr;
+            let bodies = &bodies;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                for round in 0..ROUNDS {
+                    // Stagger the request order per client so hits and
+                    // misses interleave.
+                    for offset in 0..bodies.len() {
+                        let request = (client + round + offset) % bodies.len();
+                        let (status, _, body) =
+                            roundtrip(addr, "POST", "/analyze", bodies[request].as_bytes())
+                                .expect("roundtrip");
+                        assert_eq!(status, 200);
+                        out.push((request, body));
+                    }
+                }
+                out
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+
+    let total = (CLIENTS * ROUNDS * protocols.len()) as u64;
+    assert_eq!(responses.len() as u64, total);
+
+    let mut canonical: HashMap<usize, &[u8]> = HashMap::new();
+    for (request, body) in &responses {
+        match canonical.get(request) {
+            Some(first) => assert_eq!(
+                *first,
+                body.as_slice(),
+                "every response for one submission must be byte-identical"
+            ),
+            None => {
+                canonical.insert(*request, body);
+            }
+        }
+    }
+
+    let stats = server.cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        total,
+        "every /analyze request is either a hit or a miss"
+    );
+    assert!(
+        stats.misses >= protocols.len() as u64,
+        "each distinct submission misses at least once"
+    );
+    // Only first-round requests can race the initial insert; every
+    // later round finds its verdict resident.
+    assert!(
+        stats.hits >= ((ROUNDS - 1) * CLIENTS * protocols.len()) as u64,
+        "all post-first-round duplicates must hit"
+    );
+    assert_eq!(stats.evictions, 0, "capacity 64 never evicts 5 entries");
+
+    server.shutdown();
+}

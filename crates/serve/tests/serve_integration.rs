@@ -1,0 +1,169 @@
+//! End-to-end tests against a real socket: spawn the server, speak the
+//! wire protocol with the minimal HTTP client, and check the verdict,
+//! the cache provenance header, byte-identity and the error paths.
+
+use dpcp_core::{AnalysisConfig, AnalysisRequest, AnalysisVerdict, ResourceHeuristic};
+use dpcp_model::{fig1, Platform};
+use dpcp_serve::http::roundtrip;
+use dpcp_serve::{ServeConfig, Server};
+
+fn spawn_server() -> Server {
+    Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_capacity: 16,
+    })
+    .expect("ephemeral bind")
+}
+
+fn fig1_request(protocol: &str) -> AnalysisRequest {
+    AnalysisRequest {
+        protocol: protocol.to_string(),
+        tasks: fig1::task_set().expect("fig1 fixture"),
+        platform: Platform::new(4).expect("m >= 2"),
+        config: AnalysisConfig::ep(),
+        heuristic: ResourceHeuristic::WorstFitDecreasing,
+    }
+}
+
+fn cache_header(headers: &[(String, String)]) -> Option<&str> {
+    headers
+        .iter()
+        .find(|(name, _)| name == "x-verdict-cache")
+        .map(|(_, value)| value.as_str())
+}
+
+fn post_analyze(addr: &str, request: &AnalysisRequest) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let body = serde_json::to_string(request).expect("requests serialize");
+    roundtrip(addr, "POST", "/analyze", body.as_bytes()).expect("roundtrip")
+}
+
+#[test]
+fn analyze_returns_a_verdict_and_repeat_hits_the_cache() {
+    let server = spawn_server();
+    let addr = server.local_addr().to_string();
+    let request = fig1_request("DPCP-p-EP");
+
+    let (status, headers, cold) = post_analyze(&addr, &request);
+    assert_eq!(status, 200);
+    assert_eq!(cache_header(&headers), Some("MISS"));
+    let verdict: AnalysisVerdict =
+        serde_json::from_str(std::str::from_utf8(&cold).expect("utf-8")).expect("verdict JSON");
+    assert_eq!(verdict.protocol, "DPCP-p-EP");
+    assert!(verdict.schedulable, "Fig. 1 is schedulable under DPCP-p-EP");
+    assert_eq!(
+        verdict.cache_key,
+        format!("{:016x}", request.structural_key())
+    );
+
+    let (status, headers, warm) = post_analyze(&addr, &request);
+    assert_eq!(status, 200);
+    assert_eq!(cache_header(&headers), Some("HIT"));
+    assert_eq!(warm, cold, "cache hits must be byte-identical");
+
+    server.shutdown();
+}
+
+#[test]
+fn reencoded_submission_hits_the_structural_tier() {
+    let server = spawn_server();
+    let addr = server.local_addr().to_string();
+    let request = fig1_request("DPCP-p-EP");
+    // The same submission in two encodings: compact and pretty-printed.
+    // The raw byte tier cannot match across them, so the second request
+    // must come back via the structural key computed after parse.
+    let compact = serde_json::to_string(&request).expect("serialize");
+    let pretty = serde_json::to_string_pretty(&request).expect("serialize");
+    assert_ne!(compact, pretty, "distinct wire bytes");
+
+    let (status, headers, cold) =
+        roundtrip(&addr, "POST", "/analyze", compact.as_bytes()).expect("roundtrip");
+    assert_eq!(status, 200);
+    assert_eq!(cache_header(&headers), Some("MISS"));
+    let (status, headers, warm) =
+        roundtrip(&addr, "POST", "/analyze", pretty.as_bytes()).expect("roundtrip");
+    assert_eq!(status, 200);
+    assert_eq!(
+        cache_header(&headers),
+        Some("HIT"),
+        "a re-encoded duplicate short-circuits after parse"
+    );
+    assert_eq!(warm, cold, "structural hits serve the resident bytes");
+
+    server.shutdown();
+}
+
+#[test]
+fn distinct_protocols_miss_separately() {
+    let server = spawn_server();
+    let addr = server.local_addr().to_string();
+
+    let (_, headers_ep, body_ep) = post_analyze(&addr, &fig1_request("DPCP-p-EP"));
+    let (_, headers_en, body_en) = post_analyze(&addr, &fig1_request("DPCP-p-EN"));
+    assert_eq!(cache_header(&headers_ep), Some("MISS"));
+    assert_eq!(
+        cache_header(&headers_en),
+        Some("MISS"),
+        "protocol name is part of the structural key"
+    );
+    assert_ne!(body_ep, body_en, "verdicts carry their protocol");
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_json_is_a_400() {
+    let server = spawn_server();
+    let addr = server.local_addr().to_string();
+    let (status, _, body) = roundtrip(&addr, "POST", "/analyze", b"{not json").expect("roundtrip");
+    assert_eq!(status, 400);
+    assert!(
+        std::str::from_utf8(&body).expect("utf-8").contains("error"),
+        "error body names the failure"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn unknown_protocol_is_a_422() {
+    let server = spawn_server();
+    let addr = server.local_addr().to_string();
+    let (status, _, body) = post_analyze(&addr, &fig1_request("NO-SUCH-PROTOCOL"));
+    assert_eq!(status, 422);
+    assert!(std::str::from_utf8(&body)
+        .expect("utf-8")
+        .contains("NO-SUCH-PROTOCOL"));
+    server.shutdown();
+}
+
+#[test]
+fn metrics_and_healthz_respond() {
+    let server = spawn_server();
+    let addr = server.local_addr().to_string();
+
+    let (status, _, body) = roundtrip(&addr, "GET", "/healthz", b"").expect("roundtrip");
+    assert_eq!(status, 200);
+    assert_eq!(body, br#"{"status":"ok"}"#);
+
+    post_analyze(&addr, &fig1_request("DPCP-p-EP"));
+    post_analyze(&addr, &fig1_request("DPCP-p-EP"));
+
+    let (status, _, body) = roundtrip(&addr, "GET", "/metrics", b"").expect("roundtrip");
+    assert_eq!(status, 200);
+    let text = std::str::from_utf8(&body).expect("utf-8");
+    let snapshot: serde::Value = serde_json::from_str(text).expect("metrics JSON");
+    let serde::Value::Object(fields) = &snapshot else {
+        panic!("metrics body is an object");
+    };
+    for key in ["uptime_secs", "verdicts_per_sec", "cache", "analyze"] {
+        assert!(
+            fields.iter().any(|(name, _)| name == key),
+            "metrics carries {key}: {text}"
+        );
+    }
+
+    let (status, _, _) = roundtrip(&addr, "GET", "/nope", b"").expect("roundtrip");
+    assert_eq!(status, 404);
+
+    server.shutdown();
+}

@@ -21,18 +21,17 @@
 //! Partition, analyse and simulate the paper's Fig. 1 example:
 //!
 //! ```
-//! use dpcp_p::core::partition::{partition_and_analyze, PartitionOutcome, ResourceHeuristic};
-//! use dpcp_p::core::AnalysisConfig;
+//! use dpcp_p::core::partition::{PartitionOutcome, ResourceHeuristic};
+//! use dpcp_p::core::{AnalysisConfig, AnalysisSession};
 //! use dpcp_p::model::{fig1, Platform};
 //! use dpcp_p::sim::{simulate, SimConfig};
 //!
 //! let tasks = fig1::task_set()?;
 //! let platform = Platform::new(4)?;
-//! let outcome = partition_and_analyze(
+//! let outcome = AnalysisSession::new(AnalysisConfig::ep()).partition_and_analyze(
 //!     &tasks,
 //!     &platform,
 //!     ResourceHeuristic::WorstFitDecreasing,
-//!     AnalysisConfig::ep(),
 //! );
 //! let PartitionOutcome::Schedulable { partition, report, .. } = outcome else {
 //!     unreachable!("Fig. 1 is schedulable");

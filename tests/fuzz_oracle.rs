@@ -160,8 +160,8 @@ fn canary_bound_bug_is_caught_minimized_and_replayable() {
     );
     // Minimized: never larger than the generated set, and the recorded
     // partition matches the minimized task count.
-    assert!(bundle.tasks.len() <= bundle.original_tasks);
-    assert!(!bundle.tasks.is_empty());
+    assert!(bundle.request.tasks.len() <= bundle.original_tasks);
+    assert!(!bundle.request.tasks.is_empty());
 
     // The bundle is self-contained: a JSON round-trip replays to the
     // same violation class.

@@ -1,20 +1,18 @@
-//! Shim-equivalence suite for the `AnalysisSession` / protocol-registry
-//! redesign (the only place outside the shims themselves allowed to call
-//! the deprecated entry points): registry dispatch through a shared
-//! session must reproduce the deprecated free-function pipeline
-//! bit-identically — `PartitionOutcome`s (partitions, reports, rounds)
-//! and acceptance counts alike — for all five methods and both partition
-//! shapes (classic Algorithm 1 on purely heavy sets, mixed Algorithm 1
-//! with shared light pools on heavy/light sets).
-#![allow(deprecated)]
+//! Direct-session suite for the `AnalysisSession` / protocol-registry
+//! API (successor of the PR-5 shim-equivalence suite, now that the
+//! deprecated free functions are gone): registry dispatch through one
+//! shared session must reproduce a hand-wired per-method pipeline on
+//! fresh sessions bit-identically — `PartitionOutcome`s (partitions,
+//! reports, rounds) and acceptance counts alike — for all five methods
+//! and both partition shapes (classic Algorithm 1 on purely heavy sets,
+//! mixed Algorithm 1 with shared light pools on heavy/light sets).
+//! The suite also pins the wire layer: `ProtocolRegistry::respond`
+//! agrees with direct dispatch for every method.
 
 use dpcp_p::baselines::{standard_registry, FedFp, Lpp, SpinSon};
-use dpcp_p::core::analysis::{analyze, AnalysisConfig};
-use dpcp_p::core::partition::{
-    algorithm1, algorithm1_mixed, partition_and_analyze, DpcpAnalyzer, PartitionOutcome,
-    ResourceHeuristic,
-};
-use dpcp_p::core::{AnalysisSession, SchedAnalyzer};
+use dpcp_p::core::analysis::AnalysisConfig;
+use dpcp_p::core::partition::{PartitionOutcome, ResourceHeuristic};
+use dpcp_p::core::{AnalysisRequest, AnalysisSession, SchedAnalyzer};
 use dpcp_p::gen::scenario::Scenario;
 use dpcp_p::gen::GraphShape;
 use dpcp_p::model::{Platform, TaskSet};
@@ -38,11 +36,11 @@ fn scenario(light_fraction: f64) -> Scenario {
     }
 }
 
-/// The pre-registry dispatch, verbatim: hand-wired free-function calls
-/// per method. For task sets with light tasks the DPCP methods go
-/// through `algorithm1_mixed` (the path the registry now routes to);
-/// baselines always run the classic loop.
-fn legacy_outcome(
+/// The reference dispatch: a fresh session per call, hand-wired per
+/// method. For task sets with light tasks the DPCP methods go through
+/// the mixed Algorithm 1 (the path the registry routes to); baselines
+/// always run the classic loop via `partition_with`.
+fn reference_outcome(
     method: &str,
     tasks: &TaskSet,
     platform: &Platform,
@@ -50,30 +48,45 @@ fn legacy_outcome(
 ) -> PartitionOutcome {
     let has_lights = tasks.iter().any(|t| !t.is_heavy());
     match method {
-        "DPCP-p-EP" if has_lights => {
-            algorithm1_mixed(tasks, platform, heuristic, AnalysisConfig::ep())
+        "DPCP-p-EP" | "DPCP-p-EN" => {
+            let cfg = if method == "DPCP-p-EP" {
+                AnalysisConfig::ep()
+            } else {
+                AnalysisConfig::en()
+            };
+            let mut session = AnalysisSession::new(cfg);
+            if has_lights {
+                session.partition_and_analyze_mixed(tasks, platform, heuristic)
+            } else {
+                session.partition_and_analyze(tasks, platform, heuristic)
+            }
         }
-        "DPCP-p-EN" if has_lights => {
-            algorithm1_mixed(tasks, platform, heuristic, AnalysisConfig::en())
-        }
-        "DPCP-p-EP" => {
-            let analyzer = DpcpAnalyzer::new(tasks, AnalysisConfig::ep());
-            algorithm1(tasks, platform, heuristic, &analyzer)
-        }
-        "DPCP-p-EN" => {
-            let analyzer = DpcpAnalyzer::new(tasks, AnalysisConfig::en());
-            algorithm1(tasks, platform, heuristic, &analyzer)
-        }
-        "SPIN-SON" => algorithm1(tasks, platform, heuristic, &SpinSon::new()),
-        "LPP" => algorithm1(tasks, platform, heuristic, &Lpp::new()),
-        "FED-FP" => algorithm1(tasks, platform, heuristic, &FedFp::new()),
+        "SPIN-SON" => AnalysisSession::new(AnalysisConfig::ep()).partition_with(
+            tasks,
+            platform,
+            heuristic,
+            &SpinSon::new(),
+        ),
+        "LPP" => AnalysisSession::new(AnalysisConfig::ep()).partition_with(
+            tasks,
+            platform,
+            heuristic,
+            &Lpp::new(),
+        ),
+        "FED-FP" => AnalysisSession::new(AnalysisConfig::ep()).partition_with(
+            tasks,
+            platform,
+            heuristic,
+            &FedFp::new(),
+        ),
         other => panic!("unknown method {other}"),
     }
 }
 
 /// Seeded sweep: every generated task set, every method, registry
-/// dispatch vs the deprecated free functions — outcomes must be equal
-/// (partition, per-task report and round count included).
+/// dispatch through one shared session vs fresh-session reference
+/// pipelines — outcomes must be equal (partition, per-task report and
+/// round count included).
 fn assert_dispatch_equivalence(light_fraction: f64, heuristic: ResourceHeuristic) {
     let scenario = scenario(light_fraction);
     let platform = Platform::new(scenario.m).unwrap();
@@ -98,9 +111,9 @@ fn assert_dispatch_equivalence(light_fraction: f64, heuristic: ResourceHeuristic
             for method in METHODS {
                 let protocol = registry.resolve(method).expect("registered");
                 let via_registry = session.run(protocol, &tasks, &platform, heuristic);
-                let via_free_fns = legacy_outcome(method, &tasks, &platform, heuristic);
+                let via_reference = reference_outcome(method, &tasks, &platform, heuristic);
                 assert_eq!(
-                    via_registry, via_free_fns,
+                    via_registry, via_reference,
                     "seed {seed}, U {utilization}, {method}: registry dispatch diverged"
                 );
             }
@@ -110,24 +123,24 @@ fn assert_dispatch_equivalence(light_fraction: f64, heuristic: ResourceHeuristic
 }
 
 #[test]
-fn registry_dispatch_matches_free_functions_heavy_sets() {
+fn registry_dispatch_matches_fresh_sessions_heavy_sets() {
     assert_dispatch_equivalence(0.0, ResourceHeuristic::WorstFitDecreasing);
 }
 
 #[test]
-fn registry_dispatch_matches_free_functions_mixed_sets() {
+fn registry_dispatch_matches_fresh_sessions_mixed_sets() {
     assert_dispatch_equivalence(0.4, ResourceHeuristic::WorstFitDecreasing);
 }
 
 #[test]
-fn registry_dispatch_matches_free_functions_under_ffd_placement() {
+fn registry_dispatch_matches_fresh_sessions_under_ffd_placement() {
     assert_dispatch_equivalence(0.0, ResourceHeuristic::FirstFitDecreasing);
 }
 
 /// Acceptance counts over a small utilization sweep: the per-method
-/// accept totals of the registry path equal the free-function path's,
-/// point for point (the curve-level equivalence the fig2/tables goldens
-/// also pin at full scale).
+/// accept totals of the shared-session registry path equal the
+/// fresh-session path's, point for point (the curve-level equivalence
+/// the fig2/tables goldens also pin at full scale).
 #[test]
 fn acceptance_counts_match_point_for_point() {
     for light_fraction in [0.0, 0.3] {
@@ -136,8 +149,8 @@ fn acceptance_counts_match_point_for_point() {
         let registry = standard_registry();
         let heuristic = ResourceHeuristic::WorstFitDecreasing;
         for (point, utilization) in [2.0, 4.0, 6.0].into_iter().enumerate() {
-            let mut accepted_new = [0usize; 5];
-            let mut accepted_old = [0usize; 5];
+            let mut accepted_shared = [0usize; 5];
+            let mut accepted_fresh = [0usize; 5];
             for sample in 0..6u64 {
                 let seed = (point as u64) << 32 | sample;
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -151,49 +164,84 @@ fn acceptance_counts_match_point_for_point() {
                         .run(protocol, &tasks, &platform, heuristic)
                         .is_schedulable()
                     {
-                        accepted_new[slot] += 1;
+                        accepted_shared[slot] += 1;
                     }
-                    if legacy_outcome(method, &tasks, &platform, heuristic).is_schedulable() {
-                        accepted_old[slot] += 1;
+                    if reference_outcome(method, &tasks, &platform, heuristic).is_schedulable() {
+                        accepted_fresh[slot] += 1;
                     }
                 }
             }
             assert_eq!(
-                accepted_new, accepted_old,
+                accepted_shared, accepted_fresh,
                 "lf {light_fraction}, point {point}: acceptance counts diverged"
             );
         }
     }
 }
 
-/// The deprecated analysis shims delegate to the session — their outputs
-/// are pinned equal.
+/// The wire layer agrees with direct dispatch: for every method,
+/// `ProtocolRegistry::respond` on an `AnalysisRequest` reports the same
+/// admission decision, bounds and rounds as `AnalysisSession::run`, and
+/// stamps the request's structural key.
 #[test]
-fn deprecated_analysis_shims_delegate_to_the_session() {
-    let scenario = scenario(0.0);
+fn respond_matches_direct_dispatch() {
+    let scenario = scenario(0.3);
     let platform = Platform::new(scenario.m).unwrap();
+    let registry = standard_registry();
+    let heuristic = ResourceHeuristic::WorstFitDecreasing;
     let mut rng = StdRng::seed_from_u64(11);
     let tasks = scenario
         .sample_task_set(3.0, &mut rng)
         .expect("seed 11 generates");
-    let wfd = ResourceHeuristic::WorstFitDecreasing;
-    for cfg in [AnalysisConfig::ep(), AnalysisConfig::en()] {
-        let via_shim = partition_and_analyze(&tasks, &platform, wfd, cfg.clone());
-        let via_session =
-            AnalysisSession::new(cfg.clone()).partition_and_analyze(&tasks, &platform, wfd);
-        assert_eq!(via_shim, via_session, "variant {:?}", cfg.variant);
-        if let Some(partition) = via_session.partition() {
-            let report_shim = analyze(&tasks, partition, &cfg);
-            let report_session = AnalysisSession::new(cfg.clone()).analyze(&tasks, partition);
-            assert_eq!(report_shim, report_session, "variant {:?}", cfg.variant);
+    let mut session = AnalysisSession::new(AnalysisConfig::ep());
+    for method in METHODS {
+        let protocol = registry.resolve(method).expect("registered");
+        let outcome = session.run(protocol, &tasks, &platform, heuristic);
+        let request = AnalysisRequest {
+            protocol: method.to_string(),
+            tasks: tasks.clone(),
+            platform,
+            config: AnalysisConfig::ep(),
+            heuristic,
+        };
+        let verdict = registry
+            .respond(&mut session, &request)
+            .expect("known protocol");
+        assert_eq!(verdict.protocol, method);
+        assert_eq!(verdict.schedulable, outcome.is_schedulable(), "{method}");
+        match &outcome {
+            PartitionOutcome::Schedulable { report, rounds, .. } => {
+                assert_eq!(verdict.task_bounds, report.task_bounds, "{method}");
+                assert_eq!(verdict.truncated, report.truncated, "{method}");
+                assert_eq!(verdict.rounds, *rounds, "{method}");
+                assert_eq!(verdict.reason, None, "{method}");
+            }
+            PartitionOutcome::Unschedulable { reason, rounds } => {
+                assert!(verdict.task_bounds.is_empty(), "{method}");
+                assert_eq!(verdict.rounds, *rounds, "{method}");
+                assert_eq!(verdict.reason.as_ref(), Some(reason), "{method}");
+            }
         }
+        assert_eq!(
+            verdict.cache_key,
+            format!("{:016x}", request.structural_key()),
+            "{method}"
+        );
     }
+    let unknown = AnalysisRequest {
+        protocol: "NO-SUCH-PROTOCOL".to_string(),
+        tasks,
+        platform,
+        config: AnalysisConfig::ep(),
+        heuristic,
+    };
+    assert!(registry.respond(&mut session, &unknown).is_err());
 }
 
-/// `SchedAnalyzer` stays the low-level hook: a session-driven baseline
-/// loop equals the deprecated generic loop for every baseline analyzer.
+/// `SchedAnalyzer` stays the low-level hook: a shared-session baseline
+/// loop equals fresh-session loops for every baseline analyzer.
 #[test]
-fn partition_with_matches_deprecated_generic_loop() {
+fn partition_with_matches_fresh_session_loop() {
     let scenario = scenario(0.0);
     let platform = Platform::new(scenario.m).unwrap();
     let mut rng = StdRng::seed_from_u64(5);
@@ -204,8 +252,9 @@ fn partition_with_matches_deprecated_generic_loop() {
     let analyzers: [&dyn SchedAnalyzer; 3] = [&SpinSon::new(), &Lpp::new(), &FedFp::new()];
     let mut session = AnalysisSession::new(AnalysisConfig::ep());
     for analyzer in analyzers {
-        let via_session = session.partition_with(&tasks, &platform, wfd, analyzer);
-        let via_free_fn = algorithm1(&tasks, &platform, wfd, analyzer);
-        assert_eq!(via_session, via_free_fn, "{}", analyzer.name());
+        let via_shared = session.partition_with(&tasks, &platform, wfd, analyzer);
+        let via_fresh = AnalysisSession::new(AnalysisConfig::ep())
+            .partition_with(&tasks, &platform, wfd, analyzer);
+        assert_eq!(via_shared, via_fresh, "{}", analyzer.name());
     }
 }
