@@ -16,7 +16,7 @@ use dpcp_baselines::{Lpp, SpinSon};
 use dpcp_bench::panel_task_set;
 use dpcp_core::analysis::wcrt::{
     wcrt_for_signature, wcrt_for_signature_direct, wcrt_for_signature_with,
-    wcrt_over_signatures_direct, wcrt_over_signatures_with,
+    wcrt_over_signatures_batched, wcrt_over_signatures_direct, wcrt_over_signatures_with,
 };
 use dpcp_core::analysis::{AnalysisContext, EvalScratch, SignatureCache};
 use dpcp_core::partition::{assign_resources, ResourceHeuristic};
@@ -197,6 +197,21 @@ fn bench_wcrt_signature(c: &mut Criterion) {
             })
         },
     );
+    group.bench_function(
+        BenchmarkId::new("task_all_signatures_batched", sigs.signatures.len()),
+        |b| {
+            let mut scratch = EvalScratch::new();
+            b.iter(|| {
+                black_box(wcrt_over_signatures_batched(
+                    &ctx,
+                    busiest,
+                    sigs,
+                    &cfg,
+                    &mut scratch,
+                ))
+            })
+        },
+    );
     group.finish();
 
     // The incremental fixed-point engine vs the per-iterate scan
@@ -231,6 +246,23 @@ fn bench_wcrt_signature(c: &mut Criterion) {
     group.bench_function(
         BenchmarkId::new("task_direct_scan", sigs.signatures.len()),
         |b| b.iter(|| black_box(wcrt_over_signatures_direct(&ctx, busiest, sigs, &cfg))),
+    );
+    // The lockstep kernel over the same frontier — groups identical
+    // recurrences and retires converged orbits in place.
+    group.bench_function(
+        BenchmarkId::new("task_batched", sigs.signatures.len()),
+        |b| {
+            let mut scratch = EvalScratch::new();
+            b.iter(|| {
+                black_box(wcrt_over_signatures_batched(
+                    &ctx,
+                    busiest,
+                    sigs,
+                    &cfg,
+                    &mut scratch,
+                ))
+            })
+        },
     );
     group.finish();
 }

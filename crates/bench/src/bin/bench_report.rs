@@ -42,7 +42,7 @@ use criterion::{black_box, Criterion};
 use dpcp_bench::panel_task_set;
 use dpcp_core::analysis::wcrt::{
     wcrt_for_signature, wcrt_for_signature_direct, wcrt_for_signature_with, wcrt_over_signatures,
-    wcrt_over_signatures_direct, wcrt_over_signatures_with,
+    wcrt_over_signatures_batched, wcrt_over_signatures_direct, wcrt_over_signatures_with,
 };
 use dpcp_core::analysis::{AnalysisContext, EvalScratch, SignatureCache};
 use dpcp_core::partition::{assign_resources, layout_clusters, ResourceHeuristic};
@@ -74,6 +74,14 @@ struct HarnessComparison {
     sequential_ms: f64,
     parallel_ms: f64,
     speedup: f64,
+    /// The host's core count, recorded next to the speedup it frames: a
+    /// rayon fan-out cannot beat the sequential run without cores to
+    /// fan out to.
+    host_cores: usize,
+    /// `true` when `speedup < 1` on a single-core host — scheduling
+    /// overhead with no parallelism available, not a regression. A sub-1
+    /// speedup *with* cores available stays unflagged (and suspicious).
+    expected_on_single_core: bool,
     methods: Vec<String>,
     acceptance_ratios_sequential: Vec<f64>,
     acceptance_ratios_parallel: Vec<f64>,
@@ -236,6 +244,34 @@ fn component_benches(sample_size: usize) -> Vec<ComponentBench> {
     criterion.bench_function("fixed_point/task_direct_scan", |b| {
         b.iter(|| black_box(wcrt_over_signatures_direct(&ctx, busiest, sigs, &cfg)))
     });
+    // The batched lockstep kernel over the same frontier, against both
+    // references: `fixed_point/task_direct_scan` (per-iterate scans) and
+    // `wcrt_over_signatures/task_memoized` (the scalar warm-started
+    // sweep). One component per comparison axis, same measurement.
+    criterion.bench_function("fixed_point/task_batched", |b| {
+        let mut scratch = EvalScratch::new();
+        b.iter(|| {
+            black_box(wcrt_over_signatures_batched(
+                &ctx,
+                busiest,
+                sigs,
+                &cfg,
+                &mut scratch,
+            ))
+        })
+    });
+    criterion.bench_function("wcrt_over_signatures/task_batched", |b| {
+        let mut scratch = EvalScratch::new();
+        b.iter(|| {
+            black_box(wcrt_over_signatures_batched(
+                &ctx,
+                busiest,
+                sigs,
+                &cfg,
+                &mut scratch,
+            ))
+        })
+    });
     criterion.bench_function("analyze/task_set_ep", |b| {
         b.iter(|| black_box(AnalysisSession::new(AnalysisConfig::ep()).analyze(&tasks, &partition)))
     });
@@ -315,13 +351,21 @@ fn median_point_ms(repeats: usize, mut f: impl FnMut() -> PointResult) -> (f64, 
 /// Boots the admission-control server in-process on an ephemeral port
 /// and drives the seeded duplicate-heavy workload against it.
 fn serve_section(quick: bool) -> ServeSection {
-    let workload = if quick {
+    let mut workload = if quick {
         dpcp_serve::LoadgenConfig::quick()
     } else {
         dpcp_serve::LoadgenConfig::full()
     };
+    // Keep-alive on: the quoted latencies exclude per-request TCP dial
+    // cost, and the report carries the connection-reuse counters. A
+    // persistent connection pins its worker for the whole client
+    // session, so the pool must hold one worker per client — otherwise
+    // queued clients wait behind entire sessions and the percentiles
+    // measure head-of-line blocking, not the service.
+    workload.keep_alive = true;
     let server = dpcp_serve::Server::spawn(dpcp_serve::ServeConfig {
         addr: "127.0.0.1:0".to_string(),
+        workers: workload.clients,
         ..dpcp_serve::ServeConfig::default()
     })
     .expect("ephemeral bind");
@@ -351,6 +395,10 @@ fn harness_comparison(samples: usize, repeats: usize) -> HarnessComparison {
 
     let ratios =
         |p: &PointResult| -> Vec<f64> { Method::ALL.iter().map(|&m| p.ratio(m)).collect() };
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let speedup = sequential_ms / parallel_ms.max(f64::MIN_POSITIVE);
     HarnessComparison {
         scenario: "fig2_panel_a".to_string(),
         total_utilization: utilization,
@@ -360,7 +408,9 @@ fn harness_comparison(samples: usize, repeats: usize) -> HarnessComparison {
         threads_parallel,
         sequential_ms,
         parallel_ms,
-        speedup: sequential_ms / parallel_ms.max(f64::MIN_POSITIVE),
+        speedup,
+        host_cores,
+        expected_on_single_core: speedup < 1.0 && host_cores == 1,
         methods: Method::ALL.iter().map(|m| m.name().to_string()).collect(),
         acceptance_ratios_sequential: ratios(&seq_point),
         acceptance_ratios_parallel: ratios(&par_point),
@@ -424,11 +474,18 @@ fn main() -> ExitCode {
     println!("\n== harness point: sequential vs parallel ==");
     let harness = harness_comparison(args.samples, args.repeats);
     println!(
-        "sequential: {:.1} ms | parallel ({} threads): {:.1} ms | speedup: {:.2}x | identical: {}",
+        "sequential: {:.1} ms | parallel ({} threads): {:.1} ms | speedup: {:.2}x \
+         ({} cores{}) | identical: {}",
         harness.sequential_ms,
         harness.threads_parallel,
         harness.parallel_ms,
         harness.speedup,
+        harness.host_cores,
+        if harness.expected_on_single_core {
+            ", sub-1x expected on a single core"
+        } else {
+            ""
+        },
         harness.ratios_identical
     );
     let deterministic = harness.ratios_identical;

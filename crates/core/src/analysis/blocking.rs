@@ -64,6 +64,12 @@ impl EpsilonTable {
         self.entries.iter().copied()
     }
 
+    /// The raw `(℘_k, ε^k)` row — the batched solver stores these rows in
+    /// a flat arena and hands slices back to the blocking terms.
+    pub(crate) fn entries(&self) -> &[(ProcessorId, Time)] {
+        &self.entries
+    }
+
     /// `true` when the path requests no global resources at all.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
@@ -110,8 +116,20 @@ pub fn inter_task_blocking_tabled(
     tables: &super::demand::DemandTables,
     r: Time,
 ) -> Time {
+    inter_task_blocking_tabled_row(ctx, i, eps.entries(), tables, r)
+}
+
+/// [`inter_task_blocking_tabled`] over a raw ε row — the form the batched
+/// lockstep solver reads straight out of its ε arena.
+pub(crate) fn inter_task_blocking_tabled_row(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    eps: &[(ProcessorId, Time)],
+    tables: &super::demand::DemandTables,
+    r: Time,
+) -> Time {
     eps.iter()
-        .map(|(k, e)| e.min(tables.zeta_at(ctx, i, k, r)))
+        .map(|&(k, e)| e.min(tables.zeta_at(ctx, i, k, r)))
         .sum()
 }
 
@@ -194,6 +212,46 @@ pub fn intra_task_blocking_sig_tabled(
         }
         for &(q, n, len) in list {
             let off_path = n - sig.request_count(q).min(n);
+            if off_path > 0 {
+                total = total.saturating_add(len.saturating_mul(u64::from(off_path)));
+            }
+        }
+    }
+    total
+}
+
+/// [`intra_task_blocking_sig_tabled`] over a dense per-resource count row
+/// (`counts[q] = N^λ_{i,q}`, zero where the path requests nothing) — the
+/// batched solver scatters each signature's request vector into this row
+/// once, replacing the per-entry binary search of
+/// [`PathSignature::request_count`]. Arithmetic is identical term for
+/// term, so the value is bit-identical by the scatter invariant.
+pub(crate) fn intra_task_blocking_counts(
+    tables: &super::demand::DemandTables,
+    counts: &[u32],
+) -> Time {
+    let mut total = Time::ZERO;
+
+    // Eq. (6): local resources the path itself uses.
+    for &(q, n, len) in tables.local_resources() {
+        let n_path = counts[q.index()];
+        if n_path == 0 {
+            continue;
+        }
+        let off_path = n - n_path;
+        if off_path > 0 {
+            total = total.saturating_add(len.saturating_mul(u64::from(off_path)));
+        }
+    }
+
+    // Eq. (7): processors hosting a global resource the path requests.
+    for list in tables.eq7_lists() {
+        let sigma = list.iter().any(|&(u, _, _)| counts[u.index()] > 0);
+        if !sigma {
+            continue;
+        }
+        for &(q, n, len) in list {
+            let off_path = n - counts[q.index()].min(n);
             if off_path > 0 {
                 total = total.saturating_add(len.saturating_mul(u64::from(off_path)));
             }

@@ -56,6 +56,26 @@ pub fn intra_task_interference_tabled(tables: &DemandTables, sig: &PathSignature
     off_path_noncrit.saturating_add(local_cs)
 }
 
+/// [`intra_task_interference_tabled`] over a dense per-resource count row
+/// (`counts[q] = N^λ_{i,q}`) plus the signature's non-critical path length
+/// — the batched solver's scatter buffer replaces the per-entry binary
+/// search; bit-identical by the scatter invariant.
+pub(crate) fn intra_task_interference_counts(
+    tables: &DemandTables,
+    noncritical_len: Time,
+    counts: &[u32],
+) -> Time {
+    let off_path_noncrit = tables.noncritical_wcet().saturating_sub(noncritical_len);
+    let mut local_cs = Time::ZERO;
+    for &(q, n, len) in tables.local_resources() {
+        let off_path = n - counts[q.index()].min(n);
+        if off_path > 0 {
+            local_cs = local_cs.saturating_add(len.saturating_mul(u64::from(off_path)));
+        }
+    }
+    off_path_noncrit.saturating_add(local_cs)
+}
+
 /// Term-wise worst case of Lemma 5 for the EN variant: all of `C'_i` plus
 /// every local critical section (`N^λ_q = 0`).
 pub fn intra_task_interference_en(ctx: &AnalysisContext<'_>, i: TaskId) -> Time {
@@ -98,6 +118,19 @@ pub fn agent_interference_own_tabled(tables: &DemandTables, sig: &PathSignature)
     let mut total = Time::ZERO;
     for &(q, n, len) in tables.own_cluster() {
         let off_path = n - sig.request_count(q).min(n);
+        if off_path > 0 {
+            total = total.saturating_add(len.saturating_mul(u64::from(off_path)));
+        }
+    }
+    total
+}
+
+/// [`agent_interference_own_tabled`] over a dense per-resource count row
+/// (`counts[q] = N^λ_{i,q}`) — see [`intra_task_interference_counts`].
+pub(crate) fn agent_interference_own_counts(tables: &DemandTables, counts: &[u32]) -> Time {
+    let mut total = Time::ZERO;
+    for &(q, n, len) in tables.own_cluster() {
+        let off_path = n - counts[q.index()].min(n);
         if off_path > 0 {
             total = total.saturating_add(len.saturating_mul(u64::from(off_path)));
         }

@@ -76,6 +76,14 @@ pub struct AnalysisConfig {
     /// reference set the equivalence tests compare against.
     #[serde(default)]
     pub prune_dominated: bool,
+    /// Solve each task's EP signature frontier with the batched lockstep
+    /// kernel ([`wcrt::wcrt_over_signatures_batched`]): the frontier is
+    /// materialized into structure-of-arrays lanes, identical recurrences
+    /// collapse into groups, and all distinct groups' fixed points
+    /// advance together. On by default — asserted bit-identical to the
+    /// scalar warm-started solver (`tests/batched_kernel.rs`). Set to
+    /// `false` to route through the scalar reference sweep.
+    pub batched_fixpoint: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -86,6 +94,7 @@ impl Default for AnalysisConfig {
             path_visit_cap: 50_000,
             max_fixpoint_iterations: 512,
             prune_dominated: true,
+            batched_fixpoint: true,
         }
     }
 }
@@ -274,11 +283,12 @@ pub(crate) fn evaluate_ep_arm(
     } else {
         sigs.signatures.len()
     };
-    (
-        wcrt::wcrt_over_signatures_with(ctx, i, sigs, cfg, scratch),
-        evaluated,
-        sigs.truncated,
-    )
+    let bound = if cfg.batched_fixpoint {
+        wcrt::wcrt_over_signatures_batched(ctx, i, sigs, cfg, scratch)
+    } else {
+        wcrt::wcrt_over_signatures_with(ctx, i, sigs, cfg, scratch)
+    };
+    (bound, evaluated, sigs.truncated)
 }
 
 /// The single-task analysis primitive behind the session and the mixed

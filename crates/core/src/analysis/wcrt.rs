@@ -25,19 +25,60 @@
 //! (the recurrence is constant from there to the deadline). Every result
 //! is bit-identical to the direct per-iterate scan — see
 //! [`wcrt_for_signature_direct`] and the equivalence tests.
+//!
+//! # The batched lockstep solver
+//!
+//! [`wcrt_over_signatures_batched`] (the session default, gated by
+//! [`AnalysisConfig::batched_fixpoint`]) restructures the per-task sweep
+//! into a structure-of-arrays kernel over *lanes* and *groups*:
+//!
+//! 1. **Lane materialization.** Every signature of the task becomes a
+//!    lane — the window-independent terms `len`, `b_i`, `intra_i`,
+//!    `agent_own` plus an ε row in a shared flat arena — computed with
+//!    the same memoized request bounds and demand tables as the scalar
+//!    path, with a dense scattered per-resource count row replacing the
+//!    per-entry binary searches into the signature's request vector.
+//! 2. **Group collapse.** Each lane is interned on the spot into a
+//!    group by *recurrence identity* (equal window-independent terms and
+//!    equal ε rows define the same Theorem 1 recurrence). This
+//!    generalizes the scalar solver's single-slot consecutive
+//!    `WarmStart` memo to whole-frontier collapse: one orbit serves
+//!    every identical lane, bit-identical by definition. Groups keep
+//!    first-occurrence order, so the kernel is deterministic. A freshly
+//!    founded group takes its *birth step* — `solve_theorem1`'s
+//!    pre-checks plus first iteration — immediately: most orbits
+//!    converge (or diverge, failing the task exactly like the scalar
+//!    sweep's `?`) right there.
+//! 3. **Lockstep advance.** The orbits still iterating after their
+//!    birth step advance together, round by round, against the shared
+//!    [`DemandTables`]; converged orbits retire in place (a compacted
+//!    active list swap-removes them). Each orbit continues
+//!    `solve_theorem1`'s convergence, divergence, budget and
+//!    demand-slope early-exit semantics exactly, so every lane's outcome
+//!    — divergent `None` included — is bit-identical to the scalar
+//!    solver's.
+//! 4. **Winner materialization.** Only the binding lane's
+//!    [`PathBound`] breakdown is materialized, exactly as the scalar
+//!    sweep does, with the same earliest-maximum tie-break.
+//!
+//! The scalar solver ([`wcrt_over_signatures_with`]) and the per-iterate
+//! scans (`*_direct`) are retained as asserted-equal references; the
+//! seeded sweep in `tests/batched_kernel.rs` pins all three against each
+//! other across every registry method.
 
-use dpcp_model::{PathSignature, ResourceId, TaskId, Time};
+use dpcp_model::{PathSignature, ProcessorId, ResourceId, TaskId, Time};
 
 use super::blocking::{
-    inter_task_blocking, inter_task_blocking_tabled, intra_task_blocking, intra_task_blocking_en,
-    intra_task_blocking_sig_tabled, EpsilonTable,
+    inter_task_blocking, inter_task_blocking_tabled_row, intra_task_blocking,
+    intra_task_blocking_counts, intra_task_blocking_en, intra_task_blocking_sig_tabled,
+    EpsilonTable,
 };
 use super::context::AnalysisContext;
 use super::demand::DemandTables;
 use super::interference::{
-    agent_interference_others, agent_interference_own, agent_interference_own_en,
-    agent_interference_own_tabled, intra_task_interference, intra_task_interference_en,
-    intra_task_interference_tabled,
+    agent_interference_others, agent_interference_own, agent_interference_own_counts,
+    agent_interference_own_en, agent_interference_own_tabled, intra_task_interference,
+    intra_task_interference_counts, intra_task_interference_en, intra_task_interference_tabled,
 };
 use super::request::{fixed_point, request_blocking_bound, RequestBoundCache};
 use super::{AnalysisConfig, DelayBreakdown};
@@ -79,6 +120,9 @@ pub struct EvalScratch {
     /// The previous signature's recurrence and converged `r` — the
     /// warm-start memo.
     warm: WarmStart,
+    /// Arena-backed lane/group state of the batched lockstep solver
+    /// (allocations survive across tasks; contents are rebuilt per call).
+    batch: LaneBatch,
 }
 
 impl EvalScratch {
@@ -164,17 +208,183 @@ impl WarmStart {
     }
 }
 
+/// One distinct Theorem 1 recurrence of the batched solver — the
+/// window-independent terms, the ε-row span into the shared arena — plus
+/// its fixed-point orbit state. Lanes with equal terms and equal ε rows
+/// share one `GroupOrbit`; a retired orbit keeps its outcome in `result`.
+#[derive(Debug, Clone, Copy)]
+struct GroupOrbit {
+    /// `L(λ)` (also the orbit's start iterate).
+    len: Time,
+    /// Intra-task blocking `b_i` (Lemma 4).
+    b_i: Time,
+    /// Intra-task interference `I^intra_i` (Lemma 5).
+    intra_i: Time,
+    /// Own-agent interference (the path-dependent Lemma 6 term).
+    agent_own: Time,
+    /// `(start, end)` span of the ε row inside the shared arena.
+    eps_start: u32,
+    eps_end: u32,
+    /// Demand-slope terminal (`None`: a table fell back to the scan).
+    terminal: Option<Time>,
+    /// Current iterate.
+    x: Time,
+    /// Iterations spent against the shared budget.
+    iter: u32,
+    /// Outcome once retired (`None` = diverged/exhausted).
+    result: Option<Time>,
+}
+
+impl GroupOrbit {
+    fn terms(&self, m_i: u64, horizon: Time) -> Theorem1Terms {
+        Theorem1Terms {
+            len: self.len,
+            b_i: self.b_i,
+            intra_i: self.intra_i,
+            agent_own: self.agent_own,
+            m_i,
+            horizon,
+        }
+    }
+}
+
+/// Arena-backed lane/group state of the batched lockstep solver. Each
+/// signature becomes a *lane*; lanes are interned into recurrence-identity
+/// *groups* as they are materialized (first-occurrence order, so the
+/// kernel is deterministic), and only the group index survives per lane —
+/// every other fact about a lane is its group's, by recurrence identity.
+/// The whole-group collapse is sound by construction: lanes in one group
+/// define the *same* recurrence, so one orbit's outcome — divergent
+/// `None` included — is every member's outcome. Allocations persist
+/// across calls; contents are rebuilt per task.
+#[derive(Debug, Default)]
+struct LaneBatch {
+    /// Per-lane group index (the only per-lane state).
+    group_of: Vec<u32>,
+    /// Per-group recurrence + orbit state, first-occurrence order.
+    groups: Vec<GroupOrbit>,
+    /// Per-group recurrence-identity hash — the interning pre-filter;
+    /// equal hashes are verified field-by-field before lanes collapse.
+    g_hash: Vec<u64>,
+    /// Flat ε-row arena shared by every group.
+    eps_arena: Vec<(ProcessorId, Time)>,
+    /// Open-addressing hash table over groups (`u32::MAX` = empty) —
+    /// makes interning O(lanes) instead of a quadratic scan.
+    g_table: Vec<u32>,
+    /// Compacted list of group indices still iterating; retiring groups
+    /// swap-remove themselves (orbits are independent, so the round
+    /// order never affects any outcome).
+    active: Vec<u32>,
+    /// Dense per-resource request counts (`counts[q] = N^λ_{i,q}`) of the
+    /// signature being materialized — scattered from and un-scattered by
+    /// the signature's sparse request vector around each lane, so the
+    /// blocking/interference sums index instead of binary-searching.
+    counts: Vec<u32>,
+}
+
+impl LaneBatch {
+    /// Resets lane/group state for a task with `lanes` signatures over a
+    /// `resources`-sized universe (allocations survive).
+    fn begin(&mut self, lanes: usize, resources: usize) {
+        self.group_of.clear();
+        self.groups.clear();
+        self.g_hash.clear();
+        self.eps_arena.clear();
+        let cap = (2 * lanes.max(1)).next_power_of_two();
+        self.g_table.clear();
+        self.g_table.resize(cap, u32::MAX);
+        self.active.clear();
+        self.counts.clear();
+        self.counts.resize(resources, 0);
+    }
+
+    /// Interns one lane: finds (or creates) its recurrence-identity group
+    /// and records the membership. Returns `Some(group)` when the lane
+    /// founded a new group (whose `terminal` the caller still owes).
+    fn intern_lane(
+        &mut self,
+        len: Time,
+        b_i: Time,
+        intra_i: Time,
+        agent_own: Time,
+        eps: &[(ProcessorId, Time)],
+    ) -> Option<u32> {
+        let h = recurrence_key_hash(len, b_i, intra_i, agent_own, eps);
+        let mask = self.g_table.len() - 1;
+        let mut slot = (h as usize) & mask;
+        loop {
+            let entry = self.g_table[slot];
+            if entry == u32::MAX {
+                let g = self.groups.len() as u32;
+                let eps_start = self.eps_arena.len() as u32;
+                self.eps_arena.extend_from_slice(eps);
+                let eps_end = self.eps_arena.len() as u32;
+                self.groups.push(GroupOrbit {
+                    len,
+                    b_i,
+                    intra_i,
+                    agent_own,
+                    eps_start,
+                    eps_end,
+                    terminal: None,
+                    x: len,
+                    iter: 0,
+                    result: None,
+                });
+                self.g_hash.push(h);
+                self.g_table[slot] = g;
+                self.group_of.push(g);
+                return Some(g);
+            }
+            let cand = &self.groups[entry as usize];
+            if self.g_hash[entry as usize] == h
+                && cand.len == len
+                && cand.b_i == b_i
+                && cand.intra_i == intra_i
+                && cand.agent_own == agent_own
+                && &self.eps_arena[cand.eps_start as usize..cand.eps_end as usize] == eps
+            {
+                self.group_of.push(entry);
+                return None;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+}
+
+/// Hash of one lane's recurrence identity (FxHash-style fold, mirroring
+/// the model crate's interner mixer) — a pre-filter only; grouping always
+/// verifies candidates field-by-field.
+fn recurrence_key_hash(
+    len: Time,
+    b_i: Time,
+    intra_i: Time,
+    agent_own: Time,
+    eps: &[(ProcessorId, Time)],
+) -> u64 {
+    const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h = 0u64;
+    for v in [len.as_ns(), b_i.as_ns(), intra_i.as_ns(), agent_own.as_ns()] {
+        h = (h.rotate_left(26) ^ v).wrapping_mul(K);
+    }
+    for &(k, e) in eps {
+        h = (h.rotate_left(26) ^ k.index() as u64).wrapping_mul(K);
+        h = (h.rotate_left(26) ^ e.as_ns()).wrapping_mul(K);
+    }
+    h
+}
+
 /// One evaluation of the recurrence's right-hand side over the demand
 /// tables — bit-identical to the direct scan by the tables' contract.
 fn theorem1_rhs(
     ctx: &AnalysisContext<'_>,
     i: TaskId,
     tables: &DemandTables,
-    eps: &EpsilonTable,
+    eps: &[(ProcessorId, Time)],
     t: &Theorem1Terms,
     r: Time,
 ) -> Time {
-    let b_inter = inter_task_blocking_tabled(ctx, i, eps, tables, r);
+    let b_inter = inter_task_blocking_tabled_row(ctx, i, eps, tables, r);
     let agents = t.agent_own.saturating_add(tables.agent_at(ctx, i, r));
     t.len
         .saturating_add(b_inter)
@@ -185,9 +395,9 @@ fn theorem1_rhs(
 /// The window beyond which the recurrence's right-hand side is constant
 /// (every contributing η has taken its last step below the horizon), or
 /// `None` when some table fell back to the scan.
-fn demand_terminal_start(tables: &DemandTables, eps: &EpsilonTable) -> Option<Time> {
+fn demand_terminal_start(tables: &DemandTables, eps: &[(ProcessorId, Time)]) -> Option<Time> {
     let mut terminal = tables.agent_table()?.terminal_start();
-    for (k, _) in eps.iter() {
+    for &(k, _) in eps {
         terminal = terminal.max(tables.zeta_table(k)?.terminal_start());
     }
     Some(terminal)
@@ -207,7 +417,7 @@ fn solve_theorem1(
     ctx: &AnalysisContext<'_>,
     i: TaskId,
     tables: &DemandTables,
-    eps: &EpsilonTable,
+    eps: &[(ProcessorId, Time)],
     t: &Theorem1Terms,
     max_iters: usize,
 ) -> Option<Time> {
@@ -254,11 +464,11 @@ fn path_bound_at(
     ctx: &AnalysisContext<'_>,
     i: TaskId,
     tables: &DemandTables,
-    eps: &EpsilonTable,
+    eps: &[(ProcessorId, Time)],
     t: &Theorem1Terms,
     r: Time,
 ) -> PathBound {
-    let b_inter = inter_task_blocking_tabled(ctx, i, eps, tables, r);
+    let b_inter = inter_task_blocking_tabled_row(ctx, i, eps, tables, r);
     let agents = t.agent_own.saturating_add(tables.agent_at(ctx, i, r));
     PathBound {
         wcrt: r,
@@ -312,7 +522,7 @@ pub fn wcrt_for_signature_with(
         ctx,
         i,
         &scratch.tables,
-        &scratch.eps,
+        scratch.eps.entries(),
         &terms,
         r,
     ))
@@ -337,6 +547,7 @@ fn eval_signature_with(
         eps,
         tables,
         warm,
+        ..
     } = scratch;
     tables.ensure(ctx, i);
 
@@ -379,7 +590,14 @@ fn eval_signature_with(
     let result = if warm.matches(&terms, eps, cfg.max_fixpoint_iterations) {
         warm.result
     } else {
-        let result = solve_theorem1(ctx, i, tables, eps, &terms, cfg.max_fixpoint_iterations);
+        let result = solve_theorem1(
+            ctx,
+            i,
+            tables,
+            eps.entries(),
+            &terms,
+            cfg.max_fixpoint_iterations,
+        );
         warm.store(&terms, eps, cfg.max_fixpoint_iterations, result);
         result
     };
@@ -463,12 +681,19 @@ pub fn wcrt_en_with(
     let result = if warm.matches(&terms, eps, cfg.max_fixpoint_iterations) {
         warm.result
     } else {
-        let result = solve_theorem1(ctx, i, tables, eps, &terms, cfg.max_fixpoint_iterations);
+        let result = solve_theorem1(
+            ctx,
+            i,
+            tables,
+            eps.entries(),
+            &terms,
+            cfg.max_fixpoint_iterations,
+        );
         warm.store(&terms, eps, cfg.max_fixpoint_iterations, result);
         result
     };
     let r = result?;
-    Some(path_bound_at(ctx, i, tables, eps, &terms, r))
+    Some(path_bound_at(ctx, i, tables, eps.entries(), &terms, r))
 }
 
 /// Reference implementation of [`wcrt_for_signature`]: every
@@ -723,6 +948,207 @@ pub fn wcrt_over_signatures_with(
         )?),
         None => None,
     }
+}
+
+/// The batched lockstep counterpart of [`wcrt_over_signatures_with`]:
+/// the task's whole signature frontier is materialized into
+/// structure-of-arrays lanes, lanes with identical recurrences collapse
+/// into groups, and all distinct groups' fixed points advance together —
+/// converged groups retiring in place — before the single binding lane's
+/// breakdown is materialized. Bit-identical to the scalar sweep (and so
+/// to the `*_direct` scans) by construction; asserted by the seeded
+/// sweeps in `tests/batched_kernel.rs`.
+///
+/// This is the session default ([`AnalysisConfig::batched_fixpoint`]).
+pub fn wcrt_over_signatures_batched(
+    ctx: &AnalysisContext<'_>,
+    i: TaskId,
+    sigs: &dpcp_model::PathSignatures,
+    cfg: &AnalysisConfig,
+    scratch: &mut EvalScratch,
+) -> Option<PathBound> {
+    scratch.reset_for_task();
+    if sigs.truncated {
+        // Same truncated-task EN short-circuit as the scalar sweep.
+        return wcrt_en_with(ctx, i, cfg, scratch);
+    }
+    if sigs.signatures.is_empty() {
+        return None;
+    }
+    let task = ctx.task(i);
+    let horizon = task.deadline();
+    let m_i = ctx.cluster_size(i);
+    let max_iters = cfg.max_fixpoint_iterations;
+    let EvalScratch {
+        cache,
+        per_request,
+        eps,
+        tables,
+        batch,
+        ..
+    } = scratch;
+    tables.ensure(ctx, i);
+
+    // Phases 1+2 — lane materialization and group collapse, interleaved:
+    // the same memoized request bounds and ε rebuild as the scalar path,
+    // with the per-signature term sums reading a dense scattered count
+    // row, and each lane interned into its recurrence-identity group on
+    // the spot. A signature whose request bound already diverges fails
+    // the whole task, exactly like the scalar sweep's `?`.
+    batch.begin(sigs.signatures.len(), ctx.tasks.resource_count());
+    let mut counts = std::mem::take(&mut batch.counts);
+    for sig in &sigs.signatures {
+        for &(q, n) in sig.requests() {
+            counts[q.index()] = n;
+        }
+        let path_counts = |q: ResourceId| counts[q.index()];
+        per_request.clear();
+        for &(q, n) in sig.requests() {
+            if n == 0 || !ctx.tasks.is_global(q) {
+                continue;
+            }
+            let Some(blocking) =
+                cache.blocking_bound_tabled(ctx, i, q, &path_counts, horizon, max_iters, tables)
+            else {
+                // Un-scatter before the early return keeps the row clean
+                // for the next call (the buffer outlives this task).
+                for &(u, _) in sig.requests() {
+                    counts[u.index()] = 0;
+                }
+                batch.counts = counts;
+                return None;
+            };
+            per_request.push((q, blocking));
+        }
+        let per_request = &*per_request;
+        eps.rebuild(ctx, sig.requests().iter().copied(), |q| {
+            per_request
+                .iter()
+                .find(|&&(u, _)| u == q)
+                .map(|&(_, b)| b)
+                .unwrap_or(Time::ZERO)
+        });
+        let b_i = intra_task_blocking_counts(tables, &counts);
+        let intra_i = intra_task_interference_counts(tables, sig.noncritical_len(), &counts);
+        let agent_own = agent_interference_own_counts(tables, &counts);
+        for &(q, _) in sig.requests() {
+            counts[q.index()] = 0;
+        }
+        if let Some(g) = batch.intern_lane(sig.len(), b_i, intra_i, agent_own, eps.entries()) {
+            // Orbit birth: replay `solve_theorem1`'s pre-checks and its
+            // first iteration on the spot. Most orbits converge — or
+            // diverge — on that first step, and a divergent orbit fails
+            // the whole task immediately (the scalar sweep's `?` fires at
+            // its first divergent signature just the same, and `None` is
+            // the verdict either way). Only orbits still iterating after
+            // the birth step join the lockstep rounds.
+            let gi = g as usize;
+            let go = batch.groups[gi];
+            if go.x > horizon || max_iters == 0 {
+                batch.counts = counts;
+                return None;
+            }
+            let row = &batch.eps_arena[go.eps_start as usize..go.eps_end as usize];
+            let next = theorem1_rhs(ctx, i, tables, row, &go.terms(m_i, horizon), go.x);
+            if next == go.x {
+                batch.groups[gi].result = Some(go.x);
+            } else {
+                debug_assert!(next > go.x, "response-time recurrence must be inflationary");
+                if next > horizon {
+                    batch.counts = counts;
+                    return None;
+                }
+                // The demand-slope terminal is only consulted by orbits
+                // that failed to converge instantly, so it is computed
+                // lazily here rather than for every group.
+                let terminal = demand_terminal_start(tables, row);
+                if terminal.is_some_and(|term| go.x >= term) {
+                    // Constant right-hand side from here: the next plain
+                    // iteration must find the fixed point — iff the
+                    // budget would have reached it.
+                    if 1 < max_iters {
+                        batch.groups[gi].result = Some(next);
+                    } else {
+                        batch.counts = counts;
+                        return None;
+                    }
+                } else if 1 >= max_iters {
+                    // Budget exhaustion is divergence, as in the scalar
+                    // loop.
+                    batch.counts = counts;
+                    return None;
+                } else {
+                    batch.groups[gi].terminal = terminal;
+                    batch.groups[gi].x = next;
+                    batch.groups[gi].iter = 1;
+                    batch.active.push(g);
+                }
+            }
+        }
+    }
+    batch.counts = counts;
+
+    // Phase 3 — lockstep advance over the compacted active list. Every
+    // orbit continues `solve_theorem1` exactly where its birth step left
+    // off: same convergence / divergence / budget checks, same
+    // demand-slope early exit. Converged orbits swap out of the list in
+    // place; a divergent one fails the task immediately, as above.
+    while !batch.active.is_empty() {
+        let mut k = 0;
+        while k < batch.active.len() {
+            let gi = batch.active[k] as usize;
+            let g = batch.groups[gi];
+            let row = &batch.eps_arena[g.eps_start as usize..g.eps_end as usize];
+            let next = theorem1_rhs(ctx, i, tables, row, &g.terms(m_i, horizon), g.x);
+            let result = if next == g.x {
+                g.x
+            } else {
+                debug_assert!(next > g.x, "response-time recurrence must be inflationary");
+                if next > horizon {
+                    return None;
+                }
+                if g.terminal.is_some_and(|term| g.x >= term) {
+                    if (g.iter as usize) + 1 < max_iters {
+                        next
+                    } else {
+                        return None;
+                    }
+                } else if (g.iter as usize) + 1 >= max_iters {
+                    return None;
+                } else {
+                    batch.groups[gi].x = next;
+                    batch.groups[gi].iter = g.iter + 1;
+                    k += 1;
+                    continue;
+                }
+            };
+            batch.groups[gi].result = Some(result);
+            batch.active.swap_remove(k);
+        }
+    }
+
+    // Phase 4 — winner materialization: a divergent lane fails the task
+    // (the scalar sweep's `?`), otherwise the earliest maximum binds and
+    // only its breakdown is built. The winning lane's terms are its
+    // group's terms, by recurrence identity.
+    let mut best: Option<(Time, u32)> = None;
+    for &g in &batch.group_of {
+        let r = batch.groups[g as usize].result?;
+        if best.is_none_or(|(b, _)| r > b) {
+            best = Some((r, g));
+        }
+    }
+    let (r, g) = best?;
+    let g = batch.groups[g as usize];
+    let row = &batch.eps_arena[g.eps_start as usize..g.eps_end as usize];
+    Some(path_bound_at(
+        ctx,
+        i,
+        tables,
+        row,
+        &g.terms(m_i, horizon),
+        r,
+    ))
 }
 
 #[cfg(test)]

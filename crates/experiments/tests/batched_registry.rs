@@ -1,0 +1,45 @@
+//! The batched fixed-point kernel through the full registry: flipping
+//! `AnalysisConfig::batched_fixpoint` must not move a single acceptance
+//! count for any of the five registered methods, at any worker count.
+//!
+//! Companion to `dpcp_core/tests/batched_kernel.rs`, which asserts the
+//! kernel-level bit-identity; this suite asserts the end-to-end identity
+//! the bench harness and campaigns rely on.
+
+use dpcp_experiments::{evaluate_point, EvalConfig, Method};
+use dpcp_gen::scenario::{Fig2Panel, Scenario};
+
+#[test]
+fn batched_flag_moves_no_acceptance_count_for_any_method_or_thread_count() {
+    let scenario = Scenario::fig2(Fig2Panel::A);
+    let mut cfg = EvalConfig {
+        samples_per_point: 8,
+        seed: 2020,
+        ..EvalConfig::default()
+    };
+    // The committed default (batched on), single-threaded, is the
+    // reference every (flag, threads) combination must reproduce.
+    cfg.threads = 1;
+    cfg.ep_config.batched_fixpoint = true;
+    let reference = evaluate_point(&scenario, 8.0, 0, &cfg);
+    assert!(reference.samples > 0, "no samples generated");
+
+    for batched in [true, false] {
+        for threads in [1usize, 2, 4] {
+            cfg.threads = threads;
+            cfg.ep_config.batched_fixpoint = batched;
+            let point = evaluate_point(&scenario, 8.0, 0, &cfg);
+            assert_eq!(
+                point, reference,
+                "batched={batched}, threads={threads} drifted from the reference point"
+            );
+            for m in Method::ALL {
+                assert_eq!(
+                    point.ratio(m),
+                    reference.ratio(m),
+                    "{m} acceptance ratio drifted (batched={batched}, threads={threads})"
+                );
+            }
+        }
+    }
+}

@@ -329,6 +329,11 @@ pub fn enumerate_signatures_dp_capped(
 ) -> PathSignatures {
     let cap = cap.max(1);
     let visit_cap = visit_cap.max(1);
+    if prune_dominated {
+        // Pruned frontiers hold exactly one length per profile, which
+        // admits a much leaner representation — see the specialized loop.
+        return enumerate_signatures_dp_pruned(task, cap, visit_cap);
+    }
     let dag = task.dag();
     let n = dag.vertex_count();
 
@@ -440,7 +445,23 @@ pub fn enumerate_signatures_dp_capped(
         }
     }
 
-    // Final cross-tail dedup (and, when pruning, cross-tail dominance).
+    finish_dp(task, &interner, complete, false, truncated, extensions, cap)
+}
+
+/// The shared tail of both DP loops: cross-tail dedup (and, when pruning,
+/// cross-tail dominance), cap truncation, materialization, the guaranteed
+/// longest path and the output sort. Numbering-invariant: the result
+/// depends only on the set of `(request vector, length)` pairs behind the
+/// interned ids, never on the order ids were assigned.
+fn finish_dp(
+    task: &DagTask,
+    interner: &ProfileInterner<'_>,
+    mut complete: Vec<(u32, u64)>,
+    prune_dominated: bool,
+    mut truncated: bool,
+    extensions: u64,
+    cap: usize,
+) -> PathSignatures {
     complete.sort_unstable();
     complete.dedup();
     if prune_dominated {
@@ -468,6 +489,172 @@ pub fn enumerate_signatures_dp_capped(
         truncated,
         paths_visited: extensions,
     }
+}
+
+/// The dominance-pruned specialization of the signature DP: with pruning
+/// on, every frontier keeps exactly one (the longest) partial per request
+/// profile, so a frontier is just a `Vec<(profile, absolute length)>` —
+/// no per-profile length lists, no lazy offsets, no per-vertex sort.
+/// Per-vertex work is linear in the incoming pairs via two stamped dense
+/// arrays indexed by interned profile id:
+///
+/// - `trans_*` memoizes the `profile · vertex → profile` transition for
+///   the vertex being processed (each `(profile, vertex)` pair occurs at
+///   exactly one vertex visit, so a global memo buys nothing more),
+/// - `seen_*` dedups the outgoing profiles, folding same-profile arrivals
+///   with a running max — the dominance rule applied on the fly.
+///
+/// Cap semantics, thin-mode bail-out and the assembled output are
+/// identical to the generic loop (shared [`finish_dp`] tail; equality is
+/// pinned by the `dp_pruned_*` tests and the seeded sweeps in
+/// `tests/signature_dp.rs`).
+fn enumerate_signatures_dp_pruned(task: &DagTask, cap: usize, visit_cap: u64) -> PathSignatures {
+    let dag = task.dag();
+    let n = dag.vertex_count();
+    let mut interner = ProfileInterner::new(task);
+    let weights: Vec<u64> = (0..n)
+        .map(|x| task.vertex(VertexId::new(x)).wcet().as_ns())
+        .collect();
+
+    let mut reach: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+    let mut pending: Vec<usize> = (0..n).map(|x| dag.out_degree(VertexId::new(x))).collect();
+    let mut pool: Vec<Vec<(u32, u64)>> = Vec::new();
+    let mut complete: Vec<(u32, u64)> = Vec::new();
+    let mut extensions = 0u64;
+    let mut truncated = false;
+    let mut exhausted = false;
+
+    // Stamped scratch, one slot per interned profile; a slot is live for
+    // the current vertex iff its stamp equals the vertex epoch.
+    let mut trans_stamp: Vec<u32> = vec![0];
+    let mut trans_val: Vec<u32> = vec![0];
+    let mut seen_stamp: Vec<u32> = vec![0];
+    let mut seen_slot: Vec<u32> = vec![0];
+
+    for (epoch0, &v) in dag.topological_order().iter().enumerate() {
+        let epoch = u32::try_from(epoch0 + 1).expect("vertex count fits u32");
+        let x = v.index();
+        let w_v = weights[x];
+        let issues_requests = !task.vertex(v).requests().is_empty();
+        let mut next = pool.pop().unwrap_or_default();
+        next.clear();
+
+        if dag.is_head(v) {
+            extensions = extensions.saturating_add(1);
+            let p = if issues_requests {
+                transition_stamped(
+                    &mut interner,
+                    &mut trans_stamp,
+                    &mut trans_val,
+                    &mut seen_stamp,
+                    &mut seen_slot,
+                    0,
+                    v,
+                    epoch,
+                )
+            } else {
+                0
+            };
+            next.push((p, w_v));
+        } else {
+            for &pr in dag.predecessors(v) {
+                for &(p, len_in) in &reach[pr.index()] {
+                    extensions = extensions.saturating_add(1);
+                    let p2 = if issues_requests {
+                        transition_stamped(
+                            &mut interner,
+                            &mut trans_stamp,
+                            &mut trans_val,
+                            &mut seen_stamp,
+                            &mut seen_slot,
+                            p,
+                            v,
+                            epoch,
+                        )
+                    } else {
+                        p
+                    };
+                    let abs = len_in.saturating_add(w_v);
+                    let slot = &mut seen_stamp[p2 as usize];
+                    if *slot != epoch {
+                        *slot = epoch;
+                        seen_slot[p2 as usize] =
+                            u32::try_from(next.len()).expect("frontier fits u32");
+                        next.push((p2, abs));
+                    } else {
+                        let s = seen_slot[p2 as usize] as usize;
+                        if abs > next[s].1 {
+                            next[s].1 = abs;
+                        }
+                    }
+                }
+            }
+        }
+
+        for &pr in dag.predecessors(v) {
+            pending[pr.index()] -= 1;
+            if pending[pr.index()] == 0 {
+                pool.push(core::mem::take(&mut reach[pr.index()]));
+            }
+        }
+
+        // Same bail-out as the generic loop: either cap makes truncation
+        // inevitable, so carry only the thin spine to the sinks.
+        if next.len() > cap || extensions >= visit_cap {
+            truncated = true;
+            exhausted = true;
+        }
+        if exhausted && next.len() > 1 {
+            let best = next
+                .iter()
+                .copied()
+                .min_by(|&a, &b| interner.output_cmp(a, b))
+                .expect("non-empty frontier");
+            next.clear();
+            next.push(best);
+        }
+
+        if dag.is_tail(v) {
+            complete.extend(next.iter().copied());
+            pool.push(next);
+        } else {
+            reach[x] = next;
+        }
+    }
+
+    finish_dp(task, &interner, complete, true, truncated, extensions, cap)
+}
+
+/// The pruned loop's per-vertex transition memo: `trans_val[p]` holds
+/// `transition(p, vertex)` for the vertex whose epoch matches
+/// `trans_stamp[p]`. Grows every stamped array in lockstep when the
+/// transition interns a new profile.
+#[expect(clippy::too_many_arguments)]
+#[inline]
+fn transition_stamped(
+    interner: &mut ProfileInterner<'_>,
+    trans_stamp: &mut Vec<u32>,
+    trans_val: &mut Vec<u32>,
+    seen_stamp: &mut Vec<u32>,
+    seen_slot: &mut Vec<u32>,
+    p: u32,
+    v: VertexId,
+    epoch: u32,
+) -> u32 {
+    if trans_stamp[p as usize] == epoch {
+        return trans_val[p as usize];
+    }
+    let p2 = interner.transition_uncached(p, v);
+    let profiles = interner.profiles.len();
+    if trans_stamp.len() < profiles {
+        trans_stamp.resize(profiles, 0);
+        trans_val.resize(profiles, 0);
+        seen_stamp.resize(profiles, 0);
+        seen_slot.resize(profiles, 0);
+    }
+    trans_stamp[p as usize] = epoch;
+    trans_val[p as usize] = p2;
+    p2
 }
 
 /// Marks the virtual single-element `[0]` source list of a head vertex in
@@ -631,8 +818,11 @@ struct ProfileInterner<'a> {
     crit: Vec<Time>,
     lookup: FxHashMap<Vec<(ResourceId, u32)>, u32>,
     /// Memoized `profile · vertex → profile` transitions, keyed by the
-    /// packed word `(profile << 32) | vertex`.
+    /// packed word `(profile << 32) | vertex` (the generic loop; the
+    /// pruned loop stamps a dense per-vertex memo instead).
     transitions: FxHashMap<u64, u32>,
+    /// Candidate-profile build buffer, reused across transitions.
+    scratch: Vec<(ResourceId, u32)>,
 }
 
 impl<'a> ProfileInterner<'a> {
@@ -645,6 +835,7 @@ impl<'a> ProfileInterner<'a> {
             crit: vec![Time::ZERO],
             lookup,
             transitions: FxHashMap::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -654,18 +845,29 @@ impl<'a> ProfileInterner<'a> {
         if let Some(&t) = self.transitions.get(&key) {
             return t;
         }
-        let mut reqs = self.profiles[p as usize].clone();
+        let id = self.transition_uncached(p, v);
+        self.transitions.insert(key, id);
+        id
+    }
+
+    /// [`transition`](Self::transition) without the `(profile, vertex)`
+    /// memo: builds the candidate request vector in the reusable scratch
+    /// buffer (no allocation on the intern-hit path) and interns it.
+    fn transition_uncached(&mut self, p: u32, v: VertexId) -> u32 {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.profiles[p as usize]);
         for r in self.task.vertex(v).requests() {
-            match reqs.binary_search_by_key(&r.resource, |&(q, _)| q) {
-                Ok(i) => reqs[i].1 += r.count,
-                Err(i) => reqs.insert(i, (r.resource, r.count)),
+            match self.scratch.binary_search_by_key(&r.resource, |&(q, _)| q) {
+                Ok(i) => self.scratch[i].1 += r.count,
+                Err(i) => self.scratch.insert(i, (r.resource, r.count)),
             }
         }
-        let id = match self.lookup.get(&reqs) {
+        match self.lookup.get(&self.scratch) {
             Some(&id) => id,
             None => {
                 let id = u32::try_from(self.profiles.len()).expect("profile ids fit u32");
-                let crit = reqs
+                let crit = self
+                    .scratch
                     .iter()
                     .map(|&(q, cnt)| {
                         self.task
@@ -674,14 +876,12 @@ impl<'a> ProfileInterner<'a> {
                             .saturating_mul(u64::from(cnt))
                     })
                     .sum();
-                self.profiles.push(reqs.clone());
+                self.profiles.push(self.scratch.clone());
                 self.crit.push(crit);
-                self.lookup.insert(reqs, id);
+                self.lookup.insert(self.scratch.clone(), id);
                 id
             }
-        };
-        self.transitions.insert(key, id);
-        id
+        }
     }
 
     /// The output ordering of [`sort_signatures`] on interned

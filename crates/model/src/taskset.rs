@@ -43,12 +43,46 @@ pub enum ResourceScope {
 /// assert!(ts.task(TaskId::new(0)).priority() > ts.task(TaskId::new(1)).priority());
 /// # Ok::<(), dpcp_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TaskSet {
+    /// Shared immutable payload: a task set never changes after
+    /// construction, so `Clone` is an `Arc` bump and clones compare equal
+    /// by pointer before any deep walk — what makes the session-level
+    /// signature-cache key (a stored clone) essentially free.
+    inner: std::sync::Arc<TaskSetInner>,
+}
+
+impl PartialEq for TaskSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Clones share the payload: pointer equality settles the common
+        // case before any structural walk.
+        std::sync::Arc::ptr_eq(&self.inner, &other.inner) || self.inner == other.inner
+    }
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct TaskSetInner {
     tasks: Vec<DagTask>,
     resource_count: usize,
     /// `users[q]` = tasks using `ℓ_q` (the paper's `τ(ℓ_q)`), sorted.
     users: Vec<Vec<TaskId>>,
+}
+
+// The wire format is exactly the pre-`Arc` struct layout (`tasks` /
+// `resource_count` / `users`), so every serialized artifact — DTOs,
+// campaign checkpoints, fuzz repro bundles, golden files — is unchanged.
+impl Serialize for TaskSet {
+    fn serialize(&self) -> serde::Value {
+        self.inner.serialize()
+    }
+}
+
+impl Deserialize for TaskSet {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(TaskSet {
+            inner: std::sync::Arc::new(TaskSetInner::deserialize(value)?),
+        })
+    }
 }
 
 impl TaskSet {
@@ -102,39 +136,41 @@ impl TaskSet {
             }
         }
         Ok(TaskSet {
-            tasks,
-            resource_count,
-            users,
+            inner: std::sync::Arc::new(TaskSetInner {
+                tasks,
+                resource_count,
+                users,
+            }),
         })
     }
 
     /// Number of tasks `n`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.tasks.len()
+        self.inner.tasks.len()
     }
 
     /// `true` when the set contains no tasks.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.tasks.is_empty()
+        self.inner.tasks.is_empty()
     }
 
     /// Size of the resource universe `n_r`.
     #[inline]
     pub fn resource_count(&self) -> usize {
-        self.resource_count
+        self.inner.resource_count
     }
 
     /// All tasks in identifier order.
     #[inline]
     pub fn tasks(&self) -> &[DagTask] {
-        &self.tasks
+        &self.inner.tasks
     }
 
     /// Iterates over the tasks.
     pub fn iter(&self) -> impl Iterator<Item = &DagTask> {
-        self.tasks.iter()
+        self.inner.tasks.iter()
     }
 
     /// One task by identifier.
@@ -144,12 +180,12 @@ impl TaskSet {
     /// Panics if the identifier is out of range.
     #[inline]
     pub fn task(&self, id: TaskId) -> &DagTask {
-        &self.tasks[id.index()]
+        &self.inner.tasks[id.index()]
     }
 
     /// All resource identifiers in the universe, ascending.
     pub fn resources(&self) -> impl Iterator<Item = ResourceId> + '_ {
-        (0..self.resource_count).map(ResourceId::new)
+        (0..self.inner.resource_count).map(ResourceId::new)
     }
 
     /// The tasks using `ℓ_q` (the paper's `τ(ℓ_q)`), ascending.
@@ -159,7 +195,7 @@ impl TaskSet {
     /// Panics if the resource is out of range.
     #[inline]
     pub fn users_of(&self, resource: ResourceId) -> &[TaskId] {
-        &self.users[resource.index()]
+        &self.inner.users[resource.index()]
     }
 
     /// Classifies a resource as local or global (Sec. III-A); unused
@@ -191,7 +227,8 @@ impl TaskSet {
     /// The resource utilization
     /// `u^Φ_q = Σ_{τ_j ∈ τ} N_{j,q} · L_{j,q} / T_j` (Sec. V).
     pub fn resource_utilization(&self, resource: ResourceId) -> f64 {
-        self.tasks
+        self.inner
+            .tasks
             .iter()
             .map(|t| t.resource_utilization(resource))
             .sum()
@@ -199,7 +236,7 @@ impl TaskSet {
 
     /// Total task utilization `Σ_i U_i`.
     pub fn total_utilization(&self) -> f64 {
-        self.tasks.iter().map(DagTask::utilization).sum()
+        self.inner.tasks.iter().map(DagTask::utilization).sum()
     }
 
     /// The priority ceiling of a *global* resource as a base-priority level:
@@ -216,7 +253,7 @@ impl TaskSet {
     /// The tasks in decreasing priority order (the analysis order of
     /// Algorithm 1 line 9).
     pub fn by_decreasing_priority(&self) -> Vec<TaskId> {
-        let mut ids: Vec<TaskId> = self.tasks.iter().map(DagTask::id).collect();
+        let mut ids: Vec<TaskId> = self.inner.tasks.iter().map(DagTask::id).collect();
         ids.sort_by_key(|&i| core::cmp::Reverse(self.task(i).priority()));
         ids
     }
@@ -225,7 +262,7 @@ impl TaskSet {
     /// `Σ_i ⌈(C_i − L*_i) / (D_i − L*_i)⌉` over heavy tasks, counting light
     /// tasks as 1 (used by feasibility pre-checks).
     pub fn min_processor_demand(&self) -> usize {
-        self.tasks.iter().map(initial_processors).sum()
+        self.inner.tasks.iter().map(initial_processors).sum()
     }
 }
 
@@ -233,7 +270,7 @@ impl<'a> IntoIterator for &'a TaskSet {
     type Item = &'a DagTask;
     type IntoIter = core::slice::Iter<'a, DagTask>;
     fn into_iter(self) -> Self::IntoIter {
-        self.tasks.iter()
+        self.inner.tasks.iter()
     }
 }
 

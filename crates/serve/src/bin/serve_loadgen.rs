@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve-loadgen [--addr HOST:PORT] [--quick] [--out PATH] [--seed N]
-//!               [--expect-hits] [--min-speedup X]
+//!               [--expect-hits] [--min-speedup X] [--keep-alive]
 //! ```
 //!
 //! Without `--addr` it self-hosts a server in-process on an ephemeral
@@ -15,6 +15,11 @@
 //! when any request errored, no hit was served, or a duplicate response
 //! differed byte-for-byte. `--min-speedup X` additionally requires the
 //! hit path to be at least `X`× faster than the cold path.
+//!
+//! `--keep-alive` reuses one connection per client thread via
+//! `Connection: keep-alive` (and makes `--expect-hits` additionally
+//! assert that at least one request actually rode a reused connection);
+//! the report carries the opened/reused connection counters either way.
 
 use std::process::ExitCode;
 
@@ -27,12 +32,13 @@ struct Args {
     seed: Option<u64>,
     expect_hits: bool,
     min_speedup: Option<f64>,
+    keep_alive: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve-loadgen [--addr HOST:PORT] [--quick] [--out PATH] \
-         [--seed N] [--expect-hits] [--min-speedup X]"
+         [--seed N] [--expect-hits] [--min-speedup X] [--keep-alive]"
     );
     std::process::exit(2)
 }
@@ -45,6 +51,7 @@ fn parse_args() -> Args {
         seed: None,
         expect_hits: false,
         min_speedup: None,
+        keep_alive: false,
     };
     while let Some(flag) = it.next() {
         match args.shared.try_flag(&flag, &mut it) {
@@ -65,6 +72,7 @@ fn parse_args() -> Args {
                 );
             }
             "--expect-hits" => args.expect_hits = true,
+            "--keep-alive" => args.keep_alive = true,
             "--min-speedup" => {
                 args.min_speedup = Some(
                     it.next()
@@ -88,6 +96,7 @@ fn main() -> ExitCode {
     if let Some(seed) = args.seed {
         config.seed = seed;
     }
+    config.keep_alive = args.keep_alive;
 
     // Self-host when no server was pointed at; keep the handle so the
     // run shuts it down cleanly.
@@ -127,7 +136,8 @@ fn main() -> ExitCode {
     println!(
         "serve-loadgen: {} requests to {addr} ({} errors) | {} hits / {} misses | \
          p50 {} us, p99 {} us | hit p50 {} us vs miss p50 {} us ({:.1}x) | \
-         {:.1} verdicts/sec | byte-identical: {}",
+         {:.1} verdicts/sec | byte-identical: {} | keep-alive: {} \
+         ({} connections opened, {} reused)",
         report.requests,
         report.errors,
         report.hits,
@@ -138,7 +148,10 @@ fn main() -> ExitCode {
         report.miss_p50_us,
         report.hit_speedup,
         report.verdicts_per_sec,
-        report.byte_identical
+        report.byte_identical,
+        report.keep_alive,
+        report.connections_opened,
+        report.connections_reused
     );
 
     let out = args.shared.out_or("results/serve", "load_report.json");
@@ -160,6 +173,14 @@ fn main() -> ExitCode {
             "serve-loadgen: cache expectation failed \
              (errors {}, hits {}, byte-identical {})",
             report.errors, report.hits, report.byte_identical
+        );
+        return ExitCode::FAILURE;
+    }
+    if args.expect_hits && args.keep_alive && report.connections_reused == 0 {
+        eprintln!(
+            "serve-loadgen: keep-alive expectation failed \
+             ({} requests, {} connections opened, 0 reused)",
+            report.requests, report.connections_opened
         );
         return ExitCode::FAILURE;
     }

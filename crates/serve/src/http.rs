@@ -1,8 +1,9 @@
 //! A deliberately minimal HTTP/1.1 layer over `std::net::TcpStream`:
 //! just enough of RFC 9112 for the admission-control wire protocol
-//! (request line, headers, `Content-Length` bodies, one response per
-//! connection). Hand-rolled because the evaluation container has no
-//! crates.io access — and the protocol surface is three endpoints.
+//! (request line, headers, `Content-Length` bodies, optional
+//! `Connection: keep-alive` reuse). Hand-rolled because the evaluation
+//! container has no crates.io access — and the protocol surface is
+//! three endpoints.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -20,6 +21,10 @@ pub struct Request {
     pub path: String,
     /// The request body (empty without a `Content-Length`).
     pub body: Vec<u8>,
+    /// `true` when the client sent `Connection: keep-alive` — the server
+    /// may then serve further requests on the same connection. Absent or
+    /// `close` keeps the historical one-request-per-connection behavior.
+    pub keep_alive: bool,
 }
 
 /// A parse failure, reported to the client as `400 Bad Request`.
@@ -34,23 +39,34 @@ impl core::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
-/// Reads one request from the stream. Returns `Ok(None)` when the
-/// client closed the connection before sending a request line.
+/// Reads one request from a connection's buffered reader. Returns
+/// `Ok(None)` when the client closed the connection (or an idle
+/// keep-alive connection timed out) before sending a request line.
+///
+/// The reader must be shared across every request of a connection —
+/// a fresh `BufReader` per request would drop bytes a pipelining
+/// client already sent.
 ///
 /// # Errors
 ///
 /// Returns [`HttpError`] for malformed request lines, unparseable or
 /// oversized `Content-Length`s, or a body shorter than promised.
-pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
-    let mut reader = BufReader::new(
-        stream
-            .try_clone()
-            .map_err(|e| HttpError(format!("stream clone failed: {e}")))?,
-    );
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
     let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| HttpError(format!("read request line: {e}")))?;
+    match reader.read_line(&mut line) {
+        Ok(_) => {}
+        // An idle timeout while waiting for the *next* request of a
+        // kept-alive connection is a clean end, not a protocol error.
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            return Ok(None)
+        }
+        Err(e) => return Err(HttpError(format!("read request line: {e}"))),
+    }
     if line.is_empty() {
         return Ok(None);
     }
@@ -61,6 +77,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError
     };
 
     let mut content_length: u64 = 0;
+    let mut keep_alive = false;
     loop {
         let mut header = String::new();
         reader
@@ -76,6 +93,8 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError
                     .trim()
                     .parse()
                     .map_err(|_| HttpError(format!("bad content-length: {value:?}")))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
             }
         }
     }
@@ -89,20 +108,30 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError
     reader
         .read_exact(&mut body)
         .map_err(|e| HttpError(format!("read body: {e}")))?;
-    Ok(Some(Request { method, path, body }))
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
 }
 
 /// Writes one response and flushes. `extra_headers` are `(name, value)`
 /// pairs appended verbatim (e.g. the verdict-cache provenance header).
+/// `keep_alive` selects the `connection:` header the client will honor:
+/// `keep-alive` keeps the stream open for the next request, `close`
+/// announces the historical one-request behavior.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     reason: &str,
     extra_headers: &[(&str, &str)],
     body: &[u8],
+    keep_alive: bool,
 ) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         body.len()
     );
     for (name, value) in extra_headers {
@@ -112,8 +141,14 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    // One write for head + body: on a keep-alive connection a split
+    // write interacts with Nagle + delayed ACK (the body sits unsent
+    // until the peer acknowledges the head — tens of milliseconds per
+    // response). Coalescing sidesteps it even without TCP_NODELAY.
+    let mut message = Vec::with_capacity(head.len() + body.len());
+    message.extend_from_slice(head.as_bytes());
+    message.extend_from_slice(body);
+    stream.write_all(&message)?;
     stream.flush()
 }
 
@@ -130,17 +165,26 @@ pub type Response = (u16, Vec<(String, String)>, Vec<u8>);
 pub fn roundtrip(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<Response, HttpError> {
     let mut stream =
         TcpStream::connect(addr).map_err(|e| HttpError(format!("connect {addr}: {e}")))?;
+    let _ = stream.set_nodelay(true);
     let head = format!(
         "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
     );
+    let mut message = Vec::with_capacity(head.len() + body.len());
+    message.extend_from_slice(head.as_bytes());
+    message.extend_from_slice(body);
     stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(body))
+        .write_all(&message)
         .and_then(|()| stream.flush())
         .map_err(|e| HttpError(format!("send: {e}")))?;
 
     let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// Reads one response from a buffered reader: status line, headers, a
+/// `Content-Length` body (to end of stream without one).
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, HttpError> {
     let mut status_line = String::new();
     reader
         .read_line(&mut status_line)
@@ -186,4 +230,106 @@ pub fn roundtrip(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<Re
         }
     }
     Ok((status, headers, body))
+}
+
+/// A blocking client that reuses one connection across requests via
+/// `Connection: keep-alive`, reconnecting transparently whenever the
+/// server closes it (idle timeout, per-connection request cap, or a
+/// plain `connection: close` response). [`connects`](Self::connects)
+/// counts the TCP connections actually opened, so a caller sending `n`
+/// requests observes `n - connects()` reuses.
+#[derive(Debug)]
+pub struct KeepAliveClient {
+    addr: String,
+    reader: Option<BufReader<TcpStream>>,
+    connects: u64,
+}
+
+impl KeepAliveClient {
+    /// A client for `addr`; no connection is opened until the first send.
+    pub fn new(addr: &str) -> Self {
+        KeepAliveClient {
+            addr: addr.to_string(),
+            reader: None,
+            connects: 0,
+        }
+    }
+
+    /// TCP connections opened so far.
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Sends one request, reusing the live connection when possible.
+    ///
+    /// A send or read failure on a *reused* connection is retried once
+    /// on a fresh one — the server may have closed the idle stream
+    /// between our requests (the classic keep-alive race).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError`] on connection failure or a malformed
+    /// response.
+    pub fn send(&mut self, method: &str, path: &str, body: &[u8]) -> Result<Response, HttpError> {
+        let reused = self.reader.is_some();
+        match self.try_send(method, path, body) {
+            Ok(response) => Ok(response),
+            Err(e) => {
+                self.reader = None;
+                if reused {
+                    self.try_send(method, path, body)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    fn try_send(&mut self, method: &str, path: &str, body: &[u8]) -> Result<Response, HttpError> {
+        if self.reader.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| HttpError(format!("connect {}: {e}", self.addr)))?;
+            let _ = stream.set_nodelay(true);
+            self.connects += 1;
+            self.reader = Some(BufReader::new(stream));
+        }
+        let reader = self.reader.as_mut().expect("connected above");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        // Single write per request: a head/body split on a reused
+        // connection stalls on Nagle + delayed ACK (see
+        // [`write_response`]).
+        let mut message = Vec::with_capacity(head.len() + body.len());
+        message.extend_from_slice(head.as_bytes());
+        message.extend_from_slice(body);
+        let result = {
+            let stream = reader.get_mut();
+            stream.write_all(&message).and_then(|()| stream.flush())
+        };
+        result.map_err(|e| {
+            self.reader = None;
+            HttpError(format!("send: {e}"))
+        })?;
+        let reader = self.reader.as_mut().expect("still connected");
+        let response = match read_response(reader) {
+            Ok(response) => response,
+            Err(e) => {
+                self.reader = None;
+                return Err(e);
+            }
+        };
+        // Drop the stream when the server announced it will close it —
+        // the next send reconnects instead of failing.
+        let closing = response
+            .1
+            .iter()
+            .any(|(name, value)| name == "connection" && value.eq_ignore_ascii_case("close"));
+        if closing {
+            self.reader = None;
+        }
+        Ok(response)
+    }
 }

@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::http::{roundtrip, HttpError};
+use crate::http::{roundtrip, HttpError, KeepAliveClient};
 use crate::metrics::percentile;
 
 /// Load-generator tuning. All randomness flows from `seed`, so two runs
@@ -35,6 +35,11 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Per-set total utilization handed to the scenario sampler.
     pub utilization: f64,
+    /// Reuse connections via `Connection: keep-alive`: each client
+    /// thread holds one connection across its schedule slice instead of
+    /// dialing per request. Off reproduces the historical
+    /// one-connection-per-request wire behavior.
+    pub keep_alive: bool,
 }
 
 impl LoadgenConfig {
@@ -47,6 +52,7 @@ impl LoadgenConfig {
             clients: 4,
             seed: 7,
             utilization: 8.0,
+            keep_alive: false,
         }
     }
 
@@ -58,6 +64,7 @@ impl LoadgenConfig {
             clients: 8,
             seed: 7,
             utilization: 8.0,
+            keep_alive: false,
         }
     }
 }
@@ -87,6 +94,14 @@ pub struct LoadReport {
     pub hit_speedup: f64,
     /// Whether every response for one submission carried identical bytes.
     pub byte_identical: bool,
+    /// Whether the run asked for `Connection: keep-alive`.
+    pub keep_alive: bool,
+    /// TCP connections opened across every client (without keep-alive
+    /// this equals `requests`).
+    pub connections_opened: u64,
+    /// Requests served on a reused connection
+    /// (`requests - connections_opened`).
+    pub connections_reused: u64,
 }
 
 /// Builds the distinct submission pool: task sets sampled from the
@@ -160,7 +175,9 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, HttpError> 
     let identical = Arc::new(std::sync::atomic::AtomicBool::new(true));
 
     let clients = config.clients.max(1);
+    let keep_alive = config.keep_alive;
     let started = Instant::now();
+    let connections_opened = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let samples: Vec<Sample> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(clients);
         for client in 0..clients {
@@ -168,13 +185,23 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, HttpError> 
             let schedule = &schedule;
             let canonical = Arc::clone(&canonical);
             let identical = Arc::clone(&identical);
+            let connections_opened = Arc::clone(&connections_opened);
             handles.push(scope.spawn(move || {
                 let mut samples = Vec::new();
+                // One reusable connection per client thread; `None`
+                // falls back to one fresh connection per request.
+                let mut reuse = keep_alive.then(|| KeepAliveClient::new(addr));
                 // Strided partition: client k sends indices k, k+K, ...
                 for &request in schedule.iter().skip(client).step_by(clients) {
                     let body = bodies[request].as_bytes();
                     let sent = Instant::now();
-                    let outcome = roundtrip(addr, "POST", "/analyze", body);
+                    let outcome = match &mut reuse {
+                        Some(client) => client.send("POST", "/analyze", body),
+                        None => {
+                            connections_opened.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            roundtrip(addr, "POST", "/analyze", body)
+                        }
+                    };
                     let latency_us = sent.elapsed().as_micros() as u64;
                     match outcome {
                         Ok((200, headers, response)) => {
@@ -201,6 +228,10 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, HttpError> 
                             error: true,
                         }),
                     }
+                }
+                if let Some(client) = &reuse {
+                    connections_opened
+                        .fetch_add(client.connects(), std::sync::atomic::Ordering::Relaxed);
                 }
                 samples
             }));
@@ -230,6 +261,7 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, HttpError> 
 
     let hit_p50 = percentile(&hits_lat, 50.0);
     let miss_p50 = percentile(&misses_lat, 50.0);
+    let opened = connections_opened.load(std::sync::atomic::Ordering::Relaxed);
     Ok(LoadReport {
         requests: samples.len() as u64,
         errors,
@@ -246,6 +278,9 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, HttpError> 
             0.0
         },
         byte_identical: identical.load(std::sync::atomic::Ordering::SeqCst),
+        keep_alive: config.keep_alive,
+        connections_opened: opened,
+        connections_reused: (samples.len() as u64).saturating_sub(opened),
     })
 }
 
@@ -273,6 +308,7 @@ mod tests {
             clients: 1,
             seed: 3,
             utilization: 2.0,
+            keep_alive: false,
         };
         let requests = build_requests(&config);
         let names: Vec<&str> = requests.iter().map(|r| r.protocol.as_str()).collect();

@@ -14,6 +14,12 @@
 //! - `GET /metrics` — cache counters, per-endpoint p50/p99 latency and
 //!   verdicts/sec as JSON.
 //! - `GET /healthz` — liveness.
+//!
+//! Clients sending `Connection: keep-alive` get their connection reused
+//! for further requests, bounded by
+//! [`ServeConfig::keep_alive_max_requests`] per connection and the
+//! [`ServeConfig::keep_alive_idle`] silence window; everyone else keeps
+//! the one-request-per-connection behavior.
 
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
@@ -39,6 +45,14 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Verdict-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Requests served per kept-alive connection before the server
+    /// closes it (fairness cap: one chatty client cannot pin a worker
+    /// forever). Clients that never send `Connection: keep-alive` are
+    /// unaffected — their connections close after one response.
+    pub keep_alive_max_requests: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keep_alive_idle: std::time::Duration,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +61,8 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7115".to_string(),
             workers: 4,
             cache_capacity: 4096,
+            keep_alive_max_requests: 64,
+            keep_alive_idle: std::time::Duration::from_secs(5),
         }
     }
 }
@@ -80,6 +96,10 @@ impl Server {
         let metrics = Arc::new(Metrics::default());
         let registry = Arc::new(dpcp_baselines::standard_registry());
 
+        let limits = KeepAliveLimits {
+            max_requests: config.keep_alive_max_requests.max(1),
+            idle: config.keep_alive_idle,
+        };
         let (tx, rx) = unbounded::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..config.workers.max(1))
@@ -88,7 +108,7 @@ impl Server {
                 let registry = Arc::clone(&registry);
                 let cache = Arc::clone(&cache);
                 let metrics = Arc::clone(&metrics);
-                std::thread::spawn(move || worker_loop(&rx, &registry, &cache, &metrics))
+                std::thread::spawn(move || worker_loop(&rx, &registry, &cache, &metrics, limits))
             })
             .collect();
 
@@ -139,11 +159,20 @@ impl Server {
     }
 }
 
+/// The per-connection keep-alive bounds, copied out of [`ServeConfig`]
+/// for the worker threads.
+#[derive(Debug, Clone, Copy)]
+struct KeepAliveLimits {
+    max_requests: usize,
+    idle: std::time::Duration,
+}
+
 fn worker_loop(
     rx: &Mutex<Receiver<TcpStream>>,
     registry: &ProtocolRegistry,
     cache: &VerdictCache,
     metrics: &Metrics,
+    limits: KeepAliveLimits,
 ) {
     // One session per worker: config, signature cache and scratch are
     // reused across every request this worker serves.
@@ -153,7 +182,7 @@ fn worker_loop(
         // dequeue, never for request handling.
         let next = { rx.lock().recv() };
         let Ok(mut stream) = next else { break };
-        serve_connection(&mut stream, registry, cache, metrics, &mut session);
+        serve_connection(&mut stream, registry, cache, metrics, &mut session, limits);
     }
 }
 
@@ -165,58 +194,90 @@ fn json_error(message: &str) -> String {
     serde_json::to_string(&value).expect("error bodies always serialize")
 }
 
+/// Serves every request of one connection. Without `Connection:
+/// keep-alive` from the client that is exactly one request (the
+/// historical behavior); with it, up to `limits.max_requests` requests
+/// are served off one stream, closing after `limits.idle` of silence.
 fn serve_connection(
     stream: &mut TcpStream,
     registry: &ProtocolRegistry,
     cache: &VerdictCache,
     metrics: &Metrics,
     session: &mut AnalysisSession,
+    limits: KeepAliveLimits,
 ) {
-    let started = Instant::now();
-    let request = match read_request(stream) {
-        Ok(Some(request)) => request,
-        Ok(None) => return, // closed before a request line (e.g. the shutdown poke)
-        Err(e) => {
-            let body = json_error(&e.to_string());
-            let _ = write_response(stream, 400, "Bad Request", &[], body.as_bytes());
-            metrics
-                .analyze
-                .record(started.elapsed().as_micros() as u64, true);
-            return;
-        }
+    // Small request/response exchanges on a persistent connection are
+    // exactly the Nagle + delayed-ACK pathology; disable Nagle
+    // (best-effort — responses are single writes regardless).
+    let _ = stream.set_nodelay(true);
+    // The idle timeout doubles as a slow-read bound mid-request; a
+    // connection that cannot be configured is served once and closed.
+    let timed = stream.set_read_timeout(Some(limits.idle)).is_ok();
+    let Ok(cloned) = stream.try_clone() else {
+        return;
     };
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/analyze") => {
-            let error = handle_analyze(stream, &request, registry, cache, metrics, session);
-            metrics
-                .analyze
-                .record(started.elapsed().as_micros() as u64, error);
+    let mut reader = std::io::BufReader::new(cloned);
+    let max_requests = if timed { limits.max_requests } else { 1 };
+    for served in 0..max_requests {
+        let read_started = Instant::now();
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            // Closed before a request line (e.g. the shutdown poke) or
+            // an idle keep-alive connection timing out.
+            Ok(None) => return,
+            Err(e) => {
+                let body = json_error(&e.to_string());
+                let _ = write_response(stream, 400, "Bad Request", &[], body.as_bytes(), false);
+                metrics
+                    .analyze
+                    .record(read_started.elapsed().as_micros() as u64, true);
+                return;
+            }
+        };
+        // Honor the client's keep-alive ask up to the per-connection cap;
+        // the response's `connection:` header tells the client which way
+        // it went, so a capped connection ends cleanly on both sides.
+        let keep_alive = request.keep_alive && served + 1 < max_requests;
+        let started = Instant::now();
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/analyze") => {
+                let error = handle_analyze(
+                    stream, &request, registry, cache, metrics, session, keep_alive,
+                );
+                metrics
+                    .analyze
+                    .record(started.elapsed().as_micros() as u64, error);
+            }
+            ("GET", "/metrics") => {
+                let body = serde_json::to_string_pretty(&metrics.snapshot(cache.stats()))
+                    .expect("metrics snapshots always serialize");
+                let _ = write_response(stream, 200, "OK", &[], body.as_bytes(), keep_alive);
+                metrics
+                    .metrics
+                    .record(started.elapsed().as_micros() as u64, false);
+            }
+            ("GET", "/healthz") => {
+                let _ = write_response(stream, 200, "OK", &[], br#"{"status":"ok"}"#, keep_alive);
+                metrics
+                    .healthz
+                    .record(started.elapsed().as_micros() as u64, false);
+            }
+            (_, path) => {
+                let body = json_error(&format!("no such endpoint: {path}"));
+                let _ = write_response(stream, 404, "Not Found", &[], body.as_bytes(), keep_alive);
+                metrics
+                    .analyze
+                    .record(started.elapsed().as_micros() as u64, true);
+            }
         }
-        ("GET", "/metrics") => {
-            let body = serde_json::to_string_pretty(&metrics.snapshot(cache.stats()))
-                .expect("metrics snapshots always serialize");
-            let _ = write_response(stream, 200, "OK", &[], body.as_bytes());
-            metrics
-                .metrics
-                .record(started.elapsed().as_micros() as u64, false);
-        }
-        ("GET", "/healthz") => {
-            let _ = write_response(stream, 200, "OK", &[], br#"{"status":"ok"}"#);
-            metrics
-                .healthz
-                .record(started.elapsed().as_micros() as u64, false);
-        }
-        (_, path) => {
-            let body = json_error(&format!("no such endpoint: {path}"));
-            let _ = write_response(stream, 404, "Not Found", &[], body.as_bytes());
-            metrics
-                .analyze
-                .record(started.elapsed().as_micros() as u64, true);
+        if !keep_alive {
+            return;
         }
     }
 }
 
 /// Serves one `/analyze` request; returns whether it was an error.
+#[allow(clippy::too_many_arguments)]
 fn handle_analyze(
     stream: &mut TcpStream,
     request: &Request,
@@ -224,6 +285,7 @@ fn handle_analyze(
     cache: &VerdictCache,
     metrics: &Metrics,
     session: &mut AnalysisSession,
+    keep_alive: bool,
 ) -> bool {
     // Parse-free fast path: a byte-identical duplicate of a resident
     // submission is served before any JSON work.
@@ -236,6 +298,7 @@ fn handle_analyze(
             "OK",
             &[("x-verdict-cache", "HIT")],
             body.as_bytes(),
+            keep_alive,
         );
         return false;
     }
@@ -244,7 +307,7 @@ fn handle_analyze(
         Ok(text) => text,
         Err(_) => {
             let body = json_error("request body is not UTF-8");
-            let _ = write_response(stream, 400, "Bad Request", &[], body.as_bytes());
+            let _ = write_response(stream, 400, "Bad Request", &[], body.as_bytes(), keep_alive);
             return true;
         }
     };
@@ -252,7 +315,7 @@ fn handle_analyze(
         Ok(request) => request,
         Err(e) => {
             let body = json_error(&format!("malformed AnalysisRequest: {e}"));
-            let _ = write_response(stream, 400, "Bad Request", &[], body.as_bytes());
+            let _ = write_response(stream, 400, "Bad Request", &[], body.as_bytes(), keep_alive);
             return true;
         }
     };
@@ -266,6 +329,7 @@ fn handle_analyze(
             "OK",
             &[("x-verdict-cache", "HIT")],
             body.as_bytes(),
+            keep_alive,
         );
         return false;
     }
@@ -287,12 +351,20 @@ fn handle_analyze(
                 "OK",
                 &[("x-verdict-cache", "MISS")],
                 body.as_bytes(),
+                keep_alive,
             );
             false
         }
         Err(e) => {
             let body = json_error(&e.to_string());
-            let _ = write_response(stream, 422, "Unprocessable Entity", &[], body.as_bytes());
+            let _ = write_response(
+                stream,
+                422,
+                "Unprocessable Entity",
+                &[],
+                body.as_bytes(),
+                keep_alive,
+            );
             true
         }
     }

@@ -16,6 +16,7 @@ fn concurrent_duplicates_stay_byte_identical_and_counted() {
         addr: "127.0.0.1:0".to_string(),
         workers: 4,
         cache_capacity: 64,
+        ..ServeConfig::default()
     })
     .expect("ephemeral bind");
     let addr = server.local_addr().to_string();

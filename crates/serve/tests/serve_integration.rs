@@ -4,7 +4,7 @@
 
 use dpcp_core::{AnalysisConfig, AnalysisRequest, AnalysisVerdict, ResourceHeuristic};
 use dpcp_model::{fig1, Platform};
-use dpcp_serve::http::roundtrip;
+use dpcp_serve::http::{roundtrip, KeepAliveClient};
 use dpcp_serve::{ServeConfig, Server};
 
 fn spawn_server() -> Server {
@@ -12,6 +12,7 @@ fn spawn_server() -> Server {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         cache_capacity: 16,
+        ..ServeConfig::default()
     })
     .expect("ephemeral bind")
 }
@@ -133,6 +134,79 @@ fn unknown_protocol_is_a_422() {
     assert!(std::str::from_utf8(&body)
         .expect("utf-8")
         .contains("NO-SUCH-PROTOCOL"));
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_across_requests() {
+    let server = spawn_server();
+    let addr = server.local_addr().to_string();
+    let request = fig1_request("DPCP-p-EP");
+    let body = serde_json::to_string(&request).expect("requests serialize");
+
+    let mut client = KeepAliveClient::new(&addr);
+    let mut first = None;
+    for _ in 0..5 {
+        let (status, headers, bytes) = client
+            .send("POST", "/analyze", body.as_bytes())
+            .expect("keep-alive send");
+        assert_eq!(status, 200);
+        assert!(
+            headers
+                .iter()
+                .any(|(name, value)| name == "connection" && value == "keep-alive"),
+            "server honors the keep-alive ask"
+        );
+        match &first {
+            Some(cold) => assert_eq!(&bytes, cold, "reused connection serves identical bytes"),
+            None => first = Some(bytes),
+        }
+    }
+    assert_eq!(
+        client.connects(),
+        1,
+        "five requests rode one TCP connection"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_connection_cap_closes_and_client_reconnects() {
+    let server = Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_capacity: 16,
+        keep_alive_max_requests: 2,
+        ..ServeConfig::default()
+    })
+    .expect("ephemeral bind");
+    let addr = server.local_addr().to_string();
+    let request = fig1_request("DPCP-p-EP");
+    let body = serde_json::to_string(&request).expect("requests serialize");
+
+    let mut client = KeepAliveClient::new(&addr);
+    for i in 0..6 {
+        let (status, headers, _) = client
+            .send("POST", "/analyze", body.as_bytes())
+            .expect("keep-alive send");
+        assert_eq!(status, 200);
+        // The capped request of each connection is announced with
+        // `connection: close`, so the client reconnects cleanly.
+        let expected = if i % 2 == 0 { "keep-alive" } else { "close" };
+        assert!(
+            headers
+                .iter()
+                .any(|(name, value)| name == "connection" && value == expected),
+            "request {i} expected connection: {expected}"
+        );
+    }
+    assert_eq!(
+        client.connects(),
+        3,
+        "a cap of 2 splits six requests over three connections"
+    );
+
     server.shutdown();
 }
 
