@@ -1,4 +1,5 @@
-//! Shared machinery for the local-execution baselines (SPIN-SON and LPP).
+//! Shared machinery for the local-execution baselines (SPIN-SON, LPP,
+//! the MPCP variants and DGA).
 //!
 //! Both baselines execute requests *locally* — a vertex acquires the lock
 //! on whatever processor it runs on — and serve lock queues FIFO. Their
@@ -50,8 +51,22 @@ impl ResponseBounds {
     }
 }
 
+/// The worst critical-section length task `j` can occupy one FIFO slot of
+/// `ℓ_q` with, across the access modes it actually uses. Write-only tasks
+/// degenerate to `L_{j,q}` exactly.
+pub(crate) fn max_mode_len(task: &DagTask, q: ResourceId) -> Time {
+    let write = task.cs_length(q).unwrap_or(Time::ZERO);
+    if task.total_reads(q) > 0 {
+        write.max(task.read_cs_length(q).unwrap_or(write))
+    } else {
+        write
+    }
+}
+
 /// The per-request FIFO wait bound `δ_q` for task `i` requesting `ℓ_q`:
-/// one critical section per queue slot ahead.
+/// one critical section per queue slot ahead. Mode-aware: a full per-job
+/// queue contributes its exact serialized demand (writes at `L_{j,q}`,
+/// reads at `L^R_{j,q}`); truncated queues charge the worst mode per slot.
 pub(crate) fn per_request_delay(
     tasks: &TaskSet,
     partition: &Partition,
@@ -66,14 +81,17 @@ pub(crate) fn per_request_delay(
             continue;
         }
         let other = tasks.task(j);
-        let ahead = match depth {
+        let contribution = match depth {
             QueueDepth::PerProcessor => {
-                (partition.cluster_size(j) as u64).min(u64::from(other.total_requests(q)))
+                let ahead =
+                    (partition.cluster_size(j) as u64).min(u64::from(other.total_requests(q)));
+                max_mode_len(other, q).saturating_mul(ahead)
             }
-            QueueDepth::PerJob => u64::from(other.total_requests(q)),
+            // All N_{j,q} pending requests ahead: the serialized per-mode
+            // demand, identical to N·L on write-only tasks.
+            QueueDepth::PerJob => other.cs_demand(q),
         };
-        let len = other.cs_length(q).unwrap_or(Time::ZERO);
-        delay = delay.saturating_add(len.saturating_mul(ahead));
+        delay = delay.saturating_add(contribution);
     }
     // Intra-task contenders: other vertices of the same job, bounded by the
     // cluster width minus the requesting vertex itself.
@@ -85,14 +103,16 @@ pub(crate) fn per_request_delay(
             }
             QueueDepth::PerJob => u64::from(own_n - 1),
         };
-        let len = me.cs_length(q).unwrap_or(Time::ZERO);
+        let len = max_mode_len(me, q);
         delay = delay.saturating_add(len.saturating_mul(ahead));
     }
     delay
 }
 
 /// The windowed cap on total blocking from other tasks on `ℓ_q` within a
-/// window of length `r`: `Σ_{j≠i} η_j(r) · N_{j,q} · L_{j,q}`.
+/// window of length `r`: `Σ_{j≠i} η_j(r) · (N^W_{j,q}·L_{j,q} +
+/// N^R_{j,q}·L^R_{j,q})` — the per-job serialized demand, which is
+/// `N_{j,q} · L_{j,q}` exactly on write-only tasks.
 pub(crate) fn windowed_remote_demand(
     tasks: &TaskSet,
     resp: &ResponseBounds,
@@ -106,10 +126,7 @@ pub(crate) fn windowed_remote_demand(
             continue;
         }
         let other = tasks.task(j);
-        let demand = other
-            .cs_length(q)
-            .unwrap_or(Time::ZERO)
-            .saturating_mul(u64::from(other.total_requests(q)));
+        let demand = other.cs_demand(q);
         total = total.saturating_add(demand.saturating_mul(resp.eta(tasks, j, r)));
     }
     total
@@ -134,7 +151,7 @@ pub(crate) fn direct_blocking(
         }
         let delta = per_request_delay(tasks, partition, i, q, depth);
         let per_request_total = delta.saturating_mul(n);
-        let own_len = me.cs_length(q).unwrap_or(Time::ZERO);
+        let own_len = max_mode_len(me, q);
         let cap = windowed_remote_demand(tasks, resp, i, q, r)
             .saturating_add(own_len.saturating_mul(n - 1));
         total = total.saturating_add(per_request_total.min(cap));

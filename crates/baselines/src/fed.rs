@@ -103,6 +103,12 @@ impl ProtocolAnalysis for FedFp {
         "resource-oblivious federated bound (hypothetical upper baseline)"
     }
 
+    // Resource-oblivious: ignoring every request is as valid for reads as
+    // for writes, so reader-writer task sets are trivially in scope.
+    fn supports_rw(&self) -> bool {
+        true
+    }
+
     fn evaluate(
         &self,
         session: &mut AnalysisSession,

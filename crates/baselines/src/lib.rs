@@ -1,14 +1,16 @@
 //! Baseline locking-protocol analyses for the DPCP-p evaluation
-//! (Sec. VII-B): SPIN-SON, LPP and the resource-oblivious FED-FP bound.
+//! (Sec. VII-B): SPIN-SON, LPP and the resource-oblivious FED-FP bound —
+//! plus the reader-writer-aware extensions MPCP-SA, MPCP-SO and DGA.
 //!
-//! All three implement [`dpcp_core::SchedAnalyzer`], so they plug into the
-//! same Algorithm 1 partitioning loop as DPCP-p itself — mirroring the
+//! All of them implement [`dpcp_core::SchedAnalyzer`], so they plug into
+//! the same Algorithm 1 partitioning loop as DPCP-p itself — mirroring the
 //! paper's setup where every protocol runs under federated scheduling.
 //! They also implement [`dpcp_core::ProtocolAnalysis`], and
 //! [`standard_registry`] assembles the paper's five compared methods in
 //! presentation order (`DPCP-p-EP`, `DPCP-p-EN`, `SPIN-SON`, `LPP`,
-//! `FED-FP`) — experiment harnesses resolve methods by name from that
-//! registry instead of hand-wiring protocol calls.
+//! `FED-FP`), followed by the reader-writer methods (`MPCP-SA`,
+//! `MPCP-SO`, `DGA`) — experiment harnesses resolve methods by name from
+//! that registry instead of hand-wiring protocol calls.
 //!
 //! # Examples
 //!
@@ -41,18 +43,24 @@
 use dpcp_core::ProtocolRegistry;
 
 mod common;
+pub mod dga;
 pub mod fed;
 pub mod lpp;
+pub mod mpcp;
 pub mod spin;
 
+pub use dga::{Dga, DgaConfig};
 pub use fed::FedFp;
 pub use lpp::{Lpp, LppConfig};
+pub use mpcp::{Mpcp, MpcpConfig, MpcpVariant};
 pub use spin::{SpinConfig, SpinSon};
 
-/// The paper's five compared methods as one registry, in presentation
-/// order: `DPCP-p-EP`, `DPCP-p-EN`, `SPIN-SON`, `LPP`, `FED-FP`.
-/// Registration order is the single source of truth for dispatch
-/// indices, CSV column order and plot legends downstream.
+/// The paper's five compared methods followed by the reader-writer
+/// extensions, as one registry: `DPCP-p-EP`, `DPCP-p-EN`, `SPIN-SON`,
+/// `LPP`, `FED-FP`, `MPCP-SA`, `MPCP-SO`, `DGA`. Registration order is
+/// the single source of truth for dispatch indices, CSV column order and
+/// plot legends downstream — the paper's five stay in their original
+/// slots, so every committed artifact keeps its columns.
 pub fn standard_registry() -> ProtocolRegistry {
     let mut registry = dpcp_core::dpcp_protocols();
     registry
@@ -63,6 +71,15 @@ pub fn standard_registry() -> ProtocolRegistry {
         .expect("distinct baseline names");
     registry
         .register(Box::new(FedFp::new()))
+        .expect("distinct baseline names");
+    registry
+        .register(Box::new(Mpcp::suspension_aware()))
+        .expect("distinct baseline names");
+    registry
+        .register(Box::new(Mpcp::suspension_oblivious()))
+        .expect("distinct baseline names");
+    registry
+        .register(Box::new(Dga::new()))
         .expect("distinct baseline names");
     registry
 }
@@ -76,10 +93,32 @@ mod tests {
         let registry = standard_registry();
         assert_eq!(
             registry.names(),
-            ["DPCP-p-EP", "DPCP-p-EN", "SPIN-SON", "LPP", "FED-FP"]
+            [
+                "DPCP-p-EP",
+                "DPCP-p-EN",
+                "SPIN-SON",
+                "LPP",
+                "FED-FP",
+                "MPCP-SA",
+                "MPCP-SO",
+                "DGA"
+            ]
         );
         let tags: Vec<char> = registry.iter().map(|p| p.tag()).collect();
-        assert_eq!(tags, ['E', 'N', 'S', 'L', 'F']);
+        assert_eq!(tags, ['E', 'N', 'S', 'L', 'F', 'M', 'O', 'G']);
         assert!(registry.iter().all(|p| !p.description().is_empty()));
+    }
+
+    #[test]
+    fn rw_support_is_declared_per_protocol() {
+        let registry = standard_registry();
+        let rw: Vec<(String, bool)> = registry
+            .iter()
+            .map(|p| (p.name().to_string(), p.supports_rw()))
+            .collect();
+        for (name, supported) in rw {
+            let expect = matches!(name.as_str(), "FED-FP" | "MPCP-SA" | "MPCP-SO" | "DGA");
+            assert_eq!(supported, expect, "{name}");
+        }
     }
 }

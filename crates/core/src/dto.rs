@@ -39,6 +39,11 @@ use crate::partition::{PartitionOutcome, ResourceHeuristic, UnschedulableReason}
 /// the same registry reproduces its verdict bit for bit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnalysisRequest {
+    /// Wire-schema version. Absent means v1 (the original write-only
+    /// request shape); v2 additionally understands reader-writer access
+    /// modes. Not folded into the structural key — the verdict depends
+    /// on the problem, not on how the request declared itself.
+    pub schema: Option<u32>,
     /// Registry name of the method to run (e.g. `"DPCP-p-EP"`).
     pub protocol: String,
     /// The task system under test.
@@ -51,7 +56,39 @@ pub struct AnalysisRequest {
     pub heuristic: ResourceHeuristic,
 }
 
+/// The wire-schema versions this build understands: v1 (write-only
+/// requests, no `schema` member) and v2 (reader-writer access modes).
+pub const SUPPORTED_SCHEMA_VERSIONS: [u32; 2] = [1, 2];
+
 impl AnalysisRequest {
+    /// The declared wire-schema version (absent ⇒ 1).
+    pub fn schema_version(&self) -> u32 {
+        self.schema.unwrap_or(1)
+    }
+
+    /// Validates the declared schema version.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the supported versions when the request
+    /// declares one this build does not speak (`dpcp-serve` surfaces it
+    /// as a 422).
+    pub fn check_schema(&self) -> Result<u32, String> {
+        let v = self.schema_version();
+        if SUPPORTED_SCHEMA_VERSIONS.contains(&v) {
+            Ok(v)
+        } else {
+            let supported: Vec<String> = SUPPORTED_SCHEMA_VERSIONS
+                .iter()
+                .map(u32::to_string)
+                .collect();
+            Err(format!(
+                "unsupported schema version {v}; supported versions: {}",
+                supported.join(", ")
+            ))
+        }
+    }
+
     /// The canonical structural key of this request.
     ///
     /// See [`structural_key`]; this is the cache key `dpcp-serve` uses
@@ -178,6 +215,9 @@ const TAG_TASK: u64 = 0x04;
 const TAG_EDGES: u64 = 0x05;
 const TAG_SET: u64 = 0x06;
 const TAG_CONFIG: u64 = 0x07;
+/// Folded in only when a request/task actually reads, so every
+/// write-only (v1) problem keeps its pre-RW key bit for bit.
+const TAG_READ: u64 = 0x08;
 
 /// WL refinement rounds. Colours stabilise after at most the DAG
 /// diameter; generated DAGs are small, so a modest cap bounds worst-case
@@ -199,6 +239,9 @@ fn task_key(task: &DagTask) -> u64 {
             for req in spec.requests() {
                 h.write_usize(req.resource.index());
                 h.write_u64(u64::from(req.count));
+                if req.mode.is_read() {
+                    h.write_u64(TAG_READ);
+                }
             }
             h.finish()
         })
@@ -250,6 +293,23 @@ fn task_key(task: &DagTask) -> u64 {
     for (q, len) in cs {
         h.write_usize(q);
         h.write_u64(len);
+    }
+
+    // Read-side lengths, folded in only for tasks that actually read —
+    // write-only tasks keep their pre-RW key bit for bit.
+    if task.has_reads() {
+        h.write_u64(TAG_READ);
+        let mut rcs: Vec<(usize, u64)> = task
+            .resources()
+            .filter(|&q| task.total_reads(q) > 0)
+            .filter_map(|q| task.read_cs_length(q).map(|len| (q.index(), len.as_ns())))
+            .collect();
+        rcs.sort_unstable();
+        h.write_usize(rcs.len());
+        for (q, len) in rcs {
+            h.write_usize(q);
+            h.write_u64(len);
+        }
     }
 
     // Vertex colour multiset.
@@ -360,6 +420,7 @@ mod tests {
 
     fn request(tasks: TaskSet) -> AnalysisRequest {
         AnalysisRequest {
+            schema: None,
             protocol: "DPCP-p-EP".to_string(),
             tasks,
             platform: Platform::new(4).expect("m >= 2"),
@@ -451,5 +512,84 @@ mod tests {
         let back: AnalysisRequest = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(req, back);
         assert_eq!(req.structural_key(), back.structural_key());
+    }
+
+    #[test]
+    fn schema_version_defaults_and_validates() {
+        let tasks = set(vec![diamond(0, 10, [0, 1, 2, 3]).unwrap()]);
+        let mut req = request(tasks);
+        assert_eq!(req.schema_version(), 1);
+        assert_eq!(req.check_schema(), Ok(1));
+        // A v1 JSON body (no "schema" member) parses to schema: None.
+        let json = serde_json::to_string(&req).expect("serialize");
+        let stripped = json.replacen("\"schema\":null,", "", 1);
+        assert_ne!(json, stripped, "schema member must be present to strip");
+        let v1: AnalysisRequest = serde_json::from_str(&stripped).expect("v1 body parses");
+        assert_eq!(v1.schema, None);
+        // Declaring a supported version is accepted; an unknown one is
+        // rejected with the supported list, and never changes the key.
+        let base_key = req.structural_key();
+        req.schema = Some(2);
+        assert_eq!(req.check_schema(), Ok(2));
+        assert_eq!(req.structural_key(), base_key);
+        req.schema = Some(7);
+        let err = req.check_schema().unwrap_err();
+        assert!(err.contains("unsupported schema version 7"), "{err}");
+        assert!(err.contains("1, 2"), "{err}");
+        assert_eq!(req.structural_key(), base_key);
+    }
+
+    #[test]
+    fn read_requests_change_the_key() {
+        // Same counts and lengths, one request flipped to read: the key
+        // must differ (the verdict can differ under RW-aware protocols).
+        let write_only = set(vec![diamond(0, 10, [0, 1, 2, 3]).unwrap()]);
+        let with_read = {
+            let dag = Dag::new(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+            let t = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+                .dag(dag)
+                .vertex(VertexSpec::new(Time::from_us(100)))
+                .vertex(VertexSpec::with_requests(
+                    Time::from_us(200),
+                    [RequestSpec::read(ResourceId::new(0), 2)],
+                ))
+                .vertex(VertexSpec::with_requests(
+                    Time::from_us(300),
+                    [RequestSpec::new(ResourceId::new(1), 1)],
+                ))
+                .vertex(VertexSpec::new(Time::from_us(150)))
+                .critical_section(ResourceId::new(0), Time::from_us(10))
+                .critical_section(ResourceId::new(1), Time::from_us(20))
+                .build()
+                .unwrap();
+            set(vec![t])
+        };
+        let base = request(write_only).structural_key();
+        let rw = request(with_read.clone()).structural_key();
+        assert_ne!(base, rw, "access mode must be folded in for readers");
+
+        // And the declared read length is part of the key too.
+        let shorter_reads = {
+            let dag = Dag::new(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+            let t = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+                .dag(dag)
+                .vertex(VertexSpec::new(Time::from_us(100)))
+                .vertex(VertexSpec::with_requests(
+                    Time::from_us(200),
+                    [RequestSpec::read(ResourceId::new(0), 2)],
+                ))
+                .vertex(VertexSpec::with_requests(
+                    Time::from_us(300),
+                    [RequestSpec::new(ResourceId::new(1), 1)],
+                ))
+                .vertex(VertexSpec::new(Time::from_us(150)))
+                .critical_section(ResourceId::new(0), Time::from_us(10))
+                .read_critical_section(ResourceId::new(0), Time::from_us(5))
+                .critical_section(ResourceId::new(1), Time::from_us(20))
+                .build()
+                .unwrap();
+            set(vec![t])
+        };
+        assert_ne!(rw, request(shorter_reads).structural_key());
     }
 }

@@ -55,7 +55,7 @@ pub mod session;
 pub use analysis::{
     AnalysisConfig, AnalysisVariant, DelayBreakdown, SchedulabilityReport, TaskBound,
 };
-pub use dto::{structural_key, AnalysisRequest, AnalysisVerdict};
+pub use dto::{structural_key, AnalysisRequest, AnalysisVerdict, SUPPORTED_SCHEMA_VERSIONS};
 pub use partition::{PartitionOutcome, ResourceHeuristic, SchedAnalyzer, UnschedulableReason};
 pub use protocol::{CeilingTable, LockDecision, ProcessorCeiling};
 pub use registry::{

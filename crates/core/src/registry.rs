@@ -58,6 +58,14 @@ pub trait ProtocolAnalysis: core::fmt::Debug + Send + Sync {
         ""
     }
 
+    /// Whether this analysis understands reader-writer task sets
+    /// (`AccessMode::Read` requests). Defaults to `false`: a write-only
+    /// analysis would silently treat reads as writes, so dispatch rejects
+    /// RW sets routed to it instead (see [`ProtocolRegistry::respond`]).
+    fn supports_rw(&self) -> bool {
+        false
+    }
+
     /// Partitions and analyses one task set. Implementations draw their
     /// cache and scratch from the session (the scratch-reuse contract:
     /// per-task state is reset by every entry point, allocations are
@@ -168,7 +176,9 @@ impl ProtocolRegistry {
     /// # Errors
     ///
     /// Returns [`RegistryError`] when no protocol of the requested name
-    /// is registered.
+    /// is registered, or when the task set contains read requests and the
+    /// resolved protocol is write-only (analyzing reads as writes would
+    /// be silent nonsense; the error names the offending method).
     pub fn respond(
         &self,
         session: &mut AnalysisSession,
@@ -177,6 +187,13 @@ impl ProtocolRegistry {
         let protocol = self
             .resolve(&request.protocol)
             .ok_or_else(|| RegistryError(format!("unknown protocol '{}'", request.protocol)))?;
+        if request.tasks.has_reads() && !protocol.supports_rw() {
+            return Err(RegistryError(format!(
+                "protocol '{}' is write-only and cannot analyze a task set \
+                 with read requests",
+                protocol.name()
+            )));
+        }
         let outcome = session.with_config(request.config.clone(), |s| {
             protocol.evaluate(s, &request.tasks, &request.platform, request.heuristic)
         });
@@ -408,6 +425,37 @@ mod tests {
             let direct = AnalysisSession::new(cfg).partition_and_analyze(&tasks, &platform, wfd);
             assert_eq!(via_registry, direct, "{name}");
         }
+    }
+
+    #[test]
+    fn respond_rejects_rw_sets_on_write_only_protocols() {
+        use crate::dto::AnalysisRequest;
+        let rid = ResourceId::new(0);
+        let reader = DagTask::builder(TaskId::new(0), Time::from_ms(20))
+            .vertex(VertexSpec::with_requests(
+                Time::from_ms(5),
+                [RequestSpec::read(rid, 1)],
+            ))
+            .critical_section(rid, Time::from_us(100))
+            .build()
+            .unwrap();
+        let tasks = TaskSet::new(vec![reader], 1).unwrap();
+        assert!(tasks.has_reads());
+        let request = AnalysisRequest {
+            schema: Some(2),
+            protocol: "DPCP-p-EP".to_string(),
+            tasks,
+            platform: Platform::new(4).unwrap(),
+            config: AnalysisConfig::ep(),
+            heuristic: ResourceHeuristic::WorstFitDecreasing,
+        };
+        let registry = dpcp_protocols();
+        assert!(!registry.entry(0).supports_rw());
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        let err = registry.respond(&mut session, &request).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("DPCP-p-EP"), "must name the method: {msg}");
+        assert!(msg.contains("write-only"), "{msg}");
     }
 
     #[test]

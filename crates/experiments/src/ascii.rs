@@ -6,7 +6,7 @@ use crate::harness::{AcceptanceCurve, Method};
 
 /// Renders a curve as a fixed-size ASCII chart: x = normalized
 /// utilization, y = acceptance ratio, one letter per method
-/// (`E`/`N`/`S`/`L`/`F`); later methods overwrite earlier ones on
+/// (`E`/`N`/`S`/`L`/`F` — the paper's five compared methods); later
 /// collisions.
 pub fn render_curve(curve: &AcceptanceCurve, height: usize) -> String {
     let height = height.max(4);
@@ -14,7 +14,7 @@ pub fn render_curve(curve: &AcceptanceCurve, height: usize) -> String {
     let mut grid = vec![vec![' '; width]; height + 1];
 
     // Plot in reverse presentation order so DPCP-p-EP wins collisions.
-    for &m in Method::ALL.iter().rev() {
+    for &m in Method::PAPER.iter().rev() {
         for (x, p) in curve.points.iter().enumerate() {
             let ratio = p.ratio(m).clamp(0.0, 1.0);
             let y = ((1.0 - ratio) * height as f64).round() as usize;
@@ -45,7 +45,7 @@ pub fn render_curve(curve: &AcceptanceCurve, height: usize) -> String {
     let last = curve.points.last().map(|p| p.normalized).unwrap_or(1.0);
     out.push_str(&format!(
         "     U/m: {first:.2} .. {last:.2}   legend: {}\n",
-        Method::ALL
+        Method::PAPER
             .iter()
             .map(|m| format!("{}={}", m.tag(), m.name()))
             .collect::<Vec<_>>()
@@ -57,13 +57,13 @@ pub fn render_curve(curve: &AcceptanceCurve, height: usize) -> String {
 /// Renders the acceptance table (one row per point) for precise reading.
 pub fn render_table(curve: &AcceptanceCurve) -> String {
     let mut out = format!("{:>6} {:>6}", "U", "U/m");
-    for m in Method::ALL {
+    for m in Method::PAPER {
         out.push_str(&format!("{:>11}", m.name()));
     }
     out.push('\n');
     for p in &curve.points {
         out.push_str(&format!("{:>6.2} {:>6.3}", p.utilization, p.normalized));
-        for m in Method::ALL {
+        for m in Method::PAPER {
             out.push_str(&format!("{:>11.3}", p.ratio(m)));
         }
         out.push('\n');
@@ -92,6 +92,9 @@ mod tests {
                         8_usize.saturating_sub(i),
                         7_usize.saturating_sub(i),
                         10 - i,
+                        0,
+                        0,
+                        0,
                     ],
                 })
                 .collect(),

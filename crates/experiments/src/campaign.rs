@@ -871,7 +871,7 @@ pub fn write_merged_outputs(
                 cell.scenario.label(),
                 cell.ablation
             ),
-            cell.curve().to_csv(),
+            cell.curve().to_csv_for(&cell.methods),
         )?;
     }
     Ok(written)
@@ -914,7 +914,7 @@ mod tests {
                 samples: 4,
                 generation_failures: 0,
                 accepted: {
-                    let mut a = [0usize; 5];
+                    let mut a = [0usize; Method::COUNT];
                     a[method.index()] = accepted;
                     a
                 },

@@ -162,11 +162,24 @@ impl FuzzManifest {
             return err("max_sim_events must be positive");
         }
         let method = self.method.as_deref().unwrap_or("DPCP-p-EP");
-        if standard_registry().resolve(method).is_none() {
+        let Some(protocol) = standard_registry().resolve(method) else {
             return Err(ManifestError::new(format!(
                 "unknown method '{}' — known methods: {}",
                 method,
                 standard_registry().names().join(", ")
+            )));
+        };
+        if self.axes.draws_reads() && !protocol.supports_rw() {
+            return Err(ManifestError::new(format!(
+                "method '{method}' is write-only but the rw_share axis \
+                 generates reader-writer task sets; fuzz an rw-aware \
+                 method instead ({})",
+                standard_registry()
+                    .iter()
+                    .filter(|p| p.supports_rw())
+                    .map(|p| p.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )));
         }
         Ok(())
@@ -931,6 +944,7 @@ fn evaluate_fuzz_point(
                         original_tasks: out.samples, // overwritten below
                         shrink_steps,
                         request: AnalysisRequest {
+                            schema: None,
                             protocol: cell.method.clone(),
                             tasks,
                             platform,
@@ -1551,6 +1565,7 @@ mod tests {
                 light_fraction: None,
                 vertex_range: Some(vec![(5, 10)]),
                 cs_budget_fraction: None,
+                rw_share: None,
             },
             normalized_utilization: vec![0.5],
             release: Some(vec![
@@ -1631,6 +1646,49 @@ mod tests {
             }),
             "bur4x2"
         );
+    }
+
+    #[test]
+    fn rw_axis_rejects_write_only_methods() {
+        let mut manifest = tiny_fuzz_manifest();
+        manifest.axes.rw_share = Some(vec![0.5]);
+        // The default method (DPCP-p-EP) is write-only.
+        let err = manifest.validate().unwrap_err().to_string();
+        assert!(err.contains("'DPCP-p-EP' is write-only"), "{err}");
+        assert!(err.contains("MPCP-SA"), "{err}");
+        manifest.method = Some("LPP".to_string());
+        let err = manifest.validate().unwrap_err().to_string();
+        assert!(err.contains("'LPP' is write-only"), "{err}");
+        // An rw-aware method passes; rw_share = 0.0 stays write-only and
+        // is accepted for any method.
+        manifest.method = Some("MPCP-SO".to_string());
+        manifest.validate().unwrap();
+        manifest.method = Some("DPCP-p-EP".to_string());
+        manifest.axes.rw_share = Some(vec![0.0]);
+        manifest.validate().unwrap();
+    }
+
+    #[test]
+    fn rw_hostile_sweep_is_sound() {
+        // The reader-writer soundness run: generate read-heavy hostile
+        // sets, let MPCP-SO accept some, and check the simulator (where
+        // readers may share) never contradicts the serialized-accounting
+        // bound. Any violation here means the analysis credited sharing
+        // it cannot guarantee.
+        let mut manifest = tiny_fuzz_manifest();
+        manifest.name = "rwfuzz".to_string();
+        manifest.method = Some("MPCP-SO".to_string());
+        manifest.axes.rw_share = Some(vec![0.5]);
+        manifest.axes.cs_budget_fraction = Some(vec![0.9]);
+        manifest.normalized_utilization = vec![0.3, 0.5];
+        manifest.validate().unwrap();
+        let mut sound = 0;
+        for cell in manifest.cells(false) {
+            let result = evaluate_fuzz_cell(&cell, "rwfuzz", None).unwrap();
+            assert_eq!(result.violations(), 0, "cell {} violated", cell.index);
+            sound += result.points.iter().map(|p| p.sound).sum::<usize>();
+        }
+        assert!(sound > 0, "no accepted samples — the sweep checked nothing");
     }
 
     #[test]

@@ -20,7 +20,8 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The standard protocol registry the harness dispatches through: the
-/// paper's five compared methods in presentation order (assembled by
+/// paper's five compared methods followed by the reader-writer-aware
+/// extensions (MPCP variants, DGA), in presentation order (assembled by
 /// [`dpcp_baselines::standard_registry`]). [`Method`]'s `index`/`name`/
 /// `tag` and every CSV header derive from this one ordered list, so
 /// column order can never diverge from dispatch order.
@@ -37,7 +38,9 @@ pub fn standard_registry() -> &'static ProtocolRegistry {
     })
 }
 
-/// The five compared methods, in the paper's presentation order.
+/// The registered methods, in presentation (= registry) order: the
+/// paper's five compared protocols first, then the reader-writer-aware
+/// extensions.
 ///
 /// `Method` is a dense dispatch handle into [`standard_registry`]:
 /// [`index`](Method::index) is the registry position, and
@@ -58,14 +61,37 @@ pub enum Method {
     Lpp,
     /// Resource-oblivious federated bound (hypothetical upper baseline).
     FedFp,
+    /// MPCP semaphores, suspension-aware accounting (reader-writer
+    /// aware).
+    MpcpSa,
+    /// MPCP semaphores, suspension-oblivious accounting (reader-writer
+    /// aware).
+    MpcpSo,
+    /// Dependency-graph-style serialized demand bound (reader-writer
+    /// aware).
+    Dga,
 }
 
 impl Method {
     /// Number of methods (the width of every `accepted` slot array).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 8;
 
     /// All methods in presentation (= registry) order.
     pub const ALL: [Method; Method::COUNT] = [
+        Method::DpcpEp,
+        Method::DpcpEn,
+        Method::SpinSon,
+        Method::Lpp,
+        Method::FedFp,
+        Method::MpcpSa,
+        Method::MpcpSo,
+        Method::Dga,
+    ];
+
+    /// The paper's five compared methods — the column set of every
+    /// legacy artifact (Fig. 2 CSVs, Tables 2/3, the ablation matrix),
+    /// which must stay byte-identical as the registry grows.
+    pub const PAPER: [Method; 5] = [
         Method::DpcpEp,
         Method::DpcpEn,
         Method::SpinSon,
@@ -92,6 +118,13 @@ impl Method {
     /// One-letter tag for ASCII plots (from the registry).
     pub fn tag(self) -> char {
         self.protocol().tag()
+    }
+
+    /// Whether the registered protocol prices read requests separately
+    /// (the registry's capability probe; write-only protocols reject
+    /// reader-writer task sets).
+    pub fn supports_rw(self) -> bool {
+        self.protocol().supports_rw()
     }
 
     /// Resolves a registry name back to its dispatch handle.
@@ -210,10 +243,18 @@ impl AcceptanceCurve {
         self.points.iter().map(|p| p.accepted[method.index()]).sum()
     }
 
-    /// Writes the curve as CSV (`utilization,normalized,samples,<methods>`).
+    /// Writes the curve as CSV (`utilization,normalized,samples,<methods>`)
+    /// with the paper's five method columns — the legacy wide format the
+    /// Fig. 2 goldens pin byte-for-byte.
     pub fn to_csv(&self) -> String {
+        self.to_csv_for(&Method::PAPER)
+    }
+
+    /// [`to_csv`](Self::to_csv) with an explicit column set (campaign
+    /// cells write exactly the methods they evaluated).
+    pub fn to_csv_for(&self, methods: &[Method]) -> String {
         let mut out = String::from("utilization,normalized,samples");
-        for m in Method::ALL {
+        for &m in methods {
             out.push(',');
             out.push_str(m.name());
         }
@@ -223,7 +264,7 @@ impl AcceptanceCurve {
                 "{:.3},{:.3},{}",
                 p.utilization, p.normalized, p.samples
             ));
-            for m in Method::ALL {
+            for &m in methods {
                 out.push_str(&format!(",{:.4}", p.ratio(m)));
             }
             out.push('\n');
@@ -256,6 +297,7 @@ fn evaluate_task_set(
 ) -> [bool; Method::COUNT] {
     let registry = standard_registry();
     let mut request = AnalysisRequest {
+        schema: None,
         protocol: String::new(),
         tasks: tasks.clone(),
         platform: *platform,
@@ -268,9 +310,12 @@ fn evaluate_task_set(
             .entry(method.index())
             .name()
             .clone_into(&mut request.protocol);
+        // `respond` refuses reader-writer task sets on write-only
+        // protocols; manifest validation rejects such pairings up front,
+        // so a refusal here is a harness bug worth naming loudly.
         let verdict = registry
             .respond(session, &request)
-            .expect("every Method is registered");
+            .unwrap_or_else(|e| panic!("registry refused method '{}': {e}", method.name()));
         out[method.index()] = verdict.schedulable;
     }
     out
@@ -456,6 +501,7 @@ mod tests {
             light_fraction: 0.0,
             vertex_range: None,
             cs_budget_fraction: None,
+            rw_share: None,
         }
     }
 
@@ -559,9 +605,11 @@ mod tests {
                 normalized: 0.25,
                 samples: 4,
                 generation_failures: 0,
-                accepted: [4, 3, 2, 1, 4],
+                accepted: [4, 3, 2, 1, 4, 0, 0, 2],
             }],
         };
+        // The legacy wide format keeps exactly the paper's five columns
+        // even though the registry has grown.
         let csv = curve.to_csv();
         let mut lines = csv.lines();
         assert_eq!(
@@ -573,6 +621,14 @@ mod tests {
             .unwrap()
             .starts_with("2.000,0.250,4,1.0000,0.7500"));
         assert_eq!(curve.total_accepted(Method::DpcpEp), 4);
+        // An explicit column set widens to exactly those methods.
+        let rw = curve.to_csv_for(&[Method::MpcpSa, Method::Dga]);
+        let mut lines = rw.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "utilization,normalized,samples,MPCP-SA,DGA"
+        );
+        assert_eq!(lines.next().unwrap(), "2.000,0.250,4,0.0000,0.5000");
     }
 
     #[test]
@@ -605,6 +661,21 @@ mod tests {
     #[test]
     fn method_tags_are_distinct() {
         let tags: std::collections::HashSet<char> = Method::ALL.iter().map(|m| m.tag()).collect();
-        assert_eq!(tags.len(), 5);
+        assert_eq!(tags.len(), Method::COUNT);
+    }
+
+    #[test]
+    fn rw_support_follows_the_registry() {
+        let rw: Vec<Method> = Method::ALL
+            .into_iter()
+            .filter(|m| m.supports_rw())
+            .collect();
+        assert_eq!(
+            rw,
+            [Method::FedFp, Method::MpcpSa, Method::MpcpSo, Method::Dga]
+        );
+        assert_eq!(Method::from_name("MPCP-SA"), Some(Method::MpcpSa));
+        assert_eq!(Method::from_name("MPCP-SO"), Some(Method::MpcpSo));
+        assert_eq!(Method::from_name("DGA"), Some(Method::Dga));
     }
 }

@@ -24,9 +24,10 @@ use crate::harness::{EvalConfig, Method};
 /// The scenario axes of a campaign; the grid is the cartesian product in
 /// the fixed order `m → nr_range → u_avg → access_prob → max_requests →
 /// cs_range_us → graph_shape → light_fraction → vertex_range →
-/// cs_budget_fraction` (outermost first), which pins cell indices across
-/// shards and resumes. The optional axes expand innermost, so manifests
-/// that omit them keep their historical cell order.
+/// cs_budget_fraction → rw_share` (outermost first), which pins cell
+/// indices across shards and resumes. The optional axes expand
+/// innermost, so manifests that omit them keep their historical cell
+/// order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AxisSpec {
     /// Processor counts `m`.
@@ -54,6 +55,11 @@ pub struct AxisSpec {
     /// that critical sections may occupy); omitted → the generator's
     /// default (0.5).
     pub cs_budget_fraction: Option<Vec<f64>>,
+    /// Reader-share axis (probability that an individual request is a
+    /// read); omitted → write-only generation. Values of `0.0` keep the
+    /// paper's RNG stream byte-identical; positive values require every
+    /// evaluated method to pass the registry's `supports_rw` probe.
+    pub rw_share: Option<Vec<f64>>,
 }
 
 impl AxisSpec {
@@ -70,6 +76,7 @@ impl AxisSpec {
             light_fraction: Some(vec![s.light_fraction]),
             vertex_range: s.vertex_range.map(|v| vec![v]),
             cs_budget_fraction: s.cs_budget_fraction.map(|f| vec![f]),
+            rw_share: s.rw_share.map(|f| vec![f]),
         }
     }
 
@@ -88,6 +95,10 @@ impl AxisSpec {
             Some(v) => v.iter().copied().map(Some).collect(),
             None => vec![None],
         };
+        let rw_shares: Vec<Option<f64>> = match &self.rw_share {
+            Some(v) => v.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
         let mut out = Vec::new();
         for &m in &self.m {
             for &nr_range in &self.nr_range {
@@ -99,18 +110,21 @@ impl AxisSpec {
                                     for &light_fraction in &fractions {
                                         for &vertex_range in &vertex_ranges {
                                             for &cs_budget_fraction in &cs_budgets {
-                                                out.push(Scenario {
-                                                    m,
-                                                    nr_range,
-                                                    u_avg,
-                                                    access_prob,
-                                                    max_requests,
-                                                    cs_range_us,
-                                                    graph_shape,
-                                                    light_fraction,
-                                                    vertex_range,
-                                                    cs_budget_fraction,
-                                                });
+                                                for &rw_share in &rw_shares {
+                                                    out.push(Scenario {
+                                                        m,
+                                                        nr_range,
+                                                        u_avg,
+                                                        access_prob,
+                                                        max_requests,
+                                                        cs_range_us,
+                                                        graph_shape,
+                                                        light_fraction,
+                                                        vertex_range,
+                                                        cs_budget_fraction,
+                                                        rw_share,
+                                                    });
+                                                }
                                             }
                                         }
                                     }
@@ -197,7 +211,24 @@ impl AxisSpec {
                 return err("cs budget fractions must lie in [0, 1]");
             }
         }
+        if let Some(shares) = &self.rw_share {
+            if shares.is_empty() {
+                return err("rw_share, when present, must be non-empty");
+            }
+            if shares.iter().any(|&f| !(0.0..=1.0).contains(&f)) {
+                return err("rw shares must lie in [0, 1]");
+            }
+        }
         Ok(())
+    }
+
+    /// Does any axis value generate reader-writer task sets (a positive
+    /// `rw_share`)? Such grids may only be paired with methods whose
+    /// protocols pass the `supports_rw` capability probe.
+    pub fn draws_reads(&self) -> bool {
+        self.rw_share
+            .as_ref()
+            .is_some_and(|shares| shares.iter().any(|&s| s > 0.0))
     }
 }
 
@@ -249,6 +280,23 @@ impl AblationSpec {
     }
 }
 
+/// An appended sub-grid with its own axes and method list. Extra-grid
+/// cells always index *after* the main grid (and after earlier extra
+/// grids), so adding one never renumbers existing cells — the property
+/// that lets CI re-baseline only the appended rows of a committed
+/// golden CSV. The canonical use is a reader-writer cell (`rw_share`
+/// axis + rw-aware methods) riding along a write-only smoke grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtraGrid {
+    /// Ablation-column label of these cells; omitted → `"default"`.
+    pub label: Option<String>,
+    /// Methods evaluated in these cells (registry names; an `rw_share`
+    /// grid must name rw-aware ones).
+    pub methods: Vec<Method>,
+    /// The appended scenario axes.
+    pub axes: AxisSpec,
+}
+
 /// Reduced-scale overrides applied by `campaign run --quick` (the CI
 /// smoke gate and local sanity runs).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -289,6 +337,9 @@ pub struct CampaignManifest {
     pub ablations: Option<Vec<AblationSpec>>,
     /// Quick-mode overrides.
     pub quick: Option<QuickOverrides>,
+    /// Appended sub-grids ([`ExtraGrid`]): their cells index after the
+    /// main grid, so declaring one never renumbers existing cells.
+    pub extra: Option<Vec<ExtraGrid>>,
 }
 
 /// One unit of campaign work: a scenario × ablation pair with its fully
@@ -403,6 +454,62 @@ impl CampaignManifest {
                 return err("an ablation's methods override must be non-empty");
             }
         }
+        // Reader-writer grids may only dispatch to RW-aware protocols:
+        // a write-only analysis would silently price reads as writes.
+        if self.axes.draws_reads() {
+            for ablation in self.ablation_list() {
+                let methods = ablation.methods.as_ref().unwrap_or(&self.methods);
+                if let Some(m) = methods.iter().find(|m| !m.supports_rw()) {
+                    return Err(ManifestError(format!(
+                        "method '{}' is write-only but the rw_share axis \
+                         generates reader-writer task sets; restrict the \
+                         manifest to rw-aware methods ({})",
+                        m.name(),
+                        Method::ALL
+                            .iter()
+                            .filter(|m| m.supports_rw())
+                            .map(|m| m.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )));
+                }
+            }
+        }
+        if let Some(grids) = &self.extra {
+            for grid in grids {
+                if let Some(label) = &grid.label {
+                    if label.is_empty()
+                        || !label
+                            .chars()
+                            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                    {
+                        return err(
+                            "extra-grid labels must be non-empty and filesystem-safe ([A-Za-z0-9_-])",
+                        );
+                    }
+                }
+                if grid.methods.is_empty() {
+                    return err("an extra grid's methods must be non-empty");
+                }
+                grid.axes.validate()?;
+                if grid.axes.draws_reads() {
+                    if let Some(m) = grid.methods.iter().find(|m| !m.supports_rw()) {
+                        return Err(ManifestError(format!(
+                            "method '{}' is write-only but an extra grid's \
+                             rw_share axis generates reader-writer task sets; \
+                             restrict that grid to rw-aware methods ({})",
+                            m.name(),
+                            Method::ALL
+                                .iter()
+                                .filter(|m| m.supports_rw())
+                                .map(|m| m.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -469,6 +576,35 @@ impl CampaignManifest {
                 });
             }
         }
+        // Extra grids append after the full main grid (and after earlier
+        // extra grids); they run under the default analysis configuration
+        // with their own methods. Quick-mode scenario limits apply to the
+        // main grid only — an appended grid is already a deliberate,
+        // small addition.
+        for grid in self.extra.as_deref().unwrap_or_default() {
+            let label = grid.label.clone().unwrap_or_else(|| "default".to_string());
+            for scenario in grid.axes.scenarios() {
+                let utilizations: Vec<f64> = match &normalized {
+                    Some(points) => points.iter().map(|p| p * scenario.m as f64).collect(),
+                    None => scenario.utilization_points(),
+                };
+                cells.push(CellSpec {
+                    index: cells.len(),
+                    scenario,
+                    ablation: label.clone(),
+                    methods: grid.methods.clone(),
+                    heuristic: ResourceHeuristic::WorstFitDecreasing,
+                    eval: EvalConfig {
+                        samples_per_point: samples,
+                        seed: self.seed,
+                        threads: 0,
+                        generation_retries: retries,
+                        ep_config: AnalysisConfig::ep(),
+                    },
+                    utilizations,
+                });
+            }
+        }
         cells
     }
 }
@@ -493,7 +629,7 @@ pub fn fig2_panel_manifest(
         seed,
         samples_per_point: samples,
         generation_retries: None,
-        methods: Method::ALL.to_vec(),
+        methods: Method::PAPER.to_vec(),
         axes: AxisSpec::single(&scenario),
         normalized_utilization: None,
         ablations: Some(vec![AblationSpec {
@@ -505,6 +641,7 @@ pub fn fig2_panel_manifest(
             path_visit_cap: None,
         }]),
         quick: None,
+        extra: None,
     }
 }
 
@@ -517,7 +654,7 @@ pub fn tables_manifest(samples: usize, seed: u64) -> CampaignManifest {
         seed,
         samples_per_point: samples,
         generation_retries: None,
-        methods: Method::ALL.to_vec(),
+        methods: Method::PAPER.to_vec(),
         axes: AxisSpec {
             m: vec![8, 16, 32],
             nr_range: vec![(2, 4), (4, 8), (8, 16)],
@@ -529,6 +666,7 @@ pub fn tables_manifest(samples: usize, seed: u64) -> CampaignManifest {
             light_fraction: None,
             vertex_range: None,
             cs_budget_fraction: None,
+            rw_share: None,
         },
         normalized_utilization: None,
         ablations: None,
@@ -537,6 +675,7 @@ pub fn tables_manifest(samples: usize, seed: u64) -> CampaignManifest {
             normalized_utilization: None,
             limit_scenarios: Some(4),
         }),
+        extra: None,
     }
 }
 
@@ -595,11 +734,12 @@ pub fn ablation_manifest(samples: usize, seed: u64) -> CampaignManifest {
         seed,
         samples_per_point: samples,
         generation_retries: None,
-        methods: Method::ALL.to_vec(),
+        methods: Method::PAPER.to_vec(),
         axes: AxisSpec::single(&scenario),
         normalized_utilization: None,
         ablations: Some(ablations),
         quick: None,
+        extra: None,
     }
 }
 
@@ -691,6 +831,97 @@ mod tests {
     }
 
     #[test]
+    fn rw_grids_require_rw_aware_methods() {
+        let good = CampaignManifest::from_json(tiny_manifest_json()).unwrap();
+        // A positive rw_share axis with write-only methods (DPCP-p-EP/EN)
+        // is rejected, naming the offending method and the alternatives.
+        let mut rw = good.clone();
+        rw.axes.rw_share = Some(vec![0.0, 0.3]);
+        let err = rw.validate().unwrap_err().to_string();
+        assert!(err.contains("'DPCP-p-EP' is write-only"), "{err}");
+        assert!(err.contains("MPCP-SA, MPCP-SO, DGA"), "{err}");
+        // Restricting to rw-aware methods fixes it...
+        rw.methods = vec![Method::MpcpSa, Method::MpcpSo, Method::Dga];
+        rw.validate().unwrap();
+        // ...unless an ablation sneaks a write-only method back in.
+        rw.ablations.as_mut().unwrap()[0].methods = Some(vec![Method::Lpp]);
+        let err = rw.validate().unwrap_err().to_string();
+        assert!(err.contains("'LPP' is write-only"), "{err}");
+        // An all-zero rw_share axis stays write-only: any method goes.
+        let mut zero = good;
+        zero.axes.rw_share = Some(vec![0.0]);
+        zero.validate().unwrap();
+        // The axis expands innermost; the share lands on the scenario.
+        let mut with_rw = CampaignManifest::from_json(tiny_manifest_json()).unwrap();
+        with_rw.axes.rw_share = Some(vec![0.0, 0.3]);
+        with_rw.methods = vec![Method::FedFp];
+        let cells = with_rw.cells(false);
+        assert_eq!(cells.len(), 96); // 24 scenarios × 2 shares × 2 ablations
+        assert_eq!(cells[0].scenario.rw_share, Some(0.0));
+        assert_eq!(cells[2].scenario.rw_share, Some(0.3));
+    }
+
+    #[test]
+    fn extra_grids_append_without_renumbering_the_main_grid() {
+        let base = CampaignManifest::from_json(tiny_manifest_json()).unwrap();
+        let mut with_extra = base.clone();
+        with_extra.extra = Some(vec![ExtraGrid {
+            label: Some("rw".to_string()),
+            methods: vec![Method::MpcpSa, Method::Dga],
+            axes: AxisSpec {
+                m: vec![8],
+                nr_range: vec![(2, 4)],
+                u_avg: vec![1.5],
+                access_prob: vec![0.5],
+                max_requests: vec![25],
+                cs_range_us: vec![(15, 50)],
+                graph_shape: None,
+                light_fraction: None,
+                vertex_range: None,
+                cs_budget_fraction: None,
+                rw_share: Some(vec![0.3]),
+            },
+        }]);
+        with_extra.validate().unwrap();
+        // Main-grid cells are untouched — same indices, scenarios,
+        // labels — so committed golden rows never move.
+        let before = base.cells(false);
+        let after = with_extra.cells(false);
+        assert_eq!(&after[..before.len()], &before[..]);
+        // The appended cell rides the manifest-wide evaluation settings
+        // with its own methods, the default ablation config, and a
+        // reader-writer scenario.
+        assert_eq!(after.len(), before.len() + 1);
+        let cell = after.last().unwrap();
+        assert_eq!(cell.index, before.len());
+        assert_eq!(cell.ablation, "rw");
+        assert_eq!(cell.methods, vec![Method::MpcpSa, Method::Dga]);
+        assert_eq!(cell.scenario.rw_share, Some(0.3));
+        assert_eq!(cell.eval.seed, 7);
+        assert_eq!(cell.utilizations, vec![2.0, 4.0]);
+        // Quick mode limits main-grid scenarios only; the extra cell
+        // still runs (it is the reason the smoke gate exists).
+        let quick = with_extra.cells(true);
+        assert_eq!(quick.len(), base.cells(true).len() + 1);
+        assert_eq!(quick.last().unwrap().ablation, "rw");
+        assert_eq!(quick.last().unwrap().eval.samples_per_point, 1);
+        // Declaration round-trips losslessly, and existing JSON without
+        // the field parses with no extra grids.
+        let text = serde_json::to_string(&with_extra).unwrap();
+        assert_eq!(CampaignManifest::from_json(&text).unwrap(), with_extra);
+        assert_eq!(base.extra, None);
+        // A write-only method inside an rw extra grid is rejected.
+        let mut bad = with_extra.clone();
+        bad.extra.as_mut().unwrap()[0].methods = vec![Method::SpinSon];
+        let err = bad.validate().unwrap_err().to_string();
+        assert!(err.contains("'SPIN-SON' is write-only"), "{err}");
+        // Extra-grid labels share the filesystem-safe charset rule.
+        let mut bad = with_extra;
+        bad.extra.as_mut().unwrap()[0].label = Some("has space".to_string());
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
     fn unknown_method_names_are_a_schema_error() {
         // Methods are registry names in the JSON schema; anything the
         // registry cannot resolve is rejected at parse time with the
@@ -716,7 +947,7 @@ mod tests {
         // The default (no normalized list) reproduces the paper's
         // absolute sweep: 1 to m in steps of 0.05·m.
         assert_eq!(cell.utilizations, scenario.utilization_points());
-        assert_eq!(cell.methods, Method::ALL.to_vec());
+        assert_eq!(cell.methods, Method::PAPER.to_vec());
         assert!(cell.eval.ep_config.prune_dominated);
     }
 

@@ -38,8 +38,9 @@ pub struct PairwiseTable {
     pub title: String,
     /// Number of scenarios aggregated.
     pub scenarios: usize,
-    /// `counts[a][b]` = scenarios where `Method::ALL[a]` beats
-    /// `Method::ALL[b]` under the table's relation.
+    /// `counts[a][b]` = scenarios where `Method::PAPER[a]` beats
+    /// `Method::PAPER[b]` under the table's relation (the legacy
+    /// Tables 2/3 stay pinned to the paper's five compared methods).
     pub counts: [[usize; 5]; 5],
 }
 
@@ -53,8 +54,8 @@ impl PairwiseTable {
     ) -> Self {
         let mut counts = [[0usize; 5]; 5];
         for curve in curves {
-            for (i, &a) in Method::ALL.iter().enumerate() {
-                for (j, &b) in Method::ALL.iter().enumerate() {
+            for (i, &a) in Method::PAPER.iter().enumerate() {
+                for (j, &b) in Method::PAPER.iter().enumerate() {
                     if i != j && relation(curve, a, b) {
                         counts[i][j] += 1;
                     }
@@ -75,13 +76,13 @@ impl PairwiseTable {
             self.title, self.scenarios
         );
         out.push_str(&format!("{:>12}", ""));
-        for m in Method::ALL {
+        for m in Method::PAPER {
             out.push_str(&format!("{:>16}", m.name()));
         }
         out.push('\n');
-        for (i, a) in Method::ALL.iter().enumerate() {
+        for (i, a) in Method::PAPER.iter().enumerate() {
             out.push_str(&format!("{:>12}", a.name()));
-            for (j, _) in Method::ALL.iter().enumerate() {
+            for (j, _) in Method::PAPER.iter().enumerate() {
                 if i == j {
                     out.push_str(&format!("{:>16}", "N/A"));
                 } else {
@@ -101,11 +102,11 @@ impl PairwiseTable {
 
     /// The count for an ordered method pair.
     pub fn count(&self, a: Method, b: Method) -> usize {
-        let i = Method::ALL
+        let i = Method::PAPER
             .iter()
             .position(|&m| m == a)
             .expect("known method");
-        let j = Method::ALL
+        let j = Method::PAPER
             .iter()
             .position(|&m| m == b)
             .expect("known method");
@@ -125,12 +126,18 @@ mod tests {
             points: accepted
                 .into_iter()
                 .enumerate()
-                .map(|(i, a)| PointResult {
-                    utilization: i as f64,
-                    normalized: i as f64 / 16.0,
-                    samples: 10,
-                    generation_failures: 0,
-                    accepted: a,
+                .map(|(i, a)| {
+                    // Tables only look at the paper methods; the RW
+                    // extension slots stay zero.
+                    let mut slots = [0usize; crate::harness::Method::COUNT];
+                    slots[..a.len()].copy_from_slice(&a);
+                    PointResult {
+                        utilization: i as f64,
+                        normalized: i as f64 / 16.0,
+                        samples: 10,
+                        generation_failures: 0,
+                        accepted: slots,
+                    }
                 })
                 .collect(),
         }

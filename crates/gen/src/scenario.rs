@@ -50,6 +50,12 @@ pub struct Scenario {
     /// sections may occupy (paper: 0.5). `None` keeps the default; the
     /// fuzz sweeps push this toward 1.0 for extreme contention.
     pub cs_budget_fraction: Option<f64>,
+    /// Override of the probability that an individual request is a *read*
+    /// (reader-writer extension; the paper's model is write-only). `None`
+    /// and `Some(0.0)` draw no extra randomness, keeping the paper's RNG
+    /// stream byte-identical; only reader-writer-aware protocols accept
+    /// task sets generated with a positive share.
+    pub rw_share: Option<f64>,
 }
 
 impl Scenario {
@@ -73,6 +79,7 @@ impl Scenario {
                                     light_fraction: 0.0,
                                     vertex_range: None,
                                     cs_budget_fraction: None,
+                                    rw_share: None,
                                 });
                             }
                         }
@@ -107,6 +114,7 @@ impl Scenario {
             light_fraction: 0.0,
             vertex_range: None,
             cs_budget_fraction: None,
+            rw_share: None,
         }
     }
 
@@ -139,6 +147,7 @@ impl Scenario {
             cs_budget_fraction: self
                 .cs_budget_fraction
                 .unwrap_or(defaults.cs_budget_fraction),
+            rw_share: self.rw_share.unwrap_or(defaults.rw_share),
             ..defaults
         }
     }
@@ -190,6 +199,9 @@ impl Scenario {
         }
         if let Some(frac) = self.cs_budget_fraction {
             label.push_str(&format!("_csb{frac}"));
+        }
+        if let Some(share) = self.rw_share {
+            label.push_str(&format!("_rw{share}"));
         }
         label
     }
@@ -313,6 +325,7 @@ mod tests {
             light_fraction: 0.0,
             vertex_range: None,
             cs_budget_fraction: None,
+            rw_share: None,
         };
         let mut rng = StdRng::seed_from_u64(17);
         let ts = s.sample_task_set(4.0, &mut rng).unwrap();
@@ -353,5 +366,33 @@ mod tests {
             .unwrap();
         assert_eq!(a, b);
         assert!(a.iter().all(|t| t.utilization() > 1.0 || a.len() == 1));
+    }
+
+    #[test]
+    fn zero_rw_share_is_byte_identical_to_none() {
+        // `Some(0.0)` must draw no extra randomness: the sampled set is
+        // identical to the write-only default under the same seed.
+        let base = Scenario::fig2(Fig2Panel::A);
+        let mut zero = base.clone();
+        zero.rw_share = Some(0.0);
+        let a = base
+            .sample_task_set(5.0, &mut StdRng::seed_from_u64(41))
+            .unwrap();
+        let b = zero
+            .sample_task_set(5.0, &mut StdRng::seed_from_u64(41))
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(!a.has_reads());
+    }
+
+    #[test]
+    fn positive_rw_share_extends_label_and_produces_reads() {
+        let mut s = Scenario::fig2(Fig2Panel::A);
+        s.rw_share = Some(0.3);
+        assert_eq!(s.label(), "m16_nr4-8_u1.5_pr0.5_N50_L50-100_rw0.3");
+        let ts = s
+            .sample_task_set(5.0, &mut StdRng::seed_from_u64(41))
+            .unwrap();
+        assert!(ts.has_reads(), "rw_share=0.3 sampled a write-only set");
     }
 }

@@ -19,7 +19,8 @@
 //!    structure makes that impossible).
 
 use dpcp_model::{
-    Dag, DagTask, ModelError, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexId, VertexSpec,
+    AccessMode, Dag, DagTask, ModelError, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexId,
+    VertexSpec,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -98,6 +99,13 @@ pub struct TaskGenParams {
     /// Fraction of `C_i` that critical sections may occupy; request counts
     /// are clamped down to fit (plausibility guard, DESIGN.md).
     pub cs_budget_fraction: f64,
+    /// Probability that an individual request is a *read* instead of a
+    /// write (reader-writer extension; the paper's model is write-only).
+    /// At `0.0` the generator draws no extra randomness, reproducing the
+    /// paper's RNG stream bit-for-bit. Resources that draw at least one
+    /// read get a read critical-section length of half the write length
+    /// (deterministic — no extra draws).
+    pub rw_share: f64,
     /// Attempts at generating one task before giving up.
     pub max_task_attempts: usize,
     /// DAG structure generator (paper: ordered Erdős–Rényi).
@@ -115,6 +123,7 @@ impl Default for TaskGenParams {
             max_requests: 50,
             cs_range: (Time::from_us(50), Time::from_us(100)),
             cs_budget_fraction: 0.5,
+            rw_share: 0.0,
             max_task_attempts: 64,
             graph_shape: GraphShape::ErdosRenyi,
         }
@@ -258,19 +267,36 @@ fn sample_resource_usage<R: Rng + ?Sized>(
     usage
 }
 
-/// Distributes each resource's `N_{i,q}` requests uniformly over vertices.
+/// Draws the access mode of one request instance. Guarded so that
+/// `rw_share = 0.0` consumes no randomness at all — the paper's write-only
+/// RNG stream is reproduced bit-for-bit.
+fn draw_mode<R: Rng + ?Sized>(rw_share: f64, rng: &mut R) -> AccessMode {
+    if rw_share > 0.0 && rng.gen::<f64>() < rw_share {
+        AccessMode::Read
+    } else {
+        AccessMode::Write
+    }
+}
+
+/// Distributes each resource's `N_{i,q}` requests uniformly over vertices,
+/// flipping each instance to a read with probability `rw_share`.
 fn scatter_requests<R: Rng + ?Sized>(
     usage: &ResourceUsage,
     vertices: usize,
+    rw_share: f64,
     rng: &mut R,
 ) -> Vec<Vec<RequestSpec>> {
-    let mut per_vertex: Vec<Vec<(ResourceId, u32)>> = vec![Vec::new(); vertices];
+    let mut per_vertex: Vec<Vec<(ResourceId, AccessMode, u32)>> = vec![Vec::new(); vertices];
     for &(q, n, _) in usage {
         for _ in 0..n {
             let x = rng.gen_range(0..vertices);
-            match per_vertex[x].iter_mut().find(|(r, _)| *r == q) {
-                Some((_, c)) => *c += 1,
-                None => per_vertex[x].push((q, 1)),
+            let mode = draw_mode(rw_share, rng);
+            match per_vertex[x]
+                .iter_mut()
+                .find(|(r, m, _)| *r == q && *m == mode)
+            {
+                Some((_, _, c)) => *c += 1,
+                None => per_vertex[x].push((q, mode, 1)),
             }
         }
     }
@@ -278,10 +304,19 @@ fn scatter_requests<R: Rng + ?Sized>(
         .into_iter()
         .map(|rs| {
             rs.into_iter()
-                .map(|(q, c)| RequestSpec::new(q, c))
+                .map(|(q, mode, c)| match mode {
+                    AccessMode::Write => RequestSpec::write(q, c),
+                    AccessMode::Read => RequestSpec::read(q, c),
+                })
                 .collect()
         })
         .collect()
+}
+
+/// The deterministic read critical-section length: half the write length,
+/// rounded up (no extra RNG draws).
+fn read_len_of(write_len: Time) -> Time {
+    Time::from_ns(write_len.as_ns().div_ceil(2).max(1))
 }
 
 /// Random composition of `total` into `n` non-negative integer parts with
@@ -378,7 +413,17 @@ pub fn generate_task<R: Rng + ?Sized>(
         let vertices = rng.gen_range(lo.max(1)..=vmax.max(lo.max(1)));
         let dag = params.graph_shape.build(vertices, params.edge_prob, rng);
 
-        let requests = scatter_requests(&usage, vertices, rng);
+        let requests = scatter_requests(&usage, vertices, params.rw_share, rng);
+        let read_resources: Vec<ResourceId> = usage
+            .iter()
+            .map(|&(q, _, _)| q)
+            .filter(|&q| {
+                requests
+                    .iter()
+                    .flatten()
+                    .any(|r| r.resource == q && r.mode.is_read())
+            })
+            .collect();
         let floors: Vec<Time> = requests
             .iter()
             .map(|rs| {
@@ -418,6 +463,9 @@ pub fn generate_task<R: Rng + ?Sized>(
         }
         for &(q, _, len) in &usage {
             builder = builder.critical_section(q, len);
+            if read_resources.contains(&q) {
+                builder = builder.read_critical_section(q, read_len_of(len));
+            }
         }
         return builder.build().map_err(GenError::from);
     }
@@ -449,15 +497,28 @@ pub fn generate_light_task<R: Rng + ?Sized>(
             continue;
         }
         let usage = sample_resource_usage(params, resource_count, wcet, rng);
-        let requests: Vec<RequestSpec> = usage
-            .iter()
-            .map(|&(q, n, _)| RequestSpec::new(q, n))
-            .collect();
+        let mut requests: Vec<RequestSpec> = Vec::with_capacity(usage.len());
+        let mut read_resources: Vec<ResourceId> = Vec::new();
+        for &(q, n, _) in &usage {
+            let reads = (0..n)
+                .filter(|_| draw_mode(params.rw_share, rng).is_read())
+                .count() as u32;
+            if n > reads {
+                requests.push(RequestSpec::write(q, n - reads));
+            }
+            if reads > 0 {
+                requests.push(RequestSpec::read(q, reads));
+                read_resources.push(q);
+            }
+        }
         let mut builder = DagTask::builder(id, period)
             .deadline(period)
             .vertex(VertexSpec::with_requests(wcet, requests));
         for &(q, _, len) in &usage {
             builder = builder.critical_section(q, len);
+            if read_resources.contains(&q) {
+                builder = builder.read_critical_section(q, read_len_of(len));
+            }
         }
         return builder.build().map_err(GenError::from);
     }
@@ -793,6 +854,46 @@ mod tests {
         assert!(ts.iter().all(|t| !t.is_heavy()));
         assert!(ts.iter().all(|t| t.dag().vertex_count() == 1));
         assert!((ts.total_utilization() - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_rw_share_draws_no_extra_randomness() {
+        // The mode draw is guarded by `rw_share > 0.0`, so 0.0 must leave
+        // the RNG stream — and hence the generated set — byte-identical.
+        let base = small_params();
+        let zeroed = TaskGenParams {
+            rw_share: 0.0,
+            ..small_params()
+        };
+        let a = generate_task_set(&base, 5.0, 3, &mut rng(35)).unwrap();
+        let b = generate_task_set(&zeroed, 5.0, 3, &mut rng(35)).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.has_reads());
+    }
+
+    #[test]
+    fn positive_rw_share_mixes_modes_with_halved_read_lengths() {
+        let params = TaskGenParams {
+            rw_share: 0.5,
+            ..small_params()
+        };
+        let ts = generate_mixed_task_set(&params, 6.0, 0.25, 4, &mut rng(36)).unwrap();
+        assert!(ts.has_reads(), "rw_share=0.5 produced a write-only set");
+        assert!(
+            ts.iter()
+                .any(|t| t.resources().any(|q| t.total_writes(q) > 0)),
+            "rw_share=0.5 produced a read-only set"
+        );
+        for t in ts.iter() {
+            for q in t.resources() {
+                if t.total_reads(q) > 0 {
+                    let write = t.cs_length(q).unwrap();
+                    let read = t.read_cs_length(q).unwrap();
+                    assert_eq!(read, read_len_of(write), "resource {q} of {}", t.id());
+                    assert!(read <= write);
+                }
+            }
+        }
     }
 
     #[test]

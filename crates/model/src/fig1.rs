@@ -69,15 +69,15 @@ pub fn tasks() -> Result<(DagTask, DagTask), ModelError> {
         .vertex(VertexSpec::new(u(2))) // v_{i,1}
         .vertex(VertexSpec::with_requests(
             u(3),
-            [RequestSpec::new(GLOBAL_RESOURCE, 1)],
+            [RequestSpec::write(GLOBAL_RESOURCE, 1)],
         )) // v_{i,2}: entirely one critical section on ℓ1
         .vertex(VertexSpec::with_requests(
             u(2),
-            [RequestSpec::new(LOCAL_RESOURCE, 1)],
+            [RequestSpec::write(LOCAL_RESOURCE, 1)],
         )) // v_{i,3}: holds ℓ2
         .vertex(VertexSpec::with_requests(
             u(2),
-            [RequestSpec::new(LOCAL_RESOURCE, 1)],
+            [RequestSpec::write(LOCAL_RESOURCE, 1)],
         )) // v_{i,4}: waits for ℓ2 behind v_{i,3}
         .vertex(VertexSpec::new(u(4))) // v_{i,5}
         .vertex(VertexSpec::new(u(2))) // v_{i,6}
@@ -107,7 +107,7 @@ pub fn tasks() -> Result<(DagTask, DagTask), ModelError> {
         .vertex(VertexSpec::new(u(3))) // v_{j,2}
         .vertex(VertexSpec::with_requests(
             u(3),
-            [RequestSpec::new(GLOBAL_RESOURCE, 1)],
+            [RequestSpec::write(GLOBAL_RESOURCE, 1)],
         )) // v_{j,3}: entirely one critical section on ℓ1
         .vertex(VertexSpec::new(u(4))) // v_{j,4}
         .vertex(VertexSpec::new(u(4))) // v_{j,5}

@@ -56,6 +56,6 @@ pub use path::{
 };
 pub use platform::{Partition, Platform};
 pub use priority::{EffectivePriority, Priority, PriorityAssignment};
-pub use task::{DagTask, DagTaskBuilder, RequestSpec, VertexSpec};
+pub use task::{AccessMode, DagTask, DagTaskBuilder, RequestSpec, VertexSpec};
 pub use taskset::{initial_processors, ResourceScope, TaskSet};
 pub use time::{eta_jobs, Time};

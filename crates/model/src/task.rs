@@ -17,6 +17,53 @@ use crate::ids::{ResourceId, TaskId, VertexId};
 use crate::priority::Priority;
 use crate::time::Time;
 
+/// How a request accesses its resource.
+///
+/// The paper's model is write-only: every request takes the resource
+/// exclusively. Reader-writer protocols (phase-fair RW locks, MPCP/DGA
+/// variants from the wider literature) additionally allow *read* requests,
+/// which may overlap with other reads of the same resource. `Write` is the
+/// serde default so every pre-RW artifact deserializes unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessMode {
+    /// Exclusive access — the only mode in the source paper.
+    #[default]
+    Write,
+    /// Shared access; concurrent reads of one resource may overlap.
+    Read,
+}
+
+impl AccessMode {
+    /// Returns `true` for [`AccessMode::Read`].
+    #[inline]
+    pub const fn is_read(self) -> bool {
+        matches!(self, AccessMode::Read)
+    }
+}
+
+impl Serialize for AccessMode {
+    fn serialize(&self) -> serde::Value {
+        match self {
+            AccessMode::Write => serde::Value::String("Write".to_owned()),
+            AccessMode::Read => serde::Value::String("Read".to_owned()),
+        }
+    }
+}
+
+// Hand-written so a *missing* field (the vendored derive passes
+// `Value::Null` for absent members) defaults to `Write`: all committed
+// JSON predates access modes and must keep deserializing bit-for-bit.
+impl Deserialize for AccessMode {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Null => Ok(AccessMode::Write),
+            serde::Value::String(s) if s == "Write" => Ok(AccessMode::Write),
+            serde::Value::String(s) if s == "Read" => Ok(AccessMode::Read),
+            _ => Err(serde::Error::custom("expected \"Write\" or \"Read\"")),
+        }
+    }
+}
+
 /// The maximum number of requests `N_{i,x,q}` a vertex issues to one
 /// resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -25,12 +72,33 @@ pub struct RequestSpec {
     pub resource: ResourceId,
     /// The maximum number of requests the vertex issues to it.
     pub count: u32,
+    /// Whether the requests read or write the resource (write by default).
+    pub mode: AccessMode,
 }
 
 impl RequestSpec {
-    /// Creates a request specification.
+    /// Creates a write-mode request specification (alias of
+    /// [`RequestSpec::write`], kept for the paper's write-only model).
     pub const fn new(resource: ResourceId, count: u32) -> Self {
-        RequestSpec { resource, count }
+        Self::write(resource, count)
+    }
+
+    /// Creates an exclusive (write) request specification.
+    pub const fn write(resource: ResourceId, count: u32) -> Self {
+        RequestSpec {
+            resource,
+            count,
+            mode: AccessMode::Write,
+        }
+    }
+
+    /// Creates a shared (read) request specification.
+    pub const fn read(resource: ResourceId, count: u32) -> Self {
+        RequestSpec {
+            resource,
+            count,
+            mode: AccessMode::Read,
+        }
     }
 }
 
@@ -38,8 +106,9 @@ impl RequestSpec {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VertexSpec {
     wcet: Time,
-    /// Sorted by resource, at most one entry per resource, zero counts
-    /// removed.
+    /// Sorted by `(resource, mode)` with `Write < Read`, at most one entry
+    /// per resource and mode, zero counts removed. Write-only vertices thus
+    /// keep the exact pre-RW layout (sorted by resource, one entry each).
     requests: Vec<RequestSpec>,
 }
 
@@ -55,17 +124,21 @@ impl VertexSpec {
     /// Creates a vertex with the given WCET and request list (merged and
     /// sorted; zero counts dropped).
     pub fn with_requests(wcet: Time, requests: impl IntoIterator<Item = RequestSpec>) -> Self {
-        let mut merged: BTreeMap<ResourceId, u32> = BTreeMap::new();
+        let mut merged: BTreeMap<(ResourceId, AccessMode), u32> = BTreeMap::new();
         for r in requests {
             if r.count > 0 {
-                *merged.entry(r.resource).or_insert(0) += r.count;
+                *merged.entry((r.resource, r.mode)).or_insert(0) += r.count;
             }
         }
         VertexSpec {
             wcet,
             requests: merged
                 .into_iter()
-                .map(|(resource, count)| RequestSpec { resource, count })
+                .map(|((resource, mode), count)| RequestSpec {
+                    resource,
+                    count,
+                    mode,
+                })
                 .collect(),
         }
     }
@@ -76,19 +149,37 @@ impl VertexSpec {
         self.wcet
     }
 
-    /// The vertex's request specifications, sorted by resource.
+    /// The vertex's request specifications, sorted by `(resource, mode)`.
     #[inline]
     pub fn requests(&self) -> &[RequestSpec] {
         &self.requests
     }
 
-    /// The number of requests this vertex issues to `resource`
-    /// (`N_{i,x,q}`).
+    /// The number of requests this vertex issues to `resource` across both
+    /// access modes (`N_{i,x,q}`).
     pub fn request_count(&self, resource: ResourceId) -> u32 {
+        // At most two entries per resource (one per mode); the partition
+        // point found by resource alone anchors a short scan either way.
+        let anchor = self.requests.partition_point(|r| r.resource < resource);
+        self.requests[anchor..]
+            .iter()
+            .take_while(|r| r.resource == resource)
+            .map(|r| r.count)
+            .sum()
+    }
+
+    /// The number of requests this vertex issues to `resource` in one
+    /// access mode.
+    pub fn request_count_mode(&self, resource: ResourceId, mode: AccessMode) -> u32 {
         self.requests
-            .binary_search_by_key(&resource, |r| r.resource)
+            .binary_search_by_key(&(resource, mode), |r| (r.resource, r.mode))
             .map(|i| self.requests[i].count)
             .unwrap_or(0)
+    }
+
+    /// Returns `true` if any request of this vertex is a read.
+    pub fn has_reads(&self) -> bool {
+        self.requests.iter().any(|r| r.mode.is_read())
     }
 }
 
@@ -105,7 +196,7 @@ impl VertexSpec {
 ///     .vertex(VertexSpec::new(Time::from_ms(4)))
 ///     .vertex(VertexSpec::with_requests(
 ///         Time::from_ms(8),
-///         [RequestSpec::new(ResourceId::new(0), 2)],
+///         [RequestSpec::write(ResourceId::new(0), 2)],
 ///     ))
 ///     .critical_section(ResourceId::new(0), Time::from_us(50))
 ///     .build()?;
@@ -114,7 +205,7 @@ impl VertexSpec {
 /// assert_eq!(task.total_requests(ResourceId::new(0)), 2);
 /// # Ok::<(), dpcp_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DagTask {
     id: TaskId,
     period: Time,
@@ -122,13 +213,51 @@ pub struct DagTask {
     priority: Priority,
     dag: Dag,
     vertices: Vec<VertexSpec>,
-    /// Maximum critical-section length `L_{i,q}` per used resource.
+    /// Maximum *write* critical-section length `L_{i,q}` per used resource.
     cs_lengths: BTreeMap<ResourceId, Time>,
+    /// Maximum *read* critical-section length `L^R_{i,q}`, kept only for
+    /// resources the task actually reads (empty for the paper's write-only
+    /// model). Defaults to the write length when never declared.
+    read_cs_lengths: BTreeMap<ResourceId, Time>,
     // ---- derived, cached at construction ----
     wcet: Time,
     longest_path_len: Time,
     longest_path: Vec<VertexId>,
     total_requests: BTreeMap<ResourceId, u32>,
+    /// Read-mode share of `total_requests`, per resource (empty when
+    /// write-only).
+    total_reads: BTreeMap<ResourceId, u32>,
+}
+
+// Hand-written so the two RW maps — absent from every pre-RW artifact, and
+// surfaced as `Value::Null` by the vendored serde's missing-field lookup —
+// default to empty instead of failing the whole task.
+impl Deserialize for DagTask {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn map_or_empty<K: Deserialize + Ord, V: Deserialize>(
+            value: &serde::Value,
+        ) -> Result<BTreeMap<K, V>, serde::Error> {
+            match value {
+                serde::Value::Null => Ok(BTreeMap::new()),
+                other => BTreeMap::deserialize(other),
+            }
+        }
+        Ok(DagTask {
+            id: TaskId::deserialize(value.field("id"))?,
+            period: Time::deserialize(value.field("period"))?,
+            deadline: Time::deserialize(value.field("deadline"))?,
+            priority: Priority::deserialize(value.field("priority"))?,
+            dag: Dag::deserialize(value.field("dag"))?,
+            vertices: Vec::deserialize(value.field("vertices"))?,
+            cs_lengths: BTreeMap::deserialize(value.field("cs_lengths"))?,
+            read_cs_lengths: map_or_empty(value.field("read_cs_lengths"))?,
+            wcet: Time::deserialize(value.field("wcet"))?,
+            longest_path_len: Time::deserialize(value.field("longest_path_len"))?,
+            longest_path: Vec::deserialize(value.field("longest_path"))?,
+            total_requests: BTreeMap::deserialize(value.field("total_requests"))?,
+            total_reads: map_or_empty(value.field("total_reads"))?,
+        })
+    }
 }
 
 impl DagTask {
@@ -142,6 +271,7 @@ impl DagTask {
             dag: None,
             vertices: Vec::new(),
             cs_lengths: BTreeMap::new(),
+            read_cs_lengths: BTreeMap::new(),
         }
     }
 
@@ -242,24 +372,63 @@ impl DagTask {
         self.total_requests.contains_key(&resource)
     }
 
-    /// The job-level maximum request count `N_{i,q} = Σ_x N_{i,x,q}`.
+    /// The job-level maximum request count `N_{i,q} = Σ_x N_{i,x,q}`,
+    /// summed over both access modes.
     pub fn total_requests(&self, resource: ResourceId) -> u32 {
         self.total_requests.get(&resource).copied().unwrap_or(0)
     }
 
-    /// The maximum critical-section length `L_{i,q}`, or `None` if the task
-    /// never uses the resource.
+    /// The job-level maximum *read* request count `N^R_{i,q}`.
+    pub fn total_reads(&self, resource: ResourceId) -> u32 {
+        self.total_reads.get(&resource).copied().unwrap_or(0)
+    }
+
+    /// The job-level maximum *write* request count `N^W_{i,q}`.
+    pub fn total_writes(&self, resource: ResourceId) -> u32 {
+        self.total_requests(resource) - self.total_reads(resource)
+    }
+
+    /// Returns `true` if any vertex of this task issues a read request
+    /// (i.e. the task leaves the paper's write-only model).
+    pub fn has_reads(&self) -> bool {
+        !self.total_reads.is_empty()
+    }
+
+    /// The maximum *write* critical-section length `L_{i,q}`, or `None` if
+    /// the task never uses the resource.
     pub fn cs_length(&self, resource: ResourceId) -> Option<Time> {
         self.cs_lengths.get(&resource).copied()
     }
 
-    /// Total worst-case time the task spends inside critical sections of
-    /// `resource`: `N_{i,q} · L_{i,q}`.
-    pub fn cs_demand(&self, resource: ResourceId) -> Time {
-        match self.cs_lengths.get(&resource) {
-            Some(&len) => len.saturating_mul(u64::from(self.total_requests(resource))),
-            None => Time::ZERO,
+    /// The maximum *read* critical-section length `L^R_{i,q}` (declared via
+    /// [`DagTaskBuilder::read_critical_section`], defaulting to the write
+    /// length), or `None` if the task never reads the resource.
+    pub fn read_cs_length(&self, resource: ResourceId) -> Option<Time> {
+        self.read_cs_lengths.get(&resource).copied()
+    }
+
+    /// The maximum critical-section length for one access mode; reads fall
+    /// back to the write length when the task issues none.
+    pub fn cs_length_mode(&self, resource: ResourceId, mode: AccessMode) -> Option<Time> {
+        match mode {
+            AccessMode::Write => self.cs_length(resource),
+            AccessMode::Read => self.read_cs_length(resource).or(self.cs_length(resource)),
         }
+    }
+
+    /// Total worst-case time the task spends inside critical sections of
+    /// `resource`: `N^W_{i,q} · L_{i,q} + N^R_{i,q} · L^R_{i,q}` (the
+    /// paper's `N_{i,q} · L_{i,q}` when write-only).
+    pub fn cs_demand(&self, resource: ResourceId) -> Time {
+        let writes = match self.cs_lengths.get(&resource) {
+            Some(&len) => len.saturating_mul(u64::from(self.total_writes(resource))),
+            None => Time::ZERO,
+        };
+        let reads = match self.read_cs_lengths.get(&resource) {
+            Some(&len) => len.saturating_mul(u64::from(self.total_reads(resource))),
+            None => Time::ZERO,
+        };
+        writes.saturating_add(reads)
     }
 
     /// The non-critical WCET `C'_i = C_i − Σ_q N_{i,q} · L_{i,q}`.
@@ -279,7 +448,11 @@ impl DagTask {
         let critical: Time = spec
             .requests()
             .iter()
-            .map(|r| self.cs_lengths[&r.resource].saturating_mul(u64::from(r.count)))
+            .map(|r| {
+                self.cs_length_mode(r.resource, r.mode)
+                    .expect("built task has a CS length for every request")
+                    .saturating_mul(u64::from(r.count))
+            })
             .sum();
         spec.wcet().saturating_sub(critical)
     }
@@ -306,6 +479,7 @@ pub struct DagTaskBuilder {
     dag: Option<Dag>,
     vertices: Vec<VertexSpec>,
     cs_lengths: BTreeMap<ResourceId, Time>,
+    read_cs_lengths: BTreeMap<ResourceId, Time>,
 }
 
 impl DagTaskBuilder {
@@ -340,10 +514,20 @@ impl DagTaskBuilder {
         self
     }
 
-    /// Declares the maximum critical-section length `L_{i,q}` for a
-    /// resource the task uses.
+    /// Declares the maximum *write* critical-section length `L_{i,q}` for a
+    /// resource the task uses. Required for every requested resource, in
+    /// either access mode.
     pub fn critical_section(mut self, resource: ResourceId, len: Time) -> Self {
         self.cs_lengths.insert(resource, len);
+        self
+    }
+
+    /// Declares the maximum *read* critical-section length `L^R_{i,q}`.
+    /// Optional: read requests fall back to the write length declared via
+    /// [`DagTaskBuilder::critical_section`] — which is what keeps read
+    /// generation RNG-free at the default axis settings.
+    pub fn read_critical_section(mut self, resource: ResourceId, len: Time) -> Self {
+        self.read_cs_lengths.insert(resource, len);
         self
     }
 
@@ -379,7 +563,7 @@ impl DagTaskBuilder {
                 vertices: dag.vertex_count(),
             });
         }
-        for (&q, &len) in &self.cs_lengths {
+        for (&q, &len) in self.cs_lengths.iter().chain(&self.read_cs_lengths) {
             if len.is_zero() {
                 return Err(ModelError::NonPositiveCriticalSection {
                     task: id,
@@ -387,17 +571,27 @@ impl DagTaskBuilder {
                 });
             }
         }
-        // Critical-section containment: C_{i,x} ≥ Σ_q N_{i,x,q} · L_{i,q}.
+        // Critical-section containment, per access mode:
+        // C_{i,x} ≥ Σ_q (N^W_{i,x,q} · L_{i,q} + N^R_{i,x,q} · L^R_{i,q}).
+        // Read lengths fall back to the (mandatory) write declaration.
         for (x, spec) in self.vertices.iter().enumerate() {
             let mut critical = Time::ZERO;
             for r in spec.requests() {
-                let len = self.cs_lengths.get(&r.resource).copied().ok_or(
+                let write_len = self.cs_lengths.get(&r.resource).copied().ok_or(
                     ModelError::MissingCriticalSectionLength {
                         task: id,
                         vertex: VertexId::new(x),
                         resource: r.resource,
                     },
                 )?;
+                let len = match r.mode {
+                    AccessMode::Write => write_len,
+                    AccessMode::Read => self
+                        .read_cs_lengths
+                        .get(&r.resource)
+                        .copied()
+                        .unwrap_or(write_len),
+                };
                 critical = critical.saturating_add(len.saturating_mul(u64::from(r.count)));
             }
             if spec.wcet() < critical {
@@ -415,17 +609,31 @@ impl DagTaskBuilder {
         let (longest_path_len, longest_path) = dag.longest_path(&weights);
 
         let mut total_requests: BTreeMap<ResourceId, u32> = BTreeMap::new();
+        let mut total_reads: BTreeMap<ResourceId, u32> = BTreeMap::new();
         for spec in &self.vertices {
             for r in spec.requests() {
                 *total_requests.entry(r.resource).or_insert(0) += r.count;
+                if r.mode.is_read() {
+                    *total_reads.entry(r.resource).or_insert(0) += r.count;
+                }
             }
         }
         // Drop declared critical sections for resources never requested so
-        // `resources()` reflects actual usage.
+        // `resources()` reflects actual usage; materialize the read length
+        // (declared or defaulted to the write length) exactly for the
+        // resources that carry reads.
         let cs_lengths: BTreeMap<ResourceId, Time> = self
             .cs_lengths
             .into_iter()
             .filter(|(q, _)| total_requests.contains_key(q))
+            .collect();
+        let declared_reads = self.read_cs_lengths;
+        let read_cs_lengths: BTreeMap<ResourceId, Time> = total_reads
+            .keys()
+            .map(|&q| {
+                let len = declared_reads.get(&q).copied().unwrap_or(cs_lengths[&q]);
+                (q, len)
+            })
             .collect();
 
         Ok(DagTask {
@@ -436,10 +644,12 @@ impl DagTaskBuilder {
             dag,
             vertices: self.vertices,
             cs_lengths,
+            read_cs_lengths,
             wcet,
             longest_path_len,
             longest_path,
             total_requests,
+            total_reads,
         })
     }
 }
@@ -602,5 +812,125 @@ mod tests {
         assert_eq!(v.requests().len(), 1);
         assert_eq!(v.request_count(rid(1)), 5);
         assert_eq!(v.request_count(rid(0)), 0);
+    }
+
+    #[test]
+    fn with_requests_merges_per_mode() {
+        let v = VertexSpec::with_requests(
+            Time::from_ms(1),
+            [
+                RequestSpec::read(rid(0), 2),
+                RequestSpec::write(rid(0), 1),
+                RequestSpec::read(rid(0), 1),
+            ],
+        );
+        // Write sorts before Read for the same resource.
+        assert_eq!(v.requests().len(), 2);
+        assert_eq!(v.requests()[0].mode, AccessMode::Write);
+        assert_eq!(v.requests()[1].mode, AccessMode::Read);
+        assert_eq!(v.request_count(rid(0)), 4);
+        assert_eq!(v.request_count_mode(rid(0), AccessMode::Write), 1);
+        assert_eq!(v.request_count_mode(rid(0), AccessMode::Read), 3);
+        assert!(v.has_reads());
+    }
+
+    fn rw_task(read_len: Option<Time>) -> DagTask {
+        let mut b = DagTask::builder(TaskId::new(0), Time::from_ms(100))
+            .vertex(VertexSpec::with_requests(
+                Time::from_ms(10),
+                [RequestSpec::write(rid(0), 2), RequestSpec::read(rid(0), 3)],
+            ))
+            .critical_section(rid(0), Time::from_us(100));
+        if let Some(len) = read_len {
+            b = b.read_critical_section(rid(0), len);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rw_counts_and_lengths() {
+        let t = rw_task(Some(Time::from_us(40)));
+        assert!(t.has_reads());
+        assert_eq!(t.total_requests(rid(0)), 5);
+        assert_eq!(t.total_writes(rid(0)), 2);
+        assert_eq!(t.total_reads(rid(0)), 3);
+        assert_eq!(t.cs_length(rid(0)), Some(Time::from_us(100)));
+        assert_eq!(t.read_cs_length(rid(0)), Some(Time::from_us(40)));
+        // 2·100µs writes + 3·40µs reads.
+        assert_eq!(t.cs_demand(rid(0)), Time::from_us(320));
+        assert_eq!(
+            t.vertex_noncritical_wcet(VertexId::new(0)),
+            Time::from_ms(10) - Time::from_us(320)
+        );
+    }
+
+    #[test]
+    fn read_length_defaults_to_write_length() {
+        let t = rw_task(None);
+        assert_eq!(t.read_cs_length(rid(0)), Some(Time::from_us(100)));
+        assert_eq!(
+            t.cs_length_mode(rid(0), AccessMode::Read),
+            Some(Time::from_us(100))
+        );
+        assert_eq!(t.cs_demand(rid(0)), Time::from_us(500));
+    }
+
+    #[test]
+    fn write_only_task_has_no_rw_state() {
+        let t = simple_task();
+        assert!(!t.has_reads());
+        assert_eq!(t.total_writes(rid(0)), 3);
+        assert_eq!(t.total_reads(rid(0)), 0);
+        assert_eq!(t.read_cs_length(rid(0)), None);
+        // Reads fall back to the write length even when the task has none.
+        assert_eq!(
+            t.cs_length_mode(rid(0), AccessMode::Read),
+            Some(Time::from_us(100))
+        );
+    }
+
+    /// Strips every RW-era member from a serialized value tree, producing
+    /// exactly what a pre-RW build would have written.
+    fn strip_rw_fields(v: &serde::Value) -> serde::Value {
+        match v {
+            serde::Value::Object(entries) => serde::Value::Object(
+                entries
+                    .iter()
+                    .filter(|(k, _)| k != "mode" && k != "read_cs_lengths" && k != "total_reads")
+                    .map(|(k, val)| (k.clone(), strip_rw_fields(val)))
+                    .collect(),
+            ),
+            serde::Value::Array(items) => {
+                serde::Value::Array(items.iter().map(strip_rw_fields).collect())
+            }
+            other => other.clone(),
+        }
+    }
+
+    #[test]
+    fn pre_rw_json_deserializes_unchanged() {
+        use serde::{Deserialize, Serialize};
+        let t = simple_task();
+        let old_format = strip_rw_fields(&t.serialize());
+        assert_ne!(old_format, t.serialize(), "stripper must remove something");
+        let parsed = DagTask::deserialize(&old_format).unwrap();
+        assert_eq!(parsed, t);
+        // And a task that *does* read round-trips through the new format.
+        let rw = rw_task(Some(Time::from_us(40)));
+        assert_eq!(DagTask::deserialize(&rw.serialize()).unwrap(), rw);
+    }
+
+    #[test]
+    fn access_mode_serde_defaults_to_write() {
+        use serde::Deserialize;
+        assert_eq!(
+            AccessMode::deserialize(&serde::Value::Null).unwrap(),
+            AccessMode::Write
+        );
+        assert_eq!(
+            AccessMode::deserialize(&serde::Value::String("Read".into())).unwrap(),
+            AccessMode::Read
+        );
+        assert!(AccessMode::deserialize(&serde::Value::U64(1)).is_err());
     }
 }

@@ -239,6 +239,13 @@ impl TaskSet {
         self.inner.tasks.iter().map(DagTask::utilization).sum()
     }
 
+    /// Returns `true` if any task issues read requests — i.e. the set
+    /// leaves the paper's write-only model and needs an RW-capable
+    /// protocol analysis.
+    pub fn has_reads(&self) -> bool {
+        self.inner.tasks.iter().any(DagTask::has_reads)
+    }
+
     /// The priority ceiling of a *global* resource as a base-priority level:
     /// `max_{τ_j ∈ τ(ℓ_q)} π_j` (the `Π_q − π^H` part of Sec. III-C).
     ///

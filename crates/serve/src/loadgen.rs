@@ -122,6 +122,7 @@ pub fn build_requests(config: &LoadgenConfig) -> Vec<AnalysisRequest> {
             continue;
         };
         requests.push(AnalysisRequest {
+            schema: None,
             protocol: protocols[requests.len() % protocols.len()].clone(),
             tasks,
             platform,

@@ -10,7 +10,9 @@
 //!   response is the [`AnalysisVerdict`](dpcp_core::AnalysisVerdict)
 //!   in JSON with an
 //!   `x-verdict-cache: HIT|MISS` header. Malformed JSON is `400`; an
-//!   unknown protocol name is `422`.
+//!   unknown protocol name, an unsupported `schema` version (the
+//!   response lists the supported ones) or a reader-writer task set
+//!   routed to a write-only protocol is `422`.
 //! - `GET /metrics` — cache counters, per-endpoint p50/p99 latency and
 //!   verdicts/sec as JSON.
 //! - `GET /healthz` — liveness.
@@ -319,6 +321,21 @@ fn handle_analyze(
             return true;
         }
     };
+
+    // Schema gate before any structural work: an unknown wire version
+    // must never be hashed into the cache or dispatched.
+    if let Err(e) = analysis.check_schema() {
+        let body = json_error(&e);
+        let _ = write_response(
+            stream,
+            422,
+            "Unprocessable Entity",
+            &[],
+            body.as_bytes(),
+            keep_alive,
+        );
+        return true;
+    }
 
     let key = analysis.structural_key();
     if let Some(body) = cache.get(key, raw) {

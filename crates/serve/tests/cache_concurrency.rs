@@ -28,6 +28,7 @@ fn concurrent_duplicates_stay_byte_identical_and_counted() {
         .iter()
         .map(|protocol| {
             let request = AnalysisRequest {
+                schema: None,
                 protocol: (*protocol).to_string(),
                 tasks: fig1::task_set().expect("fig1 fixture"),
                 platform: Platform::new(4).expect("m >= 2"),

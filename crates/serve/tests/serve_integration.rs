@@ -19,6 +19,7 @@ fn spawn_server() -> Server {
 
 fn fig1_request(protocol: &str) -> AnalysisRequest {
     AnalysisRequest {
+        schema: None,
         protocol: protocol.to_string(),
         tasks: fig1::task_set().expect("fig1 fixture"),
         platform: Platform::new(4).expect("m >= 2"),
@@ -134,6 +135,56 @@ fn unknown_protocol_is_a_422() {
     assert!(std::str::from_utf8(&body)
         .expect("utf-8")
         .contains("NO-SUCH-PROTOCOL"));
+    server.shutdown();
+}
+
+#[test]
+fn unsupported_schema_version_is_a_422_listing_supported_ones() {
+    let server = spawn_server();
+    let addr = server.local_addr().to_string();
+    // Declared supported versions pass (v2 here); an unknown one is
+    // refused before any structural hashing, naming what is supported.
+    let mut request = fig1_request("DPCP-p-EP");
+    request.schema = Some(2);
+    let (status, _, _) = post_analyze(&addr, &request);
+    assert_eq!(status, 200);
+    request.schema = Some(99);
+    let (status, _, body) = post_analyze(&addr, &request);
+    assert_eq!(status, 422);
+    let body = std::str::from_utf8(&body).expect("utf-8");
+    assert!(body.contains("unsupported schema version 99"), "{body}");
+    assert!(body.contains("supported versions: 1, 2"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn rw_task_set_on_write_only_protocol_is_a_422_naming_it() {
+    use dpcp_model::{DagTask, RequestSpec, ResourceId, TaskId, TaskSet, Time, VertexSpec};
+
+    let server = spawn_server();
+    let addr = server.local_addr().to_string();
+    let rid = ResourceId::new(0);
+    let task = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+        .vertex(VertexSpec::with_requests(
+            Time::from_ms(1),
+            [RequestSpec::read(rid, 1)],
+        ))
+        .critical_section(rid, Time::from_us(50))
+        .read_critical_section(rid, Time::from_us(20))
+        .build()
+        .expect("valid task");
+    let tasks = TaskSet::new(vec![task], 1).expect("valid set");
+    let mut request = fig1_request("LPP");
+    request.tasks = tasks;
+    let (status, _, body) = post_analyze(&addr, &request);
+    assert_eq!(status, 422);
+    let body = std::str::from_utf8(&body).expect("utf-8");
+    assert!(body.contains("LPP"), "{body}");
+    assert!(body.contains("write-only"), "{body}");
+    // The same set routed to an rw-aware protocol is analyzed normally.
+    request.protocol = "MPCP-SA".to_string();
+    let (status, _, _) = post_analyze(&addr, &request);
+    assert_eq!(status, 200);
     server.shutdown();
 }
 

@@ -12,7 +12,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use dpcp_core::protocol::{effective_priority, CeilingTable, ProcessorCeiling};
-use dpcp_model::{Partition, Priority, ResourceId, TaskId, TaskSet, Time, VertexId};
+use dpcp_model::{AccessMode, Partition, Priority, ResourceId, TaskId, TaskSet, Time, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -87,10 +87,18 @@ struct TaskRt {
 
 #[derive(Debug)]
 struct ResourceState {
-    global: bool,
-    /// Holder: a `(job, vertex)` for local resources, a request index for
-    /// global ones (encoded in `RunItem` terms for uniform assertions).
+    /// Whether the partition assigned this resource a synchronization
+    /// processor. Homed resources run through remote agents (Rule 3);
+    /// home-less ones — local resources, and *every* resource under the
+    /// local-execution baselines (SPIN/LPP/MPCP/DGA) — execute in place
+    /// with FIFO queueing.
+    homed: bool,
+    /// Exclusive holder: a `(job, vertex)` for locally-executed writes, a
+    /// request index for homed ones (encoded in `RunItem` terms for
+    /// uniform assertions). `None` while only readers hold the resource.
     holder: Option<RunItem>,
+    /// Concurrent read holders of a locally-executed resource.
+    read_holders: Vec<(JobIdx, usize)>,
     local_waiters: VecDeque<(JobIdx, usize)>,
 }
 
@@ -165,8 +173,12 @@ impl<'a> Engine<'a> {
         let resources = tasks
             .resources()
             .map(|q| ResourceState {
-                global: tasks.is_global(q),
+                // DPCP partitions home every global resource, so this is
+                // `tasks.is_global(q)` there; local-execution partitions
+                // home nothing and run all requests in place.
+                homed: partition.home_of(q).is_some(),
                 holder: None,
+                read_holders: Vec::new(),
                 local_waiters: VecDeque::new(),
             })
             .collect();
@@ -347,33 +359,80 @@ impl<'a> Engine<'a> {
                 self.task_rt[task_id.index()].rq_n.push_back((job, vertex));
                 self.refresh_cluster(task_id);
             }
-            Some(Segment::Request { resource, len }) => {
-                if self.resources[resource.index()].global {
+            Some(Segment::Request {
+                resource,
+                len,
+                mode,
+            }) => {
+                if self.resources[resource.index()].homed {
+                    // Agents are exclusive regardless of mode: the home
+                    // processor serializes the resource either way (the
+                    // mode already picked the segment length).
                     self.issue_global_request(job, vertex, resource, len);
                 } else {
-                    self.issue_local_request(job, vertex, resource, len);
+                    self.issue_local_request(job, vertex, resource, len, mode);
                 }
             }
         }
     }
 
-    /// Rules 1 and 2.
-    fn issue_local_request(&mut self, job: JobIdx, vertex: usize, resource: ResourceId, len: Time) {
-        let task_id = self.jobs[job].task;
-        let state = &mut self.resources[resource.index()];
-        if state.holder.is_none() {
+    /// Rules 1 and 2, extended to reader-writer requests: a write needs
+    /// the resource exclusively; a read may share it with other reads but
+    /// queues FIFO behind any waiter (no overtaking, so writers cannot
+    /// starve).
+    fn issue_local_request(
+        &mut self,
+        job: JobIdx,
+        vertex: usize,
+        resource: ResourceId,
+        len: Time,
+        mode: AccessMode,
+    ) {
+        let state = &self.resources[resource.index()];
+        let free = match mode {
+            AccessMode::Write => {
+                state.holder.is_none()
+                    && state.read_holders.is_empty()
+                    && state.local_waiters.is_empty()
+            }
+            AccessMode::Read => state.holder.is_none() && state.local_waiters.is_empty(),
+        };
+        if free {
             // Rule 2: lock and become ready in RQ^L_i.
-            state.holder = Some(RunItem::Vertex { job, vertex });
-            let vs = &mut self.jobs[job].vertices[vertex];
-            vs.holds_local = Some(resource);
-            vs.seg_remaining = len;
-            self.task_rt[task_id.index()].rq_l.push_back((job, vertex));
-            self.refresh_cluster(task_id);
+            self.grant_local(job, vertex, resource, len, mode);
         } else {
             // Rule 1: suspend in SQ_i (modelled by the resource's FIFO
             // waiter queue).
-            state.local_waiters.push_back((job, vertex));
+            self.resources[resource.index()]
+                .local_waiters
+                .push_back((job, vertex));
         }
+    }
+
+    /// Locks a locally-executed resource for `(job, vertex)` and makes the
+    /// critical section ready in `RQ^L_i`.
+    fn grant_local(
+        &mut self,
+        job: JobIdx,
+        vertex: usize,
+        resource: ResourceId,
+        len: Time,
+        mode: AccessMode,
+    ) {
+        let task_id = self.jobs[job].task;
+        let state = &mut self.resources[resource.index()];
+        match mode {
+            AccessMode::Write => {
+                assert!(state.holder.is_none(), "write grant on a held resource");
+                state.holder = Some(RunItem::Vertex { job, vertex });
+            }
+            AccessMode::Read => state.read_holders.push((job, vertex)),
+        }
+        let vs = &mut self.jobs[job].vertices[vertex];
+        vs.holds_local = Some(resource);
+        vs.seg_remaining = len;
+        self.task_rt[task_id.index()].rq_l.push_back((job, vertex));
+        self.refresh_cluster(task_id);
     }
 
     /// Rule 3.
@@ -387,7 +446,7 @@ impl<'a> Engine<'a> {
         let home = self
             .partition
             .home_of(resource)
-            .expect("validated: every global resource has a home")
+            .expect("routed by home presence")
             .index();
         let prio = self.tasks.task(self.jobs[job].task).priority();
         let req_idx = self.requests.len();
@@ -687,38 +746,70 @@ impl<'a> Engine<'a> {
             let vs = &self.jobs[job].vertices[vertex];
             vs.segments[vs.seg_idx]
         };
-        if let Segment::Request { resource, .. } = seg {
-            // End of a local critical section: release and hand over FIFO
-            // (a global request never runs as a vertex).
+        if let Segment::Request { resource, mode, .. } = seg {
+            // End of a locally-executed critical section: release and hand
+            // over FIFO (a homed request never runs as a vertex).
             let state = &mut self.resources[resource.index()];
-            assert_eq!(
-                state.holder,
-                Some(RunItem::Vertex { job, vertex }),
-                "local unlock by non-holder"
-            );
-            state.holder = None;
-            self.jobs[job].vertices[vertex].holds_local = None;
-            if let Some((j2, v2)) = state.local_waiters.pop_front() {
-                // Rule 2 for the waiter: lock and join RQ^L.
-                state.holder = Some(RunItem::Vertex {
-                    job: j2,
-                    vertex: v2,
-                });
-                let len =
-                    match self.jobs[j2].vertices[v2].segments[self.jobs[j2].vertices[v2].seg_idx] {
-                        Segment::Request { len, .. } => len,
-                        Segment::Work(_) => unreachable!("waiter must sit at a request segment"),
-                    };
-                let vs2 = &mut self.jobs[j2].vertices[v2];
-                vs2.holds_local = Some(resource);
-                vs2.seg_remaining = len;
-                let t2 = self.jobs[j2].task;
-                self.task_rt[t2.index()].rq_l.push_back((j2, v2));
-                self.refresh_cluster(t2);
+            match mode {
+                AccessMode::Write => {
+                    assert_eq!(
+                        state.holder,
+                        Some(RunItem::Vertex { job, vertex }),
+                        "local unlock by non-holder"
+                    );
+                    state.holder = None;
+                }
+                AccessMode::Read => {
+                    let pos = state
+                        .read_holders
+                        .iter()
+                        .position(|&h| h == (job, vertex))
+                        .expect("local read unlock by non-holder");
+                    state.read_holders.swap_remove(pos);
+                }
             }
+            self.jobs[job].vertices[vertex].holds_local = None;
+            self.wake_local_waiters(resource);
         }
         self.jobs[job].vertices[vertex].seg_idx += 1;
         self.activate(job, vertex);
+    }
+
+    /// Hands a released locally-executed resource to the front of its
+    /// FIFO queue: a write waiter is granted alone once every reader has
+    /// left; a read waiter is granted together with every consecutive
+    /// read queued behind it (reader batching, Rule 2).
+    fn wake_local_waiters(&mut self, resource: ResourceId) {
+        loop {
+            let state = &self.resources[resource.index()];
+            if state.holder.is_some() {
+                return;
+            }
+            let Some(&(job, vertex)) = state.local_waiters.front() else {
+                return;
+            };
+            let (len, mode) = {
+                let vs = &self.jobs[job].vertices[vertex];
+                match vs.segments[vs.seg_idx] {
+                    Segment::Request { len, mode, .. } => (len, mode),
+                    Segment::Work(_) => unreachable!("waiter must sit at a request segment"),
+                }
+            };
+            match mode {
+                AccessMode::Write => {
+                    if !self.resources[resource.index()].read_holders.is_empty() {
+                        return;
+                    }
+                    self.resources[resource.index()].local_waiters.pop_front();
+                    self.grant_local(job, vertex, resource, len, AccessMode::Write);
+                    return;
+                }
+                AccessMode::Read => {
+                    self.resources[resource.index()].local_waiters.pop_front();
+                    self.grant_local(job, vertex, resource, len, AccessMode::Read);
+                }
+            }
+        }
     }
 
     fn complete_agent(&mut self, p: usize, req: ReqIdx) {
@@ -1043,5 +1134,143 @@ mod tests {
         // τ1 is a 16ms chain on one processor with a 10ms deadline.
         assert!(result.per_task[1].deadline_misses > 0);
         assert_eq!(result.per_task[0].deadline_misses, 0);
+    }
+
+    /// One task, two parallel fully-critical sections on the same local
+    /// resource, two processors: reads run concurrently (1 ms makespan),
+    /// writes serialize (2 ms).
+    fn rw_parallel_sim(mode_read: bool) -> Time {
+        use dpcp_model::{Dag, DagTask, Platform, RequestSpec, VertexSpec};
+        let rid = ResourceId::new(0);
+        let req = if mode_read {
+            RequestSpec::read(rid, 1)
+        } else {
+            RequestSpec::write(rid, 1)
+        };
+        let task = DagTask::builder(TaskId::new(0), Time::from_ms(10))
+            .dag(Dag::new(2, []).unwrap())
+            .vertex(VertexSpec::with_requests(Time::from_ms(1), [req]))
+            .vertex(VertexSpec::with_requests(Time::from_ms(1), [req]))
+            .critical_section(rid, Time::from_ms(1))
+            .build()
+            .unwrap();
+        let ts = TaskSet::new(vec![task], 1).unwrap();
+        let platform = Platform::new(2).unwrap();
+        let partition = Partition::local_execution(
+            &ts,
+            &platform,
+            vec![vec![
+                dpcp_model::ProcessorId::new(0),
+                dpcp_model::ProcessorId::new(1),
+            ]],
+        )
+        .unwrap();
+        let cfg = SimConfig {
+            duration: Time::from_ms(10),
+            ..SimConfig::default()
+        };
+        let result = simulate(&ts, &partition, &cfg);
+        assert_eq!(result.per_task[0].deadline_misses, 0);
+        result.per_task[0].max_response
+    }
+
+    #[test]
+    fn local_reads_share_while_writes_serialize() {
+        assert_eq!(rw_parallel_sim(true), Time::from_ms(1));
+        assert_eq!(rw_parallel_sim(false), Time::from_ms(2));
+    }
+
+    #[test]
+    fn homeless_partitions_execute_shared_resources_locally() {
+        // Two tasks on separate clusters share ℓ0 under a local-execution
+        // partition (the SPIN/LPP/MPCP/DGA runtime): no agents, no panic,
+        // strict FIFO mutual exclusion.
+        use dpcp_model::{DagTask, Platform, RequestSpec, VertexSpec};
+        let rid = ResourceId::new(0);
+        let mk = |id: usize, period_ms: u64| {
+            DagTask::builder(TaskId::new(id), Time::from_ms(period_ms))
+                .vertex(VertexSpec::with_requests(
+                    Time::from_ms(2),
+                    [RequestSpec::write(rid, 2)],
+                ))
+                .critical_section(rid, Time::from_us(200))
+                .build()
+                .unwrap()
+        };
+        let ts = TaskSet::new(vec![mk(0, 10), mk(1, 15)], 1).unwrap();
+        assert!(ts.is_global(rid));
+        let platform = Platform::new(2).unwrap();
+        let partition = Partition::local_execution(
+            &ts,
+            &platform,
+            vec![
+                vec![dpcp_model::ProcessorId::new(0)],
+                vec![dpcp_model::ProcessorId::new(1)],
+            ],
+        )
+        .unwrap();
+        let cfg = SimConfig {
+            duration: Time::from_ms(60),
+            ..SimConfig::default()
+        };
+        let result = simulate(&ts, &partition, &cfg);
+        assert_eq!(
+            result.blocking.global_requests, 0,
+            "no agents without homes"
+        );
+        assert_eq!(result.deadline_misses(), 0);
+        assert!(result.per_task.iter().all(|t| t.jobs_completed > 0));
+    }
+
+    #[test]
+    fn cross_task_readers_share_homeless_resources() {
+        // Two reader tasks against one writer task: the readers' fully
+        // critical 1 ms sections overlap, so with generous periods nobody
+        // misses; flipping the readers to writers serializes 3 ms of
+        // critical sections through one queue.
+        use dpcp_model::{DagTask, Platform, RequestSpec, VertexSpec};
+        let rid = ResourceId::new(0);
+        let mk = |id: usize, req: RequestSpec| {
+            DagTask::builder(TaskId::new(id), Time::from_ms(4))
+                .vertex(VertexSpec::with_requests(Time::from_ms(1), [req]))
+                .critical_section(rid, Time::from_ms(1))
+                .build()
+                .unwrap()
+        };
+        let ts = TaskSet::new(
+            vec![
+                mk(0, RequestSpec::write(rid, 1)),
+                mk(1, RequestSpec::read(rid, 1)),
+                mk(2, RequestSpec::read(rid, 1)),
+            ],
+            1,
+        )
+        .unwrap();
+        let platform = Platform::new(3).unwrap();
+        let partition = Partition::local_execution(
+            &ts,
+            &platform,
+            vec![
+                vec![dpcp_model::ProcessorId::new(0)],
+                vec![dpcp_model::ProcessorId::new(1)],
+                vec![dpcp_model::ProcessorId::new(2)],
+            ],
+        )
+        .unwrap();
+        let cfg = SimConfig {
+            duration: Time::from_ms(40),
+            ..SimConfig::default()
+        };
+        let result = simulate(&ts, &partition, &cfg);
+        assert_eq!(result.deadline_misses(), 0);
+        // The two readers overlap: their max responses fit inside
+        // write-CS + own-CS (2 ms), impossible if all three serialized.
+        for t in 1..3 {
+            assert!(
+                result.per_task[t].max_response <= Time::from_ms(2),
+                "reader {t} waited as if serialized: {}",
+                result.per_task[t].max_response
+            );
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! (in random order) between random-length non-critical chunks — seeded,
 //! so a fixed seed reproduces the exact schedule.
 
-use dpcp_model::{DagTask, ResourceId, Time, VertexId};
+use dpcp_model::{AccessMode, DagTask, ResourceId, Time, VertexId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -16,13 +16,16 @@ pub enum Segment {
     /// Non-critical computation of the given duration.
     Work(Time),
     /// A critical section on `resource` of length `len`, executed under
-    /// the protocol's rules (locally for local resources, by an agent for
-    /// global ones).
+    /// the protocol's rules (locally for resources without a home, by an
+    /// agent for homed global ones).
     Request {
         /// The requested resource.
         resource: ResourceId,
-        /// The critical-section length.
+        /// The critical-section length (already mode-specific).
         len: Time,
+        /// Read or write access; reads may share a locally-executed
+        /// resource with other reads.
+        mode: AccessMode,
     },
 }
 
@@ -46,18 +49,18 @@ pub fn materialize_vertex<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<Segment> {
     let spec = task.vertex(vertex);
-    let mut requests: Vec<(ResourceId, Time)> = Vec::new();
+    let mut requests: Vec<(ResourceId, Time, AccessMode)> = Vec::new();
     for r in spec.requests() {
         let len = task
-            .cs_length(r.resource)
+            .cs_length_mode(r.resource, r.mode)
             .expect("validated: every requested resource has a length");
         for _ in 0..r.count {
-            requests.push((r.resource, len));
+            requests.push((r.resource, len, r.mode));
         }
     }
     requests.shuffle(rng);
 
-    let critical: Time = requests.iter().map(|&(_, l)| l).sum();
+    let critical: Time = requests.iter().map(|&(_, l, _)| l).sum();
     let noncrit = spec.wcet().saturating_sub(critical).as_ns();
 
     // Random composition of the non-critical time into |requests| + 1
@@ -82,8 +85,12 @@ pub fn materialize_vertex<R: Rng + ?Sized>(
             segments.push(Segment::Work(Time::from_ns(w)));
         }
         if i < requests.len() {
-            let (resource, len) = requests[i];
-            segments.push(Segment::Request { resource, len });
+            let (resource, len, mode) = requests[i];
+            segments.push(Segment::Request {
+                resource,
+                len,
+                mode,
+            });
         }
     }
     if segments.is_empty() {

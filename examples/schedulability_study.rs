@@ -26,6 +26,7 @@ fn main() {
         light_fraction: 0.0,
         vertex_range: None,
         cs_budget_fraction: None,
+        rw_share: None,
     };
     let cfg = EvalConfig {
         samples_per_point: samples,

@@ -38,6 +38,7 @@ fn tiny_scenario() -> Scenario {
         light_fraction: 0.0,
         vertex_range: None,
         cs_budget_fraction: None,
+        rw_share: None,
     }
 }
 
@@ -67,6 +68,7 @@ fn tiny_manifest() -> CampaignManifest {
             },
         ]),
         quick: None,
+        extra: None,
     }
 }
 
@@ -262,6 +264,7 @@ fn campaign_cells_reproduce_the_legacy_per_scenario_loop() {
         normalized_utilization: None, // the paper's full sweep
         ablations: None,
         quick: None,
+        extra: None,
     };
     let cells = manifest.cells(false);
     assert_eq!(cells.len(), 1);

@@ -34,6 +34,7 @@ fn small_scenario() -> Scenario {
         light_fraction: 0.0,
         vertex_range: None,
         cs_budget_fraction: None,
+        rw_share: None,
     }
 }
 

@@ -36,6 +36,7 @@ fn tiny_fuzz_manifest() -> FuzzManifest {
         light_fraction: 0.0,
         vertex_range: Some((8, 16)),
         cs_budget_fraction: None,
+        rw_share: None,
     };
     FuzzManifest {
         name: "tinyfuzz".to_string(),

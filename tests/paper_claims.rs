@@ -71,6 +71,7 @@ fn lemma1_holds_on_generated_contention() {
         light_fraction: 0.0,
         vertex_range: None,
         cs_budget_fraction: None,
+        rw_share: None,
     };
     let platform = Platform::new(8).unwrap();
     let mut simulated = 0;
@@ -122,6 +123,7 @@ fn ep_accepts_whenever_en_accepts() {
         light_fraction: 0.0,
         vertex_range: None,
         cs_budget_fraction: None,
+        rw_share: None,
     };
     let platform = Platform::new(8).unwrap();
     for seed in 0..25u64 {
@@ -187,6 +189,7 @@ fn dpcp_ep_is_at_least_as_good_under_heavy_contention() {
         light_fraction: 0.0,
         vertex_range: None,
         cs_budget_fraction: None,
+        rw_share: None,
     };
     let platform = Platform::new(8).unwrap();
     let wfd = ResourceHeuristic::WorstFitDecreasing;

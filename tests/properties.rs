@@ -223,6 +223,7 @@ fn simulator_respects_bounds_on_random_systems() {
             light_fraction: 0.0,
             vertex_range: None,
             cs_budget_fraction: None,
+            rw_share: None,
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let Ok(tasks) = scenario.sample_task_set(3.0, &mut rng) else {

@@ -33,6 +33,7 @@ fn scenario(light_fraction: f64) -> Scenario {
         light_fraction,
         vertex_range: None,
         cs_budget_fraction: None,
+        rw_share: None,
     }
 }
 
@@ -198,6 +199,7 @@ fn respond_matches_direct_dispatch() {
         let protocol = registry.resolve(method).expect("registered");
         let outcome = session.run(protocol, &tasks, &platform, heuristic);
         let request = AnalysisRequest {
+            schema: None,
             protocol: method.to_string(),
             tasks: tasks.clone(),
             platform,
@@ -229,6 +231,7 @@ fn respond_matches_direct_dispatch() {
         );
     }
     let unknown = AnalysisRequest {
+        schema: None,
         protocol: "NO-SUCH-PROTOCOL".to_string(),
         tasks,
         platform,
