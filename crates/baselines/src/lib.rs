@@ -9,8 +9,9 @@
 //! [`standard_registry`] assembles the paper's five compared methods in
 //! presentation order (`DPCP-p-EP`, `DPCP-p-EN`, `SPIN-SON`, `LPP`,
 //! `FED-FP`), followed by the reader-writer methods (`MPCP-SA`,
-//! `MPCP-SO`, `DGA`) — experiment harnesses resolve methods by name from
-//! that registry instead of hand-wiring protocol calls.
+//! `MPCP-SO`, `DGA`) and the search-in-the-loop placement wrapper
+//! (`DPCP-p-EP/SEARCH`) — experiment harnesses resolve methods by name
+//! from that registry instead of hand-wiring protocol calls.
 //!
 //! # Examples
 //!
@@ -40,7 +41,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use dpcp_core::ProtocolRegistry;
+use dpcp_core::{DpcpProtocol, ProtocolRegistry, SearchConfig, SearchVariant};
 
 mod common;
 pub mod dga;
@@ -56,8 +57,9 @@ pub use mpcp::{Mpcp, MpcpConfig, MpcpVariant};
 pub use spin::{SpinConfig, SpinSon};
 
 /// The paper's five compared methods followed by the reader-writer
-/// extensions, as one registry: `DPCP-p-EP`, `DPCP-p-EN`, `SPIN-SON`,
-/// `LPP`, `FED-FP`, `MPCP-SA`, `MPCP-SO`, `DGA`. Registration order is
+/// extensions and the placement-search wrapper, as one registry:
+/// `DPCP-p-EP`, `DPCP-p-EN`, `SPIN-SON`, `LPP`, `FED-FP`, `MPCP-SA`,
+/// `MPCP-SO`, `DGA`, `DPCP-p-EP/SEARCH`. Registration order is
 /// the single source of truth for dispatch indices, CSV column order and
 /// plot legends downstream — the paper's five stay in their original
 /// slots, so every committed artifact keeps its columns.
@@ -82,6 +84,12 @@ pub fn standard_registry() -> ProtocolRegistry {
         .register(Box::new(Dga::new()))
         .expect("distinct baseline names");
     registry
+        .register(Box::new(SearchVariant::new(
+            DpcpProtocol::ep(),
+            SearchConfig::default(),
+        )))
+        .expect("distinct baseline names");
+    registry
 }
 
 #[cfg(test)]
@@ -101,12 +109,24 @@ mod tests {
                 "FED-FP",
                 "MPCP-SA",
                 "MPCP-SO",
-                "DGA"
+                "DGA",
+                "DPCP-p-EP/SEARCH"
             ]
         );
         let tags: Vec<char> = registry.iter().map(|p| p.tag()).collect();
-        assert_eq!(tags, ['E', 'N', 'S', 'L', 'F', 'M', 'O', 'G']);
+        assert_eq!(tags, ['E', 'N', 'S', 'L', 'F', 'M', 'O', 'G', 'X']);
         assert!(registry.iter().all(|p| !p.description().is_empty()));
+        // Exactly the search wrapper advertises a probe budget.
+        let budgets: Vec<bool> = registry
+            .iter()
+            .map(|p| p.search_budget().is_some())
+            .collect();
+        assert_eq!(budgets.iter().filter(|&&b| b).count(), 1);
+        assert!(registry
+            .resolve("DPCP-p-EP/SEARCH")
+            .unwrap()
+            .search_budget()
+            .is_some());
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   `fixed_point/*` pair contrasting the per-iterate scan with the
 //!   prefix-table solver, full task-set analysis under EP/EN, path
 //!   enumeration — the cache plus the `enumerate/*` triple contrasting the
-//!   DFS reference, the signature-domain DP and the dominance-pruned DP),
+//!   DFS reference, the signature-domain DP and the dominance-pruned DP —
+//!   and the `placement/*` search-engine trio: the warm per-probe cost,
+//!   the seeded wrapper run and the budgeted probing loop),
 //!   measured through the same machinery as `cargo bench`;
 //! - `harness` — wall-clock of one Fig. 2 utilization point through
 //!   `evaluate_point`, sequential (`threads = 1`) vs the ambient rayon
@@ -46,7 +48,7 @@ use dpcp_core::analysis::wcrt::{
 };
 use dpcp_core::analysis::{AnalysisContext, EvalScratch, SignatureCache};
 use dpcp_core::partition::{assign_resources, layout_clusters, ResourceHeuristic};
-use dpcp_core::{AnalysisConfig, AnalysisSession};
+use dpcp_core::{AnalysisConfig, AnalysisSession, DpcpProtocol, PlacementSearch, SearchConfig};
 use dpcp_experiments::{evaluate_point, EvalConfig, Method, PointResult};
 use dpcp_gen::scenario::{Fig2Panel, Scenario};
 use dpcp_model::{
@@ -281,6 +283,83 @@ fn component_benches(sample_size: usize) -> Vec<ComponentBench> {
     criterion.bench_function("signature_cache/enumerate", |b| {
         b.iter(|| black_box(SignatureCache::new(&tasks, &cfg)))
     });
+    // placement/*: the search engine's cost model. `probe_warm` is one
+    // re-analysis of a perturbed candidate against a resident session —
+    // the marginal cost of a search probe (signatures depend only on the
+    // task set, so the cache stays hot across placements). `search_seeded`
+    // is the full wrapper run on a seed-schedulable set (the common
+    // campaign-cell path: one inner evaluation, zero probes), and
+    // `search_probing` the budgeted annealing loop on a contended sample
+    // where every bin-packing seed fails.
+    let probe_layout = layout_clusters(&sizes, 16).expect("initial sizes fit");
+    let homes_wfd = assign_resources(&tasks, &probe_layout, ResourceHeuristic::WorstFitDecreasing)
+        .expect("fits");
+    let homes_bfd = assign_resources(&tasks, &probe_layout, ResourceHeuristic::BestFitDecreasing)
+        .expect("fits");
+    let part_a = Partition::new(&tasks, &platform, probe_layout.clone(), homes_wfd).expect("valid");
+    let part_b = Partition::new(&tasks, &platform, probe_layout, homes_bfd).expect("valid");
+    criterion.bench_function("placement/probe_warm", |b| {
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        session.analyze(&tasks, &part_a);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let p = if flip { &part_a } else { &part_b };
+            black_box(session.analyze(&tasks, p))
+        })
+    });
+    let seeded_tasks = panel_task_set(Fig2Panel::A, 4.0, 13);
+    assert!(
+        AnalysisSession::new(AnalysisConfig::ep())
+            .partition_and_analyze(
+                &seeded_tasks,
+                &platform,
+                ResourceHeuristic::WorstFitDecreasing
+            )
+            .is_schedulable(),
+        "placement/search_seeded fixture must be seed-schedulable"
+    );
+    criterion.bench_function("placement/search_seeded", |b| {
+        let engine = PlacementSearch::new(SearchConfig::default());
+        let inner = DpcpProtocol::ep();
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        b.iter(|| {
+            black_box(
+                engine
+                    .run(
+                        &mut session,
+                        &inner,
+                        &seeded_tasks,
+                        &platform,
+                        ResourceHeuristic::WorstFitDecreasing,
+                    )
+                    .probes,
+            )
+        })
+    });
+    let contended_platform = Platform::new(8).expect("8-core platform");
+    let contended = contended_task_set(&contended_platform);
+    criterion.bench_function("placement/search_probing", |b| {
+        let engine = PlacementSearch::new(SearchConfig {
+            probe_budget: 32,
+            ..SearchConfig::default()
+        });
+        let inner = DpcpProtocol::ep();
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        b.iter(|| {
+            black_box(
+                engine
+                    .run(
+                        &mut session,
+                        &inner,
+                        &contended,
+                        &contended_platform,
+                        ResourceHeuristic::WorstFitDecreasing,
+                    )
+                    .probes,
+            )
+        })
+    });
     // The enumerator pair behind the cache: the depth-first reference vs
     // the signature-domain DP (same caps, same sorted output), plus the
     // opt-in dominance-pruned DP — the ablation-validated fast mode that
@@ -331,6 +410,57 @@ fn component_benches(sample_size: usize) -> Vec<ComponentBench> {
             samples: r.samples,
         })
         .collect()
+}
+
+/// A deterministic contended sample (the `ci/search_smoke.json` scenario
+/// at normalized utilization 0.8) on which all three bin-packing seeds
+/// fail — the fixture of `placement/search_probing`.
+fn contended_task_set(platform: &Platform) -> dpcp_model::TaskSet {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let scenario = Scenario {
+        m: 8,
+        nr_range: (3, 6),
+        u_avg: 1.5,
+        access_prob: 0.75,
+        max_requests: 40,
+        cs_range_us: (50, 100),
+        graph_shape: dpcp_gen::GraphShape::ErdosRenyi,
+        light_fraction: 0.0,
+        vertex_range: None,
+        cs_budget_fraction: None,
+        rw_share: None,
+    };
+    for total_util in [6.4, 5.6, 4.8] {
+        for seed in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(0xBE7C_0000 + seed);
+            let Ok(tasks) = scenario.sample_task_set(total_util, &mut rng) else {
+                continue;
+            };
+            // The initial federated sizes must fit, or the search bails
+            // out before probing (no local move repairs an over-demanded
+            // set).
+            let demand: usize = tasks.iter().map(initial_processors).sum();
+            if demand > platform.processor_count() {
+                continue;
+            }
+            let all_fail = [
+                ResourceHeuristic::WorstFitDecreasing,
+                ResourceHeuristic::FirstFitDecreasing,
+                ResourceHeuristic::BestFitDecreasing,
+            ]
+            .iter()
+            .all(|&h| {
+                !AnalysisSession::new(AnalysisConfig::ep())
+                    .partition_and_analyze(&tasks, platform, h)
+                    .is_schedulable()
+            });
+            if all_fail {
+                return tasks;
+            }
+        }
+    }
+    panic!("no contended fitting sample found");
 }
 
 /// Median wall-clock milliseconds of `repeats` runs of `f` (after one

@@ -84,6 +84,15 @@ pub struct AnalysisConfig {
     /// scalar warm-started solver (`tests/batched_kernel.rs`). Set to
     /// `false` to route through the scalar reference sweep.
     pub batched_fixpoint: bool,
+    /// Step budget for the search-wrapper protocols
+    /// ([`SearchVariant`](crate::registry::SearchVariant)): how many local
+    /// moves the placement search may propose per task set (at most one
+    /// analysis probe each). `None` leaves the wrapper's built-in default
+    /// in force; non-search protocols ignore the knob entirely. Folded
+    /// into the structural request key only when set, so every existing
+    /// key (and cached verdict) is untouched.
+    #[serde(default)]
+    pub search_probe_budget: Option<usize>,
 }
 
 impl Default for AnalysisConfig {
@@ -95,6 +104,7 @@ impl Default for AnalysisConfig {
             max_fixpoint_iterations: 512,
             prune_dominated: true,
             batched_fixpoint: true,
+            search_probe_budget: None,
         }
     }
 }

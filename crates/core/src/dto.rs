@@ -218,6 +218,9 @@ const TAG_CONFIG: u64 = 0x07;
 /// Folded in only when a request/task actually reads, so every
 /// write-only (v1) problem keeps its pre-RW key bit for bit.
 const TAG_READ: u64 = 0x08;
+/// Folded in only when a search-probe budget is set, so every request to
+/// a non-search protocol keeps its pre-search key bit for bit.
+const TAG_SEARCH: u64 = 0x09;
 
 /// WL refinement rounds. Colours stabilise after at most the DAG
 /// diameter; generated DAGs are small, so a modest cap bounds worst-case
@@ -372,6 +375,10 @@ pub fn structural_key(
     h.write_u64(config.path_visit_cap);
     h.write_usize(config.max_fixpoint_iterations);
     h.write_u64(u64::from(config.prune_dominated));
+    if let Some(budget) = config.search_probe_budget {
+        h.write_u64(TAG_SEARCH);
+        h.write_usize(budget);
+    }
     h.write_bytes(format!("{heuristic}").as_bytes());
     h.write_usize(protocol.len());
     h.write_bytes(protocol.as_bytes());
@@ -496,6 +503,16 @@ mod tests {
         let mut req = request(base());
         req.heuristic = ResourceHeuristic::FirstFitDecreasing;
         assert_ne!(base_key, req.structural_key());
+
+        // A search-probe budget is semantic (it changes the wrapper's
+        // verdict), so setting one must change the key — and distinct
+        // budgets must not collide.
+        let mut req = request(base());
+        req.config.search_probe_budget = Some(100);
+        let b100 = req.structural_key();
+        assert_ne!(base_key, b100);
+        req.config.search_probe_budget = Some(200);
+        assert_ne!(b100, req.structural_key());
     }
 
     #[test]

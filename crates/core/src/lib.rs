@@ -56,10 +56,13 @@ pub use analysis::{
     AnalysisConfig, AnalysisVariant, DelayBreakdown, SchedulabilityReport, TaskBound,
 };
 pub use dto::{structural_key, AnalysisRequest, AnalysisVerdict, SUPPORTED_SCHEMA_VERSIONS};
-pub use partition::{PartitionOutcome, ResourceHeuristic, SchedAnalyzer, UnschedulableReason};
+pub use partition::{
+    PartitionOutcome, PlacementSearch, ResourceHeuristic, SchedAnalyzer, SearchConfig, SearchMove,
+    SearchOutcome, UnschedulableReason,
+};
 pub use protocol::{CeilingTable, LockDecision, ProcessorCeiling};
 pub use registry::{
     dpcp_protocols, DpcpProtocol, PlacementVariant, ProtocolAnalysis, ProtocolRegistry,
-    RegistryError,
+    RegistryError, SearchVariant,
 };
 pub use session::{AnalysisSession, SessionBuilder};

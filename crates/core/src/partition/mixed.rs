@@ -26,6 +26,14 @@ use crate::partition::{PartitionOutcome, ResourceHeuristic, UnschedulableReason}
 /// Packs light tasks onto `pool` processors, Worst-Fit Decreasing by
 /// utilization. Returns per-task processor assignments, or `None` when
 /// some processor would exceed utilization 1.
+///
+/// When the set leaves the write-only model ([`TaskSet::has_reads`]),
+/// bins that already host a reader of one of the incoming task's read
+/// resources are preferred: co-located readers share their processor's
+/// agent, so read requests to the same resource serialize locally
+/// instead of crossing processors. The worst-fit criterion then breaks
+/// ties among equally-attractive bins, so write-only sets (the paper's
+/// model) take the exact historical path.
 fn pack_lights(
     tasks: &TaskSet,
     lights: &[TaskId],
@@ -46,22 +54,58 @@ fn pack_lights(
             .unwrap_or(core::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
+    let rw = tasks.has_reads();
     let mut bin_util = vec![0.0f64; pool.len()];
+    let mut bin_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); pool.len()];
     let mut placement = Vec::with_capacity(lights.len());
     for t in order {
-        let u = tasks.task(t).utilization();
-        let best = (0..pool.len())
-            .min_by(|&a, &b| {
-                bin_util[a]
-                    .partial_cmp(&bin_util[b])
-                    .unwrap_or(core::cmp::Ordering::Equal)
-                    .then(a.cmp(&b))
-            })
-            .expect("pool is non-empty");
+        let task = tasks.task(t);
+        let u = task.utilization();
+        let best = if rw {
+            // Reader-affinity tie-break: among bins with capacity,
+            // maximize the number of already-placed tasks sharing a
+            // read resource with `t`, then fall back to worst fit.
+            let read_qs: Vec<_> = task
+                .resources()
+                .filter(|&q| task.total_reads(q) > 0)
+                .collect();
+            let affinity = |bin: usize| {
+                bin_tasks[bin]
+                    .iter()
+                    .filter(|&&other| {
+                        read_qs
+                            .iter()
+                            .any(|&q| tasks.task(other).total_reads(q) > 0)
+                    })
+                    .count()
+            };
+            (0..pool.len())
+                .filter(|&b| bin_util[b] + u <= 1.0 + f64::EPSILON)
+                .min_by(|&a, &b| {
+                    affinity(b)
+                        .cmp(&affinity(a))
+                        .then(
+                            bin_util[a]
+                                .partial_cmp(&bin_util[b])
+                                .unwrap_or(core::cmp::Ordering::Equal),
+                        )
+                        .then(a.cmp(&b))
+                })?
+        } else {
+            (0..pool.len())
+                .min_by(|&a, &b| {
+                    bin_util[a]
+                        .partial_cmp(&bin_util[b])
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                })
+                .expect("pool is non-empty")
+        };
         if bin_util[best] + u > 1.0 + f64::EPSILON {
             return None;
         }
         bin_util[best] += u;
+        bin_tasks[best].push(t);
         placement.push((t, pool[best]));
     }
     Some(placement)
@@ -428,6 +472,64 @@ mod tests {
         assert!(pack_lights(&tasks, &lights, &[]).is_none());
         // No lights → empty placement.
         assert_eq!(pack_lights(&tasks, &[], &[]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn pack_lights_co_locates_readers_of_a_shared_resource() {
+        // Three lights on two processors: τ0 (U=0.4) reads ℓ0,
+        // τ1 (U=0.3) reads ℓ1, τ2 (U=0.2) reads ℓ0. Plain worst-fit
+        // sends τ2 to τ1's emptier bin; the reader-affinity tie-break
+        // must put it next to its co-reader τ0 instead.
+        let reader = |id: usize, wcet_ms: u64, q: usize| {
+            DagTask::builder(TaskId::new(id), Time::from_ms(10))
+                .vertex(VertexSpec::with_requests(
+                    Time::from_ms(wcet_ms),
+                    [RequestSpec::read(rid(q), 1)],
+                ))
+                .critical_section(rid(q), Time::from_us(50))
+                .read_critical_section(rid(q), Time::from_us(50))
+                .build()
+                .unwrap()
+        };
+        let tasks =
+            TaskSet::new(vec![reader(0, 4, 0), reader(1, 3, 1), reader(2, 2, 0)], 2).unwrap();
+        let lights = [TaskId::new(0), TaskId::new(1), TaskId::new(2)];
+        let pool = [ProcessorId::new(0), ProcessorId::new(1)];
+        let placement = pack_lights(&tasks, &lights, &pool).unwrap();
+        let home = |id: usize| {
+            placement
+                .iter()
+                .find(|&&(t, _)| t == TaskId::new(id))
+                .map(|&(_, p)| p)
+                .unwrap()
+        };
+        assert_eq!(home(0), home(2), "co-readers of ℓ0 must share a bin");
+        assert_ne!(home(0), home(1));
+
+        // Same shape with write requests stays on the historical
+        // worst-fit path: τ2 lands in the emptier bin, next to τ1.
+        let writer = |id: usize, wcet_ms: u64, q: usize| {
+            DagTask::builder(TaskId::new(id), Time::from_ms(10))
+                .vertex(VertexSpec::with_requests(
+                    Time::from_ms(wcet_ms),
+                    [RequestSpec::write(rid(q), 1)],
+                ))
+                .critical_section(rid(q), Time::from_us(50))
+                .build()
+                .unwrap()
+        };
+        let tasks =
+            TaskSet::new(vec![writer(0, 4, 0), writer(1, 3, 1), writer(2, 2, 0)], 2).unwrap();
+        let placement = pack_lights(&tasks, &lights, &pool).unwrap();
+        let home = |id: usize| {
+            placement
+                .iter()
+                .find(|&&(t, _)| t == TaskId::new(id))
+                .map(|&(_, p)| p)
+                .unwrap()
+        };
+        assert_eq!(home(1), home(2), "write-only sets keep plain worst-fit");
+        assert_ne!(home(0), home(2));
     }
 
     #[test]

@@ -21,8 +21,10 @@ use crate::analysis::{
 };
 
 pub mod mixed;
+pub mod search;
 pub mod wfd;
 
+pub use search::{PlacementSearch, SearchConfig, SearchMove, SearchOutcome};
 pub use wfd::{
     assign_resources, assign_resources_to_bins, layout_clusters, CapacityBin, ResourceHeuristic,
 };

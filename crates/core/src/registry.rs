@@ -39,7 +39,7 @@ use dpcp_model::{Platform, TaskSet};
 
 use crate::analysis::{AnalysisConfig, AnalysisVariant};
 use crate::dto::{AnalysisRequest, AnalysisVerdict};
-use crate::partition::{PartitionOutcome, ResourceHeuristic};
+use crate::partition::{PartitionOutcome, PlacementSearch, ResourceHeuristic, SearchConfig};
 use crate::session::AnalysisSession;
 
 /// A locking-protocol analysis as a pluggable strategy: partition a task
@@ -64,6 +64,14 @@ pub trait ProtocolAnalysis: core::fmt::Debug + Send + Sync {
     /// RW sets routed to it instead (see [`ProtocolRegistry::respond`]).
     fn supports_rw(&self) -> bool {
         false
+    }
+
+    /// The default probe budget of a search-wrapper protocol
+    /// ([`SearchVariant`]), `None` for everything else. Listings
+    /// (`campaign plan --methods`) use it to tag search entries with
+    /// their budget the way `[rw]` tags reader-writer support.
+    fn search_budget(&self) -> Option<usize> {
+        None
     }
 
     /// Partitions and analyses one task set. Implementations draw their
@@ -349,6 +357,80 @@ impl<P: ProtocolAnalysis> ProtocolAnalysis for PlacementVariant<P> {
     }
 }
 
+/// A search-in-the-loop variant of another protocol: the wrapped
+/// analysis is evaluated under every placement heuristic (WFD/FFD/BFD),
+/// and only when all of those seeds fail does the budgeted
+/// [`PlacementSearch`] explore the joint resource-home × partition space
+/// for a placement the heuristics missed — so the wrapper's verdict is
+/// never worse than the best heuristic seed, and strictly better exactly
+/// when search finds a schedulable placement. Registers as
+/// `"<inner>/SEARCH"` (e.g. `"DPCP-p-EP/SEARCH"`).
+///
+/// The probe budget is the wrapper's [`SearchConfig`] default unless the
+/// session's [`AnalysisConfig::search_probe_budget`] overrides it (the
+/// campaign ablation axis and DTO requests plumb budgets through that
+/// knob).
+#[derive(Debug)]
+pub struct SearchVariant<P> {
+    inner: P,
+    search: PlacementSearch,
+    name: String,
+}
+
+impl<P: ProtocolAnalysis> SearchVariant<P> {
+    /// Wraps `inner` with a placement search of the given knobs.
+    pub fn new(inner: P, cfg: SearchConfig) -> Self {
+        let name = format!("{}/SEARCH", inner.name());
+        SearchVariant {
+            inner,
+            search: PlacementSearch::new(cfg),
+            name,
+        }
+    }
+
+    /// The wrapper's default search knobs.
+    pub fn config(&self) -> &SearchConfig {
+        self.search.config()
+    }
+}
+
+impl<P: ProtocolAnalysis> ProtocolAnalysis for SearchVariant<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tag(&self) -> char {
+        'X'
+    }
+
+    fn description(&self) -> &str {
+        "budgeted local search over resource homes and task partitions"
+    }
+
+    fn search_budget(&self) -> Option<usize> {
+        Some(self.search.config().probe_budget)
+    }
+
+    fn evaluate(
+        &self,
+        session: &mut AnalysisSession,
+        tasks: &TaskSet,
+        platform: &Platform,
+        heuristic: ResourceHeuristic,
+    ) -> PartitionOutcome {
+        let engine = match session.config().search_probe_budget {
+            Some(probe_budget) => PlacementSearch::new(SearchConfig {
+                probe_budget,
+                ..*self.search.config()
+            }),
+            None => self.search.clone(),
+        };
+        engine
+            .run(session, &self.inner, tasks, platform, heuristic)
+            .outcome
+    }
+}
+
 /// The registry of this crate's own protocols: `DPCP-p-EP` then
 /// `DPCP-p-EN`, in the paper's presentation order. Baseline protocols
 /// register on top of this (see `dpcp_baselines::standard_registry`).
@@ -480,6 +562,52 @@ mod tests {
             ResourceHeuristic::FirstFitDecreasing,
         );
         assert_eq!(pinned, direct);
+    }
+
+    #[test]
+    fn search_variant_returns_heuristic_seeds_verbatim() {
+        // On a set some heuristic already schedules, the search wrapper
+        // must return that seed's outcome bit-identically (zero probes):
+        // search is opt-in extra work, never a behavioral change on
+        // already-schedulable inputs.
+        let wrapper = SearchVariant::new(DpcpProtocol::ep(), SearchConfig::default());
+        assert_eq!(wrapper.name(), "DPCP-p-EP/SEARCH");
+        assert_eq!(wrapper.tag(), 'X');
+        assert_eq!(wrapper.search_budget(), Some(wrapper.config().probe_budget));
+        assert!(!wrapper.description().is_empty());
+        let tasks = heavy_set();
+        let platform = Platform::new(6).unwrap();
+        let wfd = ResourceHeuristic::WorstFitDecreasing;
+        let mut session = AnalysisSession::new(AnalysisConfig::ep());
+        let searched = session.run(&wrapper, &tasks, &platform, wfd);
+        let direct = AnalysisSession::new(AnalysisConfig::ep())
+            .partition_and_analyze(&tasks, &platform, wfd);
+        assert!(direct.is_schedulable(), "fixture must be schedulable");
+        assert_eq!(searched, direct);
+    }
+
+    #[test]
+    fn search_variant_honors_the_session_budget_override() {
+        // `search_probe_budget: Some(0)` disables the neighborhood loop:
+        // the wrapper must fall back to the best heuristic seed even on
+        // sets where a budgeted search would keep probing. Also checks
+        // the override engine is rebuilt per call (the wrapper default is
+        // untouched).
+        let wrapper = SearchVariant::new(DpcpProtocol::ep(), SearchConfig::default());
+        let tasks = heavy_set();
+        let platform = Platform::new(6).unwrap();
+        let wfd = ResourceHeuristic::WorstFitDecreasing;
+        let mut cfg = AnalysisConfig::ep();
+        cfg.search_probe_budget = Some(0);
+        let mut session = AnalysisSession::new(cfg);
+        let zero_budget = session.run(&wrapper, &tasks, &platform, wfd);
+        let seed = AnalysisSession::new(AnalysisConfig::ep())
+            .partition_and_analyze(&tasks, &platform, wfd);
+        assert_eq!(zero_budget, seed);
+        assert_eq!(
+            wrapper.config().probe_budget,
+            SearchConfig::default().probe_budget
+        );
     }
 
     #[test]

@@ -95,6 +95,7 @@ mod tests {
                         0,
                         0,
                         0,
+                        0,
                     ],
                 })
                 .collect(),

@@ -95,11 +95,15 @@ fn print_methods() {
     println!("registered methods (use these names in a manifest's \"methods\" array):");
     for protocol in registry.iter() {
         println!(
-            "  {:<12} tag {}  {}{}",
+            "  {:<12} tag {}  {}{}{}",
             protocol.name(),
             protocol.tag(),
             protocol.description(),
             if protocol.supports_rw() { "  [rw]" } else { "" },
+            match protocol.search_budget() {
+                Some(budget) => format!("  [search b={budget}]"),
+                None => String::new(),
+            },
         );
     }
 }

@@ -21,7 +21,8 @@ use serde::{Deserialize, Serialize};
 
 /// The standard protocol registry the harness dispatches through: the
 /// paper's five compared methods followed by the reader-writer-aware
-/// extensions (MPCP variants, DGA), in presentation order (assembled by
+/// extensions (MPCP variants, DGA) and the placement-search wrapper
+/// (`DPCP-p-EP/SEARCH`), in presentation order (assembled by
 /// [`dpcp_baselines::standard_registry`]). [`Method`]'s `index`/`name`/
 /// `tag` and every CSV header derive from this one ordered list, so
 /// column order can never diverge from dispatch order.
@@ -40,7 +41,7 @@ pub fn standard_registry() -> &'static ProtocolRegistry {
 
 /// The registered methods, in presentation (= registry) order: the
 /// paper's five compared protocols first, then the reader-writer-aware
-/// extensions.
+/// extensions, then the placement-search wrapper.
 ///
 /// `Method` is a dense dispatch handle into [`standard_registry`]:
 /// [`index`](Method::index) is the registry position, and
@@ -70,11 +71,14 @@ pub enum Method {
     /// Dependency-graph-style serialized demand bound (reader-writer
     /// aware).
     Dga,
+    /// DPCP-p-EP behind the budgeted placement search (never worse than
+    /// the best of WFD/FFD/BFD; opt-in extra probes).
+    DpcpEpSearch,
 }
 
 impl Method {
     /// Number of methods (the width of every `accepted` slot array).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// All methods in presentation (= registry) order.
     pub const ALL: [Method; Method::COUNT] = [
@@ -86,6 +90,7 @@ impl Method {
         Method::MpcpSa,
         Method::MpcpSo,
         Method::Dga,
+        Method::DpcpEpSearch,
     ];
 
     /// The paper's five compared methods — the column set of every
@@ -605,7 +610,7 @@ mod tests {
                 normalized: 0.25,
                 samples: 4,
                 generation_failures: 0,
-                accepted: [4, 3, 2, 1, 4, 0, 0, 2],
+                accepted: [4, 3, 2, 1, 4, 0, 0, 2, 3],
             }],
         };
         // The legacy wide format keeps exactly the paper's five columns

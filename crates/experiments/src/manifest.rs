@@ -249,6 +249,12 @@ pub struct AblationSpec {
     pub path_signature_cap: Option<usize>,
     /// Override for [`AnalysisConfig::path_visit_cap`].
     pub path_visit_cap: Option<u64>,
+    /// Override for [`AnalysisConfig::search_probe_budget`] — the probe
+    /// budget of search-wrapper methods (`DPCP-p-EP/SEARCH`). Together
+    /// with per-ablation method lists this is the search on/off × budget
+    /// ablation axis; non-search methods ignore it.
+    #[serde(default)]
+    pub search_budget: Option<usize>,
 }
 
 impl AblationSpec {
@@ -261,6 +267,7 @@ impl AblationSpec {
             prune_dominated: None,
             path_signature_cap: None,
             path_visit_cap: None,
+            search_budget: None,
         }
     }
 
@@ -275,6 +282,9 @@ impl AblationSpec {
         }
         if let Some(cap) = self.path_visit_cap {
             cfg.path_visit_cap = cap;
+        }
+        if let Some(budget) = self.search_budget {
+            cfg.search_probe_budget = Some(budget);
         }
         cfg
     }
@@ -639,6 +649,7 @@ pub fn fig2_panel_manifest(
             prune_dominated: Some(prune_dominated),
             path_signature_cap: None,
             path_visit_cap: None,
+            search_budget: None,
         }]),
         quick: None,
         extra: None,
@@ -693,6 +704,7 @@ pub fn ablation_manifest(samples: usize, seed: u64) -> CampaignManifest {
             prune_dominated: None,
             path_signature_cap: None,
             path_visit_cap: None,
+            search_budget: None,
         },
         AblationSpec {
             label: "FFD".to_string(),
@@ -701,6 +713,7 @@ pub fn ablation_manifest(samples: usize, seed: u64) -> CampaignManifest {
             prune_dominated: None,
             path_signature_cap: None,
             path_visit_cap: None,
+            search_budget: None,
         },
         AblationSpec {
             label: "BFD".to_string(),
@@ -709,6 +722,7 @@ pub fn ablation_manifest(samples: usize, seed: u64) -> CampaignManifest {
             prune_dominated: None,
             path_signature_cap: None,
             path_visit_cap: None,
+            search_budget: None,
         },
     ];
     for cap in [1usize, 16, 128, 1024] {
@@ -719,6 +733,7 @@ pub fn ablation_manifest(samples: usize, seed: u64) -> CampaignManifest {
             prune_dominated: None,
             path_signature_cap: Some(cap),
             path_visit_cap: None,
+            search_budget: None,
         });
     }
     ablations.push(AblationSpec {
@@ -728,6 +743,7 @@ pub fn ablation_manifest(samples: usize, seed: u64) -> CampaignManifest {
         prune_dominated: None,
         path_signature_cap: None,
         path_visit_cap: None,
+        search_budget: None,
     });
     CampaignManifest {
         name: "ablation".to_string(),

@@ -65,6 +65,7 @@ fn tiny_manifest() -> CampaignManifest {
                 prune_dominated: Some(false),
                 path_signature_cap: None,
                 path_visit_cap: None,
+                search_budget: None,
             },
         ]),
         quick: None,

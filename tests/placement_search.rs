@@ -1,0 +1,217 @@
+//! Placement-search integration tests: the determinism and
+//! never-worse-than-seed contracts of `DPCP-p-EP/SEARCH`.
+//!
+//! The contracts mirror ISSUE/README: identical `(seed, budget)` must
+//! produce byte-identical campaign artifacts at any rayon pool width,
+//! across shard splits and across resume, and on every sample the
+//! search outcome must be at least as good as the best of the three
+//! bin-packing heuristic seeds (WFD/FFD/BFD).
+
+use std::path::PathBuf;
+
+use dpcp_experiments::campaign::{merge_dir, merged_csv, run_shard, ShardSpec};
+use dpcp_experiments::manifest::{AblationSpec, AxisSpec, CampaignManifest};
+use dpcp_experiments::Method;
+use dpcp_p::core::partition::{PartitionOutcome, ResourceHeuristic};
+use dpcp_p::core::{AnalysisConfig, AnalysisSession};
+use dpcp_p::gen::scenario::Scenario;
+use dpcp_p::gen::GraphShape;
+use dpcp_p::model::Platform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dpcp_search_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn search_scenario(graph_shape: GraphShape, light_fraction: f64) -> Scenario {
+    Scenario {
+        m: 8,
+        nr_range: (2, 4),
+        u_avg: 1.5,
+        access_prob: 0.5,
+        max_requests: 25,
+        cs_range_us: (15, 50),
+        graph_shape,
+        light_fraction,
+        vertex_range: Some((5, 20)),
+        cs_budget_fraction: None,
+        rw_share: None,
+    }
+}
+
+/// A search-only campaign: one scenario × two budget ablations, so the
+/// manifest exercises the search on/off × budget axis end to end.
+fn search_manifest() -> CampaignManifest {
+    let budget_cell = |label: &str, budget: usize| AblationSpec {
+        label: label.to_string(),
+        methods: None,
+        heuristic: None,
+        prune_dominated: None,
+        path_signature_cap: None,
+        path_visit_cap: None,
+        search_budget: Some(budget),
+    };
+    CampaignManifest {
+        name: "searchtest".to_string(),
+        seed: 41,
+        samples_per_point: 2,
+        generation_retries: None,
+        methods: vec![Method::DpcpEp, Method::DpcpEpSearch],
+        axes: AxisSpec::single(&search_scenario(GraphShape::ErdosRenyi, 0.0)),
+        normalized_utilization: Some(vec![0.4, 0.7]),
+        ablations: Some(vec![budget_cell("b16", 16), budget_cell("b64", 64)]),
+        quick: None,
+        extra: None,
+    }
+}
+
+#[test]
+fn search_campaigns_are_bit_identical_across_pool_widths_splits_and_resume() {
+    let manifest = search_manifest();
+    let cells = manifest.cells(false);
+    assert_eq!(cells.len(), 2);
+
+    // Pool-width sweep: the checkpoint *bytes* must not depend on the
+    // rayon pool evaluating the cells.
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let dir = test_dir(&format!("pool{threads}"));
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let stats = pool
+            .install(|| run_shard(&manifest, &cells, ShardSpec::single(), &dir, |_, _| {}))
+            .unwrap();
+        assert_eq!(stats.evaluated, cells.len(), "width {threads}");
+        let bytes = std::fs::read_to_string(ShardSpec::single().path(&dir)).unwrap();
+        runs.push((dir, bytes));
+    }
+    assert_eq!(
+        runs[0].1, runs[1].1,
+        "pool width changed search checkpoint bytes"
+    );
+    let single = merge_dir(&manifest, &cells, &runs[0].0).unwrap();
+    let single_csv = merged_csv(&single.results);
+
+    // Shard split: 0/2 + 1/2 + merge ≡ the single-shot run.
+    let split_dir = test_dir("split");
+    for index in 0..2 {
+        let shard = ShardSpec { index, of: 2 };
+        run_shard(&manifest, &cells, shard, &split_dir, |_, _| {}).unwrap();
+    }
+    let split = merge_dir(&manifest, &cells, &split_dir).unwrap();
+    assert_eq!(split, single, "shard split changed search cell results");
+    assert_eq!(
+        merged_csv(&split.results),
+        single_csv,
+        "shard split changed merged search CSV bytes"
+    );
+
+    // Resume on a complete checkpoint re-evaluates nothing and leaves
+    // the bytes untouched.
+    let before = std::fs::read_to_string(ShardSpec::single().path(&runs[0].0)).unwrap();
+    let stats = run_shard(
+        &manifest,
+        &cells,
+        ShardSpec::single(),
+        &runs[0].0,
+        |_, _| {},
+    )
+    .unwrap();
+    assert_eq!((stats.resumed, stats.evaluated), (cells.len(), 0));
+    let after = std::fs::read_to_string(ShardSpec::single().path(&runs[0].0)).unwrap();
+    assert_eq!(before, after, "resume mutated a search checkpoint");
+
+    for (dir, _) in runs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&split_dir);
+}
+
+#[test]
+fn search_never_loses_to_the_best_heuristic_seed() {
+    // Property sweep over the four DAG shapes: wherever any of the three
+    // bin-packing heuristics accepts a sample, the search wrapper must
+    // accept it too (its seed loop evaluates all three before probing),
+    // and when the requested heuristic already accepts, the search
+    // returns that seed outcome verbatim. Chains have L* = C, so heavy
+    // chain tasks (U > 1) are infeasible — that shape runs all-light.
+    let shapes = [
+        (GraphShape::ErdosRenyi, 0.0),
+        (GraphShape::Layered { layers: 3 }, 0.0),
+        (GraphShape::ForkJoin, 0.0),
+        (GraphShape::Chain, 1.0),
+    ];
+    let heuristics = [
+        ResourceHeuristic::WorstFitDecreasing,
+        ResourceHeuristic::FirstFitDecreasing,
+        ResourceHeuristic::BestFitDecreasing,
+    ];
+    let registry = dpcp_experiments::standard_registry();
+    let search = registry.resolve("DPCP-p-EP/SEARCH").expect("registered");
+    let ep = registry.resolve("DPCP-p-EP").expect("registered");
+    let search_cfg = AnalysisConfig {
+        search_probe_budget: Some(48),
+        ..AnalysisConfig::ep()
+    };
+    let mut checked = 0usize;
+    let mut heuristic_accepts = 0usize;
+    for (shape_idx, &(shape, light_fraction)) in shapes.iter().enumerate() {
+        let scenario = search_scenario(shape, light_fraction);
+        let platform = Platform::new(scenario.m).unwrap();
+        for seed in 0..6u64 {
+            for &total_util in &[3.0, 5.0] {
+                let mut rng =
+                    StdRng::seed_from_u64(0x5EA2_C000 + seed * 31 + shape_idx as u64 * 1009);
+                let Ok(tasks) = scenario.sample_task_set(total_util, &mut rng) else {
+                    continue;
+                };
+                let tag = format!("shape {shape_idx} seed {seed} u {total_util}");
+                let seeds: Vec<PartitionOutcome> = heuristics
+                    .iter()
+                    .map(|&h| {
+                        AnalysisSession::new(AnalysisConfig::ep()).run(ep, &tasks, &platform, h)
+                    })
+                    .collect();
+                let outcome = AnalysisSession::new(search_cfg.clone()).run(
+                    search,
+                    &tasks,
+                    &platform,
+                    ResourceHeuristic::WorstFitDecreasing,
+                );
+                if seeds.iter().any(PartitionOutcome::is_schedulable) {
+                    heuristic_accepts += 1;
+                    assert!(
+                        outcome.is_schedulable(),
+                        "{tag}: search lost to a heuristic seed"
+                    );
+                }
+                if seeds[0].is_schedulable() {
+                    assert_eq!(
+                        outcome, seeds[0],
+                        "{tag}: schedulable requested-heuristic seed not returned verbatim"
+                    );
+                }
+                // Determinism: a fresh session reproduces the outcome
+                // bit-for-bit.
+                let again = AnalysisSession::new(search_cfg.clone()).run(
+                    search,
+                    &tasks,
+                    &platform,
+                    ResourceHeuristic::WorstFitDecreasing,
+                );
+                assert_eq!(outcome, again, "{tag}: search outcome not deterministic");
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 24, "too few samples checked ({checked})");
+    assert!(
+        heuristic_accepts >= 8,
+        "too few heuristic-schedulable samples ({heuristic_accepts})"
+    );
+}
